@@ -1,0 +1,263 @@
+//! Bulge chasing on packed band storage — O(n·b) memory instead of the
+//! dense O(n²) working set.
+//!
+//! During the chase the band temporarily widens to 2b (the bulge), so the
+//! working matrix is a [`SymBand`] of bandwidth `2b`. Reflectors are applied
+//! in the symmetric rank-2 form `A ← A − v·wᵀ − w·vᵀ` (with
+//! `w = τ(A·v − ½τ(vᵀA·v)v)`), which touches each packed entry exactly once
+//! — the formulation that works naturally on symmetric packed storage,
+//! unlike the dense version's separate left/right sweeps.
+
+use crate::bulge::BulgeResult;
+use crate::storage::SymBand;
+use tcevd_factor::householder::larfg;
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::Mat;
+
+/// Band → tridiagonal reduction on packed storage.
+///
+/// `accumulate_q` builds the dense n×n orthogonal factor (the only O(n²)
+/// object; leave it off for eigenvalues-only pipelines).
+pub fn bulge_chase_packed<T: Scalar>(
+    band: &SymBand<T>,
+    accumulate_q: bool,
+) -> BulgeResult<T> {
+    let n = band.n();
+    let b = band.bandwidth();
+    let mut q = accumulate_q.then(|| Mat::<T>::identity(n, n));
+
+    if b <= 1 || n <= 2 {
+        let dense_free = |i: usize, j: usize| band.get(i, j);
+        let diag = (0..n).map(|i| dense_free(i, i)).collect();
+        let offdiag = (0..n.saturating_sub(1)).map(|i| dense_free(i + 1, i)).collect();
+        return BulgeResult { diag, offdiag, q };
+    }
+
+    // Working copy with room for the bulge.
+    let wb = (2 * b).min(n.saturating_sub(1)).max(1);
+    let mut a = widen(band, wb);
+    let mut v = vec![T::ZERO; b + 1];
+    let mut p = vec![T::ZERO; 6 * b + 4]; // A·v support: len + 2·wb ≤ 5b+1
+
+    for j in 0..n - 2 {
+        let mut src_col = j;
+        let mut s = j + 1;
+        loop {
+            let e = (s + b).min(n);
+            let len = e - s;
+            if len <= 1 {
+                break;
+            }
+            // Householder annihilating A[s+1..e, src_col].
+            let alpha = a.get(s, src_col);
+            for (t, i) in (s + 1..e).enumerate() {
+                v[t + 1] = a.get(i, src_col);
+            }
+            let (beta, tau) = larfg(alpha, &mut v[1..len]);
+            v[0] = T::ONE;
+
+            if tau != T::ZERO {
+                two_sided_packed(&mut a, s, e, &v[..len], tau, &mut p);
+                if let Some(q) = q.as_mut() {
+                    tcevd_factor::householder::apply_reflector_right(
+                        tau,
+                        &v[..len],
+                        q.view_mut(0, s, n, len),
+                    );
+                }
+            }
+
+            // Exact zeros for the annihilated entries.
+            a.set(s, src_col, beta);
+            for i in s + 1..e {
+                a.set(i, src_col, T::ZERO);
+            }
+
+            src_col = s;
+            s += b;
+            if s >= n {
+                break;
+            }
+        }
+    }
+
+    let diag = (0..n).map(|i| a.get(i, i)).collect();
+    let offdiag = (0..n - 1).map(|i| a.get(i + 1, i)).collect();
+    BulgeResult { diag, offdiag, q }
+}
+
+/// Copy a band matrix into wider packed storage.
+fn widen<T: Scalar>(src: &SymBand<T>, new_b: usize) -> SymBand<T> {
+    let n = src.n();
+    let mut out = SymBand::<T>::zeros(n, new_b);
+    for j in 0..n {
+        for i in j..(j + src.bandwidth() + 1).min(n) {
+            out.set(i, j, src.get(i, j));
+        }
+    }
+    out
+}
+
+/// Symmetric two-sided reflector application on packed storage:
+/// `A ← H·A·H`, `H = I − τ·v·vᵀ` with `v` supported on rows `[s, e)`.
+///
+/// Entries pushed outside the packed bandwidth are provably zero for the
+/// standard chase schedule (the bulge never exceeds 2b); a debug assertion
+/// guards the invariant.
+pub(crate) fn two_sided_packed<T: Scalar>(
+    a: &mut SymBand<T>,
+    s: usize,
+    e: usize,
+    v: &[T],
+    tau: T,
+    p: &mut [T],
+) {
+    let n = a.n();
+    let wb = a.bandwidth();
+    // support of A·v: rows [lo, hi)
+    let lo = s.saturating_sub(wb);
+    let hi = (e + wb).min(n);
+    let plen = hi - lo;
+    debug_assert!(plen <= p.len());
+    let p = &mut p[..plen];
+
+    // p = τ·A·v (band-limited)
+    for x in p.iter_mut() {
+        *x = T::ZERO;
+    }
+    for (c, &vc) in (s..e).zip(v.iter()) {
+        if vc == T::ZERO {
+            continue;
+        }
+        let rlo = c.saturating_sub(wb).max(lo);
+        let rhi = (c + wb + 1).min(hi);
+        for r in rlo..rhi {
+            p[r - lo] += a.get(r, c) * vc;
+        }
+    }
+    for x in p.iter_mut() {
+        *x *= tau;
+    }
+
+    // w = p − (τ/2)(pᵀv)·v  (v embedded at [s, e))
+    let mut pv = T::ZERO;
+    for (c, &vc) in (s..e).zip(v.iter()) {
+        pv += p[c - lo] * vc;
+    }
+    let alpha = T::HALF * tau * pv;
+    for (c, &vc) in (s..e).zip(v.iter()) {
+        p[c - lo] -= alpha * vc;
+    }
+
+    // A ← A − v·wᵀ − w·vᵀ, only entries inside the packed band.
+    // Nonzero updates need v_i ≠ 0 or v_j ≠ 0: rows in [s, e) × cols [lo, hi)
+    // and the symmetric counterpart — iterate over (i ∈ [s,e), j ∈ [lo,hi))
+    // with i ≥ j handled through the symmetric setter exactly once.
+    for (i, &vi) in (s..e).zip(v.iter()) {
+        let wi = p[i - lo];
+        for j in lo..hi {
+            let within = i.abs_diff(j) <= wb;
+            let vj = if (s..e).contains(&j) { v[j - s] } else { T::ZERO };
+            let wj = p[j - lo];
+            let delta = vi * wj + wi * vj;
+            if delta != T::ZERO {
+                debug_assert!(within, "bulge escaped the working bandwidth");
+                if within {
+                    // halve double-visited symmetric pairs: only apply from
+                    // the row side when both i and j lie in the v-support
+                    if (s..e).contains(&j) && j < i {
+                        continue; // handled when roles were swapped
+                    }
+                    a.set(i, j, a.get(i, j) - delta);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulge::bulge_chase;
+    use tcevd_matrix::norms::orthogonality_residual;
+
+    fn band_matrix(n: usize, b: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Mat::<f64>::zeros(n, n);
+        for j in 0..n {
+            for i in j..(j + b + 1).min(n) {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        a
+    }
+
+    fn check(n: usize, b: usize, seed: u64) {
+        let dense = band_matrix(n, b, seed);
+        let packed = SymBand::from_dense(&dense, b);
+        let r_packed = bulge_chase_packed(&packed, true);
+        let r_dense = bulge_chase(&dense, b, true);
+        // Same tridiagonal (identical reflector schedule ⇒ identical values)
+        for i in 0..n {
+            assert!(
+                (r_packed.diag[i] - r_dense.diag[i]).abs() < 1e-10,
+                "diag[{i}] at n={n} b={b}"
+            );
+        }
+        for i in 0..n - 1 {
+            assert!(
+                (r_packed.offdiag[i] - r_dense.offdiag[i]).abs() < 1e-10,
+                "offdiag[{i}] at n={n} b={b}"
+            );
+        }
+        let q = r_packed.q.as_ref().unwrap();
+        assert!(orthogonality_residual(q.as_ref()) < 1e-12 * n as f64);
+    }
+
+    #[test]
+    fn matches_dense_small() {
+        check(10, 2, 1);
+        check(12, 3, 2);
+        check(16, 4, 3);
+    }
+
+    #[test]
+    fn matches_dense_various() {
+        check(33, 4, 4);
+        check(40, 5, 5);
+        check(25, 8, 6);
+    }
+
+    #[test]
+    fn wide_band_near_dense() {
+        check(12, 9, 7);
+    }
+
+    #[test]
+    fn tridiagonal_passthrough() {
+        let dense = band_matrix(8, 1, 8);
+        let packed = SymBand::from_dense(&dense, 1);
+        let r = bulge_chase_packed(&packed, false);
+        for i in 0..8 {
+            assert_eq!(r.diag[i], dense[(i, i)]);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_preserved() {
+        // moments check without Q
+        let n = 30;
+        let dense = band_matrix(n, 4, 9);
+        let packed = SymBand::from_dense(&dense, 4);
+        let r = bulge_chase_packed(&packed, false);
+        let tr_a: f64 = (0..n).map(|i| dense[(i, i)]).sum();
+        let tr_t: f64 = r.diag.iter().sum();
+        assert!((tr_a - tr_t).abs() < 1e-11);
+    }
+}

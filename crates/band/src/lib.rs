@@ -1,0 +1,44 @@
+//! # tcevd-band — successive band reduction and bulge chasing
+//!
+//! The two stages of two-stage tridiagonalization (paper Figure 1), plus the
+//! machinery around them:
+//!
+//! * [`sbr_zy()`] — conventional ZY-representation SBR (the MAGMA-style
+//!   baseline with tall-skinny GEMMs).
+//! * [`sbr_wy()`] — the paper's Algorithm 1: recursive WY-representation SBR
+//!   with big-block deferred trailing updates ('squeezed' near-square
+//!   GEMMs for Tensor Cores).
+//! * [`formw`] — the paper's Algorithm 2: recursive merge of per-block WY
+//!   factors for the eigenvector back-transformation.
+//! * [`bulge`] — band → tridiagonal bulge chasing (stage 2).
+//! * [`trace_model`] — dry-run GEMM/panel shape traces of both SBR variants
+//!   at arbitrary n, validated call-for-call against the real
+//!   implementations; these drive the performance-model reproduction of the
+//!   paper's timing figures.
+//!
+//! All numeric drivers take a
+//! [`GemmContext`](tcevd_tensorcore::GemmContext), so the same code runs on
+//! the simulated Tensor Core (fp16), the error-corrected Tensor Core, or
+//! plain FP32 — the paper's three configurations.
+
+pub mod bulge;
+pub mod bulge_packed;
+pub mod common;
+pub mod formw;
+pub mod multisweep;
+pub mod panel;
+pub mod sbr_wy;
+pub mod storage;
+pub mod sbr_zy;
+pub mod trace_model;
+
+pub use bulge::{bulge_chase, BulgeResult};
+pub use bulge_packed::bulge_chase_packed;
+pub use storage::SymBand;
+pub use common::{max_outside_band, SbrOptions, SbrResult};
+pub use formw::{apply_q, form_wy};
+pub use multisweep::{band_reduce_sweep, multi_sweep_tridiagonalize};
+pub use panel::{factor_panel, FactoredPanel, PanelKind};
+pub use sbr_wy::{sbr_wy, LevelWy, WyOptions, WySbrResult};
+pub use sbr_zy::sbr_zy;
+pub use trace_model::{formw_trace, wy_trace, zy_trace, PanelOp, SbrTrace};

@@ -1,0 +1,465 @@
+//! WY-representation successive band reduction — the paper's Algorithm 1.
+//!
+//! The key idea: inside a *large* block of `nb` columns (`nb ≫ b`), only the
+//! **next panel's columns** are updated after each panel QR — always against
+//! the *original* trailing matrix `OA` of the current recursion level, using
+//! the aggregated `W`, `Y`:
+//!
+//! ```text
+//! GA = (I − W·Yᵀ)ᵀ · OA · (I − W·Yᵀ)   restricted to the next b columns
+//! ```
+//!
+//! The full trailing matrix is updated only once per big block, with inner
+//! GEMM dimension `k = nb` — a near-square shape Tensor Cores run at full
+//! rate, instead of the `k = b ≤ 256` tall-skinny shapes of the ZY method.
+//! The price (paper Table 2): the aggregated `W` must be maintained
+//! (`w ← w − W·(Yᵀ·w)`), and the inner-loop updates recompute `OA·W` with
+//! growing `k` — more flops, but spent in fat GEMMs.
+//!
+//! Unlike the ZY form, no `Z` (which depends on the *fully updated* trailing
+//! matrix) is ever needed — that is precisely why the update can be deferred
+//! (paper §4.2.1 vs §4.2.2).
+
+use crate::common::{accumulate_q_right, clip_to_band, symmetrize, SbrResult};
+use crate::panel::{factor_panel, PanelKind};
+use tcevd_matrix::{Mat, Op};
+use tcevd_tensorcore::GemmContext;
+
+/// Configuration for the WY-based SBR.
+#[derive(Copy, Clone, Debug)]
+pub struct WyOptions {
+    /// Target bandwidth `b` (panel width).
+    pub bandwidth: usize,
+    /// Big-block width `nb` (rounded down to a multiple of `b`, min `b`).
+    /// The paper's sweet spot on A100 is 1024 (its Figure 5).
+    pub block: usize,
+    /// Panel factorization algorithm.
+    pub panel: PanelKind,
+    /// Accumulate the orthogonal transform.
+    pub accumulate_q: bool,
+}
+
+impl Default for WyOptions {
+    fn default() -> Self {
+        WyOptions {
+            bandwidth: 32,
+            block: 256,
+            panel: PanelKind::Tsqr,
+            accumulate_q: false,
+        }
+    }
+}
+
+/// Per-level aggregated `(W, Y)` pair, for the recursive FormW
+/// back-transformation (paper Algorithm 2). Rows are in *global* matrix
+/// coordinates starting at `row_offset`.
+pub struct LevelWy {
+    pub row_offset: usize,
+    pub w: Mat<f32>,
+    pub y: Mat<f32>,
+}
+
+/// Result of the WY SBR: the band matrix, optional accumulated `Q`, and the
+/// per-level WY factors (inputs to [`crate::formw`]).
+pub struct WySbrResult {
+    pub band: Mat<f32>,
+    pub q: Option<Mat<f32>>,
+    pub levels: Vec<LevelWy>,
+}
+
+impl From<WySbrResult> for SbrResult {
+    fn from(r: WySbrResult) -> SbrResult {
+        SbrResult {
+            band: r.band,
+            q: r.q,
+        }
+    }
+}
+
+/// Reduce symmetric `a` to band form with the recursive WY algorithm
+/// (paper Algorithm 1).
+///
+/// ```
+/// use tcevd_band::{sbr_wy, WyOptions, PanelKind, max_outside_band};
+/// use tcevd_tensorcore::{Engine, GemmContext};
+/// use tcevd_matrix::Mat;
+///
+/// let a: Mat<f32> = tcevd_testmat::generate(48, tcevd_testmat::MatrixType::Normal, 1).cast();
+/// let ctx = GemmContext::new(Engine::Tc);
+/// let r = sbr_wy(&a, &WyOptions {
+///     bandwidth: 8, block: 16, panel: PanelKind::Tsqr, accumulate_q: false,
+/// }, &ctx);
+/// assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
+/// ```
+pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult {
+    let n = a.rows();
+    assert!(a.is_square(), "SBR needs a square symmetric matrix");
+    let b = opts.bandwidth;
+    assert!(b >= 1, "bandwidth must be ≥ 1");
+    let nb = (opts.block / b).max(1) * b;
+
+    let mut a = a.clone();
+    let mut q = opts.accumulate_q.then(|| Mat::<f32>::identity(n, n));
+    let mut levels = Vec::new();
+
+    let mut off = 0; // recursion offset: current trailing matrix is a[off.., off..]
+    while off + b < n {
+        let m = n - off; // current trailing size
+        let mp = m - b; // rows below the first band block ("OA'" of the paper)
+
+        // The original trailing matrix of this level (paper line 3:
+        // OA = oriA(b+1:n, b+1:n)).
+        let oa = a.submatrix(off + b, off + b, mp, mp);
+
+        // Aggregated W, Y over this big block (mp × ≤nb), and the cached
+        // product AW = OA·W, maintained incrementally: appending the new
+        // aggregated column block `w` only costs OA·w, and the invariant
+        // AW = OA·W holds because W gains exactly those columns.
+        let kmax = nb.min(mp);
+        let mut wacc = Mat::<f32>::zeros(mp, kmax);
+        let mut yacc = Mat::<f32>::zeros(mp, kmax);
+        let mut aw = Mat::<f32>::zeros(mp, kmax);
+        let mut k = 0usize;
+
+        let mut i = 0; // local column offset inside the big block
+        let mut exhausted = false;
+        while i < nb && i + b < m {
+            let prows = m - i - b; // = mp - i
+            // 1. Panel QR of the (already current) panel.
+            let panel = a.view(off + i + b, off + i, prows, b);
+            let f = factor_panel(panel, opts.panel);
+            let kf = f.w.cols();
+
+            // Write back the reduced panel and its mirror.
+            a.view_mut(off + i + b, off + i, prows, b).copy_from(f.reduced.as_ref());
+            let rt = f.reduced.transpose();
+            a.view_mut(off + i, off + i + b, b, prows).copy_from(rt.as_ref());
+
+            // 2. Aggregate: W ← [W | w − W·(Yᵀ·w)], Y ← [Y | y]
+            //    (panel vectors embedded at OA' rows i..mp).
+            {
+                let mut w_emb = Mat::<f32>::zeros(mp, kf);
+                let mut y_emb = Mat::<f32>::zeros(mp, kf);
+                w_emb.view_mut(i, 0, prows, kf).copy_from(f.w.as_ref());
+                y_emb.view_mut(i, 0, prows, kf).copy_from(f.y.as_ref());
+
+                if k > 0 {
+                    // t = Yᵀ·w  (k×kf)
+                    let mut t = Mat::<f32>::zeros(k, kf);
+                    ctx.gemm(
+                        "wy_acc_ytw",
+                        1.0,
+                        yacc.view(0, 0, mp, k),
+                        Op::Trans,
+                        w_emb.as_ref(),
+                        Op::NoTrans,
+                        0.0,
+                        t.as_mut(),
+                    );
+                    // w ← w − W·t
+                    ctx.gemm(
+                        "wy_acc_w",
+                        -1.0,
+                        wacc.view(0, 0, mp, k),
+                        Op::NoTrans,
+                        t.as_ref(),
+                        Op::NoTrans,
+                        1.0,
+                        w_emb.as_mut(),
+                    );
+                }
+                // Extend the cached AW with the new aggregated columns:
+                // AW[:, k..k+kf] = OA·w_emb.
+                ctx.gemm(
+                    "wy_aw_append",
+                    1.0,
+                    oa.as_ref(),
+                    Op::NoTrans,
+                    w_emb.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    aw.view_mut(0, k, mp, kf),
+                );
+                wacc.view_mut(0, k, mp, kf).copy_from(w_emb.as_ref());
+                yacc.view_mut(0, k, mp, kf).copy_from(y_emb.as_ref());
+                k += kf;
+            }
+
+            // 3. Update only the NEXT panel's columns, from the original OA:
+            //    GA = [(I − Y·Wᵀ)·OA·(I − W·Yᵀ)][:, c'] ,  c' = i..i+cw.
+            let cw = b.min(mp - i); // next-block width (clipped at the edge)
+            {
+                let w_k = wacc.view(0, 0, mp, k);
+                let y_k = yacc.view(0, 0, mp, k);
+                let aw_k = aw.view(0, 0, mp, k);
+
+                // X = OA[:, c'] − AW·Y[c',:]ᵀ
+                let mut x = oa.submatrix(0, i, mp, cw);
+                ctx.gemm(
+                    "wy_inner_x",
+                    -1.0,
+                    aw_k,
+                    Op::NoTrans,
+                    yacc.view(i, 0, cw, k),
+                    Op::Trans,
+                    1.0,
+                    x.as_mut(),
+                );
+                // WX = Wᵀ·X (k×cw)
+                let mut wx = Mat::<f32>::zeros(k, cw);
+                ctx.gemm("wy_inner_wx", 1.0, w_k, Op::Trans, x.as_ref(), Op::NoTrans, 0.0, wx.as_mut());
+                // GA = X − Y·WX
+                ctx.gemm("wy_inner_ga", -1.0, y_k, Op::NoTrans, wx.as_ref(), Op::NoTrans, 1.0, x.as_mut());
+
+                // Write rows i..mp of the updated columns (lower part incl.
+                // the diagonal block) and the symmetric mirror.
+                let ga = x.submatrix(i, 0, mp - i, cw);
+                a.view_mut(off + b + i, off + b + i, mp - i, cw).copy_from(ga.as_ref());
+                let gat = ga.transpose();
+                a.view_mut(off + b + i, off + b + i, cw, mp - i).copy_from(gat.as_ref());
+            }
+
+            i += b;
+            if i + b >= m {
+                exhausted = true;
+            }
+        }
+        let processed = i;
+
+        if let Some(q) = q.as_mut() {
+            if k > 0 {
+                accumulate_q_right(
+                    ctx,
+                    q.view_mut(0, off + b, n, mp),
+                    wacc.view(0, 0, mp, k),
+                    yacc.view(0, 0, mp, k),
+                );
+            }
+        }
+        if k > 0 {
+            levels.push(LevelWy {
+                row_offset: off + b,
+                w: wacc.submatrix(0, 0, mp, k),
+                y: yacc.submatrix(0, 0, mp, k),
+            });
+        }
+
+        if exhausted || processed + b >= m {
+            break;
+        }
+
+        // 4. Big trailing update with the squeezed inner dimension k = nb:
+        //    M_t = [(I − Y·Wᵀ)·OA·(I − W·Yᵀ)][t', t'],  t' = processed..mp.
+        //    T1 = OA·W is the cached AW — no extra GEMM needed; everything
+        //    below runs with inner dimension k = nb, the near-square shapes
+        //    this algorithm exists for.
+        let mt = mp - processed;
+        let w_k = wacc.view(0, 0, mp, k);
+        let y_t = yacc.view(processed, 0, mt, k);
+        let t1 = aw.view(0, 0, mp, k);
+
+        // T2 = Wᵀ·T1 (k×k)
+        let mut t2 = Mat::<f32>::zeros(k, k);
+        ctx.gemm("wy_final_waw", 1.0, w_k, Op::Trans, t1, Op::NoTrans, 0.0, t2.as_mut());
+
+        let t1t = t1.view(processed, 0, mt, k).to_owned();
+        let mut m_t = oa.submatrix(processed, processed, mt, mt);
+        // M_t ← OA_t − T1_t·Y_tᵀ − Y_t·T1_tᵀ + Y_t·T2·Y_tᵀ
+        ctx.gemm("wy_final_u1", -1.0, t1t.as_ref(), Op::NoTrans, y_t, Op::Trans, 1.0, m_t.as_mut());
+        ctx.gemm("wy_final_u2", -1.0, y_t, Op::NoTrans, t1t.as_ref(), Op::Trans, 1.0, m_t.as_mut());
+        let mut yt2 = Mat::<f32>::zeros(mt, k);
+        ctx.gemm("wy_final_yt2", 1.0, y_t, Op::NoTrans, t2.as_ref(), Op::NoTrans, 0.0, yt2.as_mut());
+        ctx.gemm("wy_final_u3", 1.0, yt2.as_ref(), Op::NoTrans, y_t, Op::Trans, 1.0, m_t.as_mut());
+
+        symmetrize(&mut m_t);
+        a.view_mut(off + b + processed, off + b + processed, mt, mt)
+            .copy_from(m_t.as_ref());
+
+        off += processed;
+    }
+
+    symmetrize(&mut a);
+    clip_to_band(&mut a, b);
+    WySbrResult {
+        band: a,
+        q,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::max_outside_band;
+    use crate::sbr_zy::sbr_zy;
+    use crate::common::SbrOptions;
+    use tcevd_matrix::blas3::matmul;
+    use tcevd_matrix::norms::{frobenius, orthogonality_residual};
+    use tcevd_tensorcore::Engine;
+    use tcevd_testmat::{generate, MatrixType};
+
+    fn test_matrix(n: usize, seed: u64) -> Mat<f32> {
+        generate(n, MatrixType::Normal, seed).cast()
+    }
+
+    fn backward_error(a: &Mat<f32>, band: &Mat<f32>, q: &Mat<f32>) -> f32 {
+        let n = a.rows() as f32;
+        let qb = matmul(q.as_ref(), Op::NoTrans, band.as_ref(), Op::NoTrans);
+        let qbqt = matmul(qb.as_ref(), Op::NoTrans, q.as_ref(), Op::Trans);
+        let mut diff = a.clone();
+        for j in 0..a.cols() {
+            for i in 0..a.rows() {
+                diff[(i, j)] -= qbqt[(i, j)];
+            }
+        }
+        frobenius(diff.as_ref()) / (n * frobenius(a.as_ref()))
+    }
+
+    fn opts(b: usize, nb: usize, acc: bool) -> WyOptions {
+        WyOptions {
+            bandwidth: b,
+            block: nb,
+            panel: PanelKind::Tsqr,
+            accumulate_q: acc,
+        }
+    }
+
+    #[test]
+    fn produces_band_structure() {
+        let a = test_matrix(96, 1);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r = sbr_wy(&a, &opts(8, 32, false), &ctx);
+        assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
+        assert_eq!(r.band.max_abs_diff(&r.band.transpose()), 0.0);
+    }
+
+    #[test]
+    fn backward_stable_sgemm() {
+        let a = test_matrix(96, 2);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r = sbr_wy(&a, &opts(8, 32, true), &ctx);
+        let q = r.q.as_ref().unwrap();
+        assert!(orthogonality_residual(q.as_ref()) / 96.0 < 1e-5);
+        let be = backward_error(&a, &r.band, q);
+        assert!(be < 1e-6, "backward error {be}");
+    }
+
+    #[test]
+    fn backward_stable_tensor_core() {
+        let a = test_matrix(96, 3);
+        let ctx = GemmContext::new(Engine::Tc);
+        let r = sbr_wy(&a, &opts(8, 32, true), &ctx);
+        let be = backward_error(&a, &r.band, r.q.as_ref().unwrap());
+        assert!(be < 1e-4, "backward error {be}"); // TC machine-eps level
+    }
+
+    #[test]
+    fn matches_zy_band_eigenvalues_via_similarity() {
+        // WY and ZY band matrices are different but both similar to A:
+        // check both against A via their Qs.
+        let a = test_matrix(64, 4);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r_wy = sbr_wy(&a, &opts(8, 16, true), &ctx);
+        let r_zy = sbr_zy(
+            &a,
+            &SbrOptions {
+                bandwidth: 8,
+                panel: PanelKind::Tsqr,
+                accumulate_q: true,
+            },
+            &ctx,
+        );
+        assert!(backward_error(&a, &r_wy.band, r_wy.q.as_ref().unwrap()) < 1e-6);
+        assert!(backward_error(&a, &r_zy.band, r_zy.q.as_ref().unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn nb_equal_b_degenerates_correctly() {
+        let a = test_matrix(48, 5);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r = sbr_wy(&a, &opts(8, 8, true), &ctx);
+        assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
+        assert!(backward_error(&a, &r.band, r.q.as_ref().unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn nb_larger_than_matrix() {
+        let a = test_matrix(40, 6);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r = sbr_wy(&a, &opts(8, 1024, true), &ctx);
+        assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
+        assert!(backward_error(&a, &r.band, r.q.as_ref().unwrap()) < 1e-6);
+    }
+
+    #[test]
+    fn odd_sizes_and_blocks() {
+        for (n, b, nb) in [(67, 8, 16), (50, 4, 12), (33, 8, 32), (20, 16, 32)] {
+            let a = test_matrix(n, 7 + n as u64);
+            let ctx = GemmContext::new(Engine::Sgemm);
+            let r = sbr_wy(&a, &opts(b, nb, true), &ctx);
+            assert_eq!(max_outside_band(r.band.as_ref(), b), 0.0, "n={n} b={b} nb={nb}");
+            let be = backward_error(&a, &r.band, r.q.as_ref().unwrap());
+            assert!(be < 1e-5, "n={n} b={b} nb={nb}: backward error {be}");
+        }
+    }
+
+    #[test]
+    fn inner_gemms_have_squeezed_shapes() {
+        // With nb = 4b, aggregated inner dimension must reach nb.
+        let a = test_matrix(128, 8);
+        let ctx = GemmContext::new(Engine::Tc).with_trace();
+        let _ = sbr_wy(&a, &opts(8, 32, false), &ctx);
+        let tr = ctx.take_trace();
+        // the big trailing updates (the syr2k replacement) run at k = nb
+        let max_k_final = tr
+            .iter()
+            .filter(|r| r.label == "wy_final_u1")
+            .map(|r| r.k)
+            .max()
+            .unwrap();
+        assert_eq!(max_k_final, 32, "final update must use k = nb");
+        // and the inner panel updates aggregate beyond one panel width
+        let max_k_inner = tr
+            .iter()
+            .filter(|r| r.label == "wy_inner_x")
+            .map(|r| r.k)
+            .max()
+            .unwrap();
+        assert_eq!(max_k_inner, 32);
+    }
+
+    #[test]
+    fn trace_flops_exceed_zy() {
+        // Table 2: WY does more arithmetic than ZY at the same bandwidth.
+        let a = test_matrix(128, 9);
+        let ctx_wy = GemmContext::new(Engine::Tc).with_trace();
+        let _ = sbr_wy(&a, &opts(8, 32, false), &ctx_wy);
+        let ctx_zy = GemmContext::new(Engine::Tc).with_trace();
+        let _ = sbr_zy(
+            &a,
+            &SbrOptions {
+                bandwidth: 8,
+                panel: PanelKind::Tsqr,
+                accumulate_q: false,
+            },
+            &ctx_zy,
+        );
+        let f_wy = ctx_wy.total_flops();
+        let f_zy = ctx_zy.total_flops();
+        assert!(f_wy > f_zy, "WY {f_wy} should exceed ZY {f_zy}");
+    }
+
+    #[test]
+    fn levels_capture_all_reflectors() {
+        let a = test_matrix(96, 10);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r = sbr_wy(&a, &opts(8, 16, false), &ctx);
+        let total_k: usize = r.levels.iter().map(|l| l.w.cols()).sum();
+        // every column block except those inside the final band gets reflectors
+        assert!(total_k >= 96 - 2 * 8);
+        for l in &r.levels {
+            assert_eq!(l.w.rows(), l.y.rows());
+            assert_eq!(l.w.cols(), l.y.cols());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `cargo bench --bench figures` — prints every model-based table and
+//! figure of the paper plus small-n numeric accuracy tables, so a plain
+//! `cargo bench --workspace` regenerates the full evaluation.
+
+use tcevd_bench as bench;
+use tcevd_tensorcore::Engine;
+
+fn main() {
+    println!("==== tcevd paper reproduction (model-based figures) ====\n");
+    println!("{}", bench::table1());
+    println!("{}", bench::table2());
+    println!("{}", bench::fig5());
+    println!("{}", bench::fig6_fig7(Engine::Tc));
+    println!("{}", bench::fig6_fig7(Engine::Sgemm));
+    println!("{}", bench::fig8());
+    println!("{}", bench::fig9());
+    println!("{}", bench::fig10());
+    println!("{}", bench::fig11());
+    println!("{}", bench::formw_claim());
+    println!("{}", bench::futurework());
+    println!("{}", bench::memory_table());
+    println!("{}", bench::motivation());
+
+    println!("==== numeric accuracy tables (software Tensor Core, n = 256) ====\n");
+    println!("{}", bench::table3(256, 42));
+    println!("{}", bench::table4(256, 42));
+    println!("{}", bench::formw_numeric_check(128));
+}

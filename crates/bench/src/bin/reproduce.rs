@@ -1,0 +1,77 @@
+//! `reproduce` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce all                 # everything (accuracy tables at default n)
+//! reproduce perf                # model-based tables/figures only (fast)
+//! reproduce table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|formw
+//! reproduce table3 [--n 512] [--seed 42]
+//! reproduce table4 [--n 512] [--seed 42]
+//! ```
+
+use tcevd_bench as bench;
+use tcevd_tensorcore::Engine;
+
+fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let n = parse_flag(&args, "--n", 512) as usize;
+    let seed = parse_flag(&args, "--seed", 42);
+
+    let perf = || {
+        println!("{}", bench::table1());
+        println!("{}", bench::table2());
+        println!("{}", bench::fig5());
+        println!("{}", bench::fig6_fig7(Engine::Tc));
+        println!("{}", bench::fig6_fig7(Engine::Sgemm));
+        println!("{}", bench::fig8());
+        println!("{}", bench::fig9());
+        println!("{}", bench::fig10());
+        println!("{}", bench::fig11());
+        println!("{}", bench::formw_claim());
+        println!("{}", bench::futurework());
+        println!("{}", bench::memory_table());
+        println!("{}", bench::motivation());
+    };
+
+    match cmd {
+        "all" => {
+            perf();
+            eprintln!("[running numeric accuracy tables at n = {n}; use --n to change]");
+            println!("{}", bench::table3(n, seed));
+            println!("{}", bench::table4(n, seed));
+            println!("{}", bench::formw_numeric_check(n.min(256)));
+        }
+        "perf" => perf(),
+        "table1" => print!("{}", bench::table1()),
+        "table2" => print!("{}", bench::table2()),
+        "fig5" => print!("{}", bench::fig5()),
+        "fig6" => print!("{}", bench::fig6_fig7(Engine::Tc)),
+        "fig7" => print!("{}", bench::fig6_fig7(Engine::Sgemm)),
+        "fig8" => print!("{}", bench::fig8()),
+        "fig9" => print!("{}", bench::fig9()),
+        "fig10" => print!("{}", bench::fig10()),
+        "fig11" => print!("{}", bench::fig11()),
+        "future" => print!("{}", bench::futurework()),
+        "memory" => print!("{}", bench::memory_table()),
+        "motivation" => print!("{}", bench::motivation()),
+        "formw" => {
+            print!("{}", bench::formw_claim());
+            print!("{}", bench::formw_numeric_check(n.min(256)));
+        }
+        "table3" => print!("{}", bench::table3(n, seed)),
+        "table4" => print!("{}", bench::table4(n, seed)),
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("known: all perf table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory");
+            std::process::exit(2);
+        }
+    }
+}

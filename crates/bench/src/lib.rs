@@ -1,0 +1,529 @@
+//! # tcevd-bench — paper reproduction harness
+//!
+//! One generator per table/figure of the paper's evaluation. Each function
+//! returns the formatted table as a `String` (the `reproduce` binary and
+//! the `figures` bench target print them; tests assert on their content).
+//!
+//! Performance figures (Tables 1–2, Figures 5–11) replay validated shape
+//! traces through the Table-1-calibrated A100 model at the paper's full
+//! sizes. Accuracy tables (3–4) run the *real* numeric pipeline through the
+//! software Tensor Core at a software-feasible size (default n = 512; the
+//! metrics are N-normalized exactly as in the paper).
+
+use std::fmt::Write as _;
+use tcevd_band::trace_model::{formw_trace, wy_trace, zy_trace};
+use tcevd_band::{bulge_chase, form_wy, sbr_wy, PanelKind, WyOptions};
+use tcevd_core::{
+    backward_error, eigenvalue_error, orthogonality, sym_eigenvalues, sym_eigenvalues_ref,
+    SbrVariant, SymEigOptions, TridiagSolver,
+};
+use tcevd_matrix::blas3::gemm;
+use tcevd_matrix::{Mat, Op};
+use tcevd_perfmodel::{evd_time, sbr_cost, A100Model, PanelCost, SbrConfig};
+use tcevd_tensorcore::{Engine, GemmContext};
+use tcevd_testmat::{generate, MatrixType};
+
+/// Paper-standard sweep of matrix sizes (Figures 6–11).
+pub const SIZES: [usize; 8] = [4096, 8192, 12288, 16384, 20480, 24576, 28672, 32768];
+/// Paper-standard bandwidth.
+pub const BANDWIDTH: usize = 128;
+/// The paper's sweet-spot big block (Figure 5).
+pub const BLOCK: usize = 1024;
+
+/// Table 1: TC-GEMM vs SGEMM TFLOPS by shape and k (the calibration table
+/// itself, shown alongside the model's interpolation at off-grid points).
+pub fn table1() -> String {
+    use tcevd_perfmodel::rates::*;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — GEMM throughput on A100 (TFLOPS), m = 32768 fixed"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>12} {:>12} | {:>12} {:>12}",
+        "k", "TC sq×tall", "SGEMM", "TC outer", "SGEMM"
+    );
+    for (i, &k) in CAL_K.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+            k, TC_SQUARE_TALL[i], SGEMM_SQUARE_TALL[i], TC_OUTER[i], SGEMM_OUTER[i]
+        );
+    }
+    let _ = writeln!(out, "-- model interpolation at off-grid k:");
+    for k in [96usize, 384, 1536] {
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+            k,
+            interp_rate(&TC_SQUARE_TALL, k),
+            interp_rate(&SGEMM_SQUARE_TALL, k),
+            interp_rate(&TC_OUTER, k),
+            interp_rate(&SGEMM_OUTER, k)
+        );
+    }
+    out
+}
+
+/// Table 2: arithmetic operations of ZY (b = 128) vs WY SBR with
+/// nb = 128…4096 at n = 32768, from the validated shape traces.
+pub fn table2() -> String {
+    let n = 32768;
+    let b = BANDWIDTH;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 2 — arithmetic operations (×1e14), n = 32768, bandwidth {b}"
+    );
+    let zy = zy_trace(n, b).gemm_flops() as f64 / 1e14;
+    let _ = writeln!(out, "{:>12} | {:>8} | paper", "variant", "flops");
+    let _ = writeln!(out, "{:>12} | {:>8.2} | 0.70", "ZY b=128", zy);
+    let paper = [0.93, 1.05, 1.12, 1.17, 1.22, 1.31];
+    for (i, nb) in [128usize, 256, 512, 1024, 2048, 4096].iter().enumerate() {
+        let f = wy_trace(n, b, *nb).gemm_flops() as f64 / 1e14;
+        let _ = writeln!(out, "{:>12} | {:>8.2} | {:.2}", format!("WY nb={nb}"), f, paper[i]);
+    }
+    out
+}
+
+/// Figure 5: total TC-GEMM time in the WY algorithm vs nb at n = 32768,
+/// with achieved TFLOPS.
+pub fn fig5() -> String {
+    let model = A100Model::default();
+    let n = 32768;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5 — WY-SBR TC-GEMM time vs block size nb (n = 32768, b = {BANDWIDTH})"
+    );
+    let _ = writeln!(out, "{:>6} | {:>10} | {:>10}", "nb", "time (s)", "TFLOPS");
+    for nb in [128usize, 256, 512, 1024, 2048, 4096] {
+        let tr = wy_trace(n, BANDWIDTH, nb);
+        let t = model.gemm_time_total(&tr.gemms, Engine::Tc);
+        let tflops = model.achieved_tflops(&tr.gemms, Engine::Tc);
+        let _ = writeln!(out, "{:>6} | {:>10.3} | {:>10.1}", nb, t, tflops);
+    }
+    out
+}
+
+/// Figures 6 and 7: total GEMM time, WY (nb = 1024) vs ZY, across sizes,
+/// on the chosen engine. On TC the WY wins at scale; on SGEMM it loses —
+/// the paper's central contrast.
+pub fn fig6_fig7(engine: Engine) -> String {
+    let model = A100Model::default();
+    let name = match engine {
+        Engine::Tc => "Figure 6 — TCGEMM",
+        Engine::Sgemm => "Figure 7 — SGEMM",
+        Engine::EcTc => "(EC variant)",
+        Engine::Tf32 => "(TF32 variant)",
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{name} total time (s): WY (nb = {BLOCK}) vs ZY");
+    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>9}", "n", "WY", "ZY", "WY TFLOPS");
+    for &n in &SIZES {
+        let wy = wy_trace(n, BANDWIDTH, BLOCK);
+        let zy = zy_trace(n, BANDWIDTH);
+        let t_wy = model.gemm_time_total(&wy.gemms, engine);
+        let t_zy = model.gemm_time_total(&zy.gemms, engine);
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>10.3} | {:>10.3} | {:>9.1}",
+            n,
+            t_wy,
+            t_zy,
+            model.achieved_tflops(&wy.gemms, engine)
+        );
+    }
+    out
+}
+
+/// Figure 8: total panel-QR time across a band reduction, by panel engine.
+pub fn fig8() -> String {
+    let model = A100Model::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 8 — total panel factorization time (s), b = {BANDWIDTH}"
+    );
+    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>10}", "n", "TSQR", "cuSOLVER", "MAGMA");
+    for &n in &SIZES {
+        let tr = zy_trace(n, BANDWIDTH); // same panel sequence for either SBR
+        let t = |kind| -> f64 { tr.panels.iter().map(|p| model.panel_time(p, kind)).sum() };
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>10.3} | {:>10.3} | {:>10.3}",
+            n,
+            t(PanelCost::Tsqr),
+            t(PanelCost::Cusolver),
+            t(PanelCost::Magma)
+        );
+    }
+    out
+}
+
+/// Figure 9: SBR ablation — Tensor Core and TSQR each on/off vs MAGMA.
+pub fn fig9() -> String {
+    let model = A100Model::default();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 — SBR total time (s): TC/TSQR ablation");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} | {:>10} | {:>12} | {:>10}",
+        "n", "TC+TSQR", "noTC+TSQR", "TC+cuSOLVER", "MAGMA"
+    );
+    for &n in &SIZES {
+        let f = |c| sbr_cost(&model, n, BANDWIDTH, c).total();
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>10.3} | {:>10.3} | {:>12.3} | {:>10.3}",
+            n,
+            f(SbrConfig::WyTc { nb: BLOCK }),
+            f(SbrConfig::WySgemm { nb: BLOCK }),
+            f(SbrConfig::WyTcNoTsqr { nb: BLOCK }),
+            f(SbrConfig::Magma)
+        );
+    }
+    out
+}
+
+/// Figure 10: SBR total — WY-TC, WY-EC-TC, ZY-TC, MAGMA, with speedups.
+pub fn fig10() -> String {
+    let model = A100Model::default();
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 10 — SBR total time (s) and speedup vs MAGMA");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>8} | {:>8} | {:>8} | {:>8} | {:>8}",
+        "n", "WY-TC", "WY-EC", "ZY-TC", "MAGMA", "speedup"
+    );
+    for &n in &SIZES {
+        let f = |c| sbr_cost(&model, n, BANDWIDTH, c).total();
+        let wy = f(SbrConfig::WyTc { nb: BLOCK });
+        let magma = f(SbrConfig::Magma);
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>8.3} | {:>8.3} | {:>8.3} | {:>8.3} | {:>7.2}x",
+            n,
+            wy,
+            f(SbrConfig::WyEcTc { nb: BLOCK }),
+            f(SbrConfig::ZyTc),
+            magma,
+            magma / wy
+        );
+    }
+    out
+}
+
+/// Figure 11: end-to-end 2-stage EVD (no eigenvectors) — ours vs MAGMA.
+pub fn fig11() -> String {
+    let model = A100Model::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 11 — 2-stage EVD total time (s): WY-TC SBR + host stage2/D&C vs MAGMA"
+    );
+    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>8}", "n", "ours", "MAGMA", "speedup");
+    for &n in &SIZES {
+        let ours = evd_time(&model, n, BANDWIDTH, SbrConfig::WyTc { nb: BLOCK });
+        let magma = evd_time(&model, n, BANDWIDTH, SbrConfig::Magma);
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>10.3} | {:>10.3} | {:>7.2}x",
+            n, ours, magma, magma / ours
+        );
+    }
+    out
+}
+
+/// §4.4: back-transformation (FormW) time, WY recursive vs ZY dense-Q —
+/// the paper's 320 ms vs 420 ms (~10% of SBR) claim.
+pub fn formw_claim() -> String {
+    let model = A100Model::default();
+    let n = 32768;
+    let mut out = String::new();
+    let wy = formw_trace(n, BANDWIDTH, BLOCK, n);
+    let t_wy = model.gemm_time_total(&wy, Engine::Tc);
+    // ZY back-transformation: apply each of the n/b panel reflectors' WY
+    // pair to the n×n eigenvector block (two GEMMs of inner dim b each).
+    let mut zy_recs = Vec::new();
+    let mut i = 0;
+    while i + BANDWIDTH < n {
+        let mp = n - i - BANDWIDTH;
+        zy_recs.push(tcevd_tensorcore::GemmRecord {
+            m: BANDWIDTH.min(mp),
+            n,
+            k: mp,
+            engine: Engine::Tc,
+            label: "zy_back_ytv",
+        });
+        zy_recs.push(tcevd_tensorcore::GemmRecord {
+            m: mp,
+            n,
+            k: BANDWIDTH.min(mp),
+            engine: Engine::Tc,
+            label: "zy_back_wv",
+        });
+        i += BANDWIDTH;
+    }
+    let t_zy = model.gemm_time_total(&zy_recs, Engine::Tc);
+    let _ = writeln!(out, "§4.4 — back-transformation at n = 32768 (paper: 320 ms vs 420 ms)");
+    let _ = writeln!(out, "  WY recursive FormW: {:>7.1} ms", t_wy * 1e3);
+    let _ = writeln!(out, "  ZY per-panel:       {:>7.1} ms", t_zy * 1e3);
+    let _ = writeln!(out, "  ratio: {:.2}x", t_zy / t_wy);
+    out
+}
+
+/// Table 3: backward error and orthogonality of the Tensor-Core SBR over
+/// the paper's ten matrix families — the real numeric pipeline.
+pub fn table3(n: usize, seed: u64) -> String {
+    let mut out = String::new();
+    let b = (n / 16).clamp(4, 32);
+    let nb = 4 * b;
+    let _ = writeln!(
+        out,
+        "Table 3 — TC SBR backward error E_b and orthogonality E_o (n = {n}, b = {b}, nb = {nb})"
+    );
+    let _ = writeln!(out, "{:<18} | {:>12} | {:>12}", "Matrix type", "E_b", "E_o");
+    for (name, mt) in MatrixType::paper_suite() {
+        let a64 = generate(n, mt, seed);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Tc);
+        let r = sbr_wy(
+            &a,
+            &WyOptions {
+                bandwidth: b,
+                block: nb,
+                panel: PanelKind::Tsqr,
+                accumulate_q: true,
+            },
+            &ctx,
+        );
+        let q = r.q.as_ref().unwrap();
+        let eb = backward_error(a.as_ref(), q.as_ref(), r.band.as_ref());
+        let eo = orthogonality(q.as_ref());
+        let _ = writeln!(out, "{:<18} | {:>12.2e} | {:>12.2e}", name, eb, eo);
+    }
+    out
+}
+
+/// Table 4: eigenvalue accuracy E_s — Tensor-Core 2-stage EVD vs the f64
+/// reference ("LAPACK"), with the FP32 pipeline in the MAGMA column's role.
+pub fn table4(n: usize, seed: u64) -> String {
+    let mut out = String::new();
+    let b = (n / 16).clamp(4, 32);
+    let nb = 4 * b;
+    let _ = writeln!(
+        out,
+        "Table 4 — eigenvalue error E_s vs f64 reference (n = {n}, b = {b}, nb = {nb})"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} | {:>12} | {:>12}",
+        "Matrix type", "Tensor Core", "FP32 (MAGMA)"
+    );
+    let opts = SymEigOptions {
+        bandwidth: b,
+        sbr: SbrVariant::Wy { block: nb },
+        panel: PanelKind::Tsqr,
+        solver: TridiagSolver::DivideConquer,
+        vectors: false,
+    };
+    for (name, mt) in MatrixType::paper_suite() {
+        let a64 = generate(n, mt, seed);
+        let a: Mat<f32> = a64.cast();
+        let reference = sym_eigenvalues_ref(&a64).expect("reference eigensolver");
+
+        let es = |engine: Engine| -> f64 {
+            let ctx = GemmContext::new(engine);
+            let vals = sym_eigenvalues(&a, &opts, &ctx).expect("pipeline");
+            let v64: Vec<f64> = vals.iter().map(|&x| x as f64).collect();
+            eigenvalue_error(&reference, &v64)
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} | {:>12.2e} | {:>12.2e}",
+            name,
+            es(Engine::Tc),
+            es(Engine::Sgemm)
+        );
+    }
+    out
+}
+
+/// Future-work projections (paper §7): a native Tensor-Core `syr2k` would
+/// halve the ZY trailing-update arithmetic; TF32 trades half the fp16 rate
+/// for the full f32 exponent range. Both are implemented in this
+/// repository (`tcevd_tensorcore::tc_syr2k`, `Engine::Tf32`); this table
+/// projects their effect at paper scale.
+pub fn futurework() -> String {
+    let model = A100Model::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Future work (§7) — projected SBR time (s) at b = {BANDWIDTH}, nb = {BLOCK}"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>8} | {:>8} | {:>12} | {:>8}",
+        "n", "WY-TC", "ZY-TC", "ZY-TC+syr2k", "WY-TF32"
+    );
+    for &n in &SIZES {
+        let wy = wy_trace(n, BANDWIDTH, BLOCK);
+        let zy = zy_trace(n, BANDWIDTH);
+        let t_wy = model
+            .sbr_time(&wy, Engine::Tc, PanelCost::Tsqr, false)
+            .total();
+        let t_zy = model
+            .sbr_time(&zy, Engine::Tc, PanelCost::Tsqr, false)
+            .total();
+        // native TC syr2k: trailing updates at half the arithmetic
+        let t_zy_native = model
+            .sbr_time(&zy, Engine::Tc, PanelCost::Tsqr, true)
+            .total();
+        let t_tf32 = model
+            .sbr_time(&wy, Engine::Tf32, PanelCost::Tsqr, false)
+            .total();
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>8.3} | {:>8.3} | {:>12.3} | {:>8.3}",
+            n, t_wy, t_zy, t_zy_native, t_tf32
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(the syr2k projection optimistically assumes a native kernel sustaining\n the full outer-product GEMM rate on half the flops — under that assumption\n ZY becomes competitive with WY again, which is precisely why the paper\n flags it as future work; real syr2k kernels run below GEMM rate)"
+    );
+    out
+}
+
+/// §3.1 motivation check: "the unblocked computations take over 90% of the
+/// execution time of the tridiagonalization (ssytrd routine)". One-stage
+/// Householder tridiagonalization spends half its 4n³/3 flops in `symv`
+/// (BLAS-2, memory-bound) and half in rank-2 updates (BLAS-3); the model
+/// prices each side accordingly.
+pub fn motivation() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "§3.1 motivation — one-stage ssytrd time split (model): BLAS-2 share"
+    );
+    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>8}", "n", "BLAS2 (s)", "BLAS3 (s)", "share");
+    // memory-bound symv: 2 flops per 4-byte element read → HBM-limited
+    let hbm = 1.555e12; // A100 bytes/s
+    let blas2_rate = hbm / 4.0 * 2.0; // ~0.78 Tflop/s upper bound
+    let blas3_rate = 10.3e12; // SGEMM (Table 1)
+    for &n in &SIZES {
+        let half_flops = 2.0 * (n as f64).powi(3) / 3.0;
+        let t2 = half_flops / blas2_rate;
+        let t3 = half_flops / blas3_rate;
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>10.3} | {:>10.3} | {:>7.1}%",
+            n,
+            t2,
+            t3,
+            100.0 * t2 / (t2 + t3)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(the >90% BLAS-2 share is why two-stage tridiagonalization exists)"
+    );
+    out
+}
+
+/// Device-memory footprints (paper §7, limitation #3: "requires more
+/// device memory to store the original matrix and the WY representation").
+pub fn memory_table() -> String {
+    use tcevd_perfmodel::{overhead_ratio, wy_memory, zy_memory};
+    let gb = |b: u64| b as f64 / (1u64 << 30) as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Memory footprint (GB, f32) — paper limitation #3, b = {BANDWIDTH}, nb = {BLOCK}"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>8} | {:>8} | {:>10} | {:>8}",
+        "n", "ZY", "WY", "WY detail", "ratio"
+    );
+    for &n in &SIZES {
+        let z = zy_memory(n, BANDWIDTH);
+        let w = wy_memory(n, BANDWIDTH, BLOCK);
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>8.2} | {:>8.2} | A:{:.1}+OA:{:.1} | {:>7.2}x",
+            n,
+            gb(z.total()),
+            gb(w.total()),
+            gb(w.matrix),
+            gb(w.original_copy),
+            overhead_ratio(n, BANDWIDTH, BLOCK)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(WY fits the paper's A100-40GB up to n ≈ 72k; ZY would reach ~100k)"
+    );
+    out
+}
+
+/// Small real-execution demonstration that the WY back-transformation
+/// (§4.4) reproduces Q and feeds stage 2 — exercises the whole chain
+/// numerically rather than through the model.
+pub fn formw_numeric_check(n: usize) -> String {
+    let mut out = String::new();
+    let b = (n / 16).clamp(4, 16);
+    let a64 = generate(n, MatrixType::Normal, 7);
+    let a: Mat<f32> = a64.cast();
+    let ctx = GemmContext::new(Engine::Sgemm);
+    let r = sbr_wy(
+        &a,
+        &WyOptions {
+            bandwidth: b,
+            block: 4 * b,
+            panel: PanelKind::Tsqr,
+            accumulate_q: true,
+        },
+        &ctx,
+    );
+    let (w, y) = form_wy(&r.levels, n, &ctx);
+    let mut q_formw = Mat::<f32>::identity(n, n);
+    gemm(-1.0, w.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q_formw.as_mut());
+    let diff = q_formw.max_abs_diff(r.q.as_ref().unwrap());
+    let _ = writeln!(out, "FormW numeric check (n = {n}): max |Q_formw − Q_acc| = {diff:.2e}");
+    // feed the band through stage 2 so the whole chain is exercised
+    let chase = bulge_chase(&r.band, b, false);
+    let _ = writeln!(out, "  band → tridiagonal: {} diagonal entries", chase.diag.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perf_tables_render() {
+        for s in [table1(), table2(), fig5(), fig8(), fig9(), fig10(), fig11(), formw_claim(), futurework(), memory_table()] {
+            assert!(s.lines().count() >= 4, "table too short:\n{s}");
+        }
+        assert!(fig6_fig7(Engine::Tc).contains("Figure 6"));
+        assert!(fig6_fig7(Engine::Sgemm).contains("Figure 7"));
+    }
+
+    #[test]
+    fn accuracy_tables_small() {
+        let t3 = table3(64, 1);
+        assert!(t3.matches("e-").count() >= 10, "{t3}");
+        let t4 = table4(64, 1);
+        assert!(t4.contains("Normal"));
+        assert!(t4.contains("SVD_Geo 1e5"));
+    }
+
+    #[test]
+    fn formw_numeric() {
+        let s = formw_numeric_check(64);
+        assert!(s.contains("FormW"));
+    }
+}

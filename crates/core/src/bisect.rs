@@ -1,0 +1,133 @@
+//! Bisection eigensolver on Sturm sequences — computes selected eigenvalues
+//! of a symmetric tridiagonal matrix (the "flexible method" the paper's
+//! related-work section cites: largest/smallest k, or all in an interval).
+
+use crate::tridiag::SymTridiag;
+use tcevd_matrix::scalar::Scalar;
+
+/// Which eigenvalues to compute.
+#[derive(Copy, Clone, Debug)]
+pub enum EigRange<T> {
+    /// Eigenvalues with indices `[lo, hi)` (0-based, ascending order).
+    Index { lo: usize, hi: usize },
+    /// All eigenvalues in the half-open interval `(lo, hi]`.
+    Value { lo: T, hi: T },
+}
+
+/// Compute the requested eigenvalues by bisection to within
+/// `2·eps·max(|λ|) + tiny` each. Always converges; cost O(n·iters) per
+/// eigenvalue.
+pub fn tridiag_eig_bisect<T: Scalar>(t: &SymTridiag<T>, range: EigRange<T>) -> Vec<T> {
+    let n = t.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (glo, ghi) = t.gershgorin();
+    // widen slightly so counts at the boundaries are stable
+    let width = (ghi - glo).max_val(T::ONE) * T::EPSILON * T::from_f64(8.0);
+    let glo = glo - width;
+    let ghi = ghi + width;
+
+    let (ilo, ihi) = match range {
+        EigRange::Index { lo, hi } => (lo.min(n), hi.min(n)),
+        EigRange::Value { lo, hi } => (t.sturm_count(lo), t.sturm_count(hi)),
+    };
+    if ilo >= ihi {
+        return Vec::new();
+    }
+
+    (ilo..ihi)
+        .map(|k| bisect_kth(t, k, glo, ghi))
+        .collect()
+}
+
+/// The k-th (0-based, ascending) eigenvalue via bisection.
+fn bisect_kth<T: Scalar>(t: &SymTridiag<T>, k: usize, mut lo: T, mut hi: T) -> T {
+    // invariant: count(lo) ≤ k < count(hi)
+    loop {
+        let mid = lo + (hi - lo) * T::HALF;
+        if mid <= lo || mid >= hi {
+            return mid; // interval at rounding limit
+        }
+        if t.sturm_count(mid) > k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        let tol = T::EPSILON * (lo.abs() + hi.abs()) + T::MIN_POSITIVE;
+        if hi - lo <= tol {
+            return lo + (hi - lo) * T::HALF;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ql::tridiag_eigenvalues;
+
+    fn laplacian(n: usize) -> SymTridiag<f64> {
+        SymTridiag::new(vec![2.0; n], vec![-1.0; n - 1])
+    }
+
+    #[test]
+    fn all_eigenvalues_match_ql() {
+        let t = laplacian(16);
+        let bis = tridiag_eig_bisect(&t, EigRange::Index { lo: 0, hi: 16 });
+        let ql = tridiag_eigenvalues(&t).unwrap();
+        for (a, b) in bis.iter().zip(ql.iter()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn index_subset() {
+        let t = laplacian(20);
+        let ql = tridiag_eigenvalues(&t).unwrap();
+        let largest3 = tridiag_eig_bisect(&t, EigRange::Index { lo: 17, hi: 20 });
+        assert_eq!(largest3.len(), 3);
+        for (a, b) in largest3.iter().zip(ql[17..].iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn value_range() {
+        let t = laplacian(10);
+        let ql = tridiag_eigenvalues(&t).unwrap();
+        let inside = tridiag_eig_bisect(&t, EigRange::Value { lo: 1.0, hi: 3.0 });
+        let want: Vec<f64> = ql.iter().cloned().filter(|&x| x > 1.0 && x <= 3.0).collect();
+        assert_eq!(inside.len(), want.len());
+        for (a, b) in inside.iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_requests() {
+        let t = laplacian(5);
+        assert!(tridiag_eig_bisect(&t, EigRange::Index { lo: 5, hi: 9 }).is_empty());
+        assert!(tridiag_eig_bisect(&t, EigRange::Value { lo: 10.0, hi: 20.0 }).is_empty());
+        // hi clamped to n
+        assert_eq!(tridiag_eig_bisect(&t, EigRange::Index { lo: 3, hi: 99 }).len(), 2);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let t = SymTridiag::new(vec![2.0f64; 6], vec![0.0; 5]);
+        let vals = tridiag_eig_bisect(&t, EigRange::Index { lo: 0, hi: 6 });
+        for v in vals {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn f32_precision() {
+        let t = SymTridiag::new(vec![2.0f32; 8], vec![-1.0; 7]);
+        let vals = tridiag_eig_bisect(&t, EigRange::Index { lo: 0, hi: 8 });
+        let ql: Vec<f32> = tridiag_eigenvalues(&t).unwrap();
+        for (a, b) in vals.iter().zip(ql.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

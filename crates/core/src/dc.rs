@@ -1,0 +1,515 @@
+//! Cuppen divide-and-conquer for the symmetric tridiagonal eigenproblem —
+//! the MAGMA/LAPACK `stedc` stand-in used by the paper's EVD case study.
+//!
+//! Structure (LAPACK `laed*` lineage):
+//! 1. Tear the tridiagonal at the midpoint: `T = diag(T₁′, T₂′) + ρ·u·uᵀ`.
+//! 2. Solve the halves recursively (in parallel via `rayon::join`).
+//! 3. Merge: the spectrum of `D + ρ·z·zᵀ` with deflation (tiny `z`
+//!    components, near-equal `d` entries), a safeguarded-Newton **secular
+//!    equation** solver per remaining root, and eigenvectors rebuilt from a
+//!    Löwner-formula ẑ (Gu–Eisenstat) so orthogonality holds even for
+//!    clustered eigenvalues.
+//!
+//! Roots are stored as `(origin, offset)` pairs so every difference
+//! `λ − d_i` is computed without cancellation.
+
+use crate::ql::{tridiag_eig_ql, EigError};
+use crate::tridiag::SymTridiag;
+use tcevd_matrix::blas3::matmul;
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::{Mat, Op};
+
+/// Below this size the recursion bottoms out into QL.
+const DC_BASE: usize = 24;
+
+/// Full eigendecomposition `T = Z·Λ·Zᵀ` by divide & conquer: eigenvalues
+/// ascending with matching eigenvector columns.
+pub fn tridiag_eig_dc<T: Scalar>(t: &SymTridiag<T>) -> Result<(Vec<T>, Mat<T>), EigError> {
+    dc_rec(&t.d, &t.e)
+}
+
+fn dc_rec<T: Scalar>(d: &[T], e: &[T]) -> Result<(Vec<T>, Mat<T>), EigError> {
+    let n = d.len();
+    if n <= DC_BASE {
+        return tridiag_eig_ql(&SymTridiag::new(d.to_vec(), e.to_vec()));
+    }
+    let m = n / 2;
+    let rho = e[m - 1];
+
+    // T = diag(T₁′, T₂′) + ρ·u·uᵀ, u = e_{m−1} + e_m.
+    let mut d1 = d[..m].to_vec();
+    d1[m - 1] -= rho;
+    let mut d2 = d[m..].to_vec();
+    d2[0] -= rho;
+
+    let (r1, r2) = rayon::join(|| dc_rec(&d1, &e[..m - 1]), || dc_rec(&d2, &e[m..]));
+    let (l1, q1) = r1?;
+    let (l2, q2) = r2?;
+
+    // Assemble D, z, and the block-diagonal Q.
+    let mut dvals = Vec::with_capacity(n);
+    dvals.extend_from_slice(&l1);
+    dvals.extend_from_slice(&l2);
+    let mut z = vec![T::ZERO; n];
+    for i in 0..m {
+        z[i] = q1[(m - 1, i)]; // last row of Q₁
+    }
+    for j in 0..n - m {
+        z[m + j] = q2[(0, j)]; // first row of Q₂
+    }
+    let mut qbig = Mat::<T>::zeros(n, n);
+    qbig.view_mut(0, 0, m, m).copy_from(q1.as_ref());
+    qbig.view_mut(m, m, n - m, n - m).copy_from(q2.as_ref());
+
+    Ok(rank1_update(dvals, z, rho, qbig))
+}
+
+/// Eigendecomposition of `D + ρ·z·zᵀ`, composed with the accumulated `q`
+/// (whose columns correspond to the coordinates of `D`). Returns ascending
+/// eigenvalues and `q·U`.
+pub fn rank1_update<T: Scalar>(
+    dvals: Vec<T>,
+    z: Vec<T>,
+    rho: T,
+    q: Mat<T>,
+) -> (Vec<T>, Mat<T>) {
+    if rho > T::ZERO {
+        rank1_core(dvals, z, rho, q)
+    } else if rho < T::ZERO {
+        // eig(D + ρzzᵀ) = −eig(−D + |ρ|zzᵀ), reversed to ascend.
+        let dneg = dvals.into_iter().map(|x| -x).collect();
+        let (mut vals, qout) = rank1_core(dneg, z, -rho, q);
+        vals.iter_mut().for_each(|v| *v = -*v);
+        vals.reverse();
+        let n = qout.cols();
+        let mut qr = Mat::<T>::zeros(qout.rows(), n);
+        for j in 0..n {
+            qr.col_mut(j).copy_from_slice(qout.col(n - 1 - j));
+        }
+        (vals, qr)
+    } else {
+        // ρ = 0: already diagonal — sort.
+        let n = dvals.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| dvals[a].partial_cmp(&dvals[b]).unwrap());
+        let vals = idx.iter().map(|&i| dvals[i]).collect();
+        let mut qs = Mat::<T>::zeros(q.rows(), n);
+        for (new, &old) in idx.iter().enumerate() {
+            qs.col_mut(new).copy_from_slice(q.col(old));
+        }
+        (vals, qs)
+    }
+}
+
+/// Core solver for ρ > 0.
+fn rank1_core<T: Scalar>(dvals: Vec<T>, z: Vec<T>, rho: T, q: Mat<T>) -> (Vec<T>, Mat<T>) {
+    let n = dvals.len();
+    let znorm2: T = z.iter().map(|&v| v * v).sum();
+    let rho_eff = rho * znorm2;
+    let dmax = dvals.iter().fold(T::ZERO, |m, v| m.max_val(v.abs()));
+    let scale = dmax.max_val(rho_eff);
+
+    // Sort D ascending, carrying z and Q columns.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| dvals[a].partial_cmp(&dvals[b]).unwrap());
+    let mut ds: Vec<T> = idx.iter().map(|&i| dvals[i]).collect();
+    let inv_norm = if znorm2 > T::ZERO {
+        T::ONE / znorm2.sqrt()
+    } else {
+        T::ZERO
+    };
+    let mut zs: Vec<T> = idx.iter().map(|&i| z[i] * inv_norm).collect();
+    let mut qs = Mat::<T>::zeros(q.rows(), n);
+    for (new, &old) in idx.iter().enumerate() {
+        qs.col_mut(new).copy_from_slice(q.col(old));
+    }
+
+    if rho_eff <= scale * T::EPSILON || znorm2 == T::ZERO {
+        return (ds, qs);
+    }
+
+    // ---- Deflation ----
+    let tol = T::from_f64(8.0) * T::EPSILON * scale;
+    let mut active = vec![true; n];
+    for i in 0..n {
+        if (rho_eff * zs[i].abs()) <= tol {
+            active[i] = false;
+        }
+    }
+    // Coalesce near-equal active d's with Givens rotations that zero one z.
+    let mut prev: Option<usize> = None;
+    for i in 0..n {
+        if !active[i] {
+            continue;
+        }
+        if let Some(p) = prev {
+            if ds[i] - ds[p] <= tol {
+                // rotate (p, i) to zero zs[p]: with G = [[c, −s], [s, c]]
+                // acting on coordinates (p, i), ẑ = Gᵀz has
+                // ẑ_p = c·z_p + s·z_i = 0 for c = z_i/r, s = −z_p/r.
+                let r = zs[p].hypot(zs[i]);
+                let c = zs[i] / r;
+                let s = -zs[p] / r;
+                zs[i] = r;
+                zs[p] = T::ZERO;
+                // exact diagonal of the rotated 2×2 block
+                let (dp, di) = (ds[p], ds[i]);
+                ds[p] = c * c * dp + s * s * di;
+                ds[i] = s * s * dp + c * c * di;
+                // rotate Q columns: [p, i] ← [c·p + s·i, −s·p + c·i]
+                for k in 0..qs.rows() {
+                    let a = qs[(k, p)];
+                    let b = qs[(k, i)];
+                    qs[(k, p)] = c * a + s * b;
+                    qs[(k, i)] = -s * a + c * b;
+                }
+                active[p] = false;
+            }
+        }
+        prev = Some(i);
+    }
+
+    let act: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
+    let kk = act.len();
+    if kk == 0 {
+        // everything deflated: re-sort (rotations may have nudged order)
+        return sort_final(ds, qs);
+    }
+    let da: Vec<T> = act.iter().map(|&i| ds[i]).collect();
+    let za: Vec<T> = act.iter().map(|&i| zs[i]).collect();
+    let zsum2: T = za.iter().map(|&v| v * v).sum();
+
+    // ---- Secular equation per active root ----
+    // root k lies in (da[k], da[k+1]); last root in (da[K−1], da[K−1] + ρ·Σz²).
+    let roots: Vec<(usize, T)> = (0..kk)
+        .map(|k| secular_root(&da, &za, rho_eff, zsum2, k))
+        .collect();
+
+    // ---- Löwner ẑ for orthogonal eigenvectors ----
+    // ẑ_i² = (λ_i − d_i)·∏_{k<i}[(λ_k−d_i)/(d_k−d_i)]·∏_{k>i}[(λ_k−d_i)/(d_k−d_i)]
+    let lam_minus_d = |k: usize, i: usize| -> T {
+        let (org, mu) = roots[k];
+        (da[org] - da[i]) + mu
+    };
+    let mut zt = vec![T::ZERO; kk];
+    for i in 0..kk {
+        let mut prod = lam_minus_d(i, i);
+        for k in 0..kk {
+            if k != i {
+                prod *= lam_minus_d(k, i) / (da[k] - da[i]);
+            }
+        }
+        zt[i] = prod.abs().sqrt().copysign(za[i]);
+    }
+
+    // Eigenvectors in active-coordinate space.
+    let mut u = Mat::<T>::zeros(kk, kk);
+    for k in 0..kk {
+        let col = u.col_mut(k);
+        let mut norm2 = T::ZERO;
+        for i in 0..kk {
+            let v = zt[i] / lam_minus_d(k, i);
+            col[i] = v;
+            norm2 += v * v;
+        }
+        let inv = T::ONE / norm2.sqrt();
+        for v in col.iter_mut() {
+            *v *= inv;
+        }
+    }
+
+    // Compose: columns for active roots are Q_active·u_k.
+    let qa = {
+        let mut qa = Mat::<T>::zeros(qs.rows(), kk);
+        for (c, &i) in act.iter().enumerate() {
+            qa.col_mut(c).copy_from_slice(qs.col(i));
+        }
+        qa
+    };
+    let qau = matmul(qa.as_ref(), Op::NoTrans, u.as_ref(), Op::NoTrans);
+
+    // Gather all (value, column) pairs and sort ascending.
+    let mut vals = Vec::with_capacity(n);
+    let mut qout = Mat::<T>::zeros(qs.rows(), n);
+    let mut col = 0;
+    for i in 0..n {
+        if !active[i] {
+            vals.push(ds[i]);
+            qout.col_mut(col).copy_from_slice(qs.col(i));
+            col += 1;
+        }
+    }
+    for k in 0..kk {
+        let (org, mu) = roots[k];
+        vals.push(da[org] + mu);
+        qout.col_mut(col).copy_from_slice(qau.col(k));
+        col += 1;
+    }
+    sort_final(vals, qout)
+}
+
+fn sort_final<T: Scalar>(vals: Vec<T>, q: Mat<T>) -> (Vec<T>, Mat<T>) {
+    let n = vals.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+    let out_vals: Vec<T> = idx.iter().map(|&i| vals[i]).collect();
+    let mut out_q = Mat::<T>::zeros(q.rows(), n);
+    for (new, &old) in idx.iter().enumerate() {
+        out_q.col_mut(new).copy_from_slice(q.col(old));
+    }
+    (out_vals, out_q)
+}
+
+/// Solve `1 + ρ·Σ zᵢ²/(dᵢ − λ) = 0` for the k-th root.
+/// Returns `(origin_index, mu)` with `λ = d[origin] + mu`, so callers can
+/// form `λ − dᵢ` without cancellation.
+fn secular_root<T: Scalar>(d: &[T], z: &[T], rho: T, zsum2: T, k: usize) -> (usize, T) {
+    let kk = d.len();
+    debug_assert!(rho > T::ZERO);
+
+    // f as a function of λ = d[org] + mu. Returns (f, f', Σ|terms|): the
+    // magnitude sum bounds the evaluation noise, giving a reliable stopping
+    // criterion even when huge pole terms cancel.
+    let eval = |org: usize, mu: T| -> (T, T, T) {
+        let inv_rho = T::ONE / rho;
+        let mut f = inv_rho;
+        let mut fp = T::ZERO;
+        let mut mag = inv_rho.abs();
+        for i in 0..kk {
+            let diff = (d[i] - d[org]) - mu; // d_i − λ
+            let w = z[i] / diff;
+            let term = z[i] * w;
+            f += term;
+            mag += term.abs();
+            fp += w * w;
+        }
+        (f * rho, fp * rho, mag * rho)
+    };
+
+    if kk == 1 {
+        // exact: λ = d₀ + ρ·z² (z normalized ⇒ z² = zsum2)
+        return (0, rho * zsum2);
+    }
+
+    let (org, mut lo, mut hi) = if k + 1 < kk {
+        // interior root in (d[k], d[k+1])
+        let gap = d[k + 1] - d[k];
+        let (fmid, _, _) = eval(k, gap * T::HALF);
+        if fmid >= T::ZERO {
+            // root in the left half — anchor at d[k]
+            (k, T::ZERO, gap * T::HALF)
+        } else {
+            // anchor at d[k+1], μ negative
+            (k + 1, -(gap * T::HALF), T::ZERO)
+        }
+    } else {
+        // last root in (d[K−1], d[K−1] + ρ·Σz²)
+        let mut hi = rho * zsum2;
+        // widen until f(hi) ≥ 0 (guards rounding in the bound)
+        for _ in 0..8 {
+            if eval(kk - 1, hi).0 >= T::ZERO {
+                break;
+            }
+            hi *= T::TWO;
+        }
+        (kk - 1, T::ZERO, hi)
+    };
+
+    // Safeguarded Newton within (lo, hi), μ ≠ 0 (poles at the interval
+    // ends). Stop at the evaluation noise floor |f| ≤ O(eps)·Σ|terms| —
+    // bracket width alone is unreliable because one-sided Newton
+    // convergence may never shrink the far endpoint.
+    let mut mu = (lo + hi) * T::HALF;
+    for _ in 0..200 {
+        let (f, fp, mag) = eval(org, mu);
+        if !f.is_finite() {
+            mu = (lo + hi) * T::HALF;
+            continue;
+        }
+        let noise = T::from_f64(8.0) * T::EPSILON * mag;
+        if f.abs() <= noise || fp <= T::ZERO {
+            break;
+        }
+        // shrink the bracket
+        if f > T::ZERO {
+            hi = mu;
+        } else {
+            lo = mu;
+        }
+        let step = -f / fp;
+        let mut next = mu + step;
+        if !(next > lo && next < hi) || !next.is_finite() {
+            next = (lo + hi) * T::HALF; // bisection fallback
+        }
+        if next == mu {
+            break; // no representable progress
+        }
+        mu = next;
+    }
+    (org, mu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ql::tridiag_eigenvalues;
+    use tcevd_matrix::norms::orthogonality_residual;
+
+    fn laplacian(n: usize) -> SymTridiag<f64> {
+        SymTridiag::new(vec![2.0; n], vec![-1.0; n - 1])
+    }
+
+    fn rand_tridiag(n: usize, seed: u64) -> SymTridiag<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        SymTridiag::new((0..n).map(|_| next()).collect(), (0..n - 1).map(|_| next()).collect())
+    }
+
+    fn check_eig(t: &SymTridiag<f64>, tol_rel: f64) {
+        let n = t.n();
+        let (vals, z) = tridiag_eig_dc(t).unwrap();
+        // errors are relative to the spectrum scale (deflation, like
+        // LAPACK's, works to an absolute tolerance ~eps·‖T‖)
+        let scale = vals.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        let tol = tol_rel * scale;
+        // ascending
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + tol);
+        }
+        // matches QL eigenvalues
+        let ql = tridiag_eigenvalues(t).unwrap();
+        for (a, b) in vals.iter().zip(ql.iter()) {
+            assert!((a - b).abs() < tol, "{a} vs {b}");
+        }
+        // orthogonal eigenvectors
+        let ortho = orthogonality_residual(z.as_ref());
+        assert!(ortho < tol * n as f64, "orthogonality {ortho}");
+        // residual ‖T·z − λ·z‖ per pair
+        for k in 0..n {
+            let x: Vec<f64> = z.col(k).to_vec();
+            let y = t.mul_vec(&x);
+            for i in 0..n {
+                assert!(
+                    (y[i] - vals[k] * x[i]).abs() < tol * 10.0,
+                    "residual at k={k} i={i}: {} vs {}",
+                    y[i],
+                    vals[k] * x[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_case_sizes() {
+        check_eig(&laplacian(8), 1e-12);
+        check_eig(&rand_tridiag(16, 1), 1e-12);
+    }
+
+    #[test]
+    fn one_merge_level() {
+        check_eig(&laplacian(40), 1e-11);
+        check_eig(&rand_tridiag(40, 2), 1e-11);
+    }
+
+    #[test]
+    fn deep_recursion() {
+        check_eig(&laplacian(150), 1e-10);
+        check_eig(&rand_tridiag(150, 3), 1e-10);
+    }
+
+    #[test]
+    fn negative_rho_paths() {
+        // laplacian has e = −1 < 0 at every tear: exercised above; here an
+        // explicitly mixed-sign off-diagonal
+        let mut t = rand_tridiag(60, 4);
+        for (i, e) in t.e.iter_mut().enumerate() {
+            *e = if i % 2 == 0 { 0.5 } else { -0.5 };
+        }
+        check_eig(&t, 1e-11);
+    }
+
+    #[test]
+    fn heavy_deflation_zero_offdiag() {
+        // e = 0 at the tear → everything deflates
+        let mut t = rand_tridiag(50, 5);
+        t.e[25 - 1] = 0.0;
+        check_eig(&t, 1e-11);
+    }
+
+    #[test]
+    fn clustered_eigenvalues() {
+        // near-identical diagonal with tiny couplings → massive deflation +
+        // close secular poles
+        let n = 64;
+        let d = vec![1.0; n];
+        let e = vec![1e-9; n - 1];
+        let t = SymTridiag::new(d, e);
+        let (vals, z) = tridiag_eig_dc(&t).unwrap();
+        for v in &vals {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+        assert!(orthogonality_residual(z.as_ref()) < 1e-10 * n as f64);
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        let n = 48;
+        let d: Vec<f64> = (0..n).map(|i| 2f64.powi((i as i32) - 24)).collect();
+        let e = vec![1e-8; n - 1];
+        let t = SymTridiag::new(d, e);
+        check_eig(&t, 1e-9);
+    }
+
+    #[test]
+    fn f32_pipeline_precision() {
+        let n = 80;
+        let t64 = rand_tridiag(n, 6);
+        let t32 = SymTridiag::new(
+            t64.d.iter().map(|&x| x as f32).collect(),
+            t64.e.iter().map(|&x| x as f32).collect(),
+        );
+        let (vals32, z32) = tridiag_eig_dc(&t32).unwrap();
+        let vals64 = tridiag_eigenvalues(&t64).unwrap();
+        let scale = vals64.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in vals32.iter().zip(vals64.iter()) {
+            assert!(((*a as f64) - b).abs() < 1e-5 * scale.max(1.0));
+        }
+        assert!(orthogonality_residual(z32.as_ref()) < 1e-4 * n as f32);
+    }
+
+    #[test]
+    fn rank1_update_standalone() {
+        // D + ρzzᵀ with known answer: D = 0, z = e₁ → eigenvalues {ρ, 0...}
+        let n = 5;
+        let mut z = vec![0.0; n];
+        z[0] = 1.0;
+        let (vals, q) = rank1_update(vec![0.0; n], z, 2.5, Mat::identity(n, n));
+        assert!((vals[n - 1] - 2.5).abs() < 1e-14);
+        for v in &vals[..n - 1] {
+            assert!(v.abs() < 1e-14);
+        }
+        assert!(orthogonality_residual(q.as_ref()) < 1e-13);
+    }
+
+    #[test]
+    fn secular_interlacing() {
+        // roots of 1 + ρΣz²/(d−λ) strictly interlace the poles
+        let d = vec![0.0, 1.0, 2.0, 3.0];
+        let z = vec![0.5; 4];
+        let zsum2: f64 = 1.0;
+        let rho = 1.3;
+        for k in 0..4 {
+            let (org, mu) = secular_root(&d, &z, rho, zsum2, k);
+            let lam = d[org] + mu;
+            assert!(lam > d[k], "k={k} lam={lam}");
+            if k + 1 < 4 {
+                assert!(lam < d[k + 1], "k={k} lam={lam}");
+            } else {
+                assert!(lam < d[3] + rho * zsum2 * 1.01);
+            }
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Inverse iteration for tridiagonal eigenvectors, and the selected
+//! eigenpair solver built from bisection + inverse iteration (the paper's
+//! related-work "flexible method": largest/smallest k or an interval —
+//! LAPACK `stein`'s role).
+
+use crate::bisect::{tridiag_eig_bisect, EigRange};
+use crate::ql::EigError;
+use crate::tridiag::SymTridiag;
+use tcevd_matrix::blas1::nrm2;
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::Mat;
+
+const MAX_ITER: usize = 8;
+
+/// Compute the eigenvector of a tridiagonal `t` for an (accurate)
+/// eigenvalue estimate `lambda` by inverse iteration with a perturbed
+/// shift. `seed` varies the deterministic pseudo-random start vector
+/// (important for clustered eigenvalues).
+pub fn tridiag_inverse_iteration<T: Scalar>(
+    t: &SymTridiag<T>,
+    lambda: T,
+    seed: u64,
+) -> Result<Vec<T>, EigError> {
+    let n = t.n();
+    if n == 1 {
+        return Ok(vec![T::ONE]);
+    }
+    // perturb the shift off the exact eigenvalue so (T − λI) stays
+    // invertible in floating point
+    let scale = t.gershgorin().1.abs().max_val(t.gershgorin().0.abs()).max_val(T::ONE);
+    let pert = T::from_f64(2.0) * T::EPSILON * scale;
+    let shift = lambda + pert;
+
+    // deterministic pseudo-random start
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0x2545F4914F6CDD1D);
+    let mut x: Vec<T> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            T::from_f64(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0)
+        })
+        .collect();
+    normalize(&mut x);
+
+    for _ in 0..MAX_ITER {
+        solve_shifted(t, shift, &mut x)?;
+        let norm = nrm2(&x);
+        if !norm.is_finite() || norm == T::ZERO {
+            return Err(EigError::NoConvergence { index: 0 });
+        }
+        let inv = T::ONE / norm;
+        for v in &mut x {
+            *v *= inv;
+        }
+        // converged when the residual is at roundoff
+        let r = residual(t, lambda, &x);
+        if r <= T::from_f64(64.0) * T::EPSILON * scale {
+            break;
+        }
+    }
+    Ok(x)
+}
+
+fn normalize<T: Scalar>(x: &mut [T]) {
+    let n = nrm2(x);
+    if n > T::ZERO {
+        let inv = T::ONE / n;
+        for v in x {
+            *v *= inv;
+        }
+    } else {
+        x[0] = T::ONE;
+    }
+}
+
+fn residual<T: Scalar>(t: &SymTridiag<T>, lambda: T, x: &[T]) -> T {
+    let y = t.mul_vec(x);
+    let mut r = T::ZERO;
+    for i in 0..x.len() {
+        r = r.max_val((y[i] - lambda * x[i]).abs());
+    }
+    r
+}
+
+/// Solve `(T − σI)·y = x` in place by Gaussian elimination with partial
+/// pivoting on the tridiagonal (LAPACK `lagtf`/`lagts` style: row swaps
+/// introduce a second superdiagonal `dd`).
+///
+/// Working rows at step k (columns k, k+1, k+2):
+/// `row k   = [bb[k], cc[k], dd[k]]`, `row k+1 = [e_k, bb[k+1], cc[k+1]]`.
+fn solve_shifted<T: Scalar>(t: &SymTridiag<T>, sigma: T, x: &mut [T]) -> Result<(), EigError> {
+    let n = t.n();
+    let mut bb: Vec<T> = t.d.iter().map(|&v| v - sigma).collect();
+    let mut cc: Vec<T> = t.e.clone(); // superdiagonal (symmetric input)
+    let mut dd = vec![T::ZERO; n.saturating_sub(2)];
+    let tiny = T::MIN_POSITIVE * T::from_f64(1e4);
+
+    for k in 0..n - 1 {
+        let sub = t.e[k]; // entry (k+1, k) — row k+1 is untouched so far
+        if bb[k].abs() >= sub.abs() {
+            // no swap: row_{k+1} ← row_{k+1} − m·row_k
+            let piv = if bb[k].abs() < tiny {
+                tiny.copysign(bb[k].sign1())
+            } else {
+                bb[k]
+            };
+            bb[k] = piv;
+            let m = sub / piv;
+            bb[k + 1] -= m * cc[k];
+            if k + 2 < n {
+                cc[k + 1] -= m * dd[k];
+            }
+            x[k + 1] -= m * x[k];
+        } else {
+            // swap rows k and k+1 (|sub| > |bb[k]| ≥ 0 ⇒ sub ≠ 0)
+            let m = bb[k] / sub;
+            let (ck_old, dk_old) = (cc[k], if k + 2 < n { dd[k] } else { T::ZERO });
+            let bk1_old = bb[k + 1];
+            // new row k = old row k+1
+            bb[k] = sub;
+            cc[k] = bk1_old;
+            if k + 2 < n {
+                dd[k] = cc[k + 1];
+            }
+            // new row k+1 = old row k − m·(new row k)
+            bb[k + 1] = ck_old - m * bk1_old;
+            if k + 2 < n {
+                cc[k + 1] = dk_old - m * dd[k];
+            }
+            x.swap(k, k + 1);
+            let xk = x[k];
+            x[k + 1] -= m * xk;
+        }
+    }
+
+    // back substitution against the (bb, cc, dd) upper triangle
+    for k in (0..n).rev() {
+        let mut s = x[k];
+        if k + 1 < n {
+            s -= cc[k] * x[k + 1];
+        }
+        if k + 2 < n {
+            s -= dd[k] * x[k + 2];
+        }
+        let piv = if bb[k].abs() < tiny {
+            tiny.copysign(bb[k].sign1())
+        } else {
+            bb[k]
+        };
+        x[k] = s / piv;
+        if !x[k].is_finite() {
+            return Err(EigError::NoConvergence { index: k });
+        }
+    }
+    Ok(())
+}
+
+/// Selected eigenpairs of a symmetric tridiagonal matrix: bisection for the
+/// values, inverse iteration for the vectors, Gram–Schmidt
+/// reorthogonalization within clusters.
+pub fn tridiag_eig_selected<T: Scalar>(
+    t: &SymTridiag<T>,
+    range: EigRange<T>,
+) -> Result<(Vec<T>, Mat<T>), EigError> {
+    let vals = tridiag_eig_bisect(t, range);
+    let n = t.n();
+    let k = vals.len();
+    let mut vecs = Mat::<T>::zeros(n, k);
+    let scale = {
+        let (lo, hi) = t.gershgorin();
+        lo.abs().max_val(hi.abs()).max_val(T::ONE)
+    };
+    // LAPACK `stein` semantics: eigenvalues within 1e-3·‖T‖ form one
+    // reorthogonalization cluster — inverse iteration alone cannot separate
+    // directions whose residuals converge faster than their gap resolves.
+    let cluster_tol = T::from_f64(1e-3) * scale;
+
+    let mut cluster_start = 0;
+    for j in 0..k {
+        let x = tridiag_inverse_iteration(t, vals[j], j as u64 + 1)?;
+        vecs.col_mut(j).copy_from_slice(&x);
+        // reorthogonalize against earlier members of the same cluster
+        if j > 0 && (vals[j] - vals[j - 1]).abs() > cluster_tol {
+            cluster_start = j;
+        }
+        if cluster_start < j {
+            for prev in cluster_start..j {
+                let mut dot = T::ZERO;
+                for i in 0..n {
+                    dot += vecs[(i, prev)] * vecs[(i, j)];
+                }
+                for i in 0..n {
+                    let sub = dot * vecs[(i, prev)];
+                    vecs[(i, j)] -= sub;
+                }
+            }
+            let col = vecs.col_mut(j);
+            normalize(col);
+        }
+    }
+    Ok((vals, vecs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ql::tridiag_eig_ql;
+
+    fn laplacian(n: usize) -> SymTridiag<f64> {
+        SymTridiag::new(vec![2.0; n], vec![-1.0; n - 1])
+    }
+
+    fn rand_tridiag(n: usize, seed: u64) -> SymTridiag<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        SymTridiag::new((0..n).map(|_| next()).collect(), (0..n - 1).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn inverse_iteration_finds_eigenvector() {
+        let t = laplacian(20);
+        let (vals, z) = tridiag_eig_ql(&t).unwrap();
+        for k in [0usize, 7, 19] {
+            let x = tridiag_inverse_iteration(&t, vals[k], 1).unwrap();
+            // compare up to sign with the QL eigenvector
+            let mut dot = 0.0;
+            for i in 0..20 {
+                dot += x[i] * z[(i, k)];
+            }
+            assert!(dot.abs() > 1.0 - 1e-10, "k={k}: |dot|={}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn selected_largest_three() {
+        let n = 30;
+        let t = rand_tridiag(n, 2);
+        let ql = tridiag_eig_ql(&t).unwrap();
+        let (vals, vecs) =
+            tridiag_eig_selected(&t, EigRange::Index { lo: n - 3, hi: n }).unwrap();
+        assert_eq!(vals.len(), 3);
+        for (j, v) in vals.iter().enumerate() {
+            assert!((v - ql.0[n - 3 + j]).abs() < 1e-10);
+            let x: Vec<f64> = vecs.col(j).to_vec();
+            let y = t.mul_vec(&x);
+            for i in 0..n {
+                assert!((y[i] - v * x[i]).abs() < 1e-8, "j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_interval_selection() {
+        let t = laplacian(16);
+        let (vals, vecs) = tridiag_eig_selected(&t, EigRange::Value { lo: 1.0, hi: 3.0 }).unwrap();
+        assert!(!vals.is_empty());
+        assert_eq!(vecs.cols(), vals.len());
+        for v in &vals {
+            assert!(*v > 1.0 && *v <= 3.0);
+        }
+    }
+
+    #[test]
+    fn clustered_eigenvalues_stay_orthogonal() {
+        // near-degenerate pair via tiny coupling
+        let n = 12;
+        let mut t = laplacian(n);
+        for e in t.e.iter_mut() {
+            *e = 1e-10;
+        }
+        let (_, vecs) = tridiag_eig_selected(&t, EigRange::Index { lo: 0, hi: n }).unwrap();
+        // columns pairwise orthogonal
+        for a in 0..n {
+            for b in 0..a {
+                let mut dot = 0.0;
+                for i in 0..n {
+                    dot += vecs[(i, a)] * vecs[(i, b)];
+                }
+                assert!(dot.abs() < 1e-8, "({a},{b}): {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_element_matrix() {
+        let t = SymTridiag::new(vec![5.0f64], vec![]);
+        let x = tridiag_inverse_iteration(&t, 5.0, 1).unwrap();
+        assert_eq!(x, vec![1.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Cyclic Jacobi eigensolver for dense symmetric matrices.
+//!
+//! Independent of the whole tridiagonalization stack (no Householder
+//! transforms, no tridiagonal solvers), which makes it the ideal
+//! cross-check oracle for the two-stage pipeline: when `sym_eig` and
+//! `jacobi_eig` agree, a bug would have to exist in both, in the same way.
+//! Jacobi is also more accurate on some graded matrices (relative accuracy
+//! for positive definite inputs — Demmel & Veselić).
+
+use crate::ql::EigError;
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::Mat;
+
+/// Maximum number of full sweeps before giving up.
+const MAX_SWEEPS: usize = 30;
+
+/// Full eigendecomposition by the cyclic Jacobi method:
+/// eigenvalues ascending, eigenvectors in columns of the returned matrix.
+pub fn jacobi_eig<T: Scalar>(a: &Mat<T>) -> Result<(Vec<T>, Mat<T>), EigError> {
+    let n = a.rows();
+    assert!(a.is_square(), "Jacobi needs a square symmetric matrix");
+    let mut a = a.clone();
+    let mut v = Mat::<T>::identity(n, n);
+
+    if n > 1 {
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let off = off_diagonal_norm(&a);
+            let scale = frob_diag(&a) + off;
+            if off <= T::EPSILON * scale.max_val(T::MIN_POSITIVE) {
+                converged = true;
+                break;
+            }
+            for p in 0..n - 1 {
+                for q in p + 1..n {
+                    rotate(&mut a, &mut v, p, q);
+                }
+            }
+        }
+        if !converged {
+            let off = off_diagonal_norm(&a);
+            let scale = frob_diag(&a) + off;
+            if off > T::from_f64(1e-6) * scale {
+                return Err(EigError::NoConvergence { index: 0 });
+            }
+        }
+    }
+
+    // sort ascending
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&x, &y| a[(x, x)].partial_cmp(&a[(y, y)]).unwrap());
+    let vals: Vec<T> = idx.iter().map(|&i| a[(i, i)]).collect();
+    let mut vs = Mat::<T>::zeros(n, n);
+    for (new, &old) in idx.iter().enumerate() {
+        vs.col_mut(new).copy_from_slice(v.col(old));
+    }
+    Ok((vals, vs))
+}
+
+fn off_diagonal_norm<T: Scalar>(a: &Mat<T>) -> T {
+    let n = a.rows();
+    let mut s = T::ZERO;
+    for j in 0..n {
+        for i in 0..j {
+            s += a[(i, j)] * a[(i, j)];
+        }
+    }
+    (T::TWO * s).sqrt()
+}
+
+fn frob_diag<T: Scalar>(a: &Mat<T>) -> T {
+    let n = a.rows();
+    let mut s = T::ZERO;
+    for i in 0..n {
+        s += a[(i, i)] * a[(i, i)];
+    }
+    s.sqrt()
+}
+
+/// One Jacobi rotation zeroing `a[(p, q)]` (Rutishauser's stable formulas).
+fn rotate<T: Scalar>(a: &mut Mat<T>, v: &mut Mat<T>, p: usize, q: usize) {
+    let apq = a[(p, q)];
+    if apq == T::ZERO {
+        return;
+    }
+    let app = a[(p, p)];
+    let aqq = a[(q, q)];
+    let theta = (aqq - app) / (T::TWO * apq);
+    // t = sign(θ)/(|θ| + sqrt(1+θ²)) — the smaller root, |t| ≤ 1
+    let t = if theta.abs() > T::from_f64(1e100) {
+        // avoid θ² overflow: t ≈ 1/(2θ)
+        T::ONE / (T::TWO * theta)
+    } else {
+        let s = (T::ONE + theta * theta).sqrt();
+        T::ONE / (theta.abs() + s) * theta.sign1()
+    };
+    let c = T::ONE / (T::ONE + t * t).sqrt();
+    let s = t * c;
+    let tau = s / (T::ONE + c);
+
+    let n = a.rows();
+    a[(p, p)] = app - t * apq;
+    a[(q, q)] = aqq + t * apq;
+    a[(p, q)] = T::ZERO;
+    a[(q, p)] = T::ZERO;
+    for i in 0..n {
+        if i != p && i != q {
+            let aip = a[(i, p)];
+            let aiq = a[(i, q)];
+            let new_p = aip - s * (aiq + tau * aip);
+            let new_q = aiq + s * (aip - tau * aiq);
+            a[(i, p)] = new_p;
+            a[(p, i)] = new_p;
+            a[(i, q)] = new_q;
+            a[(q, i)] = new_q;
+        }
+    }
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip - s * (viq + tau * vip);
+        v[(i, q)] = viq + s * (vip - tau * viq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::eigenpair_residual;
+    use tcevd_matrix::norms::orthogonality_residual;
+    use tcevd_testmat::{generate, spectrum, MatrixType};
+
+    #[test]
+    fn diagonal_is_fixed_point() {
+        let a = Mat::<f64>::from_diag(&[3.0, 1.0, 2.0]);
+        let (vals, v) = jacobi_eig(&a).unwrap();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+        assert!(orthogonality_residual(v.as_ref()) < 1e-14);
+    }
+
+    #[test]
+    fn recovers_prescribed_spectrum() {
+        let n = 32;
+        let mt = MatrixType::Arith { cond: 1e3 };
+        let a = generate(n, mt, 4);
+        let (vals, v) = jacobi_eig(&a).unwrap();
+        let mut want = spectrum(n, mt).unwrap();
+        want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (got, w) in vals.iter().zip(want.iter()) {
+            assert!((got - w).abs() < 1e-12, "{got} vs {w}");
+        }
+        assert!(orthogonality_residual(v.as_ref()) < 1e-13 * n as f64);
+        assert!(eigenpair_residual(a.as_ref(), &vals, v.as_ref()) < 1e-13);
+    }
+
+    #[test]
+    fn agrees_with_reference_pipeline() {
+        let n = 48;
+        let a = generate(n, MatrixType::Normal, 5);
+        let (j_vals, _) = jacobi_eig(&a).unwrap();
+        let r_vals = crate::reference::sym_eigenvalues_ref(&a).unwrap();
+        let scale = r_vals.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in j_vals.iter().zip(r_vals.iter()) {
+            assert!((a - b).abs() < 1e-12 * scale);
+        }
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let a = Mat::<f64>::identity(10, 10);
+        let (vals, v) = jacobi_eig(&a).unwrap();
+        for x in vals {
+            assert_eq!(x, 1.0);
+        }
+        assert!(orthogonality_residual(v.as_ref()) < 1e-14);
+    }
+
+    #[test]
+    fn small_sizes() {
+        for n in [1usize, 2, 3] {
+            let a = generate(n, MatrixType::Uniform, 6 + n as u64);
+            let (vals, v) = jacobi_eig(&a).unwrap();
+            assert_eq!(vals.len(), n);
+            assert!(eigenpair_residual(a.as_ref(), &vals, v.as_ref()) < 1e-13);
+        }
+    }
+
+    #[test]
+    fn f32_variant() {
+        let a64 = generate(24, MatrixType::Geo { cond: 1e2 }, 8);
+        let a: Mat<f32> = a64.cast();
+        let (vals, v) = jacobi_eig(&a).unwrap();
+        assert!(orthogonality_residual(v.as_ref()) < 1e-5);
+        assert!(eigenpair_residual(a.as_ref(), &vals, v.as_ref()) < 1e-5);
+    }
+}

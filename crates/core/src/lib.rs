@@ -1,0 +1,47 @@
+//! # tcevd-core — symmetric eigenvalue decomposition drivers
+//!
+//! The paper's primary deliverable assembled from the substrate crates: a
+//! two-stage Tensor-Core symmetric eigensolver with pluggable precision
+//! engines, plus the tridiagonal eigensolvers it bottoms out into and the
+//! f64 reference pipeline the accuracy tables compare against.
+//!
+//! * [`pipeline`] — [`sym_eig`]/[`sym_eigenvalues`]: dense symmetric A →
+//!   eigenvalues (and optionally eigenvectors) via WY- or ZY-based SBR,
+//!   bulge chasing, and divide & conquer or QL.
+//! * [`dc`] — Cuppen divide & conquer with deflation and a
+//!   safeguarded-Newton secular solver.
+//! * [`ql`] — implicit QL with Wilkinson shift.
+//! * [`bisect`] — Sturm-sequence bisection for selected eigenvalues.
+//! * [`tridiag`] — symmetric tridiagonal type + Sturm counts.
+//! * `reference` — f64 one-stage pipeline (LAPACK stand-in).
+//! * [`metrics`] — the paper's E_b, E_o, E_s error measures.
+
+pub mod bisect;
+pub mod inverse_iter;
+pub mod jacobi;
+pub mod lanczos;
+pub mod dc;
+pub mod metrics;
+pub mod pipeline;
+pub mod polar;
+pub mod ql;
+pub mod randomized;
+pub mod refine;
+pub mod reference;
+pub mod svd;
+pub mod tridiag;
+
+pub use bisect::{tridiag_eig_bisect, EigRange};
+pub use inverse_iter::{tridiag_eig_selected, tridiag_inverse_iteration};
+pub use jacobi::jacobi_eig;
+pub use lanczos::{block_lanczos, LanczosOptions};
+pub use dc::{rank1_update, tridiag_eig_dc};
+pub use metrics::{backward_error, eigenpair_residual, eigenvalue_error, orthogonality};
+pub use pipeline::{sym_eig, sym_eig_selected, sym_eigenvalues, SbrVariant, SymEigOptions, SymEigResult, TridiagSolver};
+pub use ql::{tridiag_eig_ql, tridiag_eigenvalues, EigError};
+pub use refine::{eigenpair_residuals_f64, refine_eigenvalues_rayleigh};
+pub use polar::{abs_eigenvalues_via_polar, polar_newton, Polar};
+pub use randomized::{randomized_eig, RandomizedOptions};
+pub use reference::{sym_eig_ref, sym_eigenvalues_ref, tridiagonalize};
+pub use svd::{low_rank_approx, singular_values, svd_via_evd, Svd};
+pub use tridiag::SymTridiag;

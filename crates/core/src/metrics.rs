@@ -1,0 +1,104 @@
+//! The paper's accuracy metrics (§6.3, §6.4.2).
+
+use tcevd_matrix::blas3::matmul;
+use tcevd_matrix::norms::frobenius;
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::{Mat, MatRef, Op};
+
+/// Backward (orthogonal-transformation) error of a band reduction:
+/// `E_b = ‖A − Q·B·Qᵀ‖_F / (N·‖A‖_F)`.
+pub fn backward_error<T: Scalar>(a: MatRef<'_, T>, q: MatRef<'_, T>, b: MatRef<'_, T>) -> T {
+    let n = a.rows();
+    let qb = matmul(q, Op::NoTrans, b, Op::NoTrans);
+    let qbqt = matmul(qb.as_ref(), Op::NoTrans, q, Op::Trans);
+    let mut diff = Mat::<T>::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            diff[(i, j)] = a.get(i, j) - qbqt[(i, j)];
+        }
+    }
+    frobenius(diff.as_ref()) / (T::from_usize(n) * frobenius(a))
+}
+
+/// Orthogonality of the transform: `E_o = ‖I − QᵀQ‖_F / N`.
+pub fn orthogonality<T: Scalar>(q: MatRef<'_, T>) -> T {
+    tcevd_matrix::norms::orthogonality_residual(q) / T::from_usize(q.rows())
+}
+
+/// Eigenvalue error against a reference spectrum:
+/// `E_s = ‖D_ref − D‖₂ / (N·‖D_ref‖₂)` (both sorted ascending).
+pub fn eigenvalue_error(reference: &[f64], computed: &[f64]) -> f64 {
+    assert_eq!(reference.len(), computed.len());
+    let n = reference.len();
+    let mut diff2 = 0.0;
+    let mut ref2 = 0.0;
+    for i in 0..n {
+        let d = reference[i] - computed[i];
+        diff2 += d * d;
+        ref2 += reference[i] * reference[i];
+    }
+    (diff2.sqrt()) / (n as f64 * ref2.sqrt().max(f64::MIN_POSITIVE))
+}
+
+/// Eigenpair residual `max_k ‖A·x_k − λ_k·x_k‖₂ / ‖A‖_F` — full-decomposition
+/// quality check when eigenvectors are formed.
+pub fn eigenpair_residual<T: Scalar>(a: MatRef<'_, T>, vals: &[T], vecs: MatRef<'_, T>) -> T {
+    let n = a.rows();
+    let ax = matmul(a, Op::NoTrans, vecs, Op::NoTrans);
+    let scale = frobenius(a).max_val(T::MIN_POSITIVE);
+    let mut worst = T::ZERO;
+    for k in 0..vals.len() {
+        let mut r2 = T::ZERO;
+        for i in 0..n {
+            let r = ax[(i, k)] - vals[k] * vecs.get(i, k);
+            r2 += r * r;
+        }
+        worst = worst.max_val(r2.sqrt() / scale);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_decomposition_has_zero_error() {
+        let n = 6;
+        let a = Mat::<f64>::from_diag(&[1., 2., 3., 4., 5., 6.]);
+        let q = Mat::<f64>::identity(n, n);
+        assert_eq!(backward_error(a.as_ref(), q.as_ref(), a.as_ref()), 0.0);
+        assert_eq!(orthogonality(q.as_ref()), 0.0);
+    }
+
+    #[test]
+    fn backward_error_detects_perturbation() {
+        let n = 4;
+        let a = Mat::<f64>::from_diag(&[1., 2., 3., 4.]);
+        let mut b = a.clone();
+        b[(0, 0)] += 0.1;
+        let q = Mat::<f64>::identity(n, n);
+        let e = backward_error(a.as_ref(), q.as_ref(), b.as_ref());
+        assert!((e - 0.1 / (4.0 * frobenius(a.as_ref()))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eigenvalue_error_metric() {
+        let r = vec![1.0, 2.0, 3.0];
+        let c = vec![1.0, 2.0, 3.0];
+        assert_eq!(eigenvalue_error(&r, &c), 0.0);
+        let c2 = vec![1.0, 2.0, 3.1];
+        let want = 0.1 / (3.0 * (14.0f64).sqrt());
+        assert!((eigenvalue_error(&r, &c2) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eigenpair_residual_zero_for_diagonal() {
+        let a = Mat::<f64>::from_diag(&[2., 5.]);
+        let v = Mat::<f64>::identity(2, 2);
+        assert_eq!(eigenpair_residual(a.as_ref(), &[2., 5.], v.as_ref()), 0.0);
+        // wrong eigenvalue shows up
+        let r = eigenpair_residual(a.as_ref(), &[2., 4.], v.as_ref());
+        assert!(r > 0.1);
+    }
+}

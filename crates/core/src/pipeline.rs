@@ -1,0 +1,474 @@
+//! The full symmetric eigenvalue decomposition pipeline (paper §6.4):
+//!
+//! ```text
+//! dense A ──SBR (Tensor Core)──► band B ──bulge chase──► tridiagonal T
+//!          ──D&C / QL──► Λ, Z ──back-transform──► eigenvectors X
+//! ```
+//!
+//! Stage 1 (SBR) runs through the pluggable GEMM engine (SGEMM / TC /
+//! EC-TC); stage 2 (bulge chasing) and the tridiagonal eigensolver run on
+//! scalar CPU arithmetic, exactly mirroring the paper's split where stage 2
+//! and divide-&-conquer are delegated to MAGMA on the host.
+
+use crate::dc::tridiag_eig_dc;
+use crate::ql::{tridiag_eig_ql, tridiag_eigenvalues, EigError};
+use crate::tridiag::SymTridiag;
+use tcevd_band::{bulge_chase, form_wy, sbr_wy, sbr_zy, PanelKind, SbrOptions, WyOptions};
+use tcevd_matrix::{Mat, Op};
+use tcevd_tensorcore::GemmContext;
+
+/// Which band-reduction algorithm stage 1 uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SbrVariant {
+    /// The paper's WY-based Algorithm 1 with the given big-block size `nb`.
+    Wy { block: usize },
+    /// Conventional ZY-based SBR (MAGMA-style baseline).
+    Zy,
+}
+
+/// Which tridiagonal eigensolver finishes the pipeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum TridiagSolver {
+    /// Cuppen divide & conquer (the paper's case-study configuration).
+    #[default]
+    DivideConquer,
+    /// Implicit QL with Wilkinson shift.
+    Ql,
+}
+
+/// Full pipeline configuration.
+#[derive(Copy, Clone, Debug)]
+pub struct SymEigOptions {
+    /// SBR bandwidth `b`.
+    pub bandwidth: usize,
+    pub sbr: SbrVariant,
+    pub panel: PanelKind,
+    pub solver: TridiagSolver,
+    /// Also form the eigenvector matrix `X` (back-transformation through
+    /// both stages).
+    pub vectors: bool,
+}
+
+impl Default for SymEigOptions {
+    fn default() -> Self {
+        SymEigOptions {
+            bandwidth: 32,
+            sbr: SbrVariant::Wy { block: 256 },
+            panel: PanelKind::Tsqr,
+            solver: TridiagSolver::DivideConquer,
+            vectors: false,
+        }
+    }
+}
+
+/// Result of [`sym_eig`].
+pub struct SymEigResult {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f32>,
+    /// Eigenvectors (columns matching `values`), if requested.
+    pub vectors: Option<Mat<f32>>,
+}
+
+/// Two-stage symmetric eigenvalue decomposition on the configured GEMM
+/// engine.
+///
+/// ```
+/// use tcevd_core::{sym_eig, SymEigOptions, SbrVariant, TridiagSolver};
+/// use tcevd_band::PanelKind;
+/// use tcevd_tensorcore::{Engine, GemmContext};
+/// use tcevd_matrix::Mat;
+///
+/// // a symmetric matrix with known spectrum {1, 1/10, 1/100, ...}
+/// let a64 = tcevd_testmat::generate(64, tcevd_testmat::MatrixType::Geo { cond: 1e2 }, 7);
+/// let a: Mat<f32> = a64.cast();
+///
+/// let opts = SymEigOptions {
+///     bandwidth: 8,
+///     sbr: SbrVariant::Wy { block: 32 },   // the paper's Algorithm 1
+///     panel: PanelKind::Tsqr,
+///     solver: TridiagSolver::DivideConquer,
+///     vectors: true,
+/// };
+/// let ctx = GemmContext::new(Engine::Tc);  // simulated Tensor Core
+/// let eig = sym_eig(&a, &opts, &ctx).unwrap();
+///
+/// assert_eq!(eig.values.len(), 64);
+/// assert!((eig.values.last().unwrap() - 1.0).abs() < 1e-3); // λ_max = 1
+/// assert!(eig.vectors.is_some());
+/// ```
+pub fn sym_eig(
+    a: &Mat<f32>,
+    opts: &SymEigOptions,
+    ctx: &GemmContext,
+) -> Result<SymEigResult, EigError> {
+    let n = a.rows();
+    assert!(a.is_square(), "sym_eig needs a square symmetric matrix");
+    if n == 0 {
+        return Ok(SymEigResult {
+            values: Vec::new(),
+            vectors: None,
+        });
+    }
+    // Fail fast on NaN/Inf: every downstream iteration would otherwise spin
+    // to its budget and report a misleading NoConvergence.
+    if a.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(EigError::NonFiniteInput);
+    }
+    let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
+
+    // Stage 1: successive band reduction.
+    let (band, q1_wy, q1_dense) = match opts.sbr {
+        SbrVariant::Wy { block } => {
+            let r = sbr_wy(
+                a,
+                &WyOptions {
+                    bandwidth: b,
+                    block,
+                    panel: opts.panel,
+                    accumulate_q: false,
+                },
+                ctx,
+            );
+            // For eigenvectors, merge the per-level WY factors (Algorithm 2)
+            // rather than accumulating a dense Q during the reduction.
+            let wy = (opts.vectors && !r.levels.is_empty())
+                .then(|| form_wy(&r.levels, n, ctx));
+            (r.band, wy, None)
+        }
+        SbrVariant::Zy => {
+            let r = sbr_zy(
+                a,
+                &SbrOptions {
+                    bandwidth: b,
+                    panel: opts.panel,
+                    accumulate_q: opts.vectors,
+                },
+                ctx,
+            );
+            (r.band, None, r.q)
+        }
+    };
+
+    // Stage 2: bulge chasing to tridiagonal. The eigenvalues-only path uses
+    // packed band storage (O(n·b) working set); the eigenvector path keeps
+    // the dense chase, whose Q accumulation it needs anyway.
+    if !opts.vectors {
+        let packed = tcevd_band::SymBand::from_dense(&band, b);
+        let chase = tcevd_band::bulge_chase_packed(&packed, false);
+        let t = SymTridiag::new(chase.diag, chase.offdiag);
+        let values = match opts.solver {
+            TridiagSolver::Ql => tridiag_eigenvalues(&t)?,
+            TridiagSolver::DivideConquer => tridiag_eig_dc(&t)?.0,
+        };
+        return Ok(SymEigResult {
+            values,
+            vectors: None,
+        });
+    }
+    let chase = bulge_chase(&band, b, true);
+    let t = SymTridiag::new(chase.diag, chase.offdiag);
+
+    let (values, z) = match opts.solver {
+        TridiagSolver::Ql => tridiag_eig_ql(&t)?,
+        TridiagSolver::DivideConquer => tridiag_eig_dc(&t)?,
+    };
+
+    // Back-transformation: X = Q₁·Q₂·Z.
+    let q2 = chase.q.expect("bulge chase accumulates Q when vectors requested");
+    let mut x = Mat::<f32>::zeros(n, n);
+    ctx.gemm("evd_q2z", 1.0, q2.as_ref(), Op::NoTrans, z.as_ref(), Op::NoTrans, 0.0, x.as_mut());
+    match (q1_wy, q1_dense) {
+        (Some((w, y)), _) => {
+            // X ← (I − W·Yᵀ)·X — the FormW back-transformation (paper §4.4).
+            tcevd_band::apply_q(w.as_ref(), y.as_ref(), &mut x, ctx);
+        }
+        (None, Some(q1)) => {
+            let mut xq = Mat::<f32>::zeros(n, n);
+            ctx.gemm("evd_q1x", 1.0, q1.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans, 0.0, xq.as_mut());
+            x = xq;
+        }
+        (None, None) => {} // n ≤ b+1: SBR was a no-op, Q₁ = I
+    }
+
+    Ok(SymEigResult {
+        values,
+        vectors: Some(x),
+    })
+}
+
+/// Eigenvalues only — the paper's case-study configuration (§6.4, "no
+/// eigenvectors").
+pub fn sym_eigenvalues(
+    a: &Mat<f32>,
+    opts: &SymEigOptions,
+    ctx: &GemmContext,
+) -> Result<Vec<f32>, EigError> {
+    let mut o = *opts;
+    o.vectors = false;
+    Ok(sym_eig(a, &o, ctx)?.values)
+}
+
+/// Selected eigenpairs through the same two-stage reduction: bisection for
+/// the chosen eigenvalues, inverse iteration for their tridiagonal
+/// eigenvectors, then back-transformation of just those columns — the
+/// partial-spectrum workflow (largest-k for PCA / low-rank approximation)
+/// the paper's introduction motivates.
+pub fn sym_eig_selected(
+    a: &Mat<f32>,
+    range: crate::bisect::EigRange<f32>,
+    opts: &SymEigOptions,
+    ctx: &GemmContext,
+) -> Result<SymEigResult, EigError> {
+    let n = a.rows();
+    assert!(a.is_square());
+    if n == 0 {
+        return Ok(SymEigResult {
+            values: Vec::new(),
+            vectors: None,
+        });
+    }
+    let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
+
+    // Stage 1 (always via the WY form here; its FormW factors back-transform
+    // cheaply for a thin eigenvector block).
+    let block = match opts.sbr {
+        SbrVariant::Wy { block } => block,
+        SbrVariant::Zy => 4 * b,
+    };
+    let r = sbr_wy(
+        a,
+        &WyOptions {
+            bandwidth: b,
+            block,
+            panel: opts.panel,
+            accumulate_q: false,
+        },
+        ctx,
+    );
+
+    // Stage 2 with Q₂ (needed to lift tridiagonal vectors to band space).
+    let chase = bulge_chase(&r.band, b, true);
+    let t = SymTridiag::new(chase.diag, chase.offdiag);
+
+    let (values, z) = crate::inverse_iter::tridiag_eig_selected(&t, range)?;
+    let k = values.len();
+    if k == 0 {
+        return Ok(SymEigResult {
+            values,
+            vectors: Some(Mat::zeros(n, 0)),
+        });
+    }
+
+    // X = Q₁·(Q₂·Z_sel)
+    let q2 = chase.q.expect("bulge chase accumulated Q");
+    let mut x = Mat::<f32>::zeros(n, k);
+    ctx.gemm("evd_sel_q2z", 1.0, q2.as_ref(), Op::NoTrans, z.as_ref(), Op::NoTrans, 0.0, x.as_mut());
+    if !r.levels.is_empty() {
+        let (w, y) = form_wy(&r.levels, n, ctx);
+        tcevd_band::apply_q(w.as_ref(), y.as_ref(), &mut x, ctx);
+    }
+    Ok(SymEigResult {
+        values,
+        vectors: Some(x),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{eigenpair_residual, eigenvalue_error, orthogonality};
+    use crate::reference::sym_eigenvalues_ref;
+    use tcevd_tensorcore::Engine;
+    use tcevd_testmat::{generate, MatrixType};
+
+    fn opts(b: usize, nb: usize) -> SymEigOptions {
+        SymEigOptions {
+            bandwidth: b,
+            sbr: SbrVariant::Wy { block: nb },
+            panel: PanelKind::Tsqr,
+            solver: TridiagSolver::DivideConquer,
+            vectors: false,
+        }
+    }
+
+    fn es_error(a64: &Mat<f64>, computed: &[f32]) -> f64 {
+        let reference = sym_eigenvalues_ref(a64).unwrap();
+        let comp: Vec<f64> = computed.iter().map(|&x| x as f64).collect();
+        eigenvalue_error(&reference, &comp)
+    }
+
+    #[test]
+    fn eigenvalues_match_reference_sgemm() {
+        let n = 96;
+        let a64 = generate(n, MatrixType::Normal, 50);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let vals = sym_eigenvalues(&a, &opts(8, 32), &ctx).unwrap();
+        let e = es_error(&a64, &vals);
+        assert!(e < 1e-6, "E_s = {e}");
+    }
+
+    #[test]
+    fn eigenvalues_match_reference_tensor_core() {
+        let n = 96;
+        let a64 = generate(n, MatrixType::Normal, 51);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Tc);
+        let vals = sym_eigenvalues(&a, &opts(8, 32), &ctx).unwrap();
+        let e = es_error(&a64, &vals);
+        // paper's observed accuracy: ~1e-5 to 1e-4 (its Table 4)
+        assert!(e < 5e-4, "E_s = {e}");
+    }
+
+    #[test]
+    fn ec_engine_recovers_accuracy() {
+        let n = 96;
+        let a64 = generate(n, MatrixType::Geo { cond: 1e3 }, 52);
+        let a: Mat<f32> = a64.cast();
+        let e_tc = {
+            let ctx = GemmContext::new(Engine::Tc);
+            es_error(&a64, &sym_eigenvalues(&a, &opts(8, 32), &ctx).unwrap())
+        };
+        let e_ec = {
+            let ctx = GemmContext::new(Engine::EcTc);
+            es_error(&a64, &sym_eigenvalues(&a, &opts(8, 32), &ctx).unwrap())
+        };
+        assert!(e_ec <= e_tc, "EC ({e_ec}) should not be worse than TC ({e_tc})");
+    }
+
+    #[test]
+    fn zy_variant_and_ql_solver() {
+        let n = 64;
+        let a64 = generate(n, MatrixType::Uniform, 53);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let o = SymEigOptions {
+            bandwidth: 8,
+            sbr: SbrVariant::Zy,
+            panel: PanelKind::Tsqr,
+            solver: TridiagSolver::Ql,
+            vectors: false,
+        };
+        let vals = sym_eigenvalues(&a, &o, &ctx).unwrap();
+        assert!(es_error(&a64, &vals) < 1e-6);
+    }
+
+    #[test]
+    fn eigenvectors_via_formw_backtransform() {
+        let n = 96;
+        let a64 = generate(n, MatrixType::Normal, 54);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let mut o = opts(8, 32);
+        o.vectors = true;
+        let r = sym_eig(&a, &o, &ctx).unwrap();
+        let x = r.vectors.as_ref().unwrap();
+        assert!(orthogonality(x.as_ref()) < 1e-5);
+        let res = eigenpair_residual(a.as_ref(), &r.values, x.as_ref());
+        assert!(res < 1e-4, "residual {res}");
+    }
+
+    #[test]
+    fn eigenvectors_via_zy_dense_q() {
+        let n = 64;
+        let a64 = generate(n, MatrixType::Arith { cond: 1e2 }, 55);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let o = SymEigOptions {
+            bandwidth: 8,
+            sbr: SbrVariant::Zy,
+            panel: PanelKind::Tsqr,
+            solver: TridiagSolver::DivideConquer,
+            vectors: true,
+        };
+        let r = sym_eig(&a, &o, &ctx).unwrap();
+        let x = r.vectors.as_ref().unwrap();
+        assert!(orthogonality(x.as_ref()) < 1e-5);
+        assert!(eigenpair_residual(a.as_ref(), &r.values, x.as_ref()) < 1e-4);
+    }
+
+    #[test]
+    fn prescribed_spectrum_recovered_through_tc() {
+        let n = 80;
+        let mt = MatrixType::Arith { cond: 1e3 };
+        let a64 = generate(n, mt, 56);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Tc);
+        let vals = sym_eigenvalues(&a, &opts(8, 16), &ctx).unwrap();
+        let mut want = tcevd_testmat::spectrum(n, mt).unwrap();
+        want.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        // absolute errors at TC precision (normalized metric below 1e-4·N)
+        let comp: Vec<f64> = vals.iter().map(|&x| x as f64).collect();
+        let e = eigenvalue_error(&want, &comp);
+        assert!(e < 5e-4, "E_s vs prescribed = {e}");
+    }
+
+    #[test]
+    fn small_matrices_and_edge_bandwidths() {
+        for (n, b) in [(3usize, 1usize), (5, 2), (10, 9), (17, 4)] {
+            let a64 = generate(n, MatrixType::Normal, 57 + n as u64);
+            let a: Mat<f32> = a64.cast();
+            let ctx = GemmContext::new(Engine::Sgemm);
+            let mut o = opts(b, 2 * b);
+            o.vectors = true;
+            let r = sym_eig(&a, &o, &ctx).unwrap();
+            assert_eq!(r.values.len(), n);
+            let x = r.vectors.as_ref().unwrap();
+            assert!(
+                eigenpair_residual(a.as_ref(), &r.values, x.as_ref()) < 1e-3,
+                "n={n} b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn selected_eigenpairs_match_full_solve() {
+        use crate::bisect::EigRange;
+        let n = 80;
+        let a64 = generate(n, MatrixType::Geo { cond: 1e2 }, 58);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let full = sym_eig(
+            &a,
+            &SymEigOptions {
+                vectors: true,
+                ..opts(8, 32)
+            },
+            &ctx,
+        )
+        .unwrap();
+        let sel = sym_eig_selected(&a, EigRange::Index { lo: n - 5, hi: n }, &opts(8, 32), &ctx)
+            .unwrap();
+        assert_eq!(sel.values.len(), 5);
+        for (j, v) in sel.values.iter().enumerate() {
+            assert!((v - full.values[n - 5 + j]).abs() < 1e-4, "{v}");
+        }
+        // selected vectors are genuine eigenvectors of A
+        let x = sel.vectors.as_ref().unwrap();
+        let res = crate::metrics::eigenpair_residual(a.as_ref(), &sel.values, x.as_ref());
+        assert!(res < 1e-3, "residual {res}");
+    }
+
+    #[test]
+    fn selected_by_value_interval() {
+        use crate::bisect::EigRange;
+        let n = 48;
+        let a64 = generate(n, MatrixType::Arith { cond: 1e1 }, 59);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let sel =
+            sym_eig_selected(&a, EigRange::Value { lo: 0.5, hi: 2.0 }, &opts(8, 16), &ctx).unwrap();
+        for v in &sel.values {
+            assert!(*v > 0.5 - 1e-3 && *v <= 2.0 + 1e-3);
+        }
+        assert_eq!(sel.vectors.as_ref().unwrap().cols(), sel.values.len());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Mat::<f32>::zeros(0, 0);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r = sym_eig(&a, &opts(4, 8), &ctx).unwrap();
+        assert!(r.values.is_empty());
+    }
+}

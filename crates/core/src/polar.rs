@@ -1,0 +1,162 @@
+//! Polar decomposition via scaled Newton iteration — the related-work
+//! method the paper describes (§2.2: "Another method to compute polar
+//! decomposition called scaled Newton has lesser mathematical operations
+//! than QDWH. However, it highly relies on the backward stable inverse of
+//! a matrix").
+//!
+//! `A = U·H` with `U` orthogonal, `H` symmetric positive semidefinite.
+//! Iteration: `X ← ½(ζX + (ζX)⁻ᵀ)`, with Higham's 1,∞-norm scaling
+//! `ζ = (‖X⁻¹‖₁‖X⁻¹‖_∞ / (‖X‖₁‖X‖_∞))^{1/4}`, converging quadratically
+//! to the orthogonal polar factor. f64 only — as the paper notes, the
+//! method stands or falls with the inverse's stability.
+//!
+//! Also provides `eig_via_polar`, the QDWH-eig-style connection the paper
+//! cites: `H = Uᵀ·A`'s spectrum relates directly to `A`'s for symmetric
+//! `A`.
+
+use crate::ql::EigError;
+use tcevd_factor::lu::invert;
+use tcevd_matrix::blas3::matmul;
+use tcevd_matrix::norms::{inf_norm, one_norm};
+use tcevd_matrix::{Mat, Op};
+
+const MAX_ITER: usize = 40;
+
+/// Result of a polar decomposition `A = U·H`.
+pub struct Polar {
+    /// Orthogonal factor.
+    pub u: Mat<f64>,
+    /// Symmetric positive semidefinite factor.
+    pub h: Mat<f64>,
+    /// Newton iterations used.
+    pub iterations: usize,
+}
+
+/// Scaled Newton polar decomposition of a square nonsingular matrix.
+pub fn polar_newton(a: &Mat<f64>) -> Result<Polar, EigError> {
+    let n = a.rows();
+    assert!(a.is_square(), "polar decomposition needs a square matrix");
+    let mut x = a.clone();
+    let mut iterations = 0;
+
+    for it in 0..MAX_ITER {
+        iterations = it + 1;
+        let xinv = invert(&x).map_err(|_| EigError::NoConvergence { index: it })?;
+        // Higham scaling from 1- and ∞-norms
+        let zeta = ((one_norm(xinv.as_ref()) * inf_norm(xinv.as_ref()))
+            / (one_norm(x.as_ref()) * inf_norm(x.as_ref())))
+        .powf(0.25);
+        // X ← ½(ζ·X + (1/ζ)·X⁻ᵀ)
+        let mut next = Mat::<f64>::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                next[(i, j)] = 0.5 * (zeta * x[(i, j)] + xinv[(j, i)] / zeta);
+            }
+        }
+        // convergence: ‖X_{k+1} − X_k‖₁ ≤ tol·‖X_{k+1}‖₁
+        let mut diff = 0.0f64;
+        for j in 0..n {
+            let mut s = 0.0;
+            for i in 0..n {
+                s += (next[(i, j)] - x[(i, j)]).abs();
+            }
+            diff = diff.max(s);
+        }
+        x = next;
+        if diff <= 1e-14 * one_norm(x.as_ref()).max(1.0) {
+            break;
+        }
+    }
+
+    // H = Uᵀ·A, symmetrized.
+    let mut h = matmul(x.as_ref(), Op::Trans, a.as_ref(), Op::NoTrans);
+    for j in 0..n {
+        for i in 0..j {
+            let s = 0.5 * (h[(i, j)] + h[(j, i)]);
+            h[(i, j)] = s;
+            h[(j, i)] = s;
+        }
+    }
+    Ok(Polar {
+        u: x,
+        h,
+        iterations,
+    })
+}
+
+/// For symmetric `A`: the polar factor's `H = (A²)^{1/2}` has eigenvalues
+/// `|λ_i(A)|` — returns them (ascending) as a cross-check/application of
+/// the polar route to spectral computations (QDWH-eig's first step).
+pub fn abs_eigenvalues_via_polar(a: &Mat<f64>) -> Result<Vec<f64>, EigError> {
+    let p = polar_newton(a)?;
+    crate::reference::sym_eigenvalues_ref(&p.h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::norms::orthogonality_residual;
+    use tcevd_testmat::{generate, random_gaussian, MatrixType};
+
+    #[test]
+    fn decomposes_random_square() {
+        let a = random_gaussian(20, 20, 91);
+        let p = polar_newton(&a).unwrap();
+        assert!(orthogonality_residual(p.u.as_ref()) < 1e-12);
+        // A = U·H
+        let uh = matmul(p.u.as_ref(), Op::NoTrans, p.h.as_ref(), Op::NoTrans);
+        assert!(uh.max_abs_diff(&a) < 1e-11);
+        // H PSD: all eigenvalues ≥ −eps
+        let hv = crate::reference::sym_eigenvalues_ref(&p.h).unwrap();
+        assert!(hv[0] > -1e-10, "H not PSD: {}", hv[0]);
+        assert!(p.iterations < 15, "slow convergence: {}", p.iterations);
+    }
+
+    #[test]
+    fn orthogonal_input_is_fixed_point() {
+        let q = tcevd_testmat::haar_orthogonal(12, 92);
+        let p = polar_newton(&q).unwrap();
+        assert!(p.u.max_abs_diff(&q) < 1e-12);
+        assert!(p.h.max_abs_diff(&Mat::identity(12, 12)) < 1e-12);
+    }
+
+    #[test]
+    fn spd_input_gives_identity_u() {
+        // A SPD ⇒ U = I, H = A
+        let a = generate(16, MatrixType::Geo { cond: 1e2 }, 93);
+        let p = polar_newton(&a).unwrap();
+        assert!(p.u.max_abs_diff(&Mat::identity(16, 16)) < 1e-10);
+        assert!(p.h.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn abs_eigenvalues_match_reference() {
+        let a = generate(24, MatrixType::Normal, 94); // indefinite
+        let abs_polar = abs_eigenvalues_via_polar(&a).unwrap();
+        let mut abs_ref: Vec<f64> = crate::reference::sym_eigenvalues_ref(&a)
+            .unwrap()
+            .into_iter()
+            .map(f64::abs)
+            .collect();
+        abs_ref.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        for (g, w) in abs_polar.iter().zip(abs_ref.iter()) {
+            assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn ill_conditioned_still_converges() {
+        let a = generate(20, MatrixType::Geo { cond: 1e6 }, 95);
+        let p = polar_newton(&a).unwrap();
+        assert!(orthogonality_residual(p.u.as_ref()) < 1e-9);
+    }
+
+    #[test]
+    fn singular_input_errors() {
+        let mut a = random_gaussian(8, 8, 96);
+        for i in 0..8 {
+            a[(i, 3)] = 0.0; // zero column → singular
+        }
+        assert!(polar_newton(&a).is_err());
+    }
+}

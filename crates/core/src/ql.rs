@@ -1,0 +1,320 @@
+//! Implicit QL iteration with Wilkinson shift for symmetric tridiagonal
+//! eigenproblems (EISPACK `tql1`/`tql2` lineage).
+//!
+//! The bullet-proof classic: cubically convergent, unconditionally stable.
+//! Used as the reference tridiagonal solver, as the divide-&-conquer base
+//! case, and (in f64) as the LAPACK stand-in for the accuracy tables.
+
+use crate::tridiag::SymTridiag;
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::Mat;
+
+/// Failure modes of the eigensolvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EigError {
+    /// An off-diagonal failed to converge within the iteration budget.
+    NoConvergence { index: usize },
+    /// The input contained a non-finite entry (NaN or infinity).
+    NonFiniteInput,
+}
+
+impl std::fmt::Display for EigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigError::NoConvergence { index } => {
+                write!(f, "QL iteration failed to converge at index {index}")
+            }
+            EigError::NonFiniteInput => {
+                write!(f, "input matrix contains NaN or infinite entries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EigError {}
+
+const MAX_ITER: usize = 50;
+
+/// Eigenvalues (ascending) of a symmetric tridiagonal matrix.
+pub fn tridiag_eigenvalues<T: Scalar>(t: &SymTridiag<T>) -> Result<Vec<T>, EigError> {
+    let mut d = t.d.clone();
+    let mut e = t.e.clone();
+    ql_iterate(&mut d, &mut e, None)?;
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Ok(d)
+}
+
+/// Full eigendecomposition `T = Z·Λ·Zᵀ`: eigenvalues ascending, matching
+/// eigenvectors in the columns of `Z`.
+pub fn tridiag_eig_ql<T: Scalar>(t: &SymTridiag<T>) -> Result<(Vec<T>, Mat<T>), EigError> {
+    let n = t.n();
+    let mut d = t.d.clone();
+    let mut e = t.e.clone();
+    let mut z = Mat::<T>::identity(n, n);
+    ql_iterate(&mut d, &mut e, Some(&mut z))?;
+    // sort ascending, permuting eigenvector columns
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    let vals: Vec<T> = idx.iter().map(|&i| d[i]).collect();
+    let mut zs = Mat::<T>::zeros(n, n);
+    for (new, &old) in idx.iter().enumerate() {
+        zs.col_mut(new).copy_from_slice(z.col(old));
+    }
+    Ok((vals, zs))
+}
+
+/// The QL sweep. `z`, when present, accumulates the rotations
+/// (columns = eigenvectors of the original tridiagonal).
+fn ql_iterate<T: Scalar>(
+    d: &mut [T],
+    e_in: &mut Vec<T>,
+    mut z: Option<&mut Mat<T>>,
+) -> Result<(), EigError> {
+    let n = d.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    // shifted copy with a trailing zero slot (EISPACK convention)
+    let mut e = vec![T::ZERO; n];
+    e[..n - 1].copy_from_slice(e_in);
+
+    // Absolute negligibility floor at eps·‖T‖: off-diagonals that are pure
+    // roundoff relative to the matrix norm must deflate even when the local
+    // diagonal entries are far smaller (e.g. one large eigenvalue over a
+    // cluster of tiny ones — the paper's SVD_Cluster0 family). This is the
+    // LAPACK `steqr` tolerance semantics; it costs at most eps·‖T‖ absolute
+    // eigenvalue error.
+    let anorm = {
+        let mut m = T::ZERO;
+        for i in 0..n {
+            let mut r = d[i].abs();
+            if i > 0 {
+                r += e[i - 1].abs();
+            }
+            if i + 1 < n {
+                r += e[i].abs();
+            }
+            m = m.max_val(r);
+        }
+        m
+    };
+    let tol_abs = T::EPSILON * anorm;
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a negligible off-diagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= T::EPSILON * dd || e[m].abs() <= tol_abs {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_ITER {
+                return Err(EigError::NoConvergence { index: l });
+            }
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (T::TWO * e[l]);
+            let mut r = g.hypot(T::ONE);
+            g = d[m] - d[l] + e[l] / (g + r.copysign(g));
+            let (mut s, mut c) = (T::ONE, T::ONE);
+            let mut p = T::ZERO;
+            let mut i = m;
+            let mut underflow = false;
+            while i > l {
+                i -= 1;
+                let f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == T::ZERO {
+                    // recover from underflow: skip this transformation
+                    d[i + 1] -= p;
+                    e[m] = T::ZERO;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + T::TWO * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                if let Some(z) = z.as_deref_mut() {
+                    // accumulate the rotation into columns i, i+1
+                    let nrows = z.rows();
+                    for k in 0..nrows {
+                        let f = z[(k, i + 1)];
+                        z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                        z[(k, i)] = c * z[(k, i)] - s * f;
+                    }
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = T::ZERO;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::blas3::matmul;
+    use tcevd_matrix::norms::orthogonality_residual;
+    use tcevd_matrix::Op;
+
+    fn laplacian(n: usize) -> SymTridiag<f64> {
+        SymTridiag::new(vec![2.0; n], vec![-1.0; n - 1])
+    }
+
+    fn laplacian_eigs(n: usize) -> Vec<f64> {
+        let mut v: Vec<f64> = (1..=n)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos())
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    #[test]
+    fn known_spectrum() {
+        let n = 12;
+        let vals = tridiag_eigenvalues(&laplacian(n)).unwrap();
+        let want = laplacian_eigs(n);
+        for (v, w) in vals.iter().zip(want.iter()) {
+            assert!((v - w).abs() < 1e-13, "{v} vs {w}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_diagonalize() {
+        let n = 20;
+        let t = laplacian(n);
+        let (vals, z) = tridiag_eig_ql(&t).unwrap();
+        assert!(orthogonality_residual(z.as_ref()) < 1e-13 * n as f64);
+        // T·z_k = λ_k·z_k
+        for k in 0..n {
+            let x: Vec<f64> = z.col(k).to_vec();
+            let y = t.mul_vec(&x);
+            for i in 0..n {
+                assert!((y[i] - vals[k] * x[i]).abs() < 1e-12, "k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction() {
+        let n = 15;
+        let mut s = 17u64;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let t = SymTridiag::new((0..n).map(|_| next()).collect(), (0..n - 1).map(|_| next()).collect());
+        let (vals, z) = tridiag_eig_ql(&t).unwrap();
+        // Z·Λ·Zᵀ = T
+        let lam = Mat::from_diag(&vals);
+        let zl = matmul(z.as_ref(), Op::NoTrans, lam.as_ref(), Op::NoTrans);
+        let zlz = matmul(zl.as_ref(), Op::NoTrans, z.as_ref(), Op::Trans);
+        assert!(zlz.max_abs_diff(&t.to_dense()) < 1e-13);
+    }
+
+    #[test]
+    fn ascending_order() {
+        let t = SymTridiag::new(vec![5.0, -1.0, 3.0, 0.0], vec![0.1, 0.2, 0.3]);
+        let vals = tridiag_eigenvalues(&t).unwrap();
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_short_circuit() {
+        let t = SymTridiag::new(vec![3.0, 1.0, 2.0], vec![0.0, 0.0]);
+        let vals = tridiag_eigenvalues(&t).unwrap();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn multiple_eigenvalues() {
+        // T = I + rank structure with repeated eigenvalues
+        let t = SymTridiag::new(vec![1.0f64; 8], vec![0.0; 7]);
+        let vals = tridiag_eigenvalues(&t).unwrap();
+        for v in vals {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn size_one_and_two() {
+        let t1 = SymTridiag::new(vec![4.0f64], vec![]);
+        assert_eq!(tridiag_eigenvalues(&t1).unwrap(), vec![4.0]);
+
+        // [[a, b], [b, c]] eigenvalues: (a+c)/2 ± sqrt(((a-c)/2)² + b²)
+        let t2 = SymTridiag::new(vec![1.0f64, 3.0], vec![2.0]);
+        let vals = tridiag_eigenvalues(&t2).unwrap();
+        let mid = 2.0;
+        let rad = (1.0f64 + 4.0).sqrt();
+        assert!((vals[0] - (mid - rad)).abs() < 1e-14);
+        assert!((vals[1] - (mid + rad)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn f32_variant() {
+        let n = 10;
+        let t = SymTridiag::new(vec![2.0f32; n], vec![-1.0; n - 1]);
+        let vals = tridiag_eigenvalues(&t).unwrap();
+        let want = laplacian_eigs(n);
+        for (v, w) in vals.iter().zip(want.iter()) {
+            assert!((*v as f64 - w).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cluster_with_roundoff_offdiagonals_converges() {
+        // One large eigenvalue over a cluster of tiny ones: the
+        // off-diagonals beyond the head carry eps·‖T‖-level roundoff that a
+        // purely relative negligibility test can never deflate.
+        let n = 40;
+        let mut d = vec![1e-5f64; n];
+        d[0] = 1.0;
+        let mut e = vec![1e-16f64; n - 1];
+        e[0] = 1e-3;
+        let t = SymTridiag::new(d, e);
+        let vals = tridiag_eigenvalues(&t).unwrap();
+        assert_eq!(vals.len(), n);
+        assert!((vals[n - 1] - 1.0).abs() < 1e-5);
+        // e[0] = 1e-3 legitimately shifts one cluster member by ~e²/gap ≈ 1e-6
+        for v in &vals[..n - 1] {
+            assert!((v - 1e-5).abs() < 2e-6, "{v}");
+        }
+    }
+
+    #[test]
+    fn graded_matrix() {
+        // strongly graded diagonal — a classic QL stress case
+        let d: Vec<f64> = (0..10).map(|i| 10f64.powi(i - 5)).collect();
+        let e = vec![1e-3; 9];
+        let t = SymTridiag::new(d, e);
+        let vals = tridiag_eigenvalues(&t).unwrap();
+        assert_eq!(vals.len(), 10);
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // trace preserved
+        let tr: f64 = t.d.iter().sum();
+        let vs: f64 = vals.iter().sum();
+        assert!((tr - vs).abs() < 1e-10 * tr.abs());
+    }
+}

@@ -1,0 +1,131 @@
+//! f64 reference eigensolver — the LAPACK stand-in (`dsyevd`-equivalent)
+//! used for the "true" eigenvalues in the paper's Table 4.
+//!
+//! Classic one-stage pipeline: dense Householder tridiagonalization
+//! (unblocked, `sytd2`-style two-sided reflector application) followed by
+//! implicit QL. Everything in f64, independent of the Tensor-Core code
+//! paths, so it provides an unbiased accuracy baseline.
+
+use crate::ql::{tridiag_eig_ql, tridiag_eigenvalues, EigError};
+use crate::tridiag::SymTridiag;
+use tcevd_factor::householder::{apply_reflector_two_sided_sym, larfg};
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::Mat;
+
+/// Householder tridiagonalization of a dense symmetric matrix:
+/// returns `(T, Q)` with `A = Q·T·Qᵀ` (Q only if `want_q`).
+pub fn tridiagonalize<T: Scalar>(a: &Mat<T>, want_q: bool) -> (SymTridiag<T>, Option<Mat<T>>) {
+    let n = a.rows();
+    assert!(a.is_square());
+    let mut w = a.clone();
+    let mut q = want_q.then(|| Mat::<T>::identity(n, n));
+    let mut v = vec![T::ZERO; n];
+
+    for j in 0..n.saturating_sub(2) {
+        // reflector annihilating A[j+2.., j]
+        let alpha = w[(j + 1, j)];
+        for i in j + 2..n {
+            v[i - j - 1] = w[(i, j)];
+        }
+        let len = n - j - 1;
+        let (beta, tau) = larfg(alpha, &mut v[1..len]);
+        v[0] = T::ONE;
+        if tau != T::ZERO {
+            // two-sided application on the trailing symmetric block
+            apply_reflector_two_sided_sym(tau, &v[..len], w.view_mut(j + 1, j + 1, len, len));
+            if let Some(q) = q.as_mut() {
+                // Q ← Q·H (apply H to columns j+1..n of Q): right application
+                // equals left on the transpose; H symmetric, so use left on Qᵀ
+                // — cheaper: apply to each row block via the reflector.
+                tcevd_factor::householder::apply_reflector_right(
+                    tau,
+                    &v[..len],
+                    q.view_mut(0, j + 1, n, len),
+                );
+            }
+        }
+        // column j of the tridiagonal result
+        w[(j + 1, j)] = beta;
+        w[(j, j + 1)] = beta;
+        for i in j + 2..n {
+            w[(i, j)] = T::ZERO;
+            w[(j, i)] = T::ZERO;
+        }
+    }
+
+    let d = (0..n).map(|i| w[(i, i)]).collect();
+    let e = (0..n.saturating_sub(1)).map(|i| w[(i + 1, i)]).collect();
+    (SymTridiag::new(d, e), q)
+}
+
+/// Reference eigenvalues (ascending) of a dense symmetric f64 matrix.
+pub fn sym_eigenvalues_ref(a: &Mat<f64>) -> Result<Vec<f64>, EigError> {
+    let (t, _) = tridiagonalize(a, false);
+    tridiag_eigenvalues(&t)
+}
+
+/// Reference full eigendecomposition `A = X·Λ·Xᵀ` of a dense symmetric f64
+/// matrix (ascending eigenvalues).
+pub fn sym_eig_ref(a: &Mat<f64>) -> Result<(Vec<f64>, Mat<f64>), EigError> {
+    let (t, q) = tridiagonalize(a, true);
+    let (vals, z) = tridiag_eig_ql(&t)?;
+    let q = q.unwrap();
+    let x = tcevd_matrix::blas3::matmul(
+        q.as_ref(),
+        tcevd_matrix::Op::NoTrans,
+        z.as_ref(),
+        tcevd_matrix::Op::NoTrans,
+    );
+    Ok((vals, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::norms::orthogonality_residual;
+    use tcevd_testmat::{generate, spectrum, MatrixType};
+
+    #[test]
+    fn tridiagonalization_is_similarity() {
+        let a = generate(30, MatrixType::Normal, 40);
+        let (t, q) = tridiagonalize(&a, true);
+        let q = q.unwrap();
+        assert!(orthogonality_residual(q.as_ref()) < 1e-12);
+        let e = crate::metrics::backward_error(a.as_ref(), q.as_ref(), t.to_dense().as_ref());
+        assert!(e < 1e-15, "backward error {e}");
+    }
+
+    #[test]
+    fn recovers_prescribed_spectrum() {
+        let n = 40;
+        let mt = MatrixType::Geo { cond: 1e3 };
+        let lam_want = {
+            let mut v = spectrum(n, mt).unwrap();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v
+        };
+        let a = generate(n, mt, 41);
+        let vals = sym_eigenvalues_ref(&a).unwrap();
+        for (v, w) in vals.iter().zip(lam_want.iter()) {
+            assert!((v - w).abs() < 1e-11, "{v} vs {w}");
+        }
+    }
+
+    #[test]
+    fn full_decomposition_residual() {
+        let a = generate(25, MatrixType::Uniform, 42);
+        let (vals, x) = sym_eig_ref(&a).unwrap();
+        assert!(orthogonality_residual(x.as_ref()) < 1e-12);
+        let r = crate::metrics::eigenpair_residual(a.as_ref(), &vals, x.as_ref());
+        assert!(r < 1e-13, "residual {r}");
+    }
+
+    #[test]
+    fn tiny_sizes() {
+        for n in [1usize, 2, 3] {
+            let a = generate(n, MatrixType::Normal, 43 + n as u64);
+            let vals = sym_eigenvalues_ref(&a).unwrap();
+            assert_eq!(vals.len(), n);
+        }
+    }
+}

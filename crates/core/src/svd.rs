@@ -1,0 +1,253 @@
+//! Singular value decomposition and low-rank approximation through the
+//! symmetric eigensolver — the applications named in the paper's keywords
+//! ("Singular Value Decomposition, Low Rank Approximation").
+//!
+//! For a general m×n matrix (m ≥ n): the eigendecomposition of the Gram
+//! matrix `AᵀA = V·Σ²·Vᵀ` yields the right singular vectors and singular
+//! values; `U = A·V·Σ⁻¹` recovers the left vectors. Squaring the condition
+//! number is the usual caveat — appropriate for the data-driven,
+//! accuracy-tolerant workloads the paper's introduction targets, and the
+//! natural consumer of the Tensor-Core engine.
+
+use crate::pipeline::{sym_eig, SymEigOptions};
+use crate::ql::EigError;
+use tcevd_matrix::blas3::gemm;
+use tcevd_matrix::{Mat, Op};
+use tcevd_tensorcore::GemmContext;
+
+/// Thin SVD `A = U·diag(s)·Vᵀ` with singular values descending.
+pub struct Svd {
+    /// m×r (r = min(m, n)).
+    pub u: Mat<f32>,
+    /// Singular values, descending, length r.
+    pub s: Vec<f32>,
+    /// n×r.
+    pub v: Mat<f32>,
+}
+
+/// Thin SVD via the symmetric eigensolver on the Gram matrix.
+pub fn svd_via_evd(
+    a: &Mat<f32>,
+    opts: &SymEigOptions,
+    ctx: &GemmContext,
+) -> Result<Svd, EigError> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "svd_via_evd expects a tall (m ≥ n) matrix; transpose first");
+
+    // Gram matrix G = AᵀA (n×n, symmetric PSD) on the selected engine.
+    let mut g = Mat::<f32>::zeros(n, n);
+    ctx.gemm("svd_gram", 1.0, a.as_ref(), Op::Trans, a.as_ref(), Op::NoTrans, 0.0, g.as_mut());
+    // enforce exact symmetry
+    for j in 0..n {
+        for i in 0..j {
+            let s = 0.5 * (g[(i, j)] + g[(j, i)]);
+            g[(i, j)] = s;
+            g[(j, i)] = s;
+        }
+    }
+
+    let mut o = *opts;
+    o.vectors = true;
+    let eig = sym_eig(&g, &o, ctx)?;
+    let z = eig.vectors.expect("vectors requested");
+
+    // eigenvalues ascend; flip to descending singular order
+    let mut s = Vec::with_capacity(n);
+    let mut v = Mat::<f32>::zeros(n, n);
+    for k in 0..n {
+        let lam = eig.values[n - 1 - k].max(0.0);
+        s.push(lam.sqrt());
+        v.col_mut(k).copy_from_slice(z.col(n - 1 - k));
+    }
+
+    // U = A·V·Σ⁻¹. Gram squaring floors tiny singular values at
+    // ~σ_max·√eps (an eigenvalue of G is only accurate to eps·‖G‖, and a
+    // σ is its square root), so that is the rank-detection tolerance.
+    let mut u = Mat::<f32>::zeros(m, n);
+    ctx.gemm("svd_av", 1.0, a.as_ref(), Op::NoTrans, v.as_ref(), Op::NoTrans, 0.0, u.as_mut());
+    let tol = s.first().copied().unwrap_or(0.0) * (f32::EPSILON * m as f32).sqrt() * 4.0;
+    for k in 0..n {
+        if s[k] > tol {
+            let inv = 1.0 / s[k];
+            for val in u.col_mut(k) {
+                *val *= inv;
+            }
+        } else {
+            // numerically-zero singular value: leave a zero column (the
+            // corresponding direction of U is arbitrary)
+            u.col_mut(k).fill(0.0);
+        }
+    }
+    Ok(Svd { u, s, v })
+}
+
+/// Singular values only, descending.
+pub fn singular_values(
+    a: &Mat<f32>,
+    opts: &SymEigOptions,
+    ctx: &GemmContext,
+) -> Result<Vec<f32>, EigError> {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n);
+    let mut g = Mat::<f32>::zeros(n, n);
+    ctx.gemm("svd_gram", 1.0, a.as_ref(), Op::Trans, a.as_ref(), Op::NoTrans, 0.0, g.as_mut());
+    for j in 0..n {
+        for i in 0..j {
+            let s = 0.5 * (g[(i, j)] + g[(j, i)]);
+            g[(i, j)] = s;
+            g[(j, i)] = s;
+        }
+    }
+    let mut o = *opts;
+    o.vectors = false;
+    let mut vals = crate::pipeline::sym_eigenvalues(&g, &o, ctx)?;
+    vals.reverse();
+    Ok(vals.into_iter().map(|l| l.max(0.0).sqrt()).collect())
+}
+
+/// Best rank-k approximation `A_k = U_k·Σ_k·V_kᵀ` (Eckart–Young) through
+/// the Tensor-Core SVD.
+pub fn low_rank_approx(
+    a: &Mat<f32>,
+    k: usize,
+    opts: &SymEigOptions,
+    ctx: &GemmContext,
+) -> Result<Mat<f32>, EigError> {
+    let svd = svd_via_evd(a, opts, ctx)?;
+    let k = k.min(svd.s.len());
+    let (m, n) = (a.rows(), a.cols());
+    // scale U_k columns by σ and multiply by V_kᵀ
+    let mut us = Mat::<f32>::zeros(m, k);
+    for j in 0..k {
+        let sv = svd.s[j];
+        let src = svd.u.col(j);
+        let dst = us.col_mut(j);
+        for i in 0..m {
+            dst[i] = src[i] * sv;
+        }
+    }
+    let vk = svd.v.submatrix(0, 0, n, k);
+    let mut out = Mat::<f32>::zeros(m, n);
+    gemm(1.0, us.as_ref(), Op::NoTrans, vk.as_ref(), Op::Trans, 0.0, out.as_mut());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{SbrVariant, TridiagSolver};
+    use tcevd_band::PanelKind;
+    use tcevd_matrix::blas3::matmul;
+    use tcevd_matrix::norms::{frobenius, orthogonality_residual};
+    use tcevd_tensorcore::Engine;
+    use tcevd_testmat::random_gaussian;
+
+    fn opts() -> SymEigOptions {
+        SymEigOptions {
+            bandwidth: 8,
+            sbr: SbrVariant::Wy { block: 32 },
+            panel: PanelKind::Tsqr,
+            solver: TridiagSolver::DivideConquer,
+            vectors: false,
+        }
+    }
+
+    fn planted(m: usize, n: usize, svals: &[f64], seed: u64) -> Mat<f32> {
+        // A = U·Σ·Vᵀ with Haar factors
+        let u = tcevd_testmat::haar_orthogonal(m, seed);
+        let v = tcevd_testmat::haar_orthogonal(n, seed + 1);
+        let mut us = Mat::<f64>::zeros(m, n);
+        for j in 0..n.min(svals.len()) {
+            for i in 0..m {
+                us[(i, j)] = u[(i, j)] * svals[j];
+            }
+        }
+        matmul(us.as_ref(), Op::NoTrans, v.as_ref(), Op::Trans).cast()
+    }
+
+    #[test]
+    fn recovers_planted_singular_values() {
+        let svals = [5.0, 3.0, 2.0, 1.0, 0.5, 0.25];
+        let a = planted(40, 6, &svals, 71);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let s = singular_values(&a, &opts(), &ctx).unwrap();
+        for (got, want) in s.iter().zip(svals.iter()) {
+            assert!((*got as f64 - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn full_svd_reconstructs() {
+        let svals = [4.0, 2.0, 1.0, 0.5];
+        let a = planted(24, 4, &svals, 72);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let svd = svd_via_evd(&a, &opts(), &ctx).unwrap();
+        assert!(orthogonality_residual(svd.u.as_ref()) < 1e-3);
+        assert!(orthogonality_residual(svd.v.as_ref()) < 1e-3);
+        // A = U·Σ·Vᵀ
+        let mut us = svd.u.clone();
+        for j in 0..4 {
+            let s = svd.s[j];
+            for v in us.col_mut(j) {
+                *v *= s;
+            }
+        }
+        let rec = matmul(us.as_ref(), Op::NoTrans, svd.v.as_ref(), Op::Trans);
+        assert!(rec.max_abs_diff(&a) < 1e-3);
+    }
+
+    #[test]
+    fn low_rank_is_near_optimal() {
+        // Eckart–Young: ‖A − A_k‖_F² = Σ_{j>k} σ_j²
+        let svals = [10.0, 6.0, 3.0, 0.1, 0.05, 0.02, 0.01, 0.005];
+        let a = planted(64, 8, &svals, 73);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let ak = low_rank_approx(&a, 3, &opts(), &ctx).unwrap();
+        let mut diff = a.clone();
+        for j in 0..8 {
+            for i in 0..64 {
+                diff[(i, j)] -= ak[(i, j)];
+            }
+        }
+        let err = frobenius(diff.as_ref()) as f64;
+        let optimal: f64 = svals[3..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!(err < optimal * 1.5 + 1e-3, "err {err} vs optimal {optimal}");
+    }
+
+    #[test]
+    fn rank_deficient_input() {
+        let svals = [3.0, 1.0, 0.0, 0.0];
+        let a = planted(20, 4, &svals, 74);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let svd = svd_via_evd(&a, &opts(), &ctx).unwrap();
+        assert!(svd.s[2] < 1e-2);
+        assert!(svd.s[3] < 1e-2);
+        // zero columns for null directions
+        let c2: f32 = svd.u.col(2).iter().map(|v| v.abs()).sum();
+        assert_eq!(c2, 0.0);
+    }
+
+    #[test]
+    fn tensor_core_svd_is_accurate_enough() {
+        // the paper's use case: low precision suffices for low-rank work
+        let svals = [8.0, 4.0, 2.0, 1.0];
+        let a = planted(32, 4, &svals, 75);
+        let ctx = GemmContext::new(Engine::Tc);
+        let s = singular_values(&a, &opts(), &ctx).unwrap();
+        for (got, want) in s.iter().zip(svals.iter()) {
+            // Gram squaring + fp16: expect ~1e-2 relative here
+            assert!(((*got as f64) - want).abs() / want < 2e-2, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn random_tall_matrix_svals_are_sorted() {
+        let a: Mat<f32> = random_gaussian(50, 12, 76).cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let s = singular_values(&a, &opts(), &ctx).unwrap();
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(s.iter().all(|v| *v >= 0.0));
+    }
+}

@@ -1,0 +1,175 @@
+//! Symmetric tridiagonal matrix type and Sturm-sequence utilities.
+
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::Mat;
+
+/// A symmetric tridiagonal matrix: diagonal `d` (n) and sub-diagonal `e`
+/// (n−1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymTridiag<T> {
+    pub d: Vec<T>,
+    pub e: Vec<T>,
+}
+
+impl<T: Scalar> SymTridiag<T> {
+    pub fn new(d: Vec<T>, e: Vec<T>) -> Self {
+        assert_eq!(e.len() + 1, d.len().max(1), "need |e| = n-1");
+        SymTridiag { d, e }
+    }
+
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Dense representation (tests / residual checks).
+    pub fn to_dense(&self) -> Mat<T> {
+        let n = self.n();
+        let mut a = Mat::<T>::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = self.d[i];
+            if i + 1 < n {
+                a[(i + 1, i)] = self.e[i];
+                a[(i, i + 1)] = self.e[i];
+            }
+        }
+        a
+    }
+
+    /// Gershgorin bounds on the spectrum: every eigenvalue lies in
+    /// `[lo, hi]`.
+    pub fn gershgorin(&self) -> (T, T) {
+        let n = self.n();
+        let mut lo = self.d[0];
+        let mut hi = self.d[0];
+        for i in 0..n {
+            let r = match (i > 0, i + 1 < n) {
+                (true, true) => self.e[i - 1].abs() + self.e[i].abs(),
+                (true, false) => self.e[i - 1].abs(),
+                (false, true) => self.e[i].abs(),
+                (false, false) => T::ZERO,
+            };
+            lo = lo.min_val(self.d[i] - r);
+            hi = hi.max_val(self.d[i] + r);
+        }
+        (lo, hi)
+    }
+
+    /// Number of eigenvalues strictly less than `x` (Sturm sequence count,
+    /// LAPACK `laebz`-style with underflow guarding).
+    pub fn sturm_count(&self, x: T) -> usize {
+        let n = self.n();
+        let safe = T::MIN_POSITIVE;
+        let mut count = 0;
+        let mut q = self.d[0] - x;
+        if q < T::ZERO {
+            count += 1;
+        }
+        for i in 1..n {
+            let denom = if q.abs() < safe {
+                // protect against division by ~0: nudge by a tiny amount
+                safe.copysign(q)
+            } else {
+                q
+            };
+            q = self.d[i] - x - self.e[i - 1] * self.e[i - 1] / denom;
+            if q < T::ZERO {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Multiply `y = T·x` (used by residual tests).
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        let n = self.n();
+        assert_eq!(x.len(), n);
+        let mut y = vec![T::ZERO; n];
+        for i in 0..n {
+            let mut s = self.d[i] * x[i];
+            if i > 0 {
+                s += self.e[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                s += self.e[i] * x[i + 1];
+            }
+            y[i] = s;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> SymTridiag<f64> {
+        // eigenvalues of tridiag(d=2, e=-1) of size n: 2-2cos(kπ/(n+1))
+        SymTridiag::new(vec![2.0; 5], vec![-1.0; 4])
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let t = toy();
+        let a = t.to_dense();
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(1, 0)], -1.0);
+        assert_eq!(a[(0, 1)], -1.0);
+        assert_eq!(a[(2, 0)], 0.0);
+    }
+
+    #[test]
+    fn gershgorin_contains_spectrum() {
+        let t = toy();
+        let (lo, hi) = t.gershgorin();
+        // true eigenvalues in (0, 4)
+        assert!(lo <= 2.0 - 2.0 * (std::f64::consts::PI / 6.0).cos());
+        assert!(hi >= 2.0 + 2.0 * (std::f64::consts::PI * 5.0 / 6.0).cos().abs());
+    }
+
+    #[test]
+    fn sturm_counts_known_eigenvalues() {
+        let t = toy();
+        // λ_k = 2 − 2cos(kπ/6), k = 1..5
+        let eigs: Vec<f64> = (1..=5)
+            .map(|k| 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / 6.0).cos())
+            .collect();
+        assert_eq!(t.sturm_count(eigs[0] - 1e-9), 0);
+        assert_eq!(t.sturm_count(eigs[0] + 1e-9), 1);
+        assert_eq!(t.sturm_count(eigs[2] + 1e-9), 3);
+        assert_eq!(t.sturm_count(eigs[4] + 1e-9), 5);
+        assert_eq!(t.sturm_count(100.0), 5);
+        assert_eq!(t.sturm_count(-100.0), 0);
+    }
+
+    #[test]
+    fn sturm_handles_zero_pivot() {
+        // d = [0,0], e = [1] → eigenvalues ±1
+        let t = SymTridiag::new(vec![0.0f64, 0.0], vec![1.0]);
+        assert_eq!(t.sturm_count(-1.5), 0);
+        assert_eq!(t.sturm_count(0.0), 1);
+        assert_eq!(t.sturm_count(1.5), 2);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let t = toy();
+        let x = vec![1.0, -2.0, 0.5, 3.0, 1.5];
+        let y = t.mul_vec(&x);
+        let dense = t.to_dense();
+        for i in 0..5 {
+            let mut want = 0.0;
+            for j in 0..5 {
+                want += dense[(i, j)] * x[j];
+            }
+            assert!((y[i] - want).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let t = SymTridiag::new(vec![7.0f32], vec![]);
+        assert_eq!(t.sturm_count(6.0), 0);
+        assert_eq!(t.sturm_count(8.0), 1);
+        assert_eq!(t.gershgorin(), (7.0, 7.0));
+    }
+}

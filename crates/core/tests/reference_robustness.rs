@@ -1,0 +1,24 @@
+//! Regression: the f64 reference pipeline must handle every paper matrix
+//! family at realistic sizes — including the near-rank-one SVD_Cluster0
+//! matrices whose tiny-diagonal blocks once stalled the QL convergence
+//! test.
+
+use tcevd_core::reference::sym_eigenvalues_ref;
+use tcevd_testmat::{generate, spectrum, MatrixType};
+
+#[test]
+fn all_families_converge_at_n512() {
+    for (name, mt) in MatrixType::paper_suite() {
+        let a = generate(512, mt, 42);
+        let vals = sym_eigenvalues_ref(&a)
+            .unwrap_or_else(|e| panic!("{name}: reference solver failed: {e}"));
+        assert_eq!(vals.len(), 512, "{name}");
+        // prescribed-spectrum families must recover their spectrum
+        if let Some(mut want) = spectrum(512, mt) {
+            want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for (v, w) in vals.iter().zip(want.iter()) {
+                assert!((v - w).abs() < 1e-10, "{name}: {v} vs {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Cholesky factorization of symmetric positive-definite matrices:
+//! unblocked (`potf2`) and blocked (`potrf`) variants.
+//!
+//! Used as a supporting substrate: SPD test-matrix validation, solving
+//! normal equations in examples, and cross-checking the generators (a
+//! prescribed-spectrum matrix with positive eigenvalues must factor).
+
+use tcevd_matrix::blas3::{gemm, syrk_lower, trsm, Side};
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::{Mat, MatMut, Op};
+
+/// Error: the matrix is not positive definite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Index of the failing pivot.
+    pub index: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.index)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Unblocked lower Cholesky in place: on success the lower triangle of `a`
+/// holds `L` with `A = L·Lᵀ` (upper triangle untouched).
+pub fn potf2<T: Scalar>(mut a: MatMut<'_, T>) -> Result<(), NotPositiveDefinite> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    for j in 0..n {
+        // d = a_jj − Σ l_jk²
+        let mut d = a.get(j, j);
+        for k in 0..j {
+            let l = a.get(j, k);
+            d -= l * l;
+        }
+        if d <= T::ZERO || !d.is_finite() {
+            return Err(NotPositiveDefinite { index: j });
+        }
+        let ljj = d.sqrt();
+        a.set(j, j, ljj);
+        let inv = T::ONE / ljj;
+        for i in j + 1..n {
+            let mut s = a.get(i, j);
+            for k in 0..j {
+                s -= a.get(i, k) * a.get(j, k);
+            }
+            a.set(i, j, s * inv);
+        }
+    }
+    Ok(())
+}
+
+/// Blocked lower Cholesky (`potrf`) with panel width `nb`.
+pub fn potrf<T: Scalar>(a: &mut Mat<T>, nb: usize) -> Result<(), NotPositiveDefinite> {
+    let n = a.rows();
+    assert!(a.is_square());
+    let mut j = 0;
+    while j < n {
+        let jb = nb.min(n - j);
+        // diagonal block
+        potf2(a.view_mut(j, j, jb, jb)).map_err(|e| NotPositiveDefinite {
+            index: j + e.index,
+        })?;
+        if j + jb < n {
+            let m = n - j - jb;
+            // panel solve: L21 = A21·L11⁻ᵀ
+            {
+                let l11 = a.submatrix(j, j, jb, jb);
+                trsm(
+                    Side::Right,
+                    T::ONE,
+                    l11.as_ref(),
+                    Op::Trans,
+                    true,
+                    false,
+                    a.view_mut(j + jb, j, m, jb),
+                );
+            }
+            // trailing update: A22 ← A22 − L21·L21ᵀ (lower)
+            let l21 = a.submatrix(j + jb, j, m, jb);
+            syrk_lower(
+                -T::ONE,
+                l21.as_ref(),
+                Op::NoTrans,
+                T::ONE,
+                a.view_mut(j + jb, j + jb, m, m),
+            );
+        }
+        j += jb;
+    }
+    Ok(())
+}
+
+/// Solve `A·x = b` for SPD `A` given its packed Cholesky factor
+/// (forward + backward substitution on all columns of `b`).
+pub fn cholesky_solve<T: Scalar>(l_packed: &Mat<T>, b: &mut Mat<T>) {
+    trsm(
+        Side::Left,
+        T::ONE,
+        l_packed.as_ref(),
+        Op::NoTrans,
+        true,
+        false,
+        b.as_mut(),
+    );
+    trsm(
+        Side::Left,
+        T::ONE,
+        l_packed.as_ref(),
+        Op::Trans,
+        true,
+        false,
+        b.as_mut(),
+    );
+}
+
+/// `L·Lᵀ` from the packed lower factor — invariant checker.
+pub fn cholesky_reconstruct<T: Scalar>(l_packed: &Mat<T>) -> Mat<T> {
+    let n = l_packed.rows();
+    let l = Mat::<T>::from_fn(n, n, |i, j| if i >= j { l_packed[(i, j)] } else { T::ZERO });
+    let mut out = Mat::<T>::zeros(n, n);
+    gemm(T::ONE, l.as_ref(), Op::NoTrans, l.as_ref(), Op::Trans, T::ZERO, out.as_mut());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize, seed: u64) -> Mat<f64> {
+        // G·Gᵀ + n·I is comfortably SPD
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let g = Mat::<f64>::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        let mut a = Mat::<f64>::zeros(n, n);
+        gemm(1.0, g.as_ref(), Op::NoTrans, g.as_ref(), Op::Trans, 0.0, a.as_mut());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn unblocked_reconstructs() {
+        let a = spd(10, 1);
+        let mut p = a.clone();
+        potf2(p.as_mut()).unwrap();
+        assert!(cholesky_reconstruct(&p).max_abs_diff(&a) < 1e-11);
+    }
+
+    #[test]
+    fn blocked_matches_unblocked() {
+        let a = spd(37, 2);
+        let mut p1 = a.clone();
+        potf2(p1.as_mut()).unwrap();
+        let mut p2 = a.clone();
+        potrf(&mut p2, 8).unwrap();
+        // lower triangles agree
+        for j in 0..37 {
+            for i in j..37 {
+                assert!((p1[(i, j)] - p2[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_indefinite() {
+        let mut a = Mat::<f64>::from_diag(&[1.0, -1.0, 2.0]);
+        let r = potf2(a.as_mut());
+        assert_eq!(r, Err(NotPositiveDefinite { index: 1 }));
+        let mut b = Mat::<f64>::from_diag(&[1.0, 1.0, -2.0]);
+        assert_eq!(potrf(&mut b, 2), Err(NotPositiveDefinite { index: 2 }));
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let a = spd(12, 3);
+        let mut p = a.clone();
+        potrf(&mut p, 4).unwrap();
+        let x_true = Mat::<f64>::from_fn(12, 3, |i, j| (i + 2 * j) as f64 / 5.0 - 1.0);
+        let mut b = Mat::<f64>::zeros(12, 3);
+        gemm(1.0, a.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans, 0.0, b.as_mut());
+        cholesky_solve(&p, &mut b);
+        assert!(b.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn scaled_spd_still_factors() {
+        let mut a = spd(24, 9);
+        let s = 1.0 / 24.0;
+        for v in a.as_mut_slice() {
+            *v *= s;
+        }
+        let mut p = a.clone();
+        assert!(potrf(&mut p, 8).is_ok());
+        assert!(cholesky_reconstruct(&p).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn f32_variant() {
+        let a64 = spd(16, 10);
+        let a: Mat<f32> = a64.cast();
+        let mut p = a.clone();
+        potrf(&mut p, 4).unwrap();
+        assert!(cholesky_reconstruct(&p).max_abs_diff(&a) < 1e-3);
+    }
+}

@@ -1,0 +1,306 @@
+//! LU factorizations.
+//!
+//! The WY-reconstruction algorithm (paper §5.2, after Ballard et al.) needs
+//! an LU factorization *without pivoting* — the matrix `S − Q₁` it factors
+//! is provably such that non-pivoted LU exists and is stable. A
+//! partial-pivoting variant is provided as well for general use and for
+//! cross-checking.
+
+use tcevd_matrix::blas1::axpy;
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::{Mat, MatMut};
+
+/// Error from a failed factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LuError {
+    /// Pivot at the given index was exactly zero (or subnormal).
+    ZeroPivot(usize),
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::ZeroPivot(i) => write!(f, "zero pivot at index {i} in LU factorization"),
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// In-place LU without pivoting: on success `a` holds `U` in its upper
+/// triangle and the strictly-lower part of unit-lower `L` below.
+pub fn lu_nopivot<T: Scalar>(mut a: MatMut<'_, T>) -> Result<(), LuError> {
+    let n = a.rows().min(a.cols());
+    for k in 0..n {
+        let pivot = a.get(k, k);
+        if pivot.abs() < T::MIN_POSITIVE {
+            return Err(LuError::ZeroPivot(k));
+        }
+        let m = a.rows();
+        // scale multipliers
+        {
+            let col = a.col_mut(k);
+            for v in &mut col[k + 1..m] {
+                *v /= pivot;
+            }
+        }
+        // rank-1 trailing update
+        for j in k + 1..a.cols() {
+            let u = a.get(k, j);
+            if u != T::ZERO {
+                let (lcol, jcol) = two_cols(a.as_mut(), k, j);
+                axpy(-u, &lcol[k + 1..m], &mut jcol[k + 1..m]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Borrow column `k` immutably and column `j` mutably (k < j).
+fn two_cols<'a, T: Scalar>(a: MatMut<'a, T>, k: usize, j: usize) -> (&'a [T], &'a mut [T]) {
+    assert!(k < j);
+    let rows = a.rows();
+    let ld = a.ld();
+    let data = a.into_slice();
+    let (left, right) = data.split_at_mut(j * ld);
+    (&left[k * ld..k * ld + rows], &mut right[..rows])
+}
+
+/// In-place LU with partial (row) pivoting: returns the pivot permutation
+/// `piv` where row `i` of `PA` is row `piv[i]` of `A`.
+pub fn lu_partial_pivot<T: Scalar>(a: &mut Mat<T>) -> Result<Vec<usize>, LuError> {
+    let m = a.rows();
+    let n = a.cols();
+    let kmax = m.min(n);
+    let mut piv: Vec<usize> = (0..m).collect();
+    for k in 0..kmax {
+        // find pivot row
+        let mut p = k;
+        let mut pv = a[(k, k)].abs();
+        for i in k + 1..m {
+            let v = a[(i, k)].abs();
+            if v > pv {
+                pv = v;
+                p = i;
+            }
+        }
+        if pv < T::MIN_POSITIVE {
+            return Err(LuError::ZeroPivot(k));
+        }
+        if p != k {
+            piv.swap(k, p);
+            for j in 0..n {
+                let t = a[(k, j)];
+                a[(k, j)] = a[(p, j)];
+                a[(p, j)] = t;
+            }
+        }
+        let pivot = a[(k, k)];
+        for i in k + 1..m {
+            a[(i, k)] /= pivot;
+        }
+        for j in k + 1..n {
+            let u = a[(k, j)];
+            if u != T::ZERO {
+                for i in k + 1..m {
+                    let l = a[(i, k)];
+                    a[(i, j)] -= l * u;
+                }
+            }
+        }
+    }
+    Ok(piv)
+}
+
+/// Solve `A·x = b` (multiple right-hand sides, in place) from a
+/// partial-pivot factorization: apply the row permutation, then forward and
+/// backward substitution.
+pub fn lu_solve<T: Scalar>(packed: &Mat<T>, piv: &[usize], b: &mut Mat<T>) {
+    use tcevd_matrix::blas3::{trsm, Side};
+    use tcevd_matrix::Op;
+    let n = packed.rows();
+    assert_eq!(packed.cols(), n);
+    assert_eq!(b.rows(), n);
+    // permute rows of b: row i of the permuted RHS is row piv[i] of b
+    let orig = b.clone();
+    for i in 0..n {
+        if piv[i] != i {
+            for j in 0..b.cols() {
+                b[(i, j)] = orig[(piv[i], j)];
+            }
+        }
+    }
+    trsm(Side::Left, T::ONE, packed.as_ref(), Op::NoTrans, true, true, b.as_mut());
+    trsm(Side::Left, T::ONE, packed.as_ref(), Op::NoTrans, false, false, b.as_mut());
+}
+
+/// Dense inverse via partial-pivot LU — the substrate the scaled-Newton
+/// polar iteration (paper related work §2.2) leans on.
+pub fn invert<T: Scalar>(a: &Mat<T>) -> Result<Mat<T>, LuError> {
+    let n = a.rows();
+    assert!(a.is_square());
+    let mut packed = a.clone();
+    let piv = lu_partial_pivot(&mut packed)?;
+    let mut inv = Mat::<T>::identity(n, n);
+    lu_solve(&packed, &piv, &mut inv);
+    Ok(inv)
+}
+
+/// Reassemble `L·U` from a packed (non-pivoted) factorization — test helper
+/// and invariant checker.
+pub fn lu_reconstruct<T: Scalar>(packed: &Mat<T>) -> Mat<T> {
+    let m = packed.rows();
+    let n = packed.cols();
+    let k = m.min(n);
+    let mut out = Mat::<T>::zeros(m, n);
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = T::ZERO;
+            let lim = i.min(j + 1).min(k);
+            for l in 0..lim {
+                let lv = packed[(i, l)]; // L(i,l), i > l
+                let uv = packed[(l, j)];
+                s += lv * uv;
+            }
+            // diagonal of L is 1
+            if i <= j && i < k {
+                s += packed[(i, j)];
+            }
+            out[(i, j)] = s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        Mat::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn diag_dominant(n: usize, seed: u64) -> Mat<f64> {
+        let mut a = rand_mat(n, n, seed);
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn nopivot_reconstructs() {
+        let a = diag_dominant(8, 1);
+        let mut p = a.clone();
+        lu_nopivot(p.as_mut()).unwrap();
+        let lu = lu_reconstruct(&p);
+        assert!(lu.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn nopivot_rectangular_tall() {
+        let mut a = rand_mat(10, 4, 2);
+        for i in 0..4 {
+            a[(i, i)] += 10.0;
+        }
+        let orig = a.clone();
+        lu_nopivot(a.as_mut()).unwrap();
+        let lu = lu_reconstruct(&a);
+        assert!(lu.max_abs_diff(&orig) < 1e-12);
+    }
+
+    #[test]
+    fn nopivot_detects_zero_pivot() {
+        let mut a = Mat::<f64>::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(lu_nopivot(a.as_mut()), Err(LuError::ZeroPivot(0)));
+    }
+
+    #[test]
+    fn partial_pivot_handles_permutation() {
+        let mut a = Mat::<f64>::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let orig = a.clone();
+        let piv = lu_partial_pivot(&mut a).unwrap();
+        assert_eq!(piv, vec![1, 0]);
+        // PA = LU
+        let lu = lu_reconstruct(&a);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((lu[(i, j)] - orig[(piv[i], j)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_pivot_random() {
+        let a = rand_mat(12, 12, 3);
+        let mut p = a.clone();
+        let piv = lu_partial_pivot(&mut p).unwrap();
+        let lu = lu_reconstruct(&p);
+        for i in 0..12 {
+            for j in 0..12 {
+                assert!((lu[(i, j)] - a[(piv[i], j)]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_solve_round_trip() {
+        let a = rand_mat(9, 9, 20);
+        let mut p = a.clone();
+        let piv = lu_partial_pivot(&mut p).unwrap();
+        let x_true = rand_mat(9, 3, 21);
+        let b = tcevd_matrix::blas3::matmul(
+            a.as_ref(),
+            tcevd_matrix::Op::NoTrans,
+            x_true.as_ref(),
+            tcevd_matrix::Op::NoTrans,
+        );
+        let mut x = b.clone();
+        lu_solve(&p, &piv, &mut x);
+        assert!(x.max_abs_diff(&x_true) < 1e-10);
+    }
+
+    #[test]
+    fn inverse_satisfies_identity() {
+        let a = rand_mat(10, 10, 22);
+        let inv = invert(&a).unwrap();
+        let prod = tcevd_matrix::blas3::matmul(
+            a.as_ref(),
+            tcevd_matrix::Op::NoTrans,
+            inv.as_ref(),
+            tcevd_matrix::Op::NoTrans,
+        );
+        assert!(prod.max_abs_diff(&Mat::identity(10, 10)) < 1e-10);
+    }
+
+    #[test]
+    fn invert_singular_fails() {
+        let mut a = rand_mat(6, 6, 23);
+        // make column 3 a copy of column 1 → singular
+        for i in 0..6 {
+            let v = a[(i, 1)];
+            a[(i, 3)] = v;
+        }
+        assert!(invert(&a).is_err());
+    }
+
+    #[test]
+    fn unit_lower_solve_consistency() {
+        // LU from no-pivot then solve via trsm: A·x = b round trip
+        use tcevd_matrix::blas3::{trsm, Side};
+        use tcevd_matrix::Op;
+        let a = diag_dominant(6, 4);
+        let mut p = a.clone();
+        lu_nopivot(p.as_mut()).unwrap();
+        let x_true = rand_mat(6, 2, 5);
+        let b = tcevd_matrix::blas3::matmul(a.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans);
+        let mut x = b.clone();
+        trsm(Side::Left, 1.0, p.as_ref(), Op::NoTrans, true, true, x.as_mut()); // L
+        trsm(Side::Left, 1.0, p.as_ref(), Op::NoTrans, false, false, x.as_mut()); // U
+        assert!(x.max_abs_diff(&x_true) < 1e-11);
+    }
+}

@@ -1,0 +1,149 @@
+//! Apply the orthogonal factor of a packed QR factorization to a matrix
+//! (LAPACK `ormqr`): `C ← Q·C`, `Qᵀ·C`, `C·Q`, or `C·Qᵀ` without ever
+//! forming `Q` explicitly.
+
+use crate::householder::{apply_reflector_left, apply_reflector_right};
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::{MatMut, MatRef, Op};
+
+/// Side of the multiplication.
+pub use tcevd_matrix::Side;
+
+/// Apply `op(Q)` (from `packed`/`tau`, Q = H₁·H₂⋯H_k) to `c` in place.
+pub fn ormqr<T: Scalar>(
+    side: Side,
+    op: Op,
+    packed: MatRef<'_, T>,
+    tau: &[T],
+    mut c: MatMut<'_, T>,
+) {
+    let m = packed.rows();
+    let k = tau.len();
+    assert!(k <= m);
+    match side {
+        Side::Left => assert_eq!(c.rows(), m, "left application needs C with {m} rows"),
+        Side::Right => assert_eq!(c.cols(), m, "right application needs C with {m} cols"),
+    }
+
+    let mut v = vec![T::ZERO; m];
+    // Q·C   = H₁(H₂(⋯H_k C)) → apply j = k−1 .. 0
+    // Qᵀ·C  = H_k(⋯(H₁ C))   → apply j = 0 .. k−1
+    // C·Q   = ((C H₁)H₂)⋯H_k → j ascending on the right
+    // C·Qᵀ  = ((C H_k)⋯)H₁   → j descending on the right
+    let order: Box<dyn Iterator<Item = usize>> = match (side, op) {
+        (Side::Left, Op::NoTrans) | (Side::Right, Op::Trans) => Box::new((0..k).rev()),
+        (Side::Left, Op::Trans) | (Side::Right, Op::NoTrans) => Box::new(0..k),
+    };
+    for j in order {
+        if tau[j] == T::ZERO {
+            continue;
+        }
+        v[j] = T::ONE;
+        for i in j + 1..m {
+            v[i] = packed.get(i, j);
+        }
+        match side {
+            Side::Left => {
+                let ncols = c.cols();
+                apply_reflector_left(tau[j], &v[j..m], c.view_mut(j, 0, m - j, ncols));
+            }
+            Side::Right => {
+                let nrows = c.rows();
+                apply_reflector_right(tau[j], &v[j..m], c.view_mut(0, j, nrows, m - j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::{geqr2, orgqr};
+    use tcevd_matrix::blas3::matmul;
+    use tcevd_matrix::Mat;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(5);
+        Mat::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    /// Full square Q from the packed factorization, for reference.
+    fn q_full(packed: &Mat<f64>, tau: &[f64]) -> Mat<f64> {
+        let m = packed.rows();
+        // orgqr gives the thin Q (m×k); extend to m×m by applying to I
+        let mut q = Mat::<f64>::identity(m, m);
+        ormqr(Side::Left, Op::NoTrans, packed.as_ref(), tau, q.as_mut());
+        q
+    }
+
+    #[test]
+    fn all_four_variants_match_explicit() {
+        let a = rand_mat(9, 4, 1);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        let q = q_full(&p, &tau);
+
+        let c = rand_mat(9, 5, 2);
+        for (side, op) in [
+            (Side::Left, Op::NoTrans),
+            (Side::Left, Op::Trans),
+        ] {
+            let mut got = c.clone();
+            ormqr(side, op, p.as_ref(), &tau, got.as_mut());
+            let want = matmul(q.as_ref(), op, c.as_ref(), Op::NoTrans);
+            assert!(got.max_abs_diff(&want) < 1e-12, "{side:?} {op:?}");
+        }
+        let ct = rand_mat(5, 9, 3);
+        for (side, op) in [
+            (Side::Right, Op::NoTrans),
+            (Side::Right, Op::Trans),
+        ] {
+            let mut got = ct.clone();
+            ormqr(side, op, p.as_ref(), &tau, got.as_mut());
+            let want = matmul(ct.as_ref(), Op::NoTrans, q.as_ref(), op);
+            assert!(got.max_abs_diff(&want) < 1e-12, "{side:?} {op:?}");
+        }
+    }
+
+    #[test]
+    fn consistent_with_orgqr() {
+        let a = rand_mat(12, 5, 4);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        // Q·I_thin == orgqr
+        let mut eye = Mat::<f64>::identity(12, 5);
+        ormqr(Side::Left, Op::NoTrans, p.as_ref(), &tau, eye.as_mut());
+        let q_thin = orgqr(p.as_ref(), &tau);
+        assert!(eye.max_abs_diff(&q_thin) < 1e-13);
+    }
+
+    #[test]
+    fn qt_q_is_identity() {
+        let a = rand_mat(10, 6, 5);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        let mut c = Mat::<f64>::identity(10, 10);
+        ormqr(Side::Left, Op::NoTrans, p.as_ref(), &tau, c.as_mut());
+        ormqr(Side::Left, Op::Trans, p.as_ref(), &tau, c.as_mut());
+        assert!(c.max_abs_diff(&Mat::identity(10, 10)) < 1e-13);
+    }
+
+    #[test]
+    fn recovers_original_from_r() {
+        // A = Q·R: apply Q to [R; 0]
+        let a = rand_mat(11, 4, 6);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        let mut r_ext = Mat::<f64>::zeros(11, 4);
+        for j in 0..4 {
+            for i in 0..=j {
+                r_ext[(i, j)] = p[(i, j)];
+            }
+        }
+        ormqr(Side::Left, Op::NoTrans, p.as_ref(), &tau, r_ext.as_mut());
+        assert!(r_ext.max_abs_diff(&a) < 1e-12);
+    }
+}

@@ -1,0 +1,288 @@
+//! Householder QR factorization: unblocked (`geqr2`), blocked compact-WY
+//! (`geqrf`), T-factor construction (`larft`), explicit-Q formation
+//! (`orgqr`), and extraction of the `Q = I − W·Yᵀ` representation used by
+//! the band-reduction algorithms.
+
+use crate::householder::{apply_reflector_left, larfg};
+use tcevd_matrix::blas1::dot;
+use tcevd_matrix::blas3::{gemm, matmul};
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::{Mat, MatMut, MatRef, Op};
+
+/// Packed QR factorization: `R` in the upper triangle, Householder vectors
+/// below the diagonal (unit heads implicit), scalar factors in `tau`.
+#[derive(Clone, Debug)]
+pub struct QrFactors<T: Scalar> {
+    pub packed: Mat<T>,
+    pub tau: Vec<T>,
+}
+
+/// Unblocked Householder QR of `a` in place (LAPACK `geqr2`).
+/// Returns the `tau` scalars; `a` becomes the packed factorization.
+pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>) -> Vec<T> {
+    let (m, n) = (a.rows(), a.cols());
+    let kmax = m.min(n);
+    let mut tau = vec![T::ZERO; kmax];
+    let mut v = vec![T::ZERO; m];
+    for j in 0..kmax {
+        // Generate reflector for column j, rows j..m.
+        let alpha = a.get(j, j);
+        let (beta, tj) = {
+            let col = a.col_mut(j);
+            larfg(alpha, &mut col[j + 1..m])
+        };
+        tau[j] = tj;
+        a.set(j, j, beta);
+        if tj != T::ZERO && j + 1 < n {
+            // v = [1, packed tail]
+            v[j] = T::ONE;
+            for i in j + 1..m {
+                v[i] = a.get(i, j);
+            }
+            apply_reflector_left(tj, &v[j..m], a.view_mut(j, j + 1, m - j, n - j - 1));
+        }
+    }
+    tau
+}
+
+/// Blocked Householder QR (LAPACK `geqrf`) with panel width `nb`.
+pub fn geqrf<T: Scalar>(a: &mut Mat<T>, nb: usize) -> QrFactors<T>
+where
+    T: Scalar,
+{
+    let (m, n) = (a.rows(), a.cols());
+    let kmax = m.min(n);
+    let mut tau = vec![T::ZERO; kmax];
+    let mut j0 = 0;
+    while j0 < kmax {
+        let jb = nb.min(kmax - j0);
+        // Factor the panel.
+        let panel_tau = geqr2(a.view_mut(j0, j0, m - j0, jb));
+        tau[j0..j0 + jb].copy_from_slice(&panel_tau);
+        // Apply the block reflector to the trailing columns:
+        // C ← (I − Y·Tᵀ·Yᵀ)·C.
+        if j0 + jb < n {
+            let y = extract_y(a.view(j0, j0, m - j0, jb));
+            let t = larft(y.as_ref(), &panel_tau);
+            let c = a.view(j0, j0 + jb, m - j0, n - j0 - jb);
+            // U = Yᵀ·C (jb × nc); V = Tᵀ·U; C ← C − Y·V
+            let u = matmul(y.as_ref(), Op::Trans, c, Op::NoTrans);
+            let v = matmul(t.as_ref(), Op::Trans, u.as_ref(), Op::NoTrans);
+            gemm(
+                -T::ONE,
+                y.as_ref(),
+                Op::NoTrans,
+                v.as_ref(),
+                Op::NoTrans,
+                T::ONE,
+                a.view_mut(j0, j0 + jb, m - j0, n - j0 - jb),
+            );
+        }
+        j0 += jb;
+    }
+    QrFactors {
+        packed: a.clone(),
+        tau,
+    }
+}
+
+/// Extract the unit-lower-trapezoidal `Y` from a packed factorization view.
+pub fn extract_y<T: Scalar>(packed: MatRef<'_, T>) -> Mat<T> {
+    let (m, b) = (packed.rows(), packed.cols());
+    Mat::from_fn(m, b, |i, j| {
+        if i == j {
+            T::ONE
+        } else if i > j {
+            packed.get(i, j)
+        } else {
+            T::ZERO
+        }
+    })
+}
+
+/// Extract the upper-triangular `R` (top `min(m,n)`×`n`) from packed form.
+pub fn extract_r<T: Scalar>(packed: MatRef<'_, T>) -> Mat<T> {
+    let (m, n) = (packed.rows(), packed.cols());
+    let k = m.min(n);
+    Mat::from_fn(k, n, |i, j| if j >= i { packed.get(i, j) } else { T::ZERO })
+}
+
+/// Form the upper-triangular block-reflector factor `T` (LAPACK `larft`,
+/// forward columnwise): `H₁·H₂⋯H_b = I − Y·T·Yᵀ`.
+pub fn larft<T: Scalar>(y: MatRef<'_, T>, tau: &[T]) -> Mat<T> {
+    let b = y.cols();
+    assert_eq!(tau.len(), b);
+    let m = y.rows();
+    let mut t = Mat::<T>::zeros(b, b);
+    for i in 0..b {
+        t[(i, i)] = tau[i];
+        if i > 0 {
+            // t_head = −tau_i · Y(:,0..i)ᵀ · y_i
+            let yi = y.col(i);
+            let mut head = vec![T::ZERO; i];
+            for (c, h) in head.iter_mut().enumerate() {
+                *h = -tau[i] * dot(&y.col(c)[..m], yi);
+            }
+            // head ← T(0..i,0..i)·head (upper triangular multiply)
+            for r in 0..i {
+                let mut s = T::ZERO;
+                for c in r..i {
+                    s += t[(r, c)] * head[c];
+                }
+                t[(r, i)] = s;
+            }
+        }
+    }
+    t
+}
+
+/// Form the explicit thin `Q` (m×k, k = number of reflectors) from packed
+/// factors (LAPACK `orgqr`).
+pub fn orgqr<T: Scalar>(packed: MatRef<'_, T>, tau: &[T]) -> Mat<T> {
+    let m = packed.rows();
+    let k = tau.len();
+    let mut q = Mat::<T>::identity(m, k);
+    let mut v = vec![T::ZERO; m];
+    for j in (0..k).rev() {
+        if tau[j] == T::ZERO {
+            continue;
+        }
+        v[j] = T::ONE;
+        for i in j + 1..m {
+            v[i] = packed.get(i, j);
+        }
+        apply_reflector_left(tau[j], &v[j..m], q.view_mut(j, 0, m - j, k));
+    }
+    q
+}
+
+/// The `Q = I − W·Yᵀ` representation of a packed QR factorization:
+/// `Y` unit lower trapezoidal, `W = Y·T`.
+pub fn wy_from_packed<T: Scalar>(packed: MatRef<'_, T>, tau: &[T]) -> (Mat<T>, Mat<T>) {
+    let y = extract_y(packed.view(0, 0, packed.rows(), tau.len()));
+    let t = larft(y.as_ref(), tau);
+    let w = matmul(y.as_ref(), Op::NoTrans, t.as_ref(), Op::NoTrans);
+    (w, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::norms::orthogonality_residual;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+        Mat::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn check_qr(a: &Mat<f64>, packed: &Mat<f64>, tau: &[f64], tol: f64) {
+        let (m, n) = (a.rows(), a.cols());
+        let q = orgqr(packed.as_ref(), tau);
+        // Q orthonormal
+        assert!(orthogonality_residual(q.as_ref()) < tol * (m as f64));
+        // A = Q·R
+        let r = extract_r(packed.as_ref());
+        let qr = matmul(q.as_ref(), Op::NoTrans, r.as_ref(), Op::NoTrans);
+        assert!(qr.max_abs_diff(a) < tol * (n as f64), "QR != A");
+    }
+
+    #[test]
+    fn geqr2_reconstructs() {
+        let a = rand_mat(8, 5, 1);
+        let mut packed = a.clone();
+        let tau = geqr2(packed.as_mut());
+        check_qr(&a, &packed, &tau, 1e-13);
+    }
+
+    #[test]
+    fn geqr2_square_and_wide() {
+        let a = rand_mat(6, 6, 2);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        check_qr(&a, &p, &tau, 1e-13);
+
+        // wide matrix: R is 4×7
+        let a = rand_mat(4, 7, 3);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        let q = orgqr(p.as_ref(), &tau);
+        let r = extract_r(p.as_ref());
+        let qr = matmul(q.as_ref(), Op::NoTrans, r.as_ref(), Op::NoTrans);
+        assert!(qr.max_abs_diff(&a) < 1e-13);
+    }
+
+    #[test]
+    fn geqrf_blocked_matches_unblocked() {
+        let a = rand_mat(40, 17, 4);
+        let mut p1 = a.clone();
+        let tau1 = geqr2(p1.as_mut());
+        let mut a2 = a.clone();
+        let f = geqrf(&mut a2, 5);
+        assert!(f.packed.max_abs_diff(&p1) < 1e-12);
+        for (x, y) in f.tau.iter().zip(tau1.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        check_qr(&a, &f.packed, &f.tau, 1e-12);
+    }
+
+    #[test]
+    fn larft_block_reflector_matches_product() {
+        let a = rand_mat(10, 4, 5);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        let y = extract_y(p.view(0, 0, 10, 4));
+        let t = larft(y.as_ref(), &tau);
+        // I − Y·T·Yᵀ must equal the product H₁H₂H₃H₄ = orgqr of identity m×m
+        let yt = matmul(y.as_ref(), Op::NoTrans, t.as_ref(), Op::NoTrans);
+        let mut q_block = Mat::<f64>::identity(10, 10);
+        gemm(-1.0, yt.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q_block.as_mut());
+
+        // explicit product
+        let mut q_prod = Mat::<f64>::identity(10, 10);
+        let mut v = vec![0.0; 10];
+        for j in (0..4).rev() {
+            v[j] = 1.0;
+            for i in j + 1..10 {
+                v[i] = p[(i, j)];
+            }
+            apply_reflector_left(tau[j], &v[j..], q_prod.view_mut(j, 0, 10 - j, 10));
+        }
+        assert!(q_block.max_abs_diff(&q_prod) < 1e-13);
+    }
+
+    #[test]
+    fn wy_representation_is_q() {
+        let a = rand_mat(12, 5, 6);
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        let (w, y) = wy_from_packed(p.as_ref(), &tau);
+        // Q_wy = I − W·Yᵀ ; thin part must equal orgqr
+        let mut q_wy = Mat::<f64>::identity(12, 12);
+        gemm(-1.0, w.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q_wy.as_mut());
+        let q_thin = orgqr(p.as_ref(), &tau);
+        assert!(q_wy.submatrix(0, 0, 12, 5).max_abs_diff(&q_thin) < 1e-13);
+        // orthogonality of the full square Q_wy
+        assert!(orthogonality_residual(q_wy.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn qr_of_rank_deficient_panel_is_stable() {
+        // duplicate columns → R has a zero diagonal entry, but Q stays orthonormal
+        let mut a = rand_mat(10, 4, 7);
+        for i in 0..10 {
+            let v = a[(i, 0)];
+            a[(i, 2)] = v; // col 2 == col 0
+        }
+        let mut p = a.clone();
+        let tau = geqr2(p.as_mut());
+        let q = orgqr(p.as_ref(), &tau);
+        assert!(orthogonality_residual(q.as_ref()) < 1e-12);
+        let r = extract_r(p.as_ref());
+        assert!(r[(2, 2)].abs() < 1e-12, "expected tiny pivot, got {}", r[(2, 2)]);
+        let qr = matmul(q.as_ref(), Op::NoTrans, r.as_ref(), Op::NoTrans);
+        assert!(qr.max_abs_diff(&a) < 1e-12);
+    }
+}

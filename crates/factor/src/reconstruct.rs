@@ -1,0 +1,223 @@
+//! Reconstructing the `Q = I − W·Yᵀ` representation from an explicit
+//! orthonormal `Q` — the paper's Algorithm 3, after Ballard et al. (2014).
+//!
+//! TSQR produces the explicit thin `Q`, but the SBR trailing update needs
+//! Householder form: applying an explicit `Q` directly is unstable. The fix:
+//! for a suitable diagonal sign matrix `S` (`s_j = −sign(q_jj)`, which makes
+//! the diagonal of `I − Q·S` ≥ 1),
+//!
+//! ```text
+//! I − Q·S = Y·(T·Y₁ᵀ) = L·U        (non-pivoted LU, provably stable)
+//! ```
+//!
+//! with `Y` unit lower trapezoidal. Two triangular solves then yield
+//! `L₂ = B₂·U⁻¹` and `W = B·Y₁⁻ᵀ`, giving the orthogonal block reflector
+//! `Q_wy = I − W·Yᵀ` whose first b columns equal `Q·S`.
+
+use crate::lu::{lu_nopivot, LuError};
+use crate::tsqr::tsqr;
+use tcevd_matrix::blas3::{trsm, Side};
+use tcevd_matrix::scalar::Scalar;
+use tcevd_matrix::{Mat, MatRef, Op};
+
+/// The WY representation of a panel's orthogonal factor, plus the sign
+/// choices that relate it to the explicit `Q` it was reconstructed from:
+/// `(I − W·Yᵀ)[:, 0..b] = Q·diag(signs)`.
+#[derive(Clone, Debug)]
+pub struct PanelWy<T: Scalar> {
+    /// m×b
+    pub w: Mat<T>,
+    /// m×b, unit lower trapezoidal
+    pub y: Mat<T>,
+    /// b sign choices (±1)
+    pub signs: Vec<T>,
+}
+
+/// Reconstruct `(W, Y, S)` from an explicit orthonormal m×b `Q`
+/// (paper Algorithm 3).
+pub fn reconstruct_wy<T: Scalar>(q: MatRef<'_, T>) -> Result<PanelWy<T>, LuError> {
+    let (m, b) = (q.rows(), q.cols());
+    assert!(m >= b);
+
+    // S with s_j = −sign(q_jj): diagonal of B = I − Q·S is 1 + |q_jj| ≥ 1,
+    // guaranteeing the non-pivoted LU below is well defined.
+    let signs: Vec<T> = (0..b).map(|j| -q.get(j, j).sign1()).collect();
+
+    // B = I − Q·S (m×b)
+    let mut bmat = Mat::<T>::from_fn(m, b, |i, j| {
+        let eye = if i == j { T::ONE } else { T::ZERO };
+        eye - q.get(i, j) * signs[j]
+    });
+
+    // LU of the top b×b block: B₁ = Y₁·U.
+    let mut b1 = bmat.submatrix(0, 0, b, b);
+    lu_nopivot(b1.as_mut())?;
+
+    let y1 = Mat::<T>::from_fn(b, b, |i, j| {
+        if i == j {
+            T::ONE
+        } else if i > j {
+            b1[(i, j)]
+        } else {
+            T::ZERO
+        }
+    });
+    let u = Mat::<T>::from_fn(b, b, |i, j| if j >= i { b1[(i, j)] } else { T::ZERO });
+
+    // Y = [Y₁; B₂·U⁻¹]
+    let mut y = Mat::<T>::zeros(m, b);
+    y.view_mut(0, 0, b, b).copy_from(y1.as_ref());
+    if m > b {
+        let mut l2 = bmat.submatrix(b, 0, m - b, b);
+        trsm(Side::Right, T::ONE, u.as_ref(), Op::NoTrans, false, false, l2.as_mut());
+        y.view_mut(b, 0, m - b, b).copy_from(l2.as_ref());
+    }
+
+    // W = B·Y₁⁻ᵀ (solve X·Y₁ᵀ = B; Y₁ᵀ is unit upper triangular).
+    trsm(Side::Right, T::ONE, y1.as_ref(), Op::Trans, true, true, bmat.as_mut());
+
+    Ok(PanelWy {
+        w: bmat,
+        y,
+        signs,
+    })
+}
+
+/// Full panel factorization for SBR: TSQR + WY reconstruction.
+///
+/// Returns `(wy, r)` where `r` is the *sign-adjusted* upper-triangular
+/// factor such that `panel = (I − W·Yᵀ)[:, 0..b] · r` exactly (i.e.
+/// `(I − Y·Wᵀ)·panel = [r; 0]`).
+pub fn panel_qr_tsqr<T: Scalar>(panel: MatRef<'_, T>) -> Result<(PanelWy<T>, Mat<T>), LuError> {
+    let (q, r) = tsqr(panel);
+    let wy = reconstruct_wy(q.as_ref())?;
+    // panel = Q·R = (Q·S)·(S·R); (I − WYᵀ) thin = Q·S, so scale R's rows.
+    let b = panel.cols();
+    let mut r_signed = r;
+    for i in 0..b {
+        let s = wy.signs[i];
+        for j in 0..b {
+            r_signed[(i, j)] *= s;
+        }
+    }
+    Ok((wy, r_signed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::blas3::{gemm, matmul};
+    use tcevd_matrix::norms::orthogonality_residual;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(77);
+        Mat::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    /// Q_wy = I − W·Yᵀ as an explicit m×m matrix.
+    fn q_from_wy(w: &Mat<f64>, y: &Mat<f64>) -> Mat<f64> {
+        let m = w.rows();
+        let mut q = Mat::<f64>::identity(m, m);
+        gemm(-1.0, w.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q.as_mut());
+        q
+    }
+
+    #[test]
+    fn reconstruction_reproduces_q_up_to_signs() {
+        let a = rand_mat(40, 6, 1);
+        let (q, _) = tsqr(a.as_ref());
+        let wy = reconstruct_wy(q.as_ref()).unwrap();
+        let qwy = q_from_wy(&wy.w, &wy.y);
+        // first b columns must equal Q·S
+        for j in 0..6 {
+            for i in 0..40 {
+                let want = q[(i, j)] * wy.signs[j];
+                assert!(
+                    (qwy[(i, j)] - want).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    qwy[(i, j)],
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructed_q_is_orthogonal() {
+        let a = rand_mat(64, 8, 2);
+        let (q, _) = tsqr(a.as_ref());
+        let wy = reconstruct_wy(q.as_ref()).unwrap();
+        let qwy = q_from_wy(&wy.w, &wy.y);
+        assert!(orthogonality_residual(qwy.as_ref()) < 1e-11);
+    }
+
+    #[test]
+    fn y_is_unit_lower_trapezoidal() {
+        let a = rand_mat(30, 5, 3);
+        let (q, _) = tsqr(a.as_ref());
+        let wy = reconstruct_wy(q.as_ref()).unwrap();
+        for j in 0..5 {
+            assert!((wy.y[(j, j)] - 1.0).abs() < 1e-14);
+            for i in 0..j {
+                assert_eq!(wy.y[(i, j)], 0.0);
+            }
+        }
+        for &s in &wy.signs {
+            assert!(s == 1.0 || s == -1.0);
+        }
+    }
+
+    #[test]
+    fn panel_qr_tsqr_factorizes_exactly() {
+        let panel = rand_mat(100, 12, 4);
+        let (wy, r) = panel_qr_tsqr(panel.as_ref()).unwrap();
+        // panel = (I − W·Yᵀ)[:, 0..b]·R
+        let qwy = q_from_wy(&wy.w, &wy.y);
+        let thin = qwy.submatrix(0, 0, 100, 12);
+        let rec = matmul(thin.as_ref(), Op::NoTrans, r.as_ref(), Op::NoTrans);
+        assert!(rec.max_abs_diff(&panel) < 1e-11);
+        // and (I − Y·Wᵀ)·panel = [R; 0]
+        let mut qt_panel = panel.clone();
+        let ytw = matmul(wy.y.as_ref(), Op::NoTrans, wy.w.as_ref(), Op::Trans);
+        let mut tmp = matmul(ytw.as_ref(), Op::NoTrans, panel.as_ref(), Op::NoTrans);
+        for j in 0..12 {
+            for i in 0..100 {
+                tmp[(i, j)] = qt_panel[(i, j)] - tmp[(i, j)];
+            }
+        }
+        qt_panel = tmp;
+        for j in 0..12 {
+            for i in 0..12 {
+                let want = if i <= j { r[(i, j)] } else { 0.0 };
+                assert!((qt_panel[(i, j)] - want).abs() < 1e-10, "top ({i},{j})");
+            }
+            for i in 12..100 {
+                assert!(qt_panel[(i, j)].abs() < 1e-10, "below ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let a64 = rand_mat(128, 16, 5);
+        let a: Mat<f32> = a64.cast();
+        let (q, _) = tsqr(a.as_ref());
+        let wy = reconstruct_wy(q.as_ref()).unwrap();
+        let m = 128;
+        let mut qwy = Mat::<f32>::identity(m, m);
+        gemm(-1.0f32, wy.w.as_ref(), Op::NoTrans, wy.y.as_ref(), Op::Trans, 1.0, qwy.as_mut());
+        assert!(orthogonality_residual(qwy.as_ref()) < 1e-3);
+    }
+
+    #[test]
+    fn square_panel_edge_case() {
+        let a = rand_mat(8, 8, 6);
+        let (q, _) = tsqr(a.as_ref());
+        let wy = reconstruct_wy(q.as_ref()).unwrap();
+        let qwy = q_from_wy(&wy.w, &wy.y);
+        assert!(orthogonality_residual(qwy.as_ref()) < 1e-11);
+    }
+}

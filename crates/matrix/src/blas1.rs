@@ -1,0 +1,144 @@
+//! Vector (BLAS-1) kernels on contiguous slices.
+//!
+//! These run inside the innermost loops of every factorization, so they are
+//! written as plain indexed loops over slices — the form rustc/LLVM
+//! auto-vectorizes reliably (see the Rust Performance Book guidance on
+//! bounds-check elimination via equal-length slices).
+
+use crate::scalar::Scalar;
+
+/// Dot product `xᵀy`.
+#[inline]
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len());
+    let mut acc = T::ZERO;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// `y ← y + alpha x`.
+#[inline]
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    if alpha == T::ZERO {
+        return;
+    }
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// `x ← alpha x`.
+#[inline]
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean norm, scaled to avoid overflow/underflow (LAPACK `snrm2` style).
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
+    for &v in x {
+        if v != T::ZERO {
+            let a = v.abs();
+            if scale < a {
+                let r = scale / a;
+                ssq = T::ONE + ssq * r * r;
+                scale = a;
+            } else {
+                let r = a / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Index of the entry with largest absolute value; 0 for empty input.
+pub fn iamax<T: Scalar>(x: &[T]) -> usize {
+    let mut best = 0;
+    let mut bv = T::ZERO;
+    for (i, &v) in x.iter().enumerate() {
+        if v.abs() > bv {
+            bv = v.abs();
+            best = i;
+        }
+    }
+    best
+}
+
+/// `x ← x`, `y ← y` swapped.
+pub fn swap<T: Scalar>(x: &mut [T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    for i in 0..x.len() {
+        std::mem::swap(&mut x[i], &mut y[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot::<f32>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_scal() {
+        let mut y = vec![1.0f32, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 4.5]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop() {
+        let mut y = vec![1.0f32, 2.0];
+        axpy(0.0, &[f32::NAN, f32::NAN], &mut y); // must not touch y
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn nrm2_matches_naive() {
+        let x = [3.0f64, 4.0];
+        assert!((nrm2(&x) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nrm2_no_overflow() {
+        let x = [1e20f32, 1e20, 1e20];
+        let n = nrm2(&x);
+        assert!(n.is_finite());
+        assert!((n - 1e20 * 3.0f32.sqrt()).abs() / n < 1e-6);
+    }
+
+    #[test]
+    fn nrm2_no_underflow() {
+        let x = [1e-30f32, 1e-30];
+        let n = nrm2(&x);
+        assert!(n > 0.0);
+        assert!((n / (1e-30 * 2.0f32.sqrt()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iamax_picks_largest_abs() {
+        assert_eq!(iamax(&[1.0f32, -5.0, 3.0]), 1);
+        assert_eq!(iamax::<f32>(&[]), 0);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut a = vec![1.0f64, 2.0];
+        let mut b = vec![3.0, 4.0];
+        swap(&mut a, &mut b);
+        assert_eq!(a, vec![3.0, 4.0]);
+        assert_eq!(b, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,785 @@
+//! Matrix–matrix (BLAS-3) kernels: blocked, rayon-parallel GEMM plus the
+//! symmetric-rank-k and triangular-solve routines the factorizations need.
+//!
+//! Parallelism follows the guide's recommended pattern: recursive
+//! `rayon::join` over *disjoint column halves* of the output (obtained with
+//! `split_cols_at`), which keeps everything in safe code — no raw-pointer
+//! sharing — while letting rayon balance the work.
+
+use crate::blas1::{axpy, dot};
+use crate::blas2::{trsv, Op};
+use crate::mat::{Mat, MatMut, MatRef};
+use crate::scalar::Scalar;
+
+/// Row-block height used to keep the active C/A panel cache-resident.
+const MC: usize = 512;
+/// Column chunk processed per task.
+const NC: usize = 32;
+/// Below this many flops a GEMM runs serially (rayon overhead dominates).
+const PAR_FLOP_THRESHOLD: usize = 1 << 19;
+
+/// Dimensions of `op(A)`.
+#[inline]
+fn op_dims<T: Scalar>(a: &MatRef<'_, T>, op: Op) -> (usize, usize) {
+    match op {
+        Op::NoTrans => (a.rows(), a.cols()),
+        Op::Trans => (a.cols(), a.rows()),
+    }
+}
+
+/// Recursively split `c` into column halves and run `f` on chunks of at most
+/// `chunk` columns, in parallel when `parallel` is set.
+/// `f` receives the global starting column of its chunk.
+pub fn for_col_chunks<T: Scalar>(
+    c: MatMut<'_, T>,
+    chunk: usize,
+    parallel: bool,
+    f: &(impl Fn(usize, MatMut<'_, T>) + Sync),
+) {
+    fn rec<T: Scalar>(
+        c: MatMut<'_, T>,
+        j0: usize,
+        chunk: usize,
+        parallel: bool,
+        f: &(impl Fn(usize, MatMut<'_, T>) + Sync),
+    ) {
+        let n = c.cols();
+        if n <= chunk {
+            f(j0, c);
+            return;
+        }
+        // Split at a chunk-aligned midpoint.
+        let half = ((n / 2) / chunk).max(1) * chunk;
+        let (l, r) = c.split_cols_at(half);
+        if parallel {
+            rayon::join(
+                || rec(l, j0, chunk, parallel, f),
+                || rec(r, j0 + half, chunk, parallel, f),
+            );
+        } else {
+            rec(l, j0, chunk, parallel, f);
+            rec(r, j0 + half, chunk, parallel, f);
+        }
+    }
+    rec(c, 0, chunk, parallel, f);
+}
+
+/// General matrix multiply–accumulate:
+/// `C ← alpha·op(A)·op(B) + beta·C`.
+///
+/// Shapes: `op(A)` is m×k, `op(B)` is k×n, `C` is m×n.
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    op_a: Op,
+    b: MatRef<'_, T>,
+    op_b: Op,
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    let (m, ka) = op_dims(&a, op_a);
+    let (kb, n) = op_dims(&b, op_b);
+    assert_eq!(ka, kb, "gemm inner dimension mismatch");
+    assert_eq!(c.rows(), m, "gemm C row mismatch");
+    assert_eq!(c.cols(), n, "gemm C col mismatch");
+    let k = ka;
+
+    let parallel = 2 * m * n * k >= PAR_FLOP_THRESHOLD;
+
+    for_col_chunks(c, NC, parallel, &|j0, mut cc| {
+        let nc = cc.cols();
+        // beta scaling
+        if beta == T::ZERO {
+            cc.fill(T::ZERO);
+        } else if beta != T::ONE {
+            for j in 0..nc {
+                for v in cc.col_mut(j) {
+                    *v *= beta;
+                }
+            }
+        }
+        if alpha == T::ZERO || k == 0 {
+            return;
+        }
+        match (op_a, op_b) {
+            (Op::NoTrans, Op::NoTrans) => {
+                // C[:,j] += alpha * sum_l A[:,l] * B[l, j0+j], blocked over rows.
+                for i0 in (0..m).step_by(MC) {
+                    let ib = MC.min(m - i0);
+                    for l in 0..k {
+                        let acol = &a.col(l)[i0..i0 + ib];
+                        for j in 0..nc {
+                            let w = alpha * b.get(l, j0 + j);
+                            if w != T::ZERO {
+                                axpy(w, acol, &mut cc.col_mut(j)[i0..i0 + ib]);
+                            }
+                        }
+                    }
+                }
+            }
+            (Op::NoTrans, Op::Trans) => {
+                for i0 in (0..m).step_by(MC) {
+                    let ib = MC.min(m - i0);
+                    for l in 0..k {
+                        let acol = &a.col(l)[i0..i0 + ib];
+                        for j in 0..nc {
+                            let w = alpha * b.get(j0 + j, l);
+                            if w != T::ZERO {
+                                axpy(w, acol, &mut cc.col_mut(j)[i0..i0 + ib]);
+                            }
+                        }
+                    }
+                }
+            }
+            (Op::Trans, Op::NoTrans) => {
+                // C[i,j] += alpha * dot(A[:,i], B[:,j]) — contiguous dots.
+                for j in 0..nc {
+                    let bcol = b.col(j0 + j);
+                    let ccol = cc.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += alpha * dot(a.col(i), bcol);
+                    }
+                }
+            }
+            (Op::Trans, Op::Trans) => {
+                // Materialize each B row into a scratch vector, then dots.
+                let mut brow = vec![T::ZERO; k];
+                for j in 0..nc {
+                    for l in 0..k {
+                        brow[l] = b.get(j0 + j, l);
+                    }
+                    let ccol = cc.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += alpha * dot(a.col(i), &brow);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Convenience: allocate and return `op(A)·op(B)`.
+pub fn matmul<T: Scalar>(a: MatRef<'_, T>, op_a: Op, b: MatRef<'_, T>, op_b: Op) -> Mat<T> {
+    let (m, _) = op_dims(&a, op_a);
+    let (_, n) = op_dims(&b, op_b);
+    let mut c = Mat::zeros(m, n);
+    gemm(T::ONE, a, op_a, b, op_b, T::ZERO, c.as_mut());
+    c
+}
+
+/// Symmetric rank-k update, lower triangle only:
+/// `C ← alpha·A·Aᵀ + beta·C` (op = NoTrans, A is n×k) or
+/// `C ← alpha·Aᵀ·A + beta·C` (op = Trans, A is k×n).
+pub fn syrk_lower<T: Scalar>(alpha: T, a: MatRef<'_, T>, op: Op, beta: T, mut c: MatMut<'_, T>) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n);
+    let (rows, k) = op_dims(&a, op);
+    assert_eq!(rows, n);
+    for j in 0..n {
+        // scale the lower part of column j (beta = 0 overwrites, even NaN)
+        if beta == T::ZERO {
+            c.col_mut(j)[j..].fill(T::ZERO);
+        } else if beta != T::ONE {
+            for v in &mut c.col_mut(j)[j..] {
+                *v *= beta;
+            }
+        }
+        match op {
+            Op::NoTrans => {
+                for l in 0..k {
+                    let w = alpha * a.get(j, l);
+                    if w != T::ZERO {
+                        axpy(w, &a.col(l)[j..n], &mut c.col_mut(j)[j..n]);
+                    }
+                }
+            }
+            Op::Trans => {
+                let acj = a.col(j);
+                for i in j..n {
+                    *c.at_mut(i, j) += alpha * dot(a.col(i), acj);
+                }
+            }
+        }
+    }
+}
+
+/// Symmetric rank-2k update, lower triangle only:
+/// `C ← alpha·(A·Bᵀ + B·Aᵀ) + beta·C` with A, B of shape n×k.
+///
+/// This is the `syr2k` the ZY-based trailing update uses; Tensor Cores have
+/// no native equivalent, which is exactly the paper's point — on the TC
+/// engine it must be issued as two full outer-product GEMMs.
+pub fn syr2k_lower<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n);
+    assert_eq!(a.rows(), n);
+    assert_eq!(b.rows(), n);
+    assert_eq!(a.cols(), b.cols());
+    let k = a.cols();
+    for j in 0..n {
+        if beta == T::ZERO {
+            c.col_mut(j)[j..].fill(T::ZERO);
+        } else if beta != T::ONE {
+            for v in &mut c.col_mut(j)[j..] {
+                *v *= beta;
+            }
+        }
+        for l in 0..k {
+            let wa = alpha * b.get(j, l);
+            if wa != T::ZERO {
+                axpy(wa, &a.col(l)[j..n], &mut c.col_mut(j)[j..n]);
+            }
+            let wb = alpha * a.get(j, l);
+            if wb != T::ZERO {
+                axpy(wb, &b.col(l)[j..n], &mut c.col_mut(j)[j..n]);
+            }
+        }
+    }
+}
+
+/// Which side the triangular matrix multiplies from in `trsm`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Triangular solve with multiple right-hand sides, in place:
+/// * `Side::Left`:  solve `op(A)·X = alpha·B`, X overwrites B.
+/// * `Side::Right`: solve `X·op(A) = alpha·B`, X overwrites B.
+///
+/// `lower` describes the stored triangle of `A`; `unit` means implicit unit
+/// diagonal.
+pub fn trsm<T: Scalar>(
+    side: Side,
+    alpha: T,
+    a: MatRef<'_, T>,
+    op: Op,
+    lower: bool,
+    unit: bool,
+    mut b: MatMut<'_, T>,
+) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "triangular matrix must be square");
+    match side {
+        Side::Left => {
+            assert_eq!(b.rows(), n);
+            for j in 0..b.cols() {
+                let col = b.col_mut(j);
+                if alpha != T::ONE {
+                    for v in col.iter_mut() {
+                        *v *= alpha;
+                    }
+                }
+                trsv(a, op, lower, unit, col);
+            }
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), n);
+            if alpha != T::ONE {
+                for j in 0..n {
+                    for v in b.col_mut(j) {
+                        *v *= alpha;
+                    }
+                }
+            }
+            // M = op(A); solve X·M = B column-block-wise:
+            // B[:,j] = sum_l X[:,l]·M[l,j].
+            let eff_lower = lower ^ (op == Op::Trans);
+            let at = |l: usize, j: usize| -> T {
+                match op {
+                    Op::NoTrans => a.get(l, j),
+                    Op::Trans => a.get(j, l),
+                }
+            };
+            let m = b.rows();
+            if eff_lower {
+                // M[l,j] != 0 for l >= j → solve j from high to low.
+                for j in (0..n).rev() {
+                    for l in j + 1..n {
+                        let w = at(l, j);
+                        if w != T::ZERO {
+                            // B[:,j] -= X[:,l] * M[l,j]; X[:,l] already final.
+                            let (cj, cl) = split_two_cols(b.as_mut(), j, l);
+                            axpy(-w, &cl[..m], &mut cj[..m]);
+                        }
+                    }
+                    if !unit {
+                        let d = at(j, j);
+                        for v in b.col_mut(j) {
+                            *v /= d;
+                        }
+                    }
+                }
+            } else {
+                for j in 0..n {
+                    for l in 0..j {
+                        let w = at(l, j);
+                        if w != T::ZERO {
+                            let (cj, cl) = split_two_cols(b.as_mut(), j, l);
+                            axpy(-w, &cl[..m], &mut cj[..m]);
+                        }
+                    }
+                    if !unit {
+                        let d = at(j, j);
+                        for v in b.col_mut(j) {
+                            *v /= d;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Triangular matrix multiply in place:
+/// * `Side::Left`:  `B ← alpha·op(A)·B`
+/// * `Side::Right`: `B ← alpha·B·op(A)`
+///
+/// `A` triangular (`lower` names the stored triangle), optional implicit
+/// unit diagonal.
+pub fn trmm<T: Scalar>(
+    side: Side,
+    alpha: T,
+    a: MatRef<'_, T>,
+    op: Op,
+    lower: bool,
+    unit: bool,
+    mut b: MatMut<'_, T>,
+) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "triangular matrix must be square");
+    let at = |i: usize, j: usize| -> T {
+        let (r, c) = match op {
+            Op::NoTrans => (i, j),
+            Op::Trans => (j, i),
+        };
+        let stored = if lower { r >= c } else { r <= c };
+        if r == c {
+            if unit {
+                T::ONE
+            } else {
+                a.get(r, c)
+            }
+        } else if stored {
+            a.get(r, c)
+        } else {
+            T::ZERO
+        }
+    };
+    let eff_lower = lower ^ (op == Op::Trans);
+    match side {
+        Side::Left => {
+            assert_eq!(b.rows(), n);
+            for j in 0..b.cols() {
+                let col = b.col_mut(j);
+                if eff_lower {
+                    // row i depends on rows ≤ i → compute top-down in reverse
+                    for i in (0..n).rev() {
+                        let mut s = T::ZERO;
+                        for k in 0..=i {
+                            s += at(i, k) * col[k];
+                        }
+                        col[i] = alpha * s;
+                    }
+                } else {
+                    for i in 0..n {
+                        let mut s = T::ZERO;
+                        for k in i..n {
+                            s += at(i, k) * col[k];
+                        }
+                        col[i] = alpha * s;
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), n);
+            let m = b.rows();
+            if eff_lower {
+                // column j of B·M depends only on B columns ≥ j, so compute
+                // each output column into scratch left-to-right (clarity
+                // over cleverness; trmm is not on a hot path)
+                let mut scratch = vec![T::ZERO; m];
+                for j in 0..n {
+                    for x in scratch.iter_mut() {
+                        *x = T::ZERO;
+                    }
+                    for k in j..n {
+                        let w = at(k, j);
+                        if w != T::ZERO {
+                            for i in 0..m {
+                                scratch[i] += b.get(i, k) * w;
+                            }
+                        }
+                    }
+                    for i in 0..m {
+                        b.set(i, j, alpha * scratch[i]);
+                    }
+                }
+            } else {
+                let mut scratch = vec![T::ZERO; m];
+                for j in (0..n).rev() {
+                    for x in scratch.iter_mut() {
+                        *x = T::ZERO;
+                    }
+                    for k in 0..=j {
+                        let w = at(k, j);
+                        if w != T::ZERO {
+                            for i in 0..m {
+                                scratch[i] += b.get(i, k) * w;
+                            }
+                        }
+                    }
+                    for i in 0..m {
+                        b.set(i, j, alpha * scratch[i]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Borrow column `j` mutably and column `l` immutably (j != l).
+fn split_two_cols<'b, T: Scalar>(
+    b: MatMut<'b, T>,
+    j: usize,
+    l: usize,
+) -> (&'b mut [T], &'b [T]) {
+    assert_ne!(j, l);
+    let rows = b.rows();
+    let ld = b.ld();
+    let data = b.into_slice();
+    let (jo, lo) = (j * ld, l * ld);
+    if j < l {
+        let (left, right) = data.split_at_mut(lo);
+        (&mut left[jo..jo + rows], &right[..rows])
+    } else {
+        let (left, right) = data.split_at_mut(jo);
+        (&mut right[..rows], &left[lo..lo + rows])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(
+        alpha: f64,
+        a: &Mat<f64>,
+        op_a: Op,
+        b: &Mat<f64>,
+        op_b: Op,
+        beta: f64,
+        c: &mut Mat<f64>,
+    ) {
+        let get = |m: &Mat<f64>, op: Op, i: usize, j: usize| match op {
+            Op::NoTrans => m[(i, j)],
+            Op::Trans => m[(j, i)],
+        };
+        let (mm, k) = match op_a {
+            Op::NoTrans => (a.rows(), a.cols()),
+            Op::Trans => (a.cols(), a.rows()),
+        };
+        let n = c.cols();
+        for i in 0..mm {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += get(a, op_a, i, l) * get(b, op_b, l, j);
+                }
+                c[(i, j)] = alpha * s + beta * c[(i, j)];
+            }
+        }
+    }
+
+    fn pseudo_rand(n: usize, seed: u64) -> Vec<f64> {
+        // deterministic LCG so the matrix tests don't need the rand crate here
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
+        Mat::from_col_major(m, n, pseudo_rand(m * n, seed))
+    }
+
+    #[test]
+    fn gemm_all_ops_match_naive() {
+        let (m, k, n) = (7, 5, 9);
+        for (op_a, op_b) in [
+            (Op::NoTrans, Op::NoTrans),
+            (Op::NoTrans, Op::Trans),
+            (Op::Trans, Op::NoTrans),
+            (Op::Trans, Op::Trans),
+        ] {
+            let a = match op_a {
+                Op::NoTrans => rand_mat(m, k, 1),
+                Op::Trans => rand_mat(k, m, 1),
+            };
+            let b = match op_b {
+                Op::NoTrans => rand_mat(k, n, 2),
+                Op::Trans => rand_mat(n, k, 2),
+            };
+            let mut c = rand_mat(m, n, 3);
+            let mut c_ref = c.clone();
+            gemm(1.3, a.as_ref(), op_a, b.as_ref(), op_b, 0.7, c.as_mut());
+            naive_gemm(1.3, &a, op_a, &b, op_b, 0.7, &mut c_ref);
+            assert!(
+                c.max_abs_diff(&c_ref) < 1e-12,
+                "mismatch for ({op_a:?},{op_b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_large_parallel_matches_naive() {
+        let (m, k, n) = (130, 70, 97);
+        let a = rand_mat(m, k, 10);
+        let b = rand_mat(k, n, 11);
+        let mut c = Mat::zeros(m, n);
+        let mut c_ref = Mat::zeros(m, n);
+        gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        naive_gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c_ref);
+        assert!(c.max_abs_diff(&c_ref) < 1e-11);
+    }
+
+    #[test]
+    fn gemm_on_views() {
+        let a = rand_mat(8, 8, 20);
+        let b = rand_mat(8, 8, 21);
+        let mut c = Mat::zeros(8, 8);
+        // multiply submatrices through strided views
+        gemm(
+            1.0,
+            a.view(2, 1, 4, 3),
+            Op::NoTrans,
+            b.view(0, 2, 3, 4),
+            Op::NoTrans,
+            0.0,
+            c.view_mut(1, 1, 4, 4),
+        );
+        let a_sub = a.submatrix(2, 1, 4, 3);
+        let b_sub = b.submatrix(0, 2, 3, 4);
+        let mut want = Mat::zeros(4, 4);
+        naive_gemm(1.0, &a_sub, Op::NoTrans, &b_sub, Op::NoTrans, 0.0, &mut want);
+        assert!(c.submatrix(1, 1, 4, 4).max_abs_diff(&want) < 1e-13);
+        // untouched border stays zero
+        assert_eq!(c[(0, 0)], 0.0);
+        assert_eq!(c[(7, 7)], 0.0);
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_nan() {
+        // beta = 0 must overwrite even NaN garbage in C.
+        let a = Mat::<f64>::identity(2, 2);
+        let b = Mat::<f64>::identity(2, 2);
+        let mut c = Mat::from_col_major(2, 2, vec![f64::NAN; 4]);
+        gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        assert_eq!(c.max_abs_diff(&Mat::identity(2, 2)), 0.0);
+    }
+
+    #[test]
+    fn syrk_matches_gemm() {
+        let a = rand_mat(6, 4, 30);
+        let mut c = Mat::zeros(6, 6);
+        syrk_lower(2.0, a.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        let full = matmul(a.as_ref(), Op::NoTrans, a.as_ref(), Op::Trans);
+        for j in 0..6 {
+            for i in j..6 {
+                assert!((c[(i, j)] - 2.0 * full[(i, j)]).abs() < 1e-13);
+            }
+        }
+        // syrk trans
+        let at = rand_mat(4, 6, 31);
+        let mut c2 = Mat::zeros(6, 6);
+        syrk_lower(1.0, at.as_ref(), Op::Trans, 0.0, c2.as_mut());
+        let full2 = matmul(at.as_ref(), Op::Trans, at.as_ref(), Op::NoTrans);
+        for j in 0..6 {
+            for i in j..6 {
+                assert!((c2[(i, j)] - full2[(i, j)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_matches_two_gemms() {
+        let a = rand_mat(5, 3, 40);
+        let b = rand_mat(5, 3, 41);
+        let mut c = Mat::zeros(5, 5);
+        syr2k_lower(1.5, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        let mut want = matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::Trans);
+        let ba = matmul(b.as_ref(), Op::NoTrans, a.as_ref(), Op::Trans);
+        for j in 0..5 {
+            for i in 0..5 {
+                want[(i, j)] = 1.5 * (want[(i, j)] + ba[(i, j)]);
+            }
+        }
+        for j in 0..5 {
+            for i in j..5 {
+                assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_left_solves() {
+        // random SPD-ish lower triangular with strong diagonal
+        let n = 6;
+        let mut l = rand_mat(n, n, 50);
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+            l[(j, j)] = 3.0 + l[(j, j)].abs();
+        }
+        let x_true = rand_mat(n, 4, 51);
+        let b = matmul(l.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans);
+        let mut x = b.clone();
+        trsm(Side::Left, 1.0, l.as_ref(), Op::NoTrans, true, false, x.as_mut());
+        assert!(x.max_abs_diff(&x_true) < 1e-11);
+
+        // transpose case: L^T X = B
+        let b2 = matmul(l.as_ref(), Op::Trans, x_true.as_ref(), Op::NoTrans);
+        let mut x2 = b2.clone();
+        trsm(Side::Left, 1.0, l.as_ref(), Op::Trans, true, false, x2.as_mut());
+        assert!(x2.max_abs_diff(&x_true) < 1e-11);
+    }
+
+    #[test]
+    fn trsm_right_solves() {
+        let n = 5;
+        let mut u = rand_mat(n, n, 60);
+        for j in 0..n {
+            for i in j + 1..n {
+                u[(i, j)] = 0.0;
+            }
+            u[(j, j)] = 2.5 + u[(j, j)].abs();
+        }
+        let x_true = rand_mat(7, n, 61);
+        // X U = B
+        let b = matmul(x_true.as_ref(), Op::NoTrans, u.as_ref(), Op::NoTrans);
+        let mut x = b.clone();
+        trsm(Side::Right, 1.0, u.as_ref(), Op::NoTrans, false, false, x.as_mut());
+        assert!(x.max_abs_diff(&x_true) < 1e-11);
+
+        // X U^T = B  (U^T is lower → eff_lower path)
+        let b2 = matmul(x_true.as_ref(), Op::NoTrans, u.as_ref(), Op::Trans);
+        let mut x2 = b2.clone();
+        trsm(Side::Right, 1.0, u.as_ref(), Op::Trans, false, false, x2.as_mut());
+        assert!(x2.max_abs_diff(&x_true) < 1e-11);
+    }
+
+    #[test]
+    fn trsm_unit_diagonal() {
+        let n = 4;
+        let mut l = rand_mat(n, n, 70);
+        for j in 0..n {
+            for i in 0..=j {
+                l[(i, j)] = if i == j { 999.0 } else { 0.0 }; // poison diag
+            }
+        }
+        let mut l_unit = l.clone();
+        for j in 0..n {
+            l_unit[(j, j)] = 1.0;
+        }
+        let x_true = rand_mat(n, 3, 71);
+        let b = matmul(l_unit.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans);
+        let mut x = b.clone();
+        trsm(Side::Left, 1.0, l.as_ref(), Op::NoTrans, true, true, x.as_mut());
+        assert!(x.max_abs_diff(&x_true) < 1e-12);
+    }
+
+    #[test]
+    fn trmm_all_variants_match_dense() {
+        let n = 5;
+        let mut l = rand_mat(n, n, 80);
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+        }
+        // dense versions for reference
+        let dense = |op: Op, unit: bool| -> Mat<f64> {
+            Mat::from_fn(n, n, |i, j| {
+                let (r, c) = match op {
+                    Op::NoTrans => (i, j),
+                    Op::Trans => (j, i),
+                };
+                if r == c {
+                    if unit { 1.0 } else { l[(r, c)] }
+                } else if r > c {
+                    l[(r, c)]
+                } else {
+                    0.0
+                }
+            })
+        };
+        let b = rand_mat(n, 4, 81);
+        let bt = rand_mat(4, n, 82);
+        for op in [Op::NoTrans, Op::Trans] {
+            for unit in [false, true] {
+                let m_eff = dense(op, unit);
+                // left
+                let mut got = b.clone();
+                trmm(Side::Left, 1.5, l.as_ref(), op, true, unit, got.as_mut());
+                let want = {
+                    let mut w = matmul(m_eff.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+                    for v in w.as_mut_slice() {
+                        *v *= 1.5;
+                    }
+                    w
+                };
+                assert!(got.max_abs_diff(&want) < 1e-12, "left {op:?} unit={unit}");
+                // right
+                let mut got = bt.clone();
+                trmm(Side::Right, 2.0, l.as_ref(), op, true, unit, got.as_mut());
+                let want = {
+                    let mut w = matmul(bt.as_ref(), Op::NoTrans, m_eff.as_ref(), Op::NoTrans);
+                    for v in w.as_mut_slice() {
+                        *v *= 2.0;
+                    }
+                    w
+                };
+                assert!(got.max_abs_diff(&want) < 1e-12, "right {op:?} unit={unit}");
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_upper_triangle() {
+        let n = 4;
+        let mut u = rand_mat(n, n, 83);
+        for j in 0..n {
+            for i in j + 1..n {
+                u[(i, j)] = 0.0;
+            }
+        }
+        let b = rand_mat(n, 3, 84);
+        let mut got = b.clone();
+        trmm(Side::Left, 1.0, u.as_ref(), Op::NoTrans, false, false, got.as_mut());
+        let want = matmul(u.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        assert!(got.max_abs_diff(&want) < 1e-13);
+    }
+
+    #[test]
+    fn trsm_alpha_scales() {
+        let l = Mat::<f64>::identity(3, 3);
+        let mut b = Mat::from_col_major(3, 3, vec![1.0; 9]);
+        trsm(Side::Left, 2.0, l.as_ref(), Op::NoTrans, true, false, b.as_mut());
+        assert_eq!(b[(0, 0)], 2.0);
+        let mut b2 = Mat::from_col_major(3, 3, vec![1.0; 9]);
+        trsm(Side::Right, 3.0, l.as_ref(), Op::NoTrans, true, false, b2.as_mut());
+        assert_eq!(b2[(2, 2)], 3.0);
+    }
+}

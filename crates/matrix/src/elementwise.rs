@@ -1,0 +1,141 @@
+//! Element-wise matrix operations and operator overloads.
+//!
+//! The factorization code paths stay on explicit BLAS calls; these
+//! conveniences serve tests, examples, and application-layer code where
+//! clarity beats squeezing out the last allocation.
+
+use crate::mat::{Mat, MatMut, MatRef};
+use crate::scalar::Scalar;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// `c ← alpha·a + beta·b` (element-wise), shapes must match.
+pub fn axpby_mat<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    beta: T,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
+) {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+    assert_eq!((a.rows(), a.cols()), (c.rows(), c.cols()));
+    for j in 0..a.cols() {
+        let (ca, cb) = (a.col(j), b.col(j));
+        let cc = c.col_mut(j);
+        for i in 0..cc.len() {
+            cc[i] = alpha * ca[i] + beta * cb[i];
+        }
+    }
+}
+
+/// Scale every entry in place.
+pub fn scale_mat<T: Scalar>(alpha: T, mut a: MatMut<'_, T>) {
+    for j in 0..a.cols() {
+        for v in a.col_mut(j) {
+            *v *= alpha;
+        }
+    }
+}
+
+impl<T: Scalar> Add for &Mat<T> {
+    type Output = Mat<T>;
+    fn add(self, rhs: &Mat<T>) -> Mat<T> {
+        let mut out = Mat::zeros(self.rows(), self.cols());
+        axpby_mat(T::ONE, self.as_ref(), T::ONE, rhs.as_ref(), out.as_mut());
+        out
+    }
+}
+
+impl<T: Scalar> Sub for &Mat<T> {
+    type Output = Mat<T>;
+    fn sub(self, rhs: &Mat<T>) -> Mat<T> {
+        let mut out = Mat::zeros(self.rows(), self.cols());
+        axpby_mat(T::ONE, self.as_ref(), -T::ONE, rhs.as_ref(), out.as_mut());
+        out
+    }
+}
+
+impl<T: Scalar> Neg for &Mat<T> {
+    type Output = Mat<T>;
+    fn neg(self) -> Mat<T> {
+        let mut out = self.clone();
+        scale_mat(-T::ONE, out.as_mut());
+        out
+    }
+}
+
+/// Matrix × matrix through the f32/f64 GEMM (convenience operator).
+impl<T: Scalar> Mul for &Mat<T> {
+    type Output = Mat<T>;
+    fn mul(self, rhs: &Mat<T>) -> Mat<T> {
+        crate::blas3::matmul(
+            self.as_ref(),
+            crate::blas2::Op::NoTrans,
+            rhs.as_ref(),
+            crate::blas2::Op::NoTrans,
+        )
+    }
+}
+
+/// Scalar multiply: `&m * s` — generic `s * &m` is not expressible for a
+/// foreign scalar type, so the matrix goes on the left.
+impl<T: Scalar> Mul<T> for &Mat<T> {
+    type Output = Mat<T>;
+    fn mul(self, rhs: T) -> Mat<T> {
+        let mut out = self.clone();
+        scale_mat(rhs, out.as_mut());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: &[f64]) -> Mat<f64> {
+        Mat::from_rows(2, 2, v)
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = m(&[1., 2., 3., 4.]);
+        let b = m(&[10., 20., 30., 40.]);
+        assert_eq!((&a + &b)[(1, 1)], 44.0);
+        assert_eq!((&b - &a)[(0, 1)], 18.0);
+        assert_eq!((-&a)[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn matmul_operator() {
+        let a = m(&[1., 2., 3., 4.]);
+        let id = Mat::<f64>::identity(2, 2);
+        assert_eq!((&a * &id).max_abs_diff(&a), 0.0);
+        let sq = &a * &a;
+        // [1 2; 3 4]² = [7 10; 15 22]
+        assert_eq!(sq[(0, 0)], 7.0);
+        assert_eq!(sq[(1, 1)], 22.0);
+    }
+
+    #[test]
+    fn scalar_multiply() {
+        let a = m(&[1., 2., 3., 4.]);
+        let s = &a * 2.5;
+        assert_eq!(s[(1, 0)], 7.5);
+    }
+
+    #[test]
+    fn axpby_general() {
+        let a = m(&[1., 1., 1., 1.]);
+        let b = m(&[2., 2., 2., 2.]);
+        let mut c = Mat::<f64>::zeros(2, 2);
+        axpby_mat(3.0, a.as_ref(), -1.0, b.as_ref(), c.as_mut());
+        assert_eq!(c[(0, 0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = Mat::<f64>::zeros(2, 2);
+        let b = Mat::<f64>::zeros(3, 3);
+        let _ = &a + &b;
+    }
+}

@@ -1,0 +1,279 @@
+//! Software IEEE 754 binary16 (`f16`) and NVIDIA TF32 emulation.
+//!
+//! The Tensor Core simulator needs bit-exact reduced-precision inputs:
+//! A100 HMMA instructions consume fp16 (or tf32) operands and accumulate in
+//! fp32. We implement the conversions ourselves (round-to-nearest-even, the
+//! hardware rounding mode) rather than pulling in the `half` crate — the
+//! conversion *is* part of the substrate being reproduced.
+//!
+//! `F16` stores the raw 16-bit pattern; arithmetic is defined by converting
+//! to `f32`, operating, and rounding back, exactly like a scalar fp16 ALU.
+
+/// IEEE 754 binary16 value stored as its raw bit pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Default)]
+pub struct F16(pub u16);
+
+/// Unit roundoff of fp16 (2^-11).
+pub const F16_UNIT_ROUNDOFF: f32 = 4.8828125e-4;
+/// Largest finite fp16 value.
+pub const F16_MAX: f32 = 65504.0;
+/// Smallest positive normal fp16 value (2^-14).
+pub const F16_MIN_POSITIVE: f32 = 6.103_515_6e-5;
+
+impl F16 {
+    pub const ZERO: F16 = F16(0);
+    pub const ONE: F16 = F16(0x3C00);
+    pub const NEG_ONE: F16 = F16(0xBC00);
+    pub const INFINITY: F16 = F16(0x7C00);
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Convert from `f32` with round-to-nearest-even (hardware behaviour).
+    #[inline]
+    pub fn from_f32(x: f32) -> F16 {
+        F16(f32_to_f16_bits(x))
+    }
+
+    /// Widen to `f32` (exact: every finite fp16 value is representable).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+}
+
+impl std::fmt::Debug for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F16({} = {:#06x})", self.to_f32(), self.0)
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> F16 {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> f32 {
+        x.to_f32()
+    }
+}
+
+/// `f32` → `f16` bit conversion with round-to-nearest-even.
+///
+/// Handles normals, subnormals, overflow to infinity, and NaN payloads the
+/// way the CUDA `__float2half_rn` intrinsic does.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN; preserve NaN-ness with a quiet bit.
+        return if mant != 0 {
+            sign | 0x7C00 | 0x0200 | ((mant >> 13) as u16 & 0x03FF) | u16::from(mant >> 13 == 0)
+        } else {
+            sign | 0x7C00
+        };
+    }
+
+    // Unbiased exponent in f32; f16 bias is 15, f32 bias is 127.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow → infinity (round-to-nearest maps all of them to inf).
+        return sign | 0x7C00;
+    }
+
+    if unbiased >= -14 {
+        // Normal f16 range. 23-bit mantissa → 10-bit with RNE on bit 13.
+        let half_exp = ((unbiased + 15) as u32) << 10;
+        let half_mant = mant >> 13;
+        let round_bits = mant & 0x1FFF; // 13 dropped bits
+        let mut out = sign as u32 | half_exp | half_mant;
+        // RNE: round up if above halfway, or exactly halfway and LSB set.
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (half_mant & 1) == 1) {
+            out += 1; // carries propagate correctly into exponent / infinity
+        }
+        return out as u16;
+    }
+
+    if unbiased >= -25 {
+        // Subnormal f16: shift the implicit-1 mantissa into place.
+        let full_mant = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13; // total right shift
+        let half_mant = full_mant >> shift;
+        let round_mask = (1u32 << shift) - 1;
+        let round_bits = full_mant & round_mask;
+        let halfway = 1u32 << (shift - 1);
+        let mut out = sign as u32 | half_mant;
+        if round_bits > halfway || (round_bits == halfway && (half_mant & 1) == 1) {
+            out += 1;
+        }
+        return out as u16;
+    }
+
+    // Too small: rounds to signed zero.
+    sign
+}
+
+/// `f16` bits → `f32` (exact widening).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+
+    if exp == 0 {
+        if mant == 0 {
+            return f32::from_bits(sign);
+        }
+        // Subnormal: value = mant · 2⁻²⁴. Normalize around the MSB of mant.
+        let p = 31 - mant.leading_zeros(); // MSB position, 0..=9
+        let exp_f32 = p + 103; // (p − 24) + 127
+        let mant_norm = ((mant << (10 - p)) & 0x03FF) << 13;
+        return f32::from_bits(sign | (exp_f32 << 23) | mant_norm);
+    }
+    if exp == 0x1F {
+        // Inf / NaN
+        return f32::from_bits(sign | 0x7F80_0000 | (mant << 13));
+    }
+    let exp_f32 = exp + (127 - 15);
+    f32::from_bits(sign | (exp_f32 << 23) | (mant << 13))
+}
+
+/// Round an `f32` through fp16 and back: the value a Tensor Core actually
+/// multiplies after operand truncation.
+#[inline]
+pub fn round_through_f16(x: f32) -> f32 {
+    F16::from_f32(x).to_f32()
+}
+
+/// NVIDIA TF32: 8-bit exponent (same as f32), 10-bit mantissa.
+/// Round-to-nearest-even on the 13 dropped mantissa bits.
+#[inline]
+pub fn round_to_tf32(x: f32) -> f32 {
+    let bits = x.to_bits();
+    if (bits >> 23) & 0xFF == 0xFF {
+        return x; // inf/nan unchanged
+    }
+    let mant_keep = bits & !0x1FFF;
+    let round_bits = bits & 0x1FFF;
+    let lsb = (bits >> 13) & 1;
+    let mut out = mant_keep;
+    if round_bits > 0x1000 || (round_bits == 0x1000 && lsb == 1) {
+        out = out.wrapping_add(0x2000);
+    }
+    f32::from_bits(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(0.0).0, 0x0000);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+        assert_eq!(F16::from_f32(1.0).0, 0x3C00);
+        assert_eq!(F16::from_f32(-1.0).0, 0xBC00);
+        assert_eq!(F16::from_f32(2.0).0, 0x4000);
+        assert_eq!(F16::from_f32(0.5).0, 0x3800);
+        assert_eq!(F16::from_f32(65504.0).0, 0x7BFF); // max finite
+        assert_eq!(F16::from_f32(65536.0).0, 0x7C00); // overflow → inf
+        assert_eq!(F16::from_f32(f32::INFINITY).0, 0x7C00);
+        assert_eq!(F16::from_f32(6.103_515_6e-5).0, 0x0400); // min normal
+        assert_eq!(F16::from_f32(5.960_464_5e-8).0, 0x0001); // min subnormal
+    }
+
+    #[test]
+    fn widening_is_exact_for_all_finite_f16() {
+        for bits in 0u16..=0xFFFF {
+            let h = F16(bits);
+            if !h.is_finite() {
+                continue;
+            }
+            let f = h.to_f32();
+            let back = F16::from_f32(f);
+            assert_eq!(back.0, bits, "bits {bits:#06x} -> {f} -> {:#06x}", back.0);
+        }
+    }
+
+    #[test]
+    fn rne_ties_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 (mantissa even) and
+        // 1 + 2^-10; RNE keeps the even one.
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).0, F16::from_f32(1.0).0);
+        // 1 + 3*2^-11 is halfway between odd 1+2^-10 and even 1+2^-9.
+        let halfway_up = 1.0 + 3.0 * 2f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway_up).to_f32(), 1.0 + 2f32.powi(-9));
+    }
+
+    #[test]
+    fn relative_error_bounded_by_unit_roundoff() {
+        let mut x = 1e-3f32;
+        while x < 1e4 {
+            let r = round_through_f16(x);
+            assert!(
+                ((r - x) / x).abs() <= F16_UNIT_ROUNDOFF,
+                "x={x} r={r}"
+            );
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormal_round_trip() {
+        // A value in the f16 subnormal range survives with bounded abs error.
+        let x = 3.1e-6f32;
+        let r = round_through_f16(x);
+        assert!((r - x).abs() <= 5.960_464_5e-8); // half ULP of subnormals is 2^-25, 1 ulp = 2^-24
+    }
+
+    #[test]
+    fn tf32_truncation() {
+        assert_eq!(round_to_tf32(1.0), 1.0);
+        // tf32 has 10 explicit mantissa bits → 1 + 2^-10 representable,
+        // 1 + 2^-12 rounds to 1.
+        assert_eq!(round_to_tf32(1.0 + 2f32.powi(-10)), 1.0 + 2f32.powi(-10));
+        assert_eq!(round_to_tf32(1.0 + 2f32.powi(-12)), 1.0);
+        // halfway 1 + 2^-11 ties to even → 1.0
+        assert_eq!(round_to_tf32(1.0 + 2f32.powi(-11)), 1.0);
+        assert!(round_to_tf32(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn tf32_exponent_range_is_f32() {
+        // Values far outside fp16 range survive tf32 with ~2^-11 relative error.
+        let r = round_to_tf32(1e30);
+        assert!(r.is_finite());
+        assert!(((r - 1e30) / 1e30).abs() <= 2f32.powi(-11));
+        assert!(round_through_f16(1e30).is_infinite());
+    }
+}

@@ -1,0 +1,44 @@
+//! # tcevd-matrix — dense linear-algebra substrate
+//!
+//! Column-major dense matrices, strided views, and the BLAS-1/2/3 kernel set
+//! used by every higher-level crate in the tcevd workspace (QR/LU
+//! factorizations, successive band reduction, eigensolvers).
+//!
+//! Also home to the reduced-precision scalar emulation (the [`mod@f16`] module) that the
+//! Tensor-Core simulator is built on: bit-exact IEEE binary16 conversion with
+//! round-to-nearest-even, and NVIDIA TF32 mantissa truncation.
+//!
+//! Design notes:
+//! * Storage is column-major with explicit leading dimension in views,
+//!   mirroring LAPACK conventions so blocked algorithms translate directly.
+//! * BLAS-3 kernels parallelize with recursive `rayon::join` over disjoint
+//!   column halves of the output — data-race freedom by construction.
+//! * Everything is generic over [`Scalar`] (`f32`/`f64`): the f32 pipeline is
+//!   the paper's working precision, the f64 pipeline is the LAPACK-substitute
+//!   reference.
+
+pub mod blas1;
+pub mod blas2;
+pub mod blas3;
+pub mod elementwise;
+pub mod f16;
+pub mod mat;
+pub mod norms;
+pub mod scalar;
+
+pub use blas2::Op;
+pub use blas3::Side;
+pub use f16::F16;
+pub use mat::{Mat, MatMut, MatRef};
+pub use scalar::Scalar;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::blas1::{axpy, dot, nrm2, scal};
+    pub use crate::blas2::{gemv, ger, symv_lower, Op};
+    pub use crate::blas3::{gemm, matmul, syr2k_lower, syrk_lower, trmm, trsm, Side};
+    pub use crate::elementwise::{axpby_mat, scale_mat};
+    pub use crate::mat::{Mat, MatMut, MatRef};
+    pub use crate::norms::{frobenius, max_abs, orthogonality_residual};
+    pub use crate::scalar::Scalar;
+}

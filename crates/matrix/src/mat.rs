@@ -1,0 +1,579 @@
+//! Dense column-major matrix storage and strided views.
+//!
+//! `Mat<T>` owns its data with leading dimension equal to `rows`.
+//! `MatRef`/`MatMut` are borrowed views with an explicit leading dimension
+//! (`ld`), so panels and trailing submatrices alias parent storage without
+//! copies — the access pattern every blocked factorization in this workspace
+//! relies on.
+
+use crate::scalar::Scalar;
+
+/// Owned dense matrix, column-major, leading dimension = `rows`.
+///
+/// ```
+/// use tcevd_matrix::Mat;
+///
+/// let a = Mat::<f64>::from_rows(2, 2, &[1.0, 2.0,
+///                                       3.0, 4.0]);
+/// assert_eq!(a[(1, 0)], 3.0);
+/// // views alias the parent storage
+/// let v = a.view(0, 1, 2, 1);
+/// assert_eq!(v.get(1, 0), 4.0);
+/// // column-major layout
+/// assert_eq!(a.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Mat<T> {
+    data: Vec<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: Scalar> Mat<T> {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            data: vec![T::ZERO; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Identity matrix (rectangular allowed: ones on the main diagonal).
+    pub fn identity(rows: usize, cols: usize) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows.min(cols) {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Mat { data, rows, cols }
+    }
+
+    /// Wrap an existing column-major buffer. Panics if the length mismatches.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length != rows*cols");
+        Mat { data, rows, cols }
+    }
+
+    /// Build from row-major data (convenience for literals in tests).
+    pub fn from_rows(rows: usize, cols: usize, data: &[T]) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Self::from_fn(rows, cols, |i, j| data[i * cols + j])
+    }
+
+    /// Diagonal matrix from a slice.
+    pub fn from_diag(d: &[T]) -> Self {
+        let n = d.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &x) in d.iter().enumerate() {
+            m[(i, i)] = x;
+        }
+        m
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw column-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        debug_assert!(j < self.cols);
+        let r = self.rows;
+        &mut self.data[j * r..(j + 1) * r]
+    }
+
+    /// Full-matrix immutable view.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.rows,
+        }
+    }
+
+    /// Full-matrix mutable view.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            ld: self.rows,
+            rows: self.rows,
+            cols: self.cols,
+            data: &mut self.data,
+        }
+    }
+
+    /// Immutable view of the submatrix starting at (`r0`,`c0`) of shape `nr`×`nc`.
+    pub fn view(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'_, T> {
+        self.as_ref().view(r0, c0, nr, nc)
+    }
+
+    /// Mutable view of a submatrix.
+    pub fn view_mut(&mut self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'_, T> {
+        self.as_mut().into_view(r0, c0, nr, nc)
+    }
+
+    /// Copy of a submatrix as an owned matrix.
+    pub fn submatrix(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> Mat<T> {
+        self.view(r0, c0, nr, nc).to_owned()
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> Mat<T> {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Set every entry to `x`.
+    pub fn fill(&mut self, x: T) {
+        self.data.fill(x);
+    }
+
+    /// Mirror the lower triangle into the upper (enforce symmetry).
+    pub fn symmetrize_from_lower(&mut self) {
+        assert!(self.is_square());
+        for j in 0..self.cols {
+            for i in j + 1..self.rows {
+                let v = self[(i, j)];
+                self[(j, i)] = v;
+            }
+        }
+    }
+
+    /// Max |a_ij - b_ij| over all entries; shape mismatch panics.
+    pub fn max_abs_diff(&self, other: &Mat<T>) -> T {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let mut m = T::ZERO;
+        for (a, b) in self.data.iter().zip(other.data.iter()) {
+            m = m.max_val((*a - *b).abs());
+        }
+        m
+    }
+
+    /// Convert element type (e.g. f64 reference → f32 working precision).
+    pub fn cast<U: Scalar>(&self) -> Mat<U> {
+        Mat {
+            data: self.data.iter().map(|x| U::from_f64(x.to_f64())).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Mat<T> {
+    type Output = T;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Mat<T> {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Mat<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.rows, self.cols)?;
+        let show_r = self.rows.min(8);
+        let show_c = self.cols.min(8);
+        for i in 0..show_r {
+            write!(f, "  ")?;
+            for j in 0..show_c {
+                write!(f, "{:>12.5e} ", self[(i, j)].to_f64())?;
+            }
+            writeln!(f, "{}", if self.cols > show_c { "..." } else { "" })?;
+        }
+        if self.rows > show_r {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Immutable strided view: column `j` starts at `data[j*ld]`, entries
+/// `data[i + j*ld]` for `i < rows`.
+#[derive(Copy, Clone)]
+pub struct MatRef<'a, T> {
+    data: &'a [T],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a, T: Scalar> MatRef<'a, T> {
+    /// View over a raw column-major buffer with explicit leading dimension.
+    pub fn from_slice(data: &'a [T], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows.max(1));
+        if cols > 0 {
+            assert!(data.len() >= (cols - 1) * ld + rows, "buffer too short");
+        }
+        MatRef { data, rows, cols, ld }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    /// Column `j` as a slice of length `rows`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [T] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Sub-view.
+    pub fn view(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a, T> {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view out of bounds");
+        if nr == 0 || nc == 0 {
+            return MatRef {
+                data: &[],
+                rows: nr,
+                cols: nc,
+                ld: self.ld,
+            };
+        }
+        let off = r0 + c0 * self.ld;
+        let end = off + (nc - 1) * self.ld + nr;
+        MatRef {
+            data: &self.data[off..end],
+            rows: nr,
+            cols: nc,
+            ld: self.ld,
+        }
+    }
+
+    /// Materialize as an owned matrix (ld compacted to rows).
+    pub fn to_owned(&self) -> Mat<T> {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for j in 0..self.cols {
+            data.extend_from_slice(self.col(j));
+        }
+        Mat {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+}
+
+/// Mutable strided view.
+pub struct MatMut<'a, T> {
+    data: &'a mut [T],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a, T: Scalar> MatMut<'a, T> {
+    /// Mutable view over a raw column-major buffer.
+    pub fn from_slice(data: &'a mut [T], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows.max(1));
+        if cols > 0 {
+            assert!(data.len() >= (cols - 1) * ld + rows, "buffer too short");
+        }
+        MatMut { data, rows, cols, ld }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld]
+    }
+
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i + j * self.ld] = v;
+    }
+
+    #[inline(always)]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.ld]
+    }
+
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.ld..j * self.ld + self.rows]
+    }
+
+    /// Reborrow as an immutable view.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+        }
+    }
+
+    /// Reborrow mutably (shorter lifetime).
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            ld: self.ld,
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data,
+        }
+    }
+
+    /// Consume into a sub-view (keeps lifetime `'a`).
+    pub fn into_view(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a, T> {
+        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view out of bounds");
+        if nr == 0 || nc == 0 {
+            return MatMut {
+                ld: self.ld,
+                rows: nr,
+                cols: nc,
+                data: &mut [],
+            };
+        }
+        let off = r0 + c0 * self.ld;
+        let end = off + (nc - 1) * self.ld + nr;
+        MatMut {
+            ld: self.ld,
+            rows: nr,
+            cols: nc,
+            data: &mut self.data[off..end],
+        }
+    }
+
+    /// Borrowed sub-view.
+    pub fn view_mut(&mut self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'_, T> {
+        self.as_mut().into_view(r0, c0, nr, nc)
+    }
+
+    /// Split into two disjoint column blocks at column `at`.
+    pub fn split_cols_at(self, at: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        assert!(at <= self.cols);
+        let (left, right) = self.data.split_at_mut(at * self.ld);
+        (
+            MatMut {
+                ld: self.ld,
+                rows: self.rows,
+                cols: at,
+                data: left,
+            },
+            MatMut {
+                ld: self.ld,
+                rows: self.rows,
+                cols: self.cols - at,
+                data: right,
+            },
+        )
+    }
+
+    /// Overwrite from another matrix of identical shape.
+    pub fn copy_from(&mut self, src: MatRef<'_, T>) {
+        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
+        for j in 0..self.cols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+
+    /// Set every entry to `x`.
+    pub fn fill(&mut self, x: T) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(x);
+        }
+    }
+
+    /// Consume the view, returning the underlying column-major slice
+    /// (stride `ld` between columns).
+    #[inline]
+    pub fn into_slice(self) -> &'a mut [T] {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Mat::<f64>::from_rows(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m[(0, 0)], 1.);
+        assert_eq!(m[(0, 2)], 3.);
+        assert_eq!(m[(1, 0)], 4.);
+        // column-major layout
+        assert_eq!(m.as_slice(), &[1., 4., 2., 5., 3., 6.]);
+        assert_eq!(m.col(1), &[2., 5.]);
+    }
+
+    #[test]
+    fn identity_rectangular() {
+        let m = Mat::<f32>::identity(3, 2);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(2, 0)], 0.0);
+        assert_eq!(m[(2, 1)], 0.0);
+    }
+
+    #[test]
+    fn views_alias_parent_storage() {
+        let mut m = Mat::<f64>::from_fn(5, 5, |i, j| (i * 10 + j) as f64);
+        let v = m.view(1, 2, 3, 2);
+        assert_eq!(v.get(0, 0), m[(1, 2)]);
+        assert_eq!(v.get(2, 1), m[(3, 3)]);
+        assert_eq!(v.ld(), 5);
+
+        let mut vm = m.view_mut(2, 1, 2, 3);
+        vm.set(0, 0, -1.0);
+        assert_eq!(m[(2, 1)], -1.0);
+    }
+
+    #[test]
+    fn nested_views_compose() {
+        let m = Mat::<f32>::from_fn(6, 6, |i, j| (i + 100 * j) as f32);
+        let v1 = m.view(1, 1, 4, 4);
+        let v2 = v1.view(1, 2, 2, 2);
+        assert_eq!(v2.get(0, 0), m[(2, 3)]);
+        assert_eq!(v2.get(1, 1), m[(3, 4)]);
+    }
+
+    #[test]
+    fn to_owned_compacts_ld() {
+        let m = Mat::<f64>::from_fn(4, 4, |i, j| (i + j) as f64);
+        let v = m.view(1, 1, 2, 2).to_owned();
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v[(0, 0)], 2.0);
+        assert_eq!(v[(1, 1)], 4.0);
+        assert_eq!(v.as_slice().len(), 4);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Mat::<f32>::from_fn(3, 5, |i, j| (i * 5 + j) as f32);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.cols(), 3);
+        assert_eq!(t.transpose().max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn split_cols_disjoint() {
+        let mut m = Mat::<f64>::zeros(3, 4);
+        let (mut l, mut r) = m.as_mut().split_cols_at(2);
+        l.set(0, 0, 1.0);
+        r.set(0, 0, 2.0);
+        assert_eq!(l.cols(), 2);
+        assert_eq!(r.cols(), 2);
+        drop((l, r));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 2.0);
+    }
+
+    #[test]
+    fn symmetrize() {
+        let mut m = Mat::<f64>::from_rows(2, 2, &[1., 99., 3., 4.]);
+        m.symmetrize_from_lower();
+        assert_eq!(m[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn copy_from_strided() {
+        let src = Mat::<f32>::from_fn(4, 4, |i, j| (i * 4 + j) as f32);
+        let mut dst = Mat::<f32>::zeros(2, 2);
+        dst.as_mut().copy_from(src.view(1, 1, 2, 2));
+        assert_eq!(dst[(0, 0)], src[(1, 1)]);
+        assert_eq!(dst[(1, 1)], src[(2, 2)]);
+    }
+
+    #[test]
+    fn cast_f64_f32() {
+        let m = Mat::<f64>::from_diag(&[1.5, -2.25]);
+        let c: Mat<f32> = m.cast();
+        assert_eq!(c[(0, 0)], 1.5f32);
+        assert_eq!(c[(1, 1)], -2.25f32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn view_out_of_bounds_panics() {
+        let m = Mat::<f32>::zeros(3, 3);
+        let _ = m.view(1, 1, 3, 1);
+    }
+
+    #[test]
+    fn empty_views_ok() {
+        let m = Mat::<f32>::zeros(3, 3);
+        let v = m.view(0, 0, 0, 0);
+        assert_eq!(v.rows(), 0);
+        let v2 = m.view(3, 3, 0, 0);
+        assert_eq!(v2.cols(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Matrix norms and the residual metrics the paper's accuracy tables use.
+
+use crate::mat::{Mat, MatRef};
+use crate::scalar::Scalar;
+
+/// Frobenius norm, overflow-safe (two-pass scaled accumulation).
+pub fn frobenius<T: Scalar>(a: MatRef<'_, T>) -> T {
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
+    for j in 0..a.cols() {
+        for &v in a.col(j) {
+            if v != T::ZERO {
+                let av = v.abs();
+                if scale < av {
+                    let r = scale / av;
+                    ssq = T::ONE + ssq * r * r;
+                    scale = av;
+                } else {
+                    let r = av / scale;
+                    ssq += r * r;
+                }
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Largest absolute entry.
+pub fn max_abs<T: Scalar>(a: MatRef<'_, T>) -> T {
+    let mut m = T::ZERO;
+    for j in 0..a.cols() {
+        for &v in a.col(j) {
+            m = m.max_val(v.abs());
+        }
+    }
+    m
+}
+
+/// One-norm (max column sum of absolute values).
+pub fn one_norm<T: Scalar>(a: MatRef<'_, T>) -> T {
+    let mut m = T::ZERO;
+    for j in 0..a.cols() {
+        let s: T = a.col(j).iter().map(|v| v.abs()).sum();
+        m = m.max_val(s);
+    }
+    m
+}
+
+/// Infinity-norm (max row sum of absolute values).
+pub fn inf_norm<T: Scalar>(a: MatRef<'_, T>) -> T {
+    let mut sums = vec![T::ZERO; a.rows()];
+    for j in 0..a.cols() {
+        for (i, &v) in a.col(j).iter().enumerate() {
+            sums[i] += v.abs();
+        }
+    }
+    sums.into_iter().fold(T::ZERO, |m, s| m.max_val(s))
+}
+
+/// `‖I − QᵀQ‖_F` — departure from orthogonality of the columns of `Q`.
+pub fn orthogonality_residual<T: Scalar>(q: MatRef<'_, T>) -> T {
+    use crate::blas1::dot;
+    let n = q.cols();
+    let mut g = Mat::<T>::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            let mut v = dot(q.col(i), q.col(j));
+            if i == j {
+                v -= T::ONE;
+            }
+            g[(i, j)] = v;
+        }
+    }
+    frobenius(g.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    #[test]
+    fn frobenius_basic() {
+        let a = Mat::<f64>::from_rows(2, 2, &[3., 0., 0., 4.]);
+        assert!((frobenius(a.as_ref()) - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn frobenius_no_overflow() {
+        let a = Mat::<f32>::from_col_major(2, 1, vec![1e25, 1e25]);
+        assert!(frobenius(a.as_ref()).is_finite());
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        let a = Mat::<f64>::from_rows(2, 2, &[1., -2., 3., 4.]);
+        assert_eq!(one_norm(a.as_ref()), 6.0); // col 1: |-2|+|4|
+        assert_eq!(inf_norm(a.as_ref()), 7.0); // row 1: 3+4
+        assert_eq!(max_abs(a.as_ref()), 4.0);
+    }
+
+    #[test]
+    fn orthogonality_of_identity_is_zero() {
+        let q = Mat::<f64>::identity(5, 5);
+        assert!(orthogonality_residual(q.as_ref()) < 1e-15);
+    }
+
+    #[test]
+    fn orthogonality_detects_scaling() {
+        let mut q = Mat::<f64>::identity(3, 3);
+        q[(0, 0)] = 2.0;
+        // I - Q^T Q has a single entry -3 → F-norm 3
+        assert!((orthogonality_residual(q.as_ref()) - 3.0).abs() < 1e-14);
+    }
+}

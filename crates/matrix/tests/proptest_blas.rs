@@ -1,0 +1,146 @@
+//! Property-based tests of the BLAS substrate's algebraic laws: the
+//! identities blocked factorizations silently rely on.
+
+use proptest::prelude::*;
+use tcevd_matrix::blas2::Op;
+use tcevd_matrix::blas3::{gemm, matmul, syr2k_lower, syrk_lower, trmm, trsm, Side};
+use tcevd_matrix::elementwise::axpby_mat;
+use tcevd_matrix::norms::{frobenius, inf_norm, one_norm};
+use tcevd_matrix::Mat;
+
+fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat<f64>> {
+    proptest::collection::vec(-4.0f64..4.0, rows * cols)
+        .prop_map(move |v| Mat::from_col_major(rows, cols, v))
+}
+
+fn well_conditioned_lower(n: usize) -> impl Strategy<Value = Mat<f64>> {
+    mat(n, n).prop_map(move |m| {
+        Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                4.0 + m[(i, j)].abs()
+            } else if i > j {
+                m[(i, j)] * 0.5
+            } else {
+                0.0
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_distributes_over_addition(
+        a in mat(6, 5),
+        b1 in mat(5, 7),
+        b2 in mat(5, 7),
+    ) {
+        // A(B1 + B2) = AB1 + AB2
+        let mut bsum = Mat::<f64>::zeros(5, 7);
+        axpby_mat(1.0, b1.as_ref(), 1.0, b2.as_ref(), bsum.as_mut());
+        let lhs = matmul(a.as_ref(), Op::NoTrans, bsum.as_ref(), Op::NoTrans);
+        let mut rhs = matmul(a.as_ref(), Op::NoTrans, b1.as_ref(), Op::NoTrans);
+        gemm(1.0, a.as_ref(), Op::NoTrans, b2.as_ref(), Op::NoTrans, 1.0, rhs.as_mut());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-11);
+    }
+
+    #[test]
+    fn gemm_transpose_reverses_product(a in mat(4, 6), b in mat(6, 5)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let ab_t = matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans).transpose();
+        let bt_at = matmul(b.as_ref(), Op::Trans, a.as_ref(), Op::Trans);
+        prop_assert!(ab_t.max_abs_diff(&bt_at) < 1e-12);
+    }
+
+    #[test]
+    fn syrk_is_gemm_lower_triangle(a in mat(6, 3)) {
+        let mut c = Mat::<f64>::zeros(6, 6);
+        syrk_lower(1.0, a.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        let full = matmul(a.as_ref(), Op::NoTrans, a.as_ref(), Op::Trans);
+        for j in 0..6 {
+            for i in j..6 {
+                prop_assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_is_symmetric_part_of_two_products(a in mat(5, 3), b in mat(5, 3)) {
+        let mut c = Mat::<f64>::zeros(5, 5);
+        syr2k_lower(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        let abt = matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::Trans);
+        for j in 0..5 {
+            for i in j..5 {
+                let want = abt[(i, j)] + abt[(j, i)];
+                prop_assert!((c[(i, j)] - want).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_inverts_trmm(l in well_conditioned_lower(6), x in mat(6, 4)) {
+        // trmm then trsm round-trips (left, both ops)
+        for op in [Op::NoTrans, Op::Trans] {
+            let mut y = x.clone();
+            trmm(Side::Left, 1.0, l.as_ref(), op, true, false, y.as_mut());
+            trsm(Side::Left, 1.0, l.as_ref(), op, true, false, y.as_mut());
+            prop_assert!(y.max_abs_diff(&x) < 1e-9, "left {op:?}");
+        }
+        // right side
+        let xr = x.transpose();
+        for op in [Op::NoTrans, Op::Trans] {
+            let mut y = xr.clone();
+            trmm(Side::Right, 1.0, l.as_ref(), op, true, false, y.as_mut());
+            trsm(Side::Right, 1.0, l.as_ref(), op, true, false, y.as_mut());
+            prop_assert!(y.max_abs_diff(&xr) < 1e-9, "right {op:?}");
+        }
+    }
+
+    #[test]
+    fn norm_inequalities(a in mat(5, 7)) {
+        // standard norm relations: ‖A‖₁ = ‖Aᵀ‖_∞ ; ‖A‖_F ≤ √(‖A‖₁‖A‖_∞)·√min? —
+        // use the simple exact one and positivity/scaling
+        let at = a.transpose();
+        prop_assert!((one_norm(a.as_ref()) - inf_norm(at.as_ref())).abs() < 1e-12);
+        let f = frobenius(a.as_ref());
+        prop_assert!(f >= 0.0);
+        let mut doubled = a.clone();
+        tcevd_matrix::elementwise::scale_mat(2.0, doubled.as_mut());
+        prop_assert!((frobenius(doubled.as_ref()) - 2.0 * f).abs() < 1e-10 * (1.0 + f));
+    }
+
+    #[test]
+    fn strided_views_compose_with_gemm(a in mat(8, 8), b in mat(8, 8)) {
+        // multiplying via interior views equals multiplying extracted copies
+        let av = a.view(1, 2, 5, 4);
+        let bv = b.view(2, 1, 4, 5);
+        let via_views = matmul(av, Op::NoTrans, bv, Op::NoTrans);
+        let via_copies = matmul(
+            a.submatrix(1, 2, 5, 4).as_ref(),
+            Op::NoTrans,
+            b.submatrix(2, 1, 4, 5).as_ref(),
+            Op::NoTrans,
+        );
+        prop_assert!(via_views.max_abs_diff(&via_copies) == 0.0);
+    }
+
+    #[test]
+    fn gemm_beta_accumulates_correctly(
+        a in mat(4, 3),
+        b in mat(3, 4),
+        c0 in mat(4, 4),
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+    ) {
+        let mut c = c0.clone();
+        gemm(alpha, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, beta, c.as_mut());
+        let ab = matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        for j in 0..4 {
+            for i in 0..4 {
+                let want = alpha * ab[(i, j)] + beta * c0[(i, j)];
+                prop_assert!((c[(i, j)] - want).abs() < 1e-12);
+            }
+        }
+    }
+}

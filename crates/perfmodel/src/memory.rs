@@ -1,0 +1,93 @@
+//! Device-memory footprint model — quantifying the paper's third stated
+//! limitation (§7): "the proposed algorithm requires more device memory to
+//! store the original matrix and the WY representation".
+
+/// Bytes of f32 device memory each SBR variant needs at size n,
+/// bandwidth b, big block nb.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct MemoryFootprint {
+    /// The matrix being reduced (both variants).
+    pub matrix: u64,
+    /// The WY method's extra copy of the per-level original trailing
+    /// matrix `OA` (its biggest overhead: the full trailing block at the
+    /// first level).
+    pub original_copy: u64,
+    /// Aggregated W, Y, and the cached AW product (3 × n×nb at the first
+    /// level).
+    pub wy_factors: u64,
+    /// Panel/workspace buffers (X, WX, T2 and friends — O(n·b + nb²)).
+    pub workspace: u64,
+}
+
+impl MemoryFootprint {
+    pub fn total(&self) -> u64 {
+        self.matrix + self.original_copy + self.wy_factors + self.workspace
+    }
+}
+
+const F32: u64 = 4;
+
+/// Footprint of the conventional ZY-based SBR: the matrix plus O(n·b)
+/// panel factors and workspace.
+pub fn zy_memory(n: usize, b: usize) -> MemoryFootprint {
+    let n = n as u64;
+    let b = b as u64;
+    MemoryFootprint {
+        matrix: n * n * F32,
+        original_copy: 0,
+        // W, Y, Z, AW: four n×b panels
+        wy_factors: 4 * n * b * F32,
+        workspace: (n * b + b * b) * F32,
+    }
+}
+
+/// Footprint of the WY-based SBR (paper Algorithm 1).
+pub fn wy_memory(n: usize, b: usize, nb: usize) -> MemoryFootprint {
+    let n = n as u64;
+    let b = b as u64;
+    let nb = nb as u64;
+    MemoryFootprint {
+        matrix: n * n * F32,
+        // OA copy of the level's trailing matrix — n² at the first level
+        original_copy: n * n * F32,
+        // W, Y, AW aggregates: three n×nb blocks
+        wy_factors: 3 * n * nb * F32,
+        workspace: (n * b + nb * nb) * F32,
+    }
+}
+
+/// Memory overhead ratio of WY over ZY.
+pub fn overhead_ratio(n: usize, b: usize, nb: usize) -> f64 {
+    wy_memory(n, b, nb).total() as f64 / zy_memory(n, b).total() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wy_costs_roughly_twice_zy() {
+        // the OA copy dominates: ~2× the matrix, plus the aggregates
+        let r = overhead_ratio(32768, 128, 1024);
+        assert!(r > 1.9 && r < 2.4, "overhead ratio {r}");
+    }
+
+    #[test]
+    fn footprints_scale_quadratically() {
+        let m1 = wy_memory(8192, 128, 1024).total();
+        let m2 = wy_memory(16384, 128, 1024).total();
+        let ratio = m2 as f64 / m1 as f64;
+        assert!(ratio > 3.5 && ratio < 4.3, "{ratio}");
+    }
+
+    #[test]
+    fn a100_capacity_check() {
+        // paper's platform: A100-PCIE-40GB. WY fits the paper's largest
+        // n = 32768 comfortably, but runs out of memory around n ≈ 72k —
+        // where ZY would still fit. The paper's trade-off made concrete.
+        let forty_gb = 40u64 * (1 << 30);
+        assert!(wy_memory(32768, 128, 1024).total() < forty_gb);
+        assert!(wy_memory(73728, 128, 1024).total() > forty_gb);
+        assert!(zy_memory(73728, 128).total() < forty_gb);
+    }
+}

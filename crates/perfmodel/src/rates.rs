@@ -1,0 +1,119 @@
+//! GEMM throughput calibration — the paper's Table 1, verbatim.
+//!
+//! The paper measures A100 GEMM throughput (TFLOPS) for the two shape
+//! families that occur in SBR, as a function of the small dimension `k`
+//! with the large dimension fixed at m = 32768:
+//!
+//! * **square × tall-skinny** — `A (m×m) · B (m×k)`: the `A·W` products.
+//! * **outer product** — `A (m×k) · B (k×m)`: the rank-k trailing updates
+//!   (what `syr2k` would be if Tensor Cores had one).
+//!
+//! These eight calibration points per engine/shape are the paper's own
+//! measurements; everything the performance model predicts interpolates
+//! between them (linear in log₂k), which is exactly the sense in which the
+//! reproduced figures inherit the A100's real shape behaviour.
+
+/// Calibration ks (Table 1 rows).
+pub const CAL_K: [usize; 8] = [32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Tensor-Core GEMM, square × tall-skinny (Table 1 col 2).
+pub const TC_SQUARE_TALL: [f64; 8] = [6.28, 11.69, 24.44, 42.65, 66.57, 85.73, 112.08, 133.17];
+/// SGEMM, square × tall-skinny (Table 1 col 3).
+pub const SGEMM_SQUARE_TALL: [f64; 8] = [9.36, 9.65, 10.22, 10.33, 10.36, 10.40, 12.91, 15.31];
+/// Tensor-Core GEMM, outer product (Table 1 col 4).
+pub const TC_OUTER: [f64; 8] = [20.02, 33.30, 49.83, 97.41, 122.89, 138.82, 121.55, 140.85];
+/// SGEMM, outer product (Table 1 col 5).
+pub const SGEMM_OUTER: [f64; 8] = [9.31, 9.85, 10.02, 10.23, 10.33, 10.37, 13.13, 14.33];
+
+/// EC-TCGEMM sustained rate cap, TFLOPS (Ootomo & Yokota's CUTLASS
+/// implementation: 51 TFLOPS limited-exponent-range on A100; the paper's
+/// §5.3). EC issues 3 reduced-precision GEMMs, so its effective rate is
+/// `min(tc_rate/3, 51)`.
+pub const EC_RATE_CAP: f64 = 51.0;
+
+/// Which Table 1 column family a GEMM shape belongs to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ShapeClass {
+    /// Inner dimension is large; an output dimension is the small one.
+    SquareTall,
+    /// Inner dimension is the small one (rank-k update).
+    Outer,
+}
+
+/// Classify a GEMM by its smallest dimension.
+pub fn classify(m: usize, n: usize, k: usize) -> (ShapeClass, usize) {
+    let small = m.min(n).min(k);
+    if k == small {
+        (ShapeClass::Outer, small)
+    } else {
+        (ShapeClass::SquareTall, small)
+    }
+}
+
+/// Interpolate a calibration table at dimension `k` (linear in log₂k,
+/// clamped above, proportional-to-k below the smallest calibration point —
+/// the memory/launch-bound regime).
+pub fn interp_rate(table: &[f64; 8], k: usize) -> f64 {
+    if k == 0 {
+        return table[0] / CAL_K[0] as f64; // degenerate
+    }
+    if k <= CAL_K[0] {
+        return table[0] * k as f64 / CAL_K[0] as f64;
+    }
+    if k >= CAL_K[7] {
+        return table[7];
+    }
+    let x = (k as f64).log2();
+    for i in 0..7 {
+        let (x0, x1) = ((CAL_K[i] as f64).log2(), (CAL_K[i + 1] as f64).log2());
+        if x <= x1 {
+            let t = (x - x0) / (x1 - x0);
+            return table[i] * (1.0 - t) + table[i + 1] * t;
+        }
+    }
+    table[7]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_calibration_points() {
+        for (i, &k) in CAL_K.iter().enumerate() {
+            assert_eq!(interp_rate(&TC_SQUARE_TALL, k), TC_SQUARE_TALL[i]);
+            assert_eq!(interp_rate(&TC_OUTER, k), TC_OUTER[i]);
+        }
+    }
+
+    #[test]
+    fn monotone_between_points() {
+        let r100 = interp_rate(&TC_SQUARE_TALL, 100);
+        assert!(r100 > TC_SQUARE_TALL[1] && r100 < TC_SQUARE_TALL[2]);
+    }
+
+    #[test]
+    fn clamps_and_small_k() {
+        assert_eq!(interp_rate(&TC_OUTER, 8192), TC_OUTER[7]);
+        let r16 = interp_rate(&TC_OUTER, 16);
+        assert!((r16 - TC_OUTER[0] / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification() {
+        // A·W in SBR: (mp × kf) output with inner mp → square-tall at kf
+        assert_eq!(classify(30000, 128, 30000), (ShapeClass::SquareTall, 128));
+        // rank-k trailing update: inner k smallest → outer
+        assert_eq!(classify(30000, 30000, 1024), (ShapeClass::Outer, 1024));
+        // ties: k == min counts as outer
+        assert_eq!(classify(128, 128, 128), (ShapeClass::Outer, 128));
+    }
+
+    #[test]
+    fn tc_beats_sgemm_only_at_large_k() {
+        // the crossover the whole paper is about
+        assert!(interp_rate(&TC_OUTER, 1024) > 10.0 * interp_rate(&SGEMM_OUTER, 1024) / 1.0_f64.max(1.0));
+        assert!(interp_rate(&TC_SQUARE_TALL, 32) < interp_rate(&SGEMM_SQUARE_TALL, 32));
+        assert!(interp_rate(&TC_SQUARE_TALL, 1024) > interp_rate(&SGEMM_SQUARE_TALL, 1024));
+    }
+}

@@ -1,0 +1,223 @@
+//! Error-corrected Tensor-Core GEMM (EC-TCGEMM).
+//!
+//! Implements the Markidis-style precision-recovery scheme refined by
+//! Ootomo & Yokota (the paper's §5.3): split each fp32 operand into a
+//! truncated fp16 head and a *scaled* fp16 residual,
+//!
+//! ```text
+//! A = Ã + ΔA/s,   Ã = f16(A),  ΔA = f16(s·(A − Ã)),  s = 2¹¹
+//! ```
+//!
+//! and recover `A·B ≈ Ã·B̃ + (Ã·ΔB + ΔA·B̃)/s`, dropping the O(u²) term
+//! `ΔA·ΔB/s²`. The residual scaling by `s = 2¹¹` (the fp16 mantissa width)
+//! keeps residuals in the fp16 normal range — without it, underflow in the
+//! correction terms destroys the recovered accuracy, which is exactly the
+//! refinement Ootomo & Yokota made to Markidis' method.
+//!
+//! A TF32 mode is also provided (3 tf32 products, no scaling needed since
+//! tf32 inherits the f32 exponent range) matching the paper's A100 setup.
+
+use crate::gemm::truncate_f16;
+use tcevd_matrix::blas3;
+use tcevd_matrix::f16::round_to_tf32;
+use tcevd_matrix::{Mat, MatMut, MatRef, Op};
+
+/// Residual scale: 2¹¹, one fp16 mantissa width.
+pub const EC_SCALE: f32 = 2048.0;
+
+/// Which reduced precision the EC scheme splits into.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum EcMode {
+    /// fp16 head + 2¹¹-scaled fp16 residual (3 fp16 TC-GEMMs).
+    #[default]
+    F16Scaled,
+    /// tf32 head + tf32 residual (3 tf32 TC-GEMMs, full f32 exponent range).
+    Tf32,
+}
+
+/// Split `a` into `(head, residual)` such that
+/// `a ≈ head + residual/EC_SCALE` with both parts exactly representable in
+/// the reduced precision.
+pub fn split_f16(a: MatRef<'_, f32>) -> (Mat<f32>, Mat<f32>) {
+    let head = truncate_f16(a);
+    let mut resid = Mat::zeros(a.rows(), a.cols());
+    for j in 0..a.cols() {
+        let src = a.col(j);
+        let h = head.col(j);
+        let r = resid.col_mut(j);
+        for i in 0..src.len() {
+            r[i] = tcevd_matrix::f16::round_through_f16((src[i] - h[i]) * EC_SCALE);
+        }
+    }
+    (head, resid)
+}
+
+/// tf32 split: `a = head + resid` (no scaling required).
+pub fn split_tf32(a: MatRef<'_, f32>) -> (Mat<f32>, Mat<f32>) {
+    let mut head = Mat::zeros(a.rows(), a.cols());
+    let mut resid = Mat::zeros(a.rows(), a.cols());
+    for j in 0..a.cols() {
+        let src = a.col(j);
+        let h = head.col_mut(j);
+        for i in 0..src.len() {
+            h[i] = round_to_tf32(src[i]);
+        }
+        let h = head.col(j);
+        let r = resid.col_mut(j);
+        for i in 0..src.len() {
+            r[i] = round_to_tf32(src[i] - h[i]);
+        }
+    }
+    (head, resid)
+}
+
+/// Error-corrected Tensor-Core GEMM:
+/// `C ← alpha·A·B + beta·C` at ≈FP32 accuracy using three reduced-precision
+/// GEMMs.
+pub fn ec_gemm(
+    alpha: f32,
+    a: MatRef<'_, f32>,
+    op_a: Op,
+    b: MatRef<'_, f32>,
+    op_b: Op,
+    beta: f32,
+    mut c: MatMut<'_, f32>,
+    mode: EcMode,
+) {
+    match mode {
+        EcMode::F16Scaled => {
+            let (ah, ar) = split_f16(a);
+            let (bh, br) = split_f16(b);
+            // C ← beta·C + alpha·Ã·B̃
+            blas3::gemm(alpha, ah.as_ref(), op_a, bh.as_ref(), op_b, beta, c.as_mut());
+            // C += (alpha/s)·(Ã·ΔB + ΔA·B̃)
+            let s = alpha / EC_SCALE;
+            blas3::gemm(s, ah.as_ref(), op_a, br.as_ref(), op_b, 1.0, c.as_mut());
+            blas3::gemm(s, ar.as_ref(), op_a, bh.as_ref(), op_b, 1.0, c.as_mut());
+        }
+        EcMode::Tf32 => {
+            let (ah, ar) = split_tf32(a);
+            let (bh, br) = split_tf32(b);
+            blas3::gemm(alpha, ah.as_ref(), op_a, bh.as_ref(), op_b, beta, c.as_mut());
+            blas3::gemm(alpha, ah.as_ref(), op_a, br.as_ref(), op_b, 1.0, c.as_mut());
+            blas3::gemm(alpha, ar.as_ref(), op_a, bh.as_ref(), op_b, 1.0, c.as_mut());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::tc_gemm;
+
+    fn pseudo_rand_mat(m: usize, n: usize, seed: u64, scale: f32) -> Mat<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * scale
+        })
+    }
+
+    fn exact_gemm_f64(a: &Mat<f32>, b: &Mat<f32>) -> Mat<f64> {
+        let a64: Mat<f64> = a.cast();
+        let b64: Mat<f64> = b.cast();
+        blas3::matmul(a64.as_ref(), Op::NoTrans, b64.as_ref(), Op::NoTrans)
+    }
+
+    #[test]
+    fn split_reconstructs_to_f16_squared_accuracy() {
+        let a = pseudo_rand_mat(31, 17, 1, 1.0);
+        let (h, r) = split_f16(a.as_ref());
+        for j in 0..a.cols() {
+            for i in 0..a.rows() {
+                let rec = h[(i, j)] + r[(i, j)] / EC_SCALE;
+                let err = (rec - a[(i, j)]).abs();
+                // residual itself is f16-rounded → error ~ u16² ≈ 2.4e-7
+                assert!(err <= 4.0e-7, "err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn ec_gemm_recovers_fp32_accuracy() {
+        let (m, k, n) = (48, 48, 48);
+        let a = pseudo_rand_mat(m, k, 2, 1.0);
+        let b = pseudo_rand_mat(k, n, 3, 1.0);
+        let exact = exact_gemm_f64(&a, &b);
+
+        let mut c_tc = Mat::zeros(m, n);
+        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c_tc.as_mut());
+        let mut c_ec = Mat::zeros(m, n);
+        ec_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c_ec.as_mut(), EcMode::F16Scaled);
+
+        let err = |c: &Mat<f32>| -> f64 {
+            let mut e = 0.0f64;
+            for j in 0..n {
+                for i in 0..m {
+                    e = e.max((c[(i, j)] as f64 - exact[(i, j)]).abs());
+                }
+            }
+            e
+        };
+        let e_tc = err(&c_tc);
+        let e_ec = err(&c_ec);
+        // EC must beat plain TC by orders of magnitude and land near f32 level.
+        assert!(e_ec < e_tc / 50.0, "e_ec={e_ec} e_tc={e_tc}");
+        // theory: ~u16²·k ≈ 1.1e-5 at k = 48
+        assert!(e_ec < 3e-5, "e_ec={e_ec}");
+    }
+
+    #[test]
+    fn ec_tf32_also_recovers() {
+        let (m, k, n) = (32, 40, 24);
+        let a = pseudo_rand_mat(m, k, 5, 1.0);
+        let b = pseudo_rand_mat(k, n, 6, 1.0);
+        let exact = exact_gemm_f64(&a, &b);
+        let mut c = Mat::zeros(m, n);
+        ec_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut(), EcMode::Tf32);
+        let mut e = 0.0f64;
+        for j in 0..n {
+            for i in 0..m {
+                e = e.max((c[(i, j)] as f64 - exact[(i, j)]).abs());
+            }
+        }
+        assert!(e < 1e-5, "e={e}");
+    }
+
+    #[test]
+    fn ec_handles_wide_dynamic_range() {
+        // Without the 2^11 residual scaling, entries ~1e-3 would lose their
+        // correction to fp16 underflow. Verify accuracy holds across scales.
+        let (m, k, n) = (24, 24, 24);
+        let a = pseudo_rand_mat(m, k, 7, 1e-3);
+        let b = pseudo_rand_mat(k, n, 8, 1e3);
+        let exact = exact_gemm_f64(&a, &b);
+        let mut c = Mat::zeros(m, n);
+        ec_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut(), EcMode::F16Scaled);
+        let mut rel = 0.0f64;
+        let scale: f64 = tcevd_matrix::norms::max_abs(exact.as_ref());
+        for j in 0..n {
+            for i in 0..m {
+                rel = rel.max((c[(i, j)] as f64 - exact[(i, j)]).abs() / scale);
+            }
+        }
+        assert!(rel < 1e-5, "rel={rel}");
+    }
+
+    #[test]
+    fn ec_respects_alpha_beta() {
+        let (m, k, n) = (8, 8, 8);
+        let a = pseudo_rand_mat(m, k, 9, 1.0);
+        let b = pseudo_rand_mat(k, n, 10, 1.0);
+        let c0 = pseudo_rand_mat(m, n, 11, 1.0);
+        let mut c = c0.clone();
+        ec_gemm(2.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.5, c.as_mut(), EcMode::F16Scaled);
+        let ab = blas3::matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        for j in 0..n {
+            for i in 0..m {
+                let want = 2.0 * ab[(i, j)] + 0.5 * c0[(i, j)];
+                assert!((c[(i, j)] - want).abs() < 1e-3);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Tensor-Core GEMM simulation.
+//!
+//! `tc_gemm` reproduces what `cublasGemmEx(..., CUDA_R_16F, ..., CUDA_R_32F)`
+//! computes: operands truncated to fp16 (RNE), products exact, accumulation
+//! in fp32.
+//!
+//! Two execution paths compute the same quantity:
+//! * **fast** — truncate whole operand matrices through fp16 once, then run
+//!   the rayon-parallel f32 GEMM from `tcevd-matrix`. Since every fp16
+//!   product is exact in fp32, this differs from the tile path only in f32
+//!   summation order. This is what the numeric experiments use.
+//! * **strict** — walk 16×16×16 tiles through the [`crate::mma::mma`]
+//!   simulator, modelling the per-instruction accumulation (including the
+//!   optional round-toward-zero mode). Used for validating the fast path and
+//!   for error-behaviour studies.
+
+use crate::mma::{mma, AccumMode, TileF16, TileF32, TILE};
+use tcevd_matrix::blas3;
+use tcevd_matrix::f16::round_through_f16;
+use tcevd_matrix::{Mat, MatMut, MatRef, Op};
+
+/// Truncate every entry of a matrix through fp16 (returns a new matrix whose
+/// entries are exactly representable in fp16).
+pub fn truncate_f16(a: MatRef<'_, f32>) -> Mat<f32> {
+    let mut out = Mat::zeros(a.rows(), a.cols());
+    for j in 0..a.cols() {
+        let src = a.col(j);
+        let dst = out.col_mut(j);
+        for i in 0..src.len() {
+            dst[i] = round_through_f16(src[i]);
+        }
+    }
+    out
+}
+
+/// Tensor-Core GEMM (fast path):
+/// `C ← alpha·f16(op(A))·f16(op(B)) + beta·C` with fp32 accumulation.
+pub fn tc_gemm(
+    alpha: f32,
+    a: MatRef<'_, f32>,
+    op_a: Op,
+    b: MatRef<'_, f32>,
+    op_b: Op,
+    beta: f32,
+    c: MatMut<'_, f32>,
+) {
+    let ah = truncate_f16(a);
+    let bh = truncate_f16(b);
+    blas3::gemm(alpha, ah.as_ref(), op_a, bh.as_ref(), op_b, beta, c);
+}
+
+/// Tensor-Core GEMM (strict tiled path): identical quantity computed tile by
+/// tile through the MMA simulator. `op` handling is done by materializing
+/// transposed copies (the GPU's wmma loader does the equivalent re-layout).
+pub fn tc_gemm_strict(
+    alpha: f32,
+    a: MatRef<'_, f32>,
+    op_a: Op,
+    b: MatRef<'_, f32>,
+    op_b: Op,
+    beta: f32,
+    mut c: MatMut<'_, f32>,
+    mode: AccumMode,
+) {
+    let a_eff = match op_a {
+        Op::NoTrans => a.to_owned(),
+        Op::Trans => a.to_owned().transpose(),
+    };
+    let b_eff = match op_b {
+        Op::NoTrans => b.to_owned(),
+        Op::Trans => b.to_owned().transpose(),
+    };
+    let (m, k) = (a_eff.rows(), a_eff.cols());
+    let n = b_eff.cols();
+    assert_eq!(b_eff.rows(), k, "inner dimension mismatch");
+    assert_eq!((c.rows(), c.cols()), (m, n));
+
+    for j0 in (0..n).step_by(TILE) {
+        let nj = TILE.min(n - j0);
+        for i0 in (0..m).step_by(TILE) {
+            let ni = TILE.min(m - i0);
+            let mut acc = TileF32::zero();
+            for l0 in (0..k).step_by(TILE) {
+                let nl = TILE.min(k - l0);
+                let at = TileF16::load(
+                    &a_eff.as_slice()[i0 + l0 * m..],
+                    ni,
+                    nl,
+                    m,
+                );
+                let bt = TileF16::load(
+                    &b_eff.as_slice()[l0 + j0 * k..],
+                    nl,
+                    nj,
+                    k,
+                );
+                mma(&at, &bt, &mut acc, mode);
+            }
+            // C tile ← alpha*acc + beta*C tile
+            for j in 0..nj {
+                for i in 0..ni {
+                    let old = c.get(i0 + i, j0 + j);
+                    c.set(i0 + i, j0 + j, alpha * acc.get(i, j) + beta * old);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::f16::F16_UNIT_ROUNDOFF;
+
+    fn pseudo_rand_mat(m: usize, n: usize, seed: u64, scale: f32) -> Mat<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * scale
+        })
+    }
+
+    #[test]
+    fn truncate_idempotent() {
+        let a = pseudo_rand_mat(13, 7, 1, 3.0);
+        let t1 = truncate_f16(a.as_ref());
+        let t2 = truncate_f16(t1.as_ref());
+        assert_eq!(t1.max_abs_diff(&t2), 0.0);
+    }
+
+    #[test]
+    fn tc_gemm_exact_on_f16_integers() {
+        // Small integers are exact in fp16, so TC-GEMM must be exact.
+        let a = Mat::<f32>::from_fn(20, 18, |i, j| ((i * 7 + j) % 9) as f32 - 4.0);
+        let b = Mat::<f32>::from_fn(18, 17, |i, j| ((i + 3 * j) % 5) as f32);
+        let mut c = Mat::zeros(20, 17);
+        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        let want = blas3::matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        assert_eq!(c.max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn fast_and_strict_paths_agree() {
+        let (m, k, n) = (37, 45, 29);
+        let a = pseudo_rand_mat(m, k, 2, 1.0);
+        let b = pseudo_rand_mat(k, n, 3, 1.0);
+        let mut c_fast = Mat::zeros(m, n);
+        let mut c_strict = Mat::zeros(m, n);
+        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c_fast.as_mut());
+        tc_gemm_strict(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_strict.as_mut(),
+            AccumMode::F32Rn,
+        );
+        // Same products, different f32 summation order: tiny difference only.
+        let diff = c_fast.max_abs_diff(&c_strict);
+        let scale = tcevd_matrix::norms::max_abs(c_fast.as_ref());
+        assert!(diff <= 4.0 * f32::EPSILON * scale * (k as f32).sqrt(), "diff={diff}");
+    }
+
+    #[test]
+    fn strict_path_handles_ops_and_ragged_edges() {
+        let (m, k, n) = (19, 23, 21); // deliberately not multiples of 16
+        let a = pseudo_rand_mat(k, m, 4, 1.0); // will be transposed
+        let b = pseudo_rand_mat(n, k, 5, 1.0);
+        let mut c = pseudo_rand_mat(m, n, 6, 1.0);
+        let mut c_ref = c.clone();
+        tc_gemm_strict(
+            2.0,
+            a.as_ref(),
+            Op::Trans,
+            b.as_ref(),
+            Op::Trans,
+            -1.0,
+            c.as_mut(),
+            AccumMode::F32Rn,
+        );
+        tc_gemm(2.0, a.as_ref(), Op::Trans, b.as_ref(), Op::Trans, -1.0, c_ref.as_mut());
+        let diff = c.max_abs_diff(&c_ref);
+        assert!(diff <= 1e-4, "diff={diff}");
+    }
+
+    #[test]
+    fn tc_gemm_error_is_f16_level_not_f32() {
+        // With generic inputs the error must be ~f16 unit roundoff,
+        // clearly worse than f32 — this is the accuracy loss EC-GEMM fixes.
+        let (m, k, n) = (40, 40, 40);
+        let a = pseudo_rand_mat(m, k, 7, 1.0);
+        let b = pseudo_rand_mat(k, n, 8, 1.0);
+        let mut c = Mat::zeros(m, n);
+        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        let exact = blas3::matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        let err = c.max_abs_diff(&exact);
+        // error present (>> f32 eps) but bounded by ~2·u16·k·max|a||b|
+        assert!(err > 1e-6, "err={err} suspiciously small");
+        assert!(err < 2.0 * F16_UNIT_ROUNDOFF * k as f32, "err={err}");
+    }
+
+    #[test]
+    fn rz_mode_biases_toward_zero() {
+        // Accumulating many positive products under RZ must give a result
+        // ≤ the RN result (truncation never rounds up for positive sums).
+        let (m, k, n) = (16, 64, 16);
+        let a = pseudo_rand_mat(m, k, 9, 1.0);
+        let a = truncate_f16(a.as_ref());
+        let a_abs = Mat::from_fn(m, k, |i, j| a[(i, j)].abs());
+        let b_abs = Mat::from_fn(k, n, |i, j| (0.1 + ((i + j) % 3) as f32) / 3.0);
+        let mut c_rn = Mat::zeros(m, n);
+        let mut c_rz = Mat::zeros(m, n);
+        tc_gemm_strict(1.0, a_abs.as_ref(), Op::NoTrans, b_abs.as_ref(), Op::NoTrans, 0.0, c_rn.as_mut(), AccumMode::F32Rn);
+        tc_gemm_strict(1.0, a_abs.as_ref(), Op::NoTrans, b_abs.as_ref(), Op::NoTrans, 0.0, c_rz.as_mut(), AccumMode::F32Rz);
+        for j in 0..n {
+            for i in 0..m {
+                assert!(c_rz[(i, j)] <= c_rn[(i, j)] + f32::EPSILON);
+            }
+        }
+    }
+}

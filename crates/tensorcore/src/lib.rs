@@ -1,0 +1,31 @@
+//! # tcevd-tensorcore — software Tensor Core
+//!
+//! This crate is the hardware-substitution layer of the reproduction (see
+//! DESIGN.md §2): an A100 Tensor Core simulated in software, faithful at the
+//! level that matters for the paper's claims — *numerics* (operand
+//! truncation to fp16/tf32, exact products, fp32 accumulation, optional
+//! round-toward-zero) rather than cycle timing (which lives in
+//! `tcevd-perfmodel`).
+//!
+//! Layers, bottom-up:
+//! * [`mma`] — one 16×16×16 HMMA instruction on fp16 tiles.
+//! * [`gemm`] — full TC-GEMM; a strict tile-walking path validates the fast
+//!   truncate-then-SGEMM path used by the numeric experiments.
+//! * [`ec`] — error-corrected TC-GEMM (Ootomo–Yokota), recovering ≈FP32
+//!   accuracy from three reduced-precision products.
+//! * [`engine`] — the [`engine::GemmContext`] every algorithm
+//!   crate multiplies through: engine selection (SGEMM / TC / EC-TC) plus
+//!   the GEMM shape tracing that feeds the performance model.
+
+pub mod ec;
+pub mod engine;
+pub mod gemm;
+pub mod mma;
+pub mod syr2k;
+
+pub use ec::{ec_gemm, EcMode};
+pub use engine::{Engine, GemmContext, GemmRecord};
+pub use engine::tf32_gemm;
+pub use gemm::{tc_gemm, tc_gemm_strict, truncate_f16};
+pub use syr2k::{syr2k_flops, tc_syr2k};
+pub use mma::AccumMode;

@@ -1,0 +1,216 @@
+//! Tile-level matrix-multiply-accumulate simulator.
+//!
+//! Models one Tensor Core HMMA operation: `D = A·B + C` where `A`, `B` are
+//! 16×16 fp16 tiles and `C`, `D` accumulate in fp32 — the `wmma::mma_sync`
+//! fragment shape `m16n16k16`.
+//!
+//! Two accumulation modes are provided:
+//! * [`AccumMode::F32Rn`] — every partial sum rounded to nearest (what the
+//!   A100 does for the fp32 accumulator path, and what a plain `f32` add
+//!   gives us for free);
+//! * [`AccumMode::F32Rz`] — round-toward-zero accumulation, the behaviour
+//!   Ootomo & Yokota identified inside V100/A100 tensor cores for the
+//!   *intra-instruction* adds, emulated here by computing each add exactly
+//!   in `f64` and truncating the result toward zero to `f32`.
+
+use tcevd_matrix::f16::F16;
+
+/// Tile dimension of the simulated MMA unit (m = n = k = 16).
+pub const TILE: usize = 16;
+
+/// Rounding behaviour of the fp32 accumulator inside the MMA unit.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum AccumMode {
+    /// Round-to-nearest-even on every accumulation step.
+    #[default]
+    F32Rn,
+    /// Round-toward-zero on every accumulation step (hardware-faithful for
+    /// the intra-MMA adds; slightly worse error constant).
+    F32Rz,
+}
+
+/// A 16×16 fp16 operand tile, column-major.
+#[derive(Clone)]
+pub struct TileF16(pub [F16; TILE * TILE]);
+
+impl TileF16 {
+    pub fn zero() -> Self {
+        TileF16([F16::ZERO; TILE * TILE])
+    }
+
+    /// Load from an f32 buffer (column-major, leading dimension `ld`),
+    /// rounding each element to fp16. Out-of-range rows/cols are zero-padded.
+    pub fn load(src: &[f32], rows: usize, cols: usize, ld: usize) -> Self {
+        let mut t = Self::zero();
+        for j in 0..cols.min(TILE) {
+            for i in 0..rows.min(TILE) {
+                t.0[i + j * TILE] = F16::from_f32(src[i + j * ld]);
+            }
+        }
+        t
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> F16 {
+        self.0[i + j * TILE]
+    }
+}
+
+/// A 16×16 fp32 accumulator tile, column-major.
+#[derive(Clone)]
+pub struct TileF32(pub [f32; TILE * TILE]);
+
+impl TileF32 {
+    pub fn zero() -> Self {
+        TileF32([0.0; TILE * TILE])
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.0[i + j * TILE]
+    }
+
+    /// Store the top-left `rows`×`cols` corner into a column-major buffer.
+    pub fn store(&self, dst: &mut [f32], rows: usize, cols: usize, ld: usize) {
+        for j in 0..cols.min(TILE) {
+            for i in 0..rows.min(TILE) {
+                dst[i + j * ld] = self.0[i + j * TILE];
+            }
+        }
+    }
+}
+
+#[inline]
+fn add_rz(acc: f32, x: f32) -> f32 {
+    // Exact sum in f64, then truncate toward zero at f32 precision.
+    let exact = acc as f64 + x as f64;
+    let rn = exact as f32; // RNE
+    if (rn as f64).abs() > exact.abs() {
+        // RNE rounded away from zero: step one ulp toward zero.
+        f32::from_bits(rn.to_bits() - 1)
+    } else {
+        rn
+    }
+}
+
+/// One simulated HMMA: `c ← a·b + c`.
+///
+/// Products `a_il · b_lj` are formed exactly (fp16×fp16 is exact in fp32);
+/// the 16-term accumulation happens in fp32 under `mode`.
+pub fn mma(a: &TileF16, b: &TileF16, c: &mut TileF32, mode: AccumMode) {
+    for j in 0..TILE {
+        for i in 0..TILE {
+            let mut acc = c.0[i + j * TILE];
+            match mode {
+                AccumMode::F32Rn => {
+                    for l in 0..TILE {
+                        acc += a.get(i, l).to_f32() * b.get(l, j).to_f32();
+                    }
+                }
+                AccumMode::F32Rz => {
+                    for l in 0..TILE {
+                        let p = a.get(i, l).to_f32() * b.get(l, j).to_f32();
+                        acc = add_rz(acc, p);
+                    }
+                }
+            }
+            c.0[i + j * TILE] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_from_fn(f: impl Fn(usize, usize) -> f32) -> TileF16 {
+        let mut t = TileF16::zero();
+        for j in 0..TILE {
+            for i in 0..TILE {
+                t.0[i + j * TILE] = F16::from_f32(f(i, j));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn identity_times_identity() {
+        let eye = tile_from_fn(|i, j| if i == j { 1.0 } else { 0.0 });
+        let mut c = TileF32::zero();
+        mma(&eye, &eye, &mut c, AccumMode::F32Rn);
+        for j in 0..TILE {
+            for i in 0..TILE {
+                assert_eq!(c.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn accumulates_onto_c() {
+        let eye = tile_from_fn(|i, j| if i == j { 2.0 } else { 0.0 });
+        let b = tile_from_fn(|i, j| (i + j) as f32 / 8.0);
+        let mut c = TileF32::zero();
+        mma(&eye, &b, &mut c, AccumMode::F32Rn);
+        let first = c.clone();
+        mma(&eye, &b, &mut c, AccumMode::F32Rn);
+        for idx in 0..TILE * TILE {
+            assert_eq!(c.0[idx], 2.0 * first.0[idx]);
+        }
+    }
+
+    #[test]
+    fn matches_exact_for_small_integers() {
+        // Integers ≤ 2048 are exact in fp16; products/sums exact in fp32.
+        let a = tile_from_fn(|i, j| ((i * 3 + j) % 7) as f32);
+        let b = tile_from_fn(|i, j| ((i + 2 * j) % 5) as f32);
+        let mut c = TileF32::zero();
+        mma(&a, &b, &mut c, AccumMode::F32Rn);
+        for j in 0..TILE {
+            for i in 0..TILE {
+                let mut want = 0.0f64;
+                for l in 0..TILE {
+                    want += a.get(i, l).to_f32() as f64 * b.get(l, j).to_f32() as f64;
+                }
+                assert_eq!(c.get(i, j) as f64, want);
+            }
+        }
+    }
+
+    #[test]
+    fn rz_truncates_toward_zero() {
+        // 1 + 2^-25 in f32: RNE gives 1.0, RZ also 1.0 (both truncate here);
+        // use a case where RNE rounds away: acc = 1, x = 3*2^-25
+        // exact = 1 + 3*2^-25; nearest f32 is 1 + 2^-23 (rounds up), RZ gives 1 + 0 = 1.0?
+        // f32 spacing at 1.0 is 2^-23; exact is between 1 and 1+2^-23, closer to 1 (3/4 of the way? 3*2^-25 = 0.375*2^-23) → RNE gives 1.0 too.
+        // Use x = 0.75 * 2^-23: exact = 1 + 0.75·2^-23 → RNE rounds to 1+2^-23, RZ to 1.
+        let x = 0.75 * 2f32.powi(-23);
+        let rn = 1.0f32 + x;
+        assert_eq!(rn, 1.0 + 2f32.powi(-23));
+        assert_eq!(add_rz(1.0, x), 1.0);
+        // negative side symmetric
+        assert_eq!(add_rz(-1.0, -x), -1.0);
+        // exact results unchanged
+        assert_eq!(add_rz(1.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn load_store_round_trip_with_padding() {
+        let rows = 10;
+        let cols = 12;
+        let ld = 11;
+        let src: Vec<f32> = (0..ld * cols).map(|x| x as f32 * 0.25).collect();
+        let t = TileF16::load(&src, rows, cols, ld);
+        // padded region is zero
+        assert_eq!(t.get(15, 15).to_f32(), 0.0);
+        assert_eq!(t.get(10, 0).to_f32(), 0.0);
+        // values survive (0.25 multiples < 2048 are exact in f16)
+        assert_eq!(t.get(3, 2).to_f32(), src[3 + 2 * ld]);
+
+        let mut c = TileF32::zero();
+        c.0[0] = 7.0;
+        c.0[1 + TILE] = -3.0;
+        let mut out = vec![0.0f32; 4];
+        c.store(&mut out, 2, 2, 2);
+        assert_eq!(out, vec![7.0, 0.0, 0.0, -3.0]);
+    }
+}

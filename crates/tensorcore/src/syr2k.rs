@@ -1,0 +1,162 @@
+//! Tensor-Core symmetric rank-2k update — the paper's stated future work
+//! (§7: "we can try to implement the Tensor-Core-based symmetric rank 2k
+//! update (syr2k). Indeed, in our current program, this kind of GEMM is
+//! regarded as a normal GEMM that does 2x more computations").
+//!
+//! `C ← alpha·(A·Bᵀ + B·Aᵀ) + beta·C` with fp16-truncated operands,
+//! computing only the lower triangle tile-block-wise and mirroring — half
+//! the arithmetic of the two full outer products the paper's implementation
+//! must issue.
+
+use crate::gemm::truncate_f16;
+use tcevd_matrix::blas3;
+use tcevd_matrix::{MatMut, MatRef};
+
+/// Block size for the triangular tiling.
+const NB: usize = 64;
+
+/// Tensor-Core syr2k: `C ← alpha·(A·Bᵀ + B·Aᵀ) + beta·C`, `A`, `B` n×k.
+/// Both triangles of `C` are written (the matrix is symmetric by
+/// construction), but only ~half the multiply work is performed.
+pub fn tc_syr2k(
+    alpha: f32,
+    a: MatRef<'_, f32>,
+    b: MatRef<'_, f32>,
+    beta: f32,
+    mut c: MatMut<'_, f32>,
+) {
+    let n = c.rows();
+    assert_eq!(c.cols(), n);
+    assert_eq!(a.rows(), n);
+    assert_eq!(b.rows(), n);
+    assert_eq!(a.cols(), b.cols());
+
+    let ah = truncate_f16(a);
+    let bh = truncate_f16(b);
+
+    // Diagonal blocks: symmetric rank-2k on the block (scalar kernel);
+    // off-diagonal lower blocks: two GEMM tiles, mirrored to the upper side.
+    for j0 in (0..n).step_by(NB) {
+        let jb = NB.min(n - j0);
+        // diagonal block
+        {
+            let mut diag = c.view_mut(j0, j0, jb, jb);
+            blas3::syr2k_lower(
+                alpha,
+                ah.view(j0, 0, jb, ah.cols()),
+                bh.view(j0, 0, jb, bh.cols()),
+                beta,
+                diag.as_mut(),
+            );
+            // mirror within the diagonal block
+            for jj in 0..jb {
+                for ii in jj + 1..jb {
+                    let v = diag.get(ii, jj);
+                    diag.set(jj, ii, v);
+                }
+            }
+        }
+        // blocks strictly below the diagonal
+        for i0 in ((j0 + jb)..n).step_by(NB) {
+            let ib = NB.min(n - i0);
+            // C[i0.., j0..] ← beta·C + alpha·(A_i·B_jᵀ + B_i·A_jᵀ)
+            blas3::gemm(
+                alpha,
+                ah.view(i0, 0, ib, ah.cols()),
+                tcevd_matrix::Op::NoTrans,
+                bh.view(j0, 0, jb, bh.cols()),
+                tcevd_matrix::Op::Trans,
+                beta,
+                c.view_mut(i0, j0, ib, jb),
+            );
+            blas3::gemm(
+                alpha,
+                bh.view(i0, 0, ib, bh.cols()),
+                tcevd_matrix::Op::NoTrans,
+                ah.view(j0, 0, jb, ah.cols()),
+                tcevd_matrix::Op::Trans,
+                1.0,
+                c.view_mut(i0, j0, ib, jb),
+            );
+            // mirror into the upper block
+            let block = c.view_mut(i0, j0, ib, jb).as_ref().to_owned();
+            let mut upper = c.view_mut(j0, i0, jb, ib);
+            for jj in 0..ib {
+                for ii in 0..jb {
+                    upper.set(ii, jj, block[(jj, ii)]);
+                }
+            }
+        }
+    }
+}
+
+/// Flops of a native syr2k (half of the two-full-GEMM formulation).
+pub fn syr2k_flops(n: usize, k: usize) -> u64 {
+    2 * (n as u64) * (n as u64) * (k as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::tc_gemm;
+    use tcevd_matrix::Op;
+    use tcevd_matrix::Mat;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn two_gemm_reference(
+        alpha: f32,
+        a: &Mat<f32>,
+        b: &Mat<f32>,
+        beta: f32,
+        c: &mut Mat<f32>,
+    ) {
+        tc_gemm(alpha, a.as_ref(), Op::NoTrans, b.as_ref(), Op::Trans, beta, c.as_mut());
+        tc_gemm(alpha, b.as_ref(), Op::NoTrans, a.as_ref(), Op::Trans, 1.0, c.as_mut());
+    }
+
+    #[test]
+    fn matches_two_gemm_formulation() {
+        for n in [16usize, 63, 130] {
+            let k = 24;
+            let a = rand_mat(n, k, n as u64);
+            let b = rand_mat(n, k, n as u64 + 1);
+            let c0 = rand_mat(n, n, n as u64 + 2);
+            // symmetrize c0 for a meaningful beta path
+            let c0 = Mat::from_fn(n, n, |i, j| 0.5 * (c0[(i, j)] + c0[(j, i)]));
+
+            let mut c1 = c0.clone();
+            tc_syr2k(1.5, a.as_ref(), b.as_ref(), 0.5, c1.as_mut());
+            let mut c2 = c0.clone();
+            two_gemm_reference(1.5, &a, &b, 0.5, &mut c2);
+
+            let diff = c1.max_abs_diff(&c2);
+            // same products, different accumulation order only
+            assert!(diff < 1e-4, "n={n}: diff={diff}");
+            // exact symmetry by construction
+            assert_eq!(c1.max_abs_diff(&c1.transpose()), 0.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites() {
+        let n = 20;
+        let a = rand_mat(n, 8, 1);
+        let b = rand_mat(n, 8, 2);
+        let mut c = Mat::from_col_major(n, n, vec![f32::NAN; n * n]);
+        tc_syr2k(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert!(c.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn flop_count_is_half() {
+        assert_eq!(syr2k_flops(100, 10), 2 * 100 * 100 * 10);
+        // two full outer products would be 4·n²·k
+    }
+}

@@ -1,0 +1,234 @@
+//! Symmetric test-matrix generators with prescribed spectra.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tcevd_factor::qr::{extract_r, geqr2, orgqr};
+use tcevd_matrix::blas3::matmul;
+use tcevd_matrix::{Mat, Op};
+
+/// The matrix families from the paper's Tables 3–4.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum MatrixType {
+    /// Symmetrized i.i.d. standard normal entries.
+    Normal,
+    /// Symmetrized i.i.d. uniform(-1, 1) entries.
+    Uniform,
+    /// One eigenvalue at 1, the rest clustered at 1/κ (latms "cluster at 0").
+    Cluster0 { cond: f64 },
+    /// Eigenvalues at 1 except one at 1/κ (latms "cluster at 1").
+    Cluster1 { cond: f64 },
+    /// Arithmetically spaced eigenvalues from 1 down to 1/κ.
+    Arith { cond: f64 },
+    /// Geometrically spaced eigenvalues from 1 down to 1/κ.
+    Geo { cond: f64 },
+}
+
+impl MatrixType {
+    /// The ten configurations benchmarked in the paper's accuracy tables.
+    pub fn paper_suite() -> Vec<(&'static str, MatrixType)> {
+        vec![
+            ("Normal", MatrixType::Normal),
+            ("Uniform", MatrixType::Uniform),
+            ("SVD_Cluster0 1e5", MatrixType::Cluster0 { cond: 1e5 }),
+            ("SVD_Cluster1 1e5", MatrixType::Cluster1 { cond: 1e5 }),
+            ("SVD_Arith 1e1", MatrixType::Arith { cond: 1e1 }),
+            ("SVD_Arith 1e3", MatrixType::Arith { cond: 1e3 }),
+            ("SVD_Arith 1e5", MatrixType::Arith { cond: 1e5 }),
+            ("SVD_Geo 1e1", MatrixType::Geo { cond: 1e1 }),
+            ("SVD_Geo 1e3", MatrixType::Geo { cond: 1e3 }),
+            ("SVD_Geo 1e5", MatrixType::Geo { cond: 1e5 }),
+        ]
+    }
+}
+
+/// Standard-normal sample via Box–Muller (keeps the dependency surface to
+/// `rand`'s uniform generator only).
+fn normal_sample(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.random();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Dense matrix of i.i.d. standard normal entries.
+pub fn random_gaussian(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Mat::from_fn(rows, cols, |_, _| normal_sample(&mut rng))
+}
+
+/// Symmetric matrix `(G + Gᵀ)/2` from i.i.d. entries.
+pub fn random_symmetric(n: usize, seed: u64, uniform: bool) -> Mat<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = if uniform {
+        Mat::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0))
+    } else {
+        Mat::from_fn(n, n, |_, _| normal_sample(&mut rng))
+    };
+    Mat::from_fn(n, n, |i, j| 0.5 * (g[(i, j)] + g[(j, i)]))
+}
+
+/// Haar-distributed random orthogonal matrix: QR of a Gaussian matrix with
+/// the sign fix `Q ← Q·diag(sign(r_ii))` (Mezzadri's recipe).
+pub fn haar_orthogonal(n: usize, seed: u64) -> Mat<f64> {
+    let mut g = random_gaussian(n, n, seed);
+    let tau = geqr2(g.as_mut());
+    let q = orgqr(g.as_ref(), &tau);
+    let r = extract_r(g.as_ref());
+    let mut q = q;
+    for j in 0..n {
+        if r[(j, j)] < 0.0 {
+            for i in 0..n {
+                q[(i, j)] = -q[(i, j)];
+            }
+        }
+    }
+    q
+}
+
+/// The eigenvalue sequence for a given matrix type (descending, max = 1).
+/// `Normal`/`Uniform` have no prescribed spectrum and return `None`.
+pub fn spectrum(n: usize, mtype: MatrixType) -> Option<Vec<f64>> {
+    let lam = match mtype {
+        MatrixType::Normal | MatrixType::Uniform => return None,
+        MatrixType::Cluster0 { cond } => {
+            let mut v = vec![1.0 / cond; n];
+            v[0] = 1.0;
+            v
+        }
+        MatrixType::Cluster1 { cond } => {
+            let mut v = vec![1.0; n];
+            v[n - 1] = 1.0 / cond;
+            v
+        }
+        MatrixType::Arith { cond } => (0..n)
+            .map(|i| {
+                if n == 1 {
+                    1.0
+                } else {
+                    1.0 - (i as f64 / (n - 1) as f64) * (1.0 - 1.0 / cond)
+                }
+            })
+            .collect(),
+        MatrixType::Geo { cond } => (0..n)
+            .map(|i| {
+                if n == 1 {
+                    1.0
+                } else {
+                    cond.powf(-(i as f64) / (n - 1) as f64)
+                }
+            })
+            .collect(),
+    };
+    Some(lam)
+}
+
+/// Symmetric matrix with the prescribed eigenvalues: `A = Q·diag(λ)·Qᵀ`
+/// with Haar-random `Q`.
+pub fn prescribed_spectrum(lambda: &[f64], seed: u64) -> Mat<f64> {
+    let n = lambda.len();
+    let q = haar_orthogonal(n, seed);
+    // A = Q·Λ·Qᵀ — scale columns of Q by λ then multiply by Qᵀ.
+    let mut ql = q.clone();
+    for j in 0..n {
+        let l = lambda[j];
+        for v in ql.col_mut(j) {
+            *v *= l;
+        }
+    }
+    let mut a = matmul(ql.as_ref(), Op::NoTrans, q.as_ref(), Op::Trans);
+    // enforce exact symmetry (kills roundoff asymmetry)
+    for j in 0..n {
+        for i in 0..j {
+            let s = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = s;
+            a[(j, i)] = s;
+        }
+    }
+    a
+}
+
+/// Generate an n×n symmetric test matrix of the given type (f64; cast to
+/// f32 for the working pipeline).
+pub fn generate(n: usize, mtype: MatrixType, seed: u64) -> Mat<f64> {
+    match mtype {
+        MatrixType::Normal => random_symmetric(n, seed, false),
+        MatrixType::Uniform => random_symmetric(n, seed, true),
+        _ => prescribed_spectrum(&spectrum(n, mtype).unwrap(), seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::norms::orthogonality_residual;
+
+    #[test]
+    fn haar_q_is_orthogonal() {
+        let q = haar_orthogonal(32, 42);
+        assert!(orthogonality_residual(q.as_ref()) < 1e-12);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = generate(16, MatrixType::Geo { cond: 1e3 }, 7);
+        let b = generate(16, MatrixType::Geo { cond: 1e3 }, 7);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let c = generate(16, MatrixType::Geo { cond: 1e3 }, 8);
+        assert!(c.max_abs_diff(&a) > 0.0);
+    }
+
+    #[test]
+    fn generated_matrices_are_symmetric() {
+        for (_, mt) in MatrixType::paper_suite() {
+            let a = generate(12, mt, 1);
+            assert!(a.max_abs_diff(&a.transpose()) < 1e-14, "{mt:?}");
+        }
+    }
+
+    #[test]
+    fn spectra_have_requested_condition_number() {
+        for mt in [
+            MatrixType::Arith { cond: 1e3 },
+            MatrixType::Geo { cond: 1e3 },
+            MatrixType::Cluster0 { cond: 1e3 },
+            MatrixType::Cluster1 { cond: 1e3 },
+        ] {
+            let lam = spectrum(20, mt).unwrap();
+            let maxl = lam.iter().cloned().fold(f64::MIN, f64::max);
+            let minl = lam.iter().cloned().fold(f64::MAX, f64::min);
+            assert!((maxl / minl / 1e3 - 1.0).abs() < 1e-10, "{mt:?}");
+            assert_eq!(maxl, 1.0, "{mt:?}");
+        }
+    }
+
+    #[test]
+    fn geo_spectrum_is_geometric() {
+        let lam = spectrum(5, MatrixType::Geo { cond: 1e4 }).unwrap();
+        for w in lam.windows(2) {
+            assert!((w[1] / w[0] - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prescribed_matrix_has_right_trace() {
+        // trace(A) = Σλ under orthogonal similarity
+        let lam = spectrum(24, MatrixType::Arith { cond: 1e2 }).unwrap();
+        let a = prescribed_spectrum(&lam, 3);
+        let tr: f64 = (0..24).map(|i| a[(i, i)]).sum();
+        let want: f64 = lam.iter().sum();
+        assert!((tr - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let g = random_gaussian(200, 200, 5);
+        let n = 200.0 * 200.0;
+        let mean: f64 = g.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = g.as_slice().iter().map(|x| x * x).sum::<f64>() / n;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+}

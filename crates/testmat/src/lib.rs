@@ -1,0 +1,19 @@
+//! # tcevd-testmat — test matrix generation
+//!
+//! Mirrors the `magma_generate` matrices the paper evaluates on (its
+//! Tables 3 and 4): symmetric matrices with prescribed spectra under a
+//! Haar-random orthogonal similarity, `A = Q·Λ·Qᵀ`, plus plain
+//! random-entry symmetric matrices.
+//!
+//! The "SVD_*" names follow the paper: the singular-value distribution name
+//! and the condition number `κ = σ_max/σ_min`. For a symmetric
+//! positive-definite test matrix the singular values *are* the eigenvalues,
+//! which is how `magma_generate --matrix svd_*` builds its symmetric
+//! variants.
+
+pub mod generators;
+
+pub use generators::{
+    generate, haar_orthogonal, prescribed_spectrum, random_gaussian, random_symmetric,
+    spectrum, MatrixType,
+};

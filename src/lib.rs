@@ -1,0 +1,12 @@
+//! # tcevd — Tensor-Core symmetric eigenvalue decomposition (PPoPP'23 reproduction)
+//!
+//! Umbrella crate re-exporting the whole workspace. See README.md for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+
+pub use tcevd_band as band;
+pub use tcevd_core as evd;
+pub use tcevd_factor as factor;
+pub use tcevd_matrix as matrix;
+pub use tcevd_perfmodel as perfmodel;
+pub use tcevd_tensorcore as tensorcore;
+pub use tcevd_testmat as testmat;

@@ -1,0 +1,155 @@
+//! Numerical edge cases across the whole stack: extreme scales, special
+//! structures, and inputs that historically break eigensolvers.
+
+use tcevd::band::PanelKind;
+use tcevd::evd::{
+    jacobi_eig, sym_eig, sym_eigenvalues, sym_eigenvalues_ref, SbrVariant, SymEigOptions,
+    TridiagSolver,
+};
+use tcevd::matrix::Mat;
+use tcevd::tensorcore::{Engine, GemmContext};
+use tcevd::testmat::{generate, MatrixType};
+
+fn opts(vectors: bool) -> SymEigOptions {
+    SymEigOptions {
+        bandwidth: 8,
+        sbr: SbrVariant::Wy { block: 32 },
+        panel: PanelKind::Tsqr,
+        solver: TridiagSolver::DivideConquer,
+        vectors,
+    }
+}
+
+#[test]
+fn tiny_scale_matrix() {
+    // entries ~1e-20: fp32-representable, far below fp16 range — the FP32
+    // engine must handle it; relative accuracy preserved
+    let n = 48;
+    let a64 = {
+        let mut a = generate(n, MatrixType::Normal, 501);
+        for v in a.as_mut_slice() {
+            *v *= 1e-20;
+        }
+        a
+    };
+    let a: Mat<f32> = a64.cast();
+    let ctx = GemmContext::new(Engine::Sgemm);
+    let vals = sym_eigenvalues(&a, &opts(false), &ctx).unwrap();
+    let reference = sym_eigenvalues_ref(&a64).unwrap();
+    let scale = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    for (v, w) in vals.iter().zip(reference.iter()) {
+        assert!((*v as f64 - w).abs() < 1e-5 * scale, "{v} vs {w}");
+    }
+}
+
+#[test]
+fn large_scale_matrix() {
+    // entries ~1e15 (inside f32, far outside fp16): FP32 path correct
+    let n = 48;
+    let a64 = {
+        let mut a = generate(n, MatrixType::Uniform, 502);
+        for v in a.as_mut_slice() {
+            *v *= 1e15;
+        }
+        a
+    };
+    let a: Mat<f32> = a64.cast();
+    let ctx = GemmContext::new(Engine::Sgemm);
+    let vals = sym_eigenvalues(&a, &opts(false), &ctx).unwrap();
+    let reference = sym_eigenvalues_ref(&a64).unwrap();
+    let scale = reference.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    for (v, w) in vals.iter().zip(reference.iter()) {
+        assert!(((*v as f64) - w).abs() < 1e-5 * scale);
+    }
+}
+
+#[test]
+fn rank_one_matrix() {
+    // A = q·qᵀ: one eigenvalue 1, the rest 0
+    let n = 64;
+    let q = tcevd::testmat::haar_orthogonal(n, 503);
+    let a64 = Mat::<f64>::from_fn(n, n, |i, j| q[(i, 0)] * q[(j, 0)]);
+    let a: Mat<f32> = a64.cast();
+    let ctx = GemmContext::new(Engine::Sgemm);
+    let vals = sym_eigenvalues(&a, &opts(false), &ctx).unwrap();
+    assert!((vals[n - 1] - 1.0).abs() < 1e-5);
+    for v in &vals[..n - 1] {
+        assert!(v.abs() < 1e-5);
+    }
+}
+
+#[test]
+fn indefinite_spectrum() {
+    // symmetric indefinite: negative and positive eigenvalues mix
+    let n = 56;
+    let a64 = generate(n, MatrixType::Normal, 504); // Wigner-like, indefinite
+    let a: Mat<f32> = a64.cast();
+    let ctx = GemmContext::new(Engine::Tc);
+    let vals = sym_eigenvalues(&a, &opts(false), &ctx).unwrap();
+    assert!(vals[0] < 0.0, "Wigner matrix must have negative eigenvalues");
+    assert!(vals[n - 1] > 0.0);
+    // symmetric spectrum bulk: |λ_min| ≈ |λ_max| within 30%
+    let r = (-vals[0] / vals[n - 1]) as f64;
+    assert!((0.5..2.0).contains(&r), "spectrum asymmetry {r}");
+}
+
+#[test]
+fn already_banded_input() {
+    // input already has bandwidth ≤ b: SBR must be a cheap no-op-ish pass
+    let n = 64;
+    let mut a64 = generate(n, MatrixType::Normal, 505);
+    for j in 0..n {
+        for i in 0..n {
+            if i.abs_diff(j) > 8 {
+                a64[(i, j)] = 0.0;
+            }
+        }
+    }
+    let a: Mat<f32> = a64.cast();
+    let ctx = GemmContext::new(Engine::Sgemm);
+    let r = sym_eig(&a, &opts(true), &ctx).unwrap();
+    let reference = sym_eigenvalues_ref(&a64).unwrap();
+    for (v, w) in r.values.iter().zip(reference.iter()) {
+        assert!(((*v as f64) - w).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn two_by_two_blocks() {
+    // block-diagonal input: eigenvalues are the unions of the blocks'
+    let a = Mat::<f32>::from_rows(
+        4,
+        4,
+        &[
+            2.0, 1.0, 0.0, 0.0, //
+            1.0, 2.0, 0.0, 0.0, //
+            0.0, 0.0, 5.0, 3.0, //
+            0.0, 0.0, 3.0, 5.0,
+        ],
+    );
+    let ctx = GemmContext::new(Engine::Sgemm);
+    let mut o = opts(false);
+    o.bandwidth = 1;
+    let vals = sym_eigenvalues(&a, &o, &ctx).unwrap();
+    let want = [1.0f32, 2.0, 3.0, 8.0];
+    for (v, w) in vals.iter().zip(want.iter()) {
+        assert!((v - w).abs() < 1e-5, "{v} vs {w}");
+    }
+}
+
+#[test]
+fn jacobi_handles_graded_matrices_with_relative_accuracy() {
+    // Demmel–Veselić: Jacobi gets small eigenvalues of SPD graded matrices
+    // to high *relative* accuracy; verify against the f64 reference.
+    let n = 24;
+    let a64 = {
+        let g = generate(n, MatrixType::Geo { cond: 1e6 }, 506);
+        g
+    };
+    let a: Mat<f32> = a64.cast();
+    let (vals, _) = jacobi_eig(&a).unwrap();
+    let reference = sym_eigenvalues_ref(&a64).unwrap();
+    // smallest eigenvalue ~1e-6: relative error in f32 should be ≤ ~1e-4
+    let rel = ((vals[0] as f64) - reference[0]).abs() / reference[0];
+    assert!(rel < 1e-2, "relative error on tiny eigenvalue: {rel}");
+}
