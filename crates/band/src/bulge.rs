@@ -15,6 +15,7 @@
 use tcevd_factor::householder::{apply_reflector_left, apply_reflector_right, larfg};
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::Mat;
+use tcevd_trace::{span, TraceSink};
 
 /// Result of a band→tridiagonal reduction: `B = Q·T·Qᵀ`.
 pub struct BulgeResult<T: Scalar> {
@@ -29,15 +30,28 @@ pub struct BulgeResult<T: Scalar> {
 /// Reduce a symmetric band matrix (dense storage, half-bandwidth `b`) to
 /// tridiagonal form by bulge chasing.
 pub fn bulge_chase<T: Scalar>(band: &Mat<T>, b: usize, accumulate_q: bool) -> BulgeResult<T> {
+    bulge_chase_with(band, b, accumulate_q, &TraceSink::disabled())
+}
+
+/// [`bulge_chase`] with observability: emits a `bulge_chase` span and
+/// tallies `bulge_sweeps` / `bulge_reflectors` into `sink`.
+pub fn bulge_chase_with<T: Scalar>(
+    band: &Mat<T>,
+    b: usize,
+    accumulate_q: bool,
+    sink: &TraceSink,
+) -> BulgeResult<T> {
     let n = band.rows();
     assert!(band.is_square());
     assert!(b >= 1);
+    let _span = span!(sink, "bulge_chase", n, b);
     let mut a = band.clone();
     let mut q = accumulate_q.then(|| Mat::<T>::identity(n, n));
 
     if b > 1 && n > 2 {
         let mut v = vec![T::ZERO; b + 1];
         for j in 0..n - 2 {
+            sink.add("bulge_sweeps", 1);
             // Chase the fill-in of column j down the band.
             let mut src_col = j;
             let mut s = j + 1;
@@ -54,6 +68,7 @@ pub fn bulge_chase<T: Scalar>(band: &Mat<T>, b: usize, accumulate_q: bool) -> Bu
                 }
                 let (beta, tau) = larfg(alpha, &mut v[1..len]);
                 v[0] = T::ONE;
+                sink.add("bulge_reflectors", 1);
 
                 if tau != T::ZERO {
                     // Two-sided application over the active window.
@@ -107,7 +122,9 @@ mod tests {
     fn band_matrix(n: usize, b: usize, seed: u64) -> Mat<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut a = Mat::<f64>::zeros(n, n);

@@ -13,23 +13,34 @@ use crate::storage::SymBand;
 use tcevd_factor::householder::larfg;
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::Mat;
+use tcevd_trace::{span, TraceSink};
 
 /// Band → tridiagonal reduction on packed storage.
 ///
 /// `accumulate_q` builds the dense n×n orthogonal factor (the only O(n²)
 /// object; leave it off for eigenvalues-only pipelines).
-pub fn bulge_chase_packed<T: Scalar>(
+pub fn bulge_chase_packed<T: Scalar>(band: &SymBand<T>, accumulate_q: bool) -> BulgeResult<T> {
+    bulge_chase_packed_with(band, accumulate_q, &TraceSink::disabled())
+}
+
+/// [`bulge_chase_packed`] with observability: emits a `bulge_chase` span
+/// and tallies `bulge_sweeps` / `bulge_reflectors` into `sink`.
+pub fn bulge_chase_packed_with<T: Scalar>(
     band: &SymBand<T>,
     accumulate_q: bool,
+    sink: &TraceSink,
 ) -> BulgeResult<T> {
     let n = band.n();
     let b = band.bandwidth();
+    let _span = span!(sink, "bulge_chase", n, b);
     let mut q = accumulate_q.then(|| Mat::<T>::identity(n, n));
 
     if b <= 1 || n <= 2 {
         let dense_free = |i: usize, j: usize| band.get(i, j);
         let diag = (0..n).map(|i| dense_free(i, i)).collect();
-        let offdiag = (0..n.saturating_sub(1)).map(|i| dense_free(i + 1, i)).collect();
+        let offdiag = (0..n.saturating_sub(1))
+            .map(|i| dense_free(i + 1, i))
+            .collect();
         return BulgeResult { diag, offdiag, q };
     }
 
@@ -40,6 +51,7 @@ pub fn bulge_chase_packed<T: Scalar>(
     let mut p = vec![T::ZERO; 6 * b + 4]; // A·v support: len + 2·wb ≤ 5b+1
 
     for j in 0..n - 2 {
+        sink.add("bulge_sweeps", 1);
         let mut src_col = j;
         let mut s = j + 1;
         loop {
@@ -55,6 +67,7 @@ pub fn bulge_chase_packed<T: Scalar>(
             }
             let (beta, tau) = larfg(alpha, &mut v[1..len]);
             v[0] = T::ONE;
+            sink.add("bulge_reflectors", 1);
 
             if tau != T::ZERO {
                 two_sided_packed(&mut a, s, e, &v[..len], tau, &mut p);
@@ -157,7 +170,11 @@ pub(crate) fn two_sided_packed<T: Scalar>(
         let wi = p[i - lo];
         for j in lo..hi {
             let within = i.abs_diff(j) <= wb;
-            let vj = if (s..e).contains(&j) { v[j - s] } else { T::ZERO };
+            let vj = if (s..e).contains(&j) {
+                v[j - s]
+            } else {
+                T::ZERO
+            };
             let wj = p[j - lo];
             let delta = vi * wj + wi * vj;
             if delta != T::ZERO {
@@ -184,7 +201,9 @@ mod tests {
     fn band_matrix(n: usize, b: usize, seed: u64) -> Mat<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(11);
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut a = Mat::<f64>::zeros(n, n);

@@ -90,9 +90,27 @@ pub fn accumulate_q_right(
     let k = w.cols();
     // t = Q_c·W (n×k)
     let mut t = Mat::<f32>::zeros(n, k);
-    ctx.gemm("q_acc_qw", 1.0, q_cols.as_ref(), Op::NoTrans, w, Op::NoTrans, 0.0, t.as_mut());
+    ctx.gemm(
+        "q_acc_qw",
+        1.0,
+        q_cols.as_ref(),
+        Op::NoTrans,
+        w,
+        Op::NoTrans,
+        0.0,
+        t.as_mut(),
+    );
     // Q_c ← Q_c − t·Yᵀ
-    ctx.gemm("q_acc_update", -1.0, t.as_ref(), Op::NoTrans, y, Op::Trans, 1.0, q_cols);
+    ctx.gemm(
+        "q_acc_update",
+        -1.0,
+        t.as_ref(),
+        Op::NoTrans,
+        y,
+        Op::Trans,
+        1.0,
+        q_cols,
+    );
 }
 
 #[cfg(test)]
@@ -136,7 +154,15 @@ mod tests {
         let ctx = GemmContext::new(Engine::Sgemm);
         accumulate_q_right(&ctx, q.as_mut(), w.as_ref(), y.as_ref());
         let mut want = Mat::<f32>::identity(n, n);
-        tcevd_matrix::blas3::gemm(-1.0, w.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, want.as_mut());
+        tcevd_matrix::blas3::gemm(
+            -1.0,
+            w.as_ref(),
+            Op::NoTrans,
+            y.as_ref(),
+            Op::Trans,
+            1.0,
+            want.as_mut(),
+        );
         assert!(q.max_abs_diff(&want) < 1e-6);
         let _ = orthogonality_residual(q.as_ref()); // smoke: callable
     }

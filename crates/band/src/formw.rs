@@ -16,11 +16,15 @@
 use crate::sbr_wy::LevelWy;
 use tcevd_matrix::{Mat, MatRef, Op};
 use tcevd_tensorcore::GemmContext;
+use tcevd_trace::span;
 
 /// Merge the per-level WY factors into a single `(W, Y)` with
 /// `Q_total = I − W·Yᵀ` over the full n×n space (paper Algorithm 2).
 pub fn form_wy(levels: &[LevelWy], n: usize, ctx: &GemmContext) -> (Mat<f32>, Mat<f32>) {
     assert!(!levels.is_empty(), "need at least one WY level");
+    let sink = ctx.sink();
+    let nlevels = levels.len();
+    let _span = span!(sink, "formw", n, nlevels);
     form_rec(levels, n, ctx)
 }
 
@@ -30,8 +34,10 @@ fn form_rec(levels: &[LevelWy], n: usize, ctx: &GemmContext) -> (Mat<f32>, Mat<f
         let k = l.w.cols();
         let mut w = Mat::<f32>::zeros(n, k);
         let mut y = Mat::<f32>::zeros(n, k);
-        w.view_mut(l.row_offset, 0, l.w.rows(), k).copy_from(l.w.as_ref());
-        y.view_mut(l.row_offset, 0, l.y.rows(), k).copy_from(l.y.as_ref());
+        w.view_mut(l.row_offset, 0, l.w.rows(), k)
+            .copy_from(l.w.as_ref());
+        y.view_mut(l.row_offset, 0, l.y.rows(), k)
+            .copy_from(l.y.as_ref());
         return (w, y);
     }
     let half = levels.len() / 2;
@@ -52,6 +58,7 @@ fn merge(
 ) -> (Mat<f32>, Mat<f32>) {
     let n = wa.rows();
     let (ka, kb) = (wa.cols(), wb.cols());
+    ctx.sink().add("formw_merges", 1);
     let mut w = Mat::<f32>::zeros(n, ka + kb);
     let mut y = Mat::<f32>::zeros(n, ka + kb);
     w.view_mut(0, 0, n, ka).copy_from(wa.as_ref());
@@ -60,10 +67,28 @@ fn merge(
 
     // t = Y_aᵀ·W_b (ka×kb)
     let mut t = Mat::<f32>::zeros(ka, kb);
-    ctx.gemm("formw_ytw", 1.0, ya.as_ref(), Op::Trans, wb.as_ref(), Op::NoTrans, 0.0, t.as_mut());
+    ctx.gemm(
+        "formw_ytw",
+        1.0,
+        ya.as_ref(),
+        Op::Trans,
+        wb.as_ref(),
+        Op::NoTrans,
+        0.0,
+        t.as_mut(),
+    );
     // W_b' = W_b − W_a·t
     let mut wb2 = wb.clone();
-    ctx.gemm("formw_w", -1.0, wa.as_ref(), Op::NoTrans, t.as_ref(), Op::NoTrans, 1.0, wb2.as_mut());
+    ctx.gemm(
+        "formw_w",
+        -1.0,
+        wa.as_ref(),
+        Op::NoTrans,
+        t.as_ref(),
+        Op::NoTrans,
+        1.0,
+        wb2.as_mut(),
+    );
     w.view_mut(0, ka, n, kb).copy_from(wb2.as_ref());
     (w, y)
 }
@@ -73,8 +98,26 @@ fn merge(
 pub fn apply_q(w: MatRef<'_, f32>, y: MatRef<'_, f32>, v: &mut Mat<f32>, ctx: &GemmContext) {
     let k = w.cols();
     let mut t = Mat::<f32>::zeros(k, v.cols());
-    ctx.gemm("backtransform_ytv", 1.0, y, Op::Trans, v.as_ref(), Op::NoTrans, 0.0, t.as_mut());
-    ctx.gemm("backtransform_wv", -1.0, w, Op::NoTrans, t.as_ref(), Op::NoTrans, 1.0, v.as_mut());
+    ctx.gemm(
+        "backtransform_ytv",
+        1.0,
+        y,
+        Op::Trans,
+        v.as_ref(),
+        Op::NoTrans,
+        0.0,
+        t.as_mut(),
+    );
+    ctx.gemm(
+        "backtransform_wv",
+        -1.0,
+        w,
+        Op::NoTrans,
+        t.as_ref(),
+        Op::NoTrans,
+        1.0,
+        v.as_mut(),
+    );
 }
 
 #[cfg(test)]

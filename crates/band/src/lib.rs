@@ -28,17 +28,19 @@ pub mod formw;
 pub mod multisweep;
 pub mod panel;
 pub mod sbr_wy;
-pub mod storage;
 pub mod sbr_zy;
+pub mod storage;
 pub mod trace_model;
 
-pub use bulge::{bulge_chase, BulgeResult};
-pub use bulge_packed::bulge_chase_packed;
-pub use storage::SymBand;
+pub use bulge::{bulge_chase, bulge_chase_with, BulgeResult};
+pub use bulge_packed::{bulge_chase_packed, bulge_chase_packed_with};
 pub use common::{max_outside_band, SbrOptions, SbrResult};
 pub use formw::{apply_q, form_wy};
 pub use multisweep::{band_reduce_sweep, multi_sweep_tridiagonalize};
-pub use panel::{factor_panel, FactoredPanel, PanelKind};
+pub use panel::{factor_panel, factor_panel_with, FactoredPanel, PanelKind};
 pub use sbr_wy::{sbr_wy, LevelWy, WyOptions, WySbrResult};
 pub use sbr_zy::sbr_zy;
-pub use trace_model::{formw_trace, wy_trace, zy_trace, PanelOp, SbrTrace};
+pub use storage::SymBand;
+pub use trace_model::{
+    formw_trace, formw_trace_on, wy_trace, wy_trace_on, zy_trace, zy_trace_on, PanelOp, SbrTrace,
+};

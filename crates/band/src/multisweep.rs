@@ -138,7 +138,9 @@ mod tests {
     fn band_matrix(n: usize, b: usize, seed: u64) -> SymBand<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(17);
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let mut a = Mat::<f64>::zeros(n, n);
@@ -218,10 +220,10 @@ mod tests {
         let src = band_matrix(32, 8, 4);
         let (d1, e1, _) = multi_sweep_tridiagonalize(&src, &[], false); // direct
         let (d2, e2, _) = multi_sweep_tridiagonalize(&src, &[4, 2], false);
-        let m1: f64 = d1.iter().map(|x| x * x).sum::<f64>()
-            + 2.0 * e1.iter().map(|x| x * x).sum::<f64>();
-        let m2: f64 = d2.iter().map(|x| x * x).sum::<f64>()
-            + 2.0 * e2.iter().map(|x| x * x).sum::<f64>();
+        let m1: f64 =
+            d1.iter().map(|x| x * x).sum::<f64>() + 2.0 * e1.iter().map(|x| x * x).sum::<f64>();
+        let m2: f64 =
+            d2.iter().map(|x| x * x).sum::<f64>() + 2.0 * e2.iter().map(|x| x * x).sum::<f64>();
         assert!((m1 - m2).abs() < 1e-10 * m1.abs().max(1.0));
         let t1: f64 = d1.iter().sum();
         let t2: f64 = d2.iter().sum();

@@ -12,9 +12,10 @@
 //! back to Householder QR in either mode — TSQR requires m ≥ n.
 
 use tcevd_factor::qr::{geqr2, wy_from_packed};
-use tcevd_factor::reconstruct::panel_qr_tsqr;
+use tcevd_factor::reconstruct::panel_qr_tsqr_with;
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::{Mat, MatRef};
+use tcevd_trace::{span, TraceSink};
 
 /// Which algorithm factors panels.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -39,22 +40,41 @@ pub struct FactoredPanel<T: Scalar> {
 
 /// Factor an m×b panel into WY form.
 pub fn factor_panel<T: Scalar>(panel: MatRef<'_, T>, kind: PanelKind) -> FactoredPanel<T> {
+    factor_panel_with(panel, kind, &TraceSink::disabled())
+}
+
+/// [`factor_panel`] with observability: emits a `panel` span and tallies
+/// `panel_count` plus a `panel_rows` histogram into `sink`.
+pub fn factor_panel_with<T: Scalar>(
+    panel: MatRef<'_, T>,
+    kind: PanelKind,
+    sink: &TraceSink,
+) -> FactoredPanel<T> {
+    let (rows, cols) = (panel.rows(), panel.cols());
+    let _span = span!(sink, "panel", rows, cols);
+    sink.add("panel_count", 1);
+    sink.record("panel_rows", rows as u64);
+    factor_panel_impl(panel, kind, sink)
+}
+
+fn factor_panel_impl<T: Scalar>(
+    panel: MatRef<'_, T>,
+    kind: PanelKind,
+    sink: &TraceSink,
+) -> FactoredPanel<T> {
     let (m, b) = (panel.rows(), panel.cols());
     let use_tsqr = kind == PanelKind::Tsqr && m >= b && m > 0;
     if use_tsqr {
-        match panel_qr_tsqr(panel) {
-            Ok((wy, r)) => {
-                let mut reduced = Mat::<T>::zeros(m, b);
-                reduced.view_mut(0, 0, b, b).copy_from(r.as_ref());
-                return FactoredPanel {
-                    w: wy.w,
-                    y: wy.y,
-                    reduced,
-                };
-            }
-            // Rank-deficient panels can break the non-pivoted LU; fall back
-            // to the Householder path, which has no such restriction.
-            Err(_) => {}
+        // Rank-deficient panels can break the non-pivoted LU; fall back to
+        // the Householder path, which has no such restriction.
+        if let Ok((wy, r)) = panel_qr_tsqr_with(panel, sink) {
+            let mut reduced = Mat::<T>::zeros(m, b);
+            reduced.view_mut(0, 0, b, b).copy_from(r.as_ref());
+            return FactoredPanel {
+                w: wy.w,
+                y: wy.y,
+                reduced,
+            };
         }
     }
     householder_panel(panel)
@@ -86,7 +106,9 @@ mod tests {
     fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -95,7 +117,15 @@ mod tests {
         let m = panel.rows();
         // Q = I − W·Yᵀ orthogonal
         let mut q = Mat::<f64>::identity(m, m);
-        gemm(-1.0, f.w.as_ref(), Op::NoTrans, f.y.as_ref(), Op::Trans, 1.0, q.as_mut());
+        gemm(
+            -1.0,
+            f.w.as_ref(),
+            Op::NoTrans,
+            f.y.as_ref(),
+            Op::Trans,
+            1.0,
+            q.as_mut(),
+        );
         assert!(orthogonality_residual(q.as_ref()) < tol * m as f64);
         // Qᵀ·panel = reduced
         let qt_p = matmul(q.as_ref(), Op::Trans, panel.as_ref(), Op::NoTrans);
@@ -162,7 +192,15 @@ mod tests {
         let f = factor_panel(p.as_ref(), PanelKind::Tsqr);
         let m = 256;
         let mut q = Mat::<f32>::identity(m, m);
-        gemm(-1.0f32, f.w.as_ref(), Op::NoTrans, f.y.as_ref(), Op::Trans, 1.0, q.as_mut());
+        gemm(
+            -1.0f32,
+            f.w.as_ref(),
+            Op::NoTrans,
+            f.y.as_ref(),
+            Op::Trans,
+            1.0,
+            q.as_mut(),
+        );
         assert!(orthogonality_residual(q.as_ref()) < 1e-3);
     }
 }

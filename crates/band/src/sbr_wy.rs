@@ -21,9 +21,10 @@
 //! (paper §4.2.1 vs §4.2.2).
 
 use crate::common::{accumulate_q_right, clip_to_band, symmetrize, SbrResult};
-use crate::panel::{factor_panel, PanelKind};
+use crate::panel::{factor_panel_with, PanelKind};
 use tcevd_matrix::{Mat, Op};
 use tcevd_tensorcore::GemmContext;
+use tcevd_trace::span;
 
 /// Configuration for the WY-based SBR.
 #[derive(Copy, Clone, Debug)]
@@ -98,6 +99,9 @@ pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult 
     assert!(b >= 1, "bandwidth must be ≥ 1");
     let nb = (opts.block / b).max(1) * b;
 
+    let sink = ctx.sink().clone();
+    let _sbr_span = span!(sink, "sbr_wy", n, b, nb);
+
     let mut a = a.clone();
     let mut q = opts.accumulate_q.then(|| Mat::<f32>::identity(n, n));
     let mut levels = Vec::new();
@@ -123,17 +127,21 @@ pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult 
 
         let mut i = 0; // local column offset inside the big block
         let mut exhausted = false;
+        sink.add("sbr_levels", 1);
+        let _level_span = span!(sink, "sbr_level", off, m);
         while i < nb && i + b < m {
             let prows = m - i - b; // = mp - i
-            // 1. Panel QR of the (already current) panel.
+                                   // 1. Panel QR of the (already current) panel.
             let panel = a.view(off + i + b, off + i, prows, b);
-            let f = factor_panel(panel, opts.panel);
+            let f = factor_panel_with(panel, opts.panel, &sink);
             let kf = f.w.cols();
 
             // Write back the reduced panel and its mirror.
-            a.view_mut(off + i + b, off + i, prows, b).copy_from(f.reduced.as_ref());
+            a.view_mut(off + i + b, off + i, prows, b)
+                .copy_from(f.reduced.as_ref());
             let rt = f.reduced.transpose();
-            a.view_mut(off + i, off + i + b, b, prows).copy_from(rt.as_ref());
+            a.view_mut(off + i, off + i + b, b, prows)
+                .copy_from(rt.as_ref());
 
             // 2. Aggregate: W ← [W | w − W·(Yᵀ·w)], Y ← [Y | y]
             //    (panel vectors embedded at OA' rows i..mp).
@@ -189,6 +197,7 @@ pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult 
             //    GA = [(I − Y·Wᵀ)·OA·(I − W·Yᵀ)][:, c'] ,  c' = i..i+cw.
             let cw = b.min(mp - i); // next-block width (clipped at the edge)
             {
+                let _update_span = span!(sink, "block_update", i, k, cw);
                 let w_k = wacc.view(0, 0, mp, k);
                 let y_k = yacc.view(0, 0, mp, k);
                 let aw_k = aw.view(0, 0, mp, k);
@@ -207,16 +216,36 @@ pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult 
                 );
                 // WX = Wᵀ·X (k×cw)
                 let mut wx = Mat::<f32>::zeros(k, cw);
-                ctx.gemm("wy_inner_wx", 1.0, w_k, Op::Trans, x.as_ref(), Op::NoTrans, 0.0, wx.as_mut());
+                ctx.gemm(
+                    "wy_inner_wx",
+                    1.0,
+                    w_k,
+                    Op::Trans,
+                    x.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    wx.as_mut(),
+                );
                 // GA = X − Y·WX
-                ctx.gemm("wy_inner_ga", -1.0, y_k, Op::NoTrans, wx.as_ref(), Op::NoTrans, 1.0, x.as_mut());
+                ctx.gemm(
+                    "wy_inner_ga",
+                    -1.0,
+                    y_k,
+                    Op::NoTrans,
+                    wx.as_ref(),
+                    Op::NoTrans,
+                    1.0,
+                    x.as_mut(),
+                );
 
                 // Write rows i..mp of the updated columns (lower part incl.
                 // the diagonal block) and the symmetric mirror.
                 let ga = x.submatrix(i, 0, mp - i, cw);
-                a.view_mut(off + b + i, off + b + i, mp - i, cw).copy_from(ga.as_ref());
+                a.view_mut(off + b + i, off + b + i, mp - i, cw)
+                    .copy_from(ga.as_ref());
                 let gat = ga.transpose();
-                a.view_mut(off + b + i, off + b + i, cw, mp - i).copy_from(gat.as_ref());
+                a.view_mut(off + b + i, off + b + i, cw, mp - i)
+                    .copy_from(gat.as_ref());
             }
 
             i += b;
@@ -254,22 +283,68 @@ pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult 
         //    below runs with inner dimension k = nb, the near-square shapes
         //    this algorithm exists for.
         let mt = mp - processed;
+        let _trailing_span = span!(sink, "trailing_update", mt, k);
         let w_k = wacc.view(0, 0, mp, k);
         let y_t = yacc.view(processed, 0, mt, k);
         let t1 = aw.view(0, 0, mp, k);
 
         // T2 = Wᵀ·T1 (k×k)
         let mut t2 = Mat::<f32>::zeros(k, k);
-        ctx.gemm("wy_final_waw", 1.0, w_k, Op::Trans, t1, Op::NoTrans, 0.0, t2.as_mut());
+        ctx.gemm(
+            "wy_final_waw",
+            1.0,
+            w_k,
+            Op::Trans,
+            t1,
+            Op::NoTrans,
+            0.0,
+            t2.as_mut(),
+        );
 
         let t1t = t1.view(processed, 0, mt, k).to_owned();
         let mut m_t = oa.submatrix(processed, processed, mt, mt);
         // M_t ← OA_t − T1_t·Y_tᵀ − Y_t·T1_tᵀ + Y_t·T2·Y_tᵀ
-        ctx.gemm("wy_final_u1", -1.0, t1t.as_ref(), Op::NoTrans, y_t, Op::Trans, 1.0, m_t.as_mut());
-        ctx.gemm("wy_final_u2", -1.0, y_t, Op::NoTrans, t1t.as_ref(), Op::Trans, 1.0, m_t.as_mut());
+        ctx.gemm(
+            "wy_final_u1",
+            -1.0,
+            t1t.as_ref(),
+            Op::NoTrans,
+            y_t,
+            Op::Trans,
+            1.0,
+            m_t.as_mut(),
+        );
+        ctx.gemm(
+            "wy_final_u2",
+            -1.0,
+            y_t,
+            Op::NoTrans,
+            t1t.as_ref(),
+            Op::Trans,
+            1.0,
+            m_t.as_mut(),
+        );
         let mut yt2 = Mat::<f32>::zeros(mt, k);
-        ctx.gemm("wy_final_yt2", 1.0, y_t, Op::NoTrans, t2.as_ref(), Op::NoTrans, 0.0, yt2.as_mut());
-        ctx.gemm("wy_final_u3", 1.0, yt2.as_ref(), Op::NoTrans, y_t, Op::Trans, 1.0, m_t.as_mut());
+        ctx.gemm(
+            "wy_final_yt2",
+            1.0,
+            y_t,
+            Op::NoTrans,
+            t2.as_ref(),
+            Op::NoTrans,
+            0.0,
+            yt2.as_mut(),
+        );
+        ctx.gemm(
+            "wy_final_u3",
+            1.0,
+            yt2.as_ref(),
+            Op::NoTrans,
+            y_t,
+            Op::Trans,
+            1.0,
+            m_t.as_mut(),
+        );
 
         symmetrize(&mut m_t);
         a.view_mut(off + b + processed, off + b + processed, mt, mt)
@@ -280,19 +355,15 @@ pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult 
 
     symmetrize(&mut a);
     clip_to_band(&mut a, b);
-    WySbrResult {
-        band: a,
-        q,
-        levels,
-    }
+    WySbrResult { band: a, q, levels }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::common::max_outside_band;
-    use crate::sbr_zy::sbr_zy;
     use crate::common::SbrOptions;
+    use crate::sbr_zy::sbr_zy;
     use tcevd_matrix::blas3::matmul;
     use tcevd_matrix::norms::{frobenius, orthogonality_residual};
     use tcevd_tensorcore::Engine;
@@ -397,7 +468,11 @@ mod tests {
             let a = test_matrix(n, 7 + n as u64);
             let ctx = GemmContext::new(Engine::Sgemm);
             let r = sbr_wy(&a, &opts(b, nb, true), &ctx);
-            assert_eq!(max_outside_band(r.band.as_ref(), b), 0.0, "n={n} b={b} nb={nb}");
+            assert_eq!(
+                max_outside_band(r.band.as_ref(), b),
+                0.0,
+                "n={n} b={b} nb={nb}"
+            );
             let be = backward_error(&a, &r.band, r.q.as_ref().unwrap());
             assert!(be < 1e-5, "n={n} b={b} nb={nb}: backward error {be}");
         }

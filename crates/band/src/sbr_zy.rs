@@ -13,9 +13,10 @@
 //! outer-product GEMMs (exactly the paper's observation in §4.1).
 
 use crate::common::{accumulate_q_right, symmetrize, SbrOptions, SbrResult};
-use crate::panel::factor_panel;
+use crate::panel::factor_panel_with;
 use tcevd_matrix::{Mat, Op};
 use tcevd_tensorcore::GemmContext;
+use tcevd_trace::span;
 
 /// Reduce symmetric `a` to band form with the ZY algorithm.
 pub fn sbr_zy(a: &Mat<f32>, opts: &SbrOptions, ctx: &GemmContext) -> SbrResult {
@@ -24,6 +25,9 @@ pub fn sbr_zy(a: &Mat<f32>, opts: &SbrOptions, ctx: &GemmContext) -> SbrResult {
     let b = opts.bandwidth;
     assert!(b >= 1, "bandwidth must be ≥ 1");
 
+    let sink = ctx.sink().clone();
+    let _sbr_span = span!(sink, "sbr_zy", n, b);
+
     let mut a = a.clone();
     let mut q = opts.accumulate_q.then(|| Mat::<f32>::identity(n, n));
 
@@ -31,7 +35,7 @@ pub fn sbr_zy(a: &Mat<f32>, opts: &SbrOptions, ctx: &GemmContext) -> SbrResult {
     while i + b < n {
         let mp = n - i - b; // panel rows
         let panel = a.view(i + b, i, mp, b);
-        let f = factor_panel(panel, opts.panel);
+        let f = factor_panel_with(panel, opts.panel, &sink);
 
         // Write back the reduced panel (and its symmetric mirror).
         a.view_mut(i + b, i, mp, b).copy_from(f.reduced.as_ref());
@@ -40,19 +44,47 @@ pub fn sbr_zy(a: &Mat<f32>, opts: &SbrOptions, ctx: &GemmContext) -> SbrResult {
 
         // Trailing two-sided update via ZY representation.
         let k = f.w.cols();
+        let _update_span = span!(sink, "block_update", i, k);
         let trailing = a.view(i + b, i + b, mp, mp);
 
         // AW = A₂·W  — square × tall-skinny, inner k = b
         let mut aw = Mat::<f32>::zeros(mp, k);
-        ctx.gemm("zy_aw", 1.0, trailing, Op::NoTrans, f.w.as_ref(), Op::NoTrans, 0.0, aw.as_mut());
+        ctx.gemm(
+            "zy_aw",
+            1.0,
+            trailing,
+            Op::NoTrans,
+            f.w.as_ref(),
+            Op::NoTrans,
+            0.0,
+            aw.as_mut(),
+        );
 
         // WAW = Wᵀ·AW (k×k)
         let mut waw = Mat::<f32>::zeros(k, k);
-        ctx.gemm("zy_waw", 1.0, f.w.as_ref(), Op::Trans, aw.as_ref(), Op::NoTrans, 0.0, waw.as_mut());
+        ctx.gemm(
+            "zy_waw",
+            1.0,
+            f.w.as_ref(),
+            Op::Trans,
+            aw.as_ref(),
+            Op::NoTrans,
+            0.0,
+            waw.as_mut(),
+        );
 
         // Z = AW − ½·Y·WAW
         let mut z = aw;
-        ctx.gemm("zy_z", -0.5, f.y.as_ref(), Op::NoTrans, waw.as_ref(), Op::NoTrans, 1.0, z.as_mut());
+        ctx.gemm(
+            "zy_z",
+            -0.5,
+            f.y.as_ref(),
+            Op::NoTrans,
+            waw.as_ref(),
+            Op::NoTrans,
+            1.0,
+            z.as_mut(),
+        );
 
         // A₂ ← A₂ − Y·Zᵀ − Z·Yᵀ — engine-faithful rank-2k: native syr2k
         // (half flops) on the FP32 path, two outer-product GEMMs on Tensor

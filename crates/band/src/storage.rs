@@ -106,7 +106,9 @@ impl<T: Scalar> SymBand<T> {
     pub fn tridiagonal_parts(&self) -> (Vec<T>, Vec<T>) {
         assert_eq!(self.b, 1, "matrix is not tridiagonal");
         let d = (0..self.n).map(|j| self.ab[j * 2]).collect();
-        let e = (0..self.n.saturating_sub(1)).map(|j| self.ab[1 + j * 2]).collect();
+        let e = (0..self.n.saturating_sub(1))
+            .map(|j| self.ab[1 + j * 2])
+            .collect();
         (d, e)
     }
 

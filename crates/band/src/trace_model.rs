@@ -41,42 +41,61 @@ impl SbrTrace {
     }
 }
 
-fn rec(label: &'static str, m: usize, n: usize, k: usize) -> GemmRecord {
+fn rec_on(engine: Engine, label: &'static str, m: usize, n: usize, k: usize) -> GemmRecord {
     GemmRecord {
         m,
         n,
         k,
-        engine: Engine::Tc, // placeholder; the cost model picks the engine
+        engine,
         label,
     }
 }
 
 /// GEMM/panel trace of the ZY-based SBR (mirrors [`crate::sbr_zy::sbr_zy`]
-/// without Q accumulation).
+/// without Q accumulation) on the default Tensor-Core engine.
 pub fn zy_trace(n: usize, b: usize) -> SbrTrace {
+    zy_trace_on(n, b, Engine::Tc)
+}
+
+/// Engine-faithful ZY trace: records carry `engine`, and the rank-2k
+/// trailing update takes the form that engine actually executes —
+/// [`Engine::Sgemm`] issues one native `syr2k` record of shape
+/// `(mp, mp, kf)` (half the flops), the Tensor-Core engines two full
+/// outer-product GEMMs (no native syr2k; the paper's §4.1 observation).
+/// Matches the instrumented real runs of
+/// [`GemmContext::syr2k_update`](tcevd_tensorcore::GemmContext::syr2k_update)
+/// record for record, engine included.
+pub fn zy_trace_on(n: usize, b: usize, engine: Engine) -> SbrTrace {
+    let native_syr2k = matches!(engine, Engine::Sgemm);
     let mut t = SbrTrace::default();
     let mut i = 0;
     while i + b < n {
         let mp = n - i - b;
         let kf = mp.min(b);
         t.panels.push(PanelOp { rows: mp, cols: b });
-        t.gemms.push(rec("zy_aw", mp, kf, mp));
-        t.gemms.push(rec("zy_waw", kf, kf, mp));
-        t.gemms.push(rec("zy_z", mp, kf, kf));
-        // Tensor-Core formulation: the rank-2k update as two outer products
-        // (the Sgemm path's native syr2k would be one (mp, mp, kf) record —
-        // the cost model's Magma profile accounts for that with its
-        // `syr2k_native` flag)
-        t.gemms.push(rec("zy_syr2k", mp, mp, kf));
-        t.gemms.push(rec("zy_syr2k", mp, mp, kf));
+        t.gemms.push(rec_on(engine, "zy_aw", mp, kf, mp));
+        t.gemms.push(rec_on(engine, "zy_waw", kf, kf, mp));
+        t.gemms.push(rec_on(engine, "zy_z", mp, kf, kf));
+        t.gemms.push(rec_on(engine, "zy_syr2k", mp, mp, kf));
+        if !native_syr2k {
+            t.gemms.push(rec_on(engine, "zy_syr2k", mp, mp, kf));
+        }
         i += b;
     }
     t
 }
 
 /// GEMM/panel trace of the WY-based SBR (mirrors [`crate::sbr_wy::sbr_wy`]
-/// without Q accumulation).
+/// without Q accumulation) on the default Tensor-Core engine.
 pub fn wy_trace(n: usize, b: usize, block: usize) -> SbrTrace {
+    wy_trace_on(n, b, block, Engine::Tc)
+}
+
+/// Engine-faithful WY trace ([`wy_trace`] with records carrying `engine`).
+/// The WY algorithm issues no rank-2k updates, so the shape sequence is
+/// engine-independent; only the recorded engine differs.
+pub fn wy_trace_on(n: usize, b: usize, block: usize, engine: Engine) -> SbrTrace {
+    let rec = |label, m, n, k| rec_on(engine, label, m, n, k);
     let nb = (block / b).max(1) * b;
     let mut t = SbrTrace::default();
     let mut off = 0;
@@ -88,7 +107,10 @@ pub fn wy_trace(n: usize, b: usize, block: usize) -> SbrTrace {
         while i < nb && i + b < m {
             let prows = m - i - b;
             let kf = prows.min(b);
-            t.panels.push(PanelOp { rows: prows, cols: b });
+            t.panels.push(PanelOp {
+                rows: prows,
+                cols: b,
+            });
             if k > 0 {
                 t.gemms.push(rec("wy_acc_ytw", k, kf, mp));
                 t.gemms.push(rec("wy_acc_w", mp, kf, k));
@@ -118,8 +140,22 @@ pub fn wy_trace(n: usize, b: usize, block: usize) -> SbrTrace {
 
 /// Trace of the recursive FormW merge tree (paper Algorithm 2) over the
 /// level widths a WY run with these parameters produces, plus the final
-/// back-transformation GEMMs onto an n×nev eigenvector block.
+/// back-transformation GEMMs onto an n×nev eigenvector block, on the
+/// default Tensor-Core engine.
 pub fn formw_trace(n: usize, b: usize, block: usize, nev: usize) -> Vec<GemmRecord> {
+    formw_trace_on(n, b, block, nev, Engine::Tc)
+}
+
+/// Engine-faithful FormW trace ([`formw_trace`] with records carrying
+/// `engine`).
+pub fn formw_trace_on(
+    n: usize,
+    b: usize,
+    block: usize,
+    nev: usize,
+    engine: Engine,
+) -> Vec<GemmRecord> {
+    let rec = |label, m, n, k| rec_on(engine, label, m, n, k);
     let nb = (block / b).max(1) * b;
     // level widths: mirror wy_trace's per-level aggregated k
     let mut widths = Vec::new();
@@ -141,7 +177,7 @@ pub fn formw_trace(n: usize, b: usize, block: usize, nev: usize) -> Vec<GemmReco
         off += i;
     }
     let mut out = Vec::new();
-    merge_rec(&widths, n, &mut out);
+    merge_rec(&widths, n, engine, &mut out);
     let ktot: usize = widths.iter().sum();
     if nev > 0 {
         out.push(rec("backtransform_ytv", ktot, nev, n));
@@ -150,15 +186,15 @@ pub fn formw_trace(n: usize, b: usize, block: usize, nev: usize) -> Vec<GemmReco
     out
 }
 
-fn merge_rec(widths: &[usize], n: usize, out: &mut Vec<GemmRecord>) -> usize {
+fn merge_rec(widths: &[usize], n: usize, engine: Engine, out: &mut Vec<GemmRecord>) -> usize {
     if widths.len() <= 1 {
         return widths.iter().sum();
     }
     let half = widths.len() / 2;
-    let ka = merge_rec(&widths[..half], n, out);
-    let kb = merge_rec(&widths[half..], n, out);
-    out.push(rec("formw_ytw", ka, kb, n));
-    out.push(rec("formw_w", n, kb, ka));
+    let ka = merge_rec(&widths[..half], n, engine, out);
+    let kb = merge_rec(&widths[half..], n, engine, out);
+    out.push(rec_on(engine, "formw_ytw", ka, kb, n));
+    out.push(rec_on(engine, "formw_w", n, kb, ka));
     ka + kb
 }
 
@@ -199,7 +235,13 @@ mod tests {
 
     #[test]
     fn wy_model_matches_real_trace() {
-        for (n, b, nb) in [(96, 8, 16), (96, 8, 32), (67, 8, 16), (128, 16, 64), (50, 4, 12)] {
+        for (n, b, nb) in [
+            (96, 8, 16),
+            (96, 8, 32),
+            (67, 8, 16),
+            (128, 16, 64),
+            (50, 4, 12),
+        ] {
             let a: Mat<f32> = generate(n, MatrixType::Normal, 32).cast();
             let ctx = GemmContext::new(Engine::Tc).with_trace();
             let _ = sbr_wy(
@@ -246,6 +288,66 @@ mod tests {
     }
 
     #[test]
+    fn zy_model_engine_matches_real_trace_exactly() {
+        // Full-record equality (engine included): the model must record the
+        // engine the run actually used, and on Sgemm the single native
+        // syr2k record the real path emits.
+        for engine in [Engine::Sgemm, Engine::Tc, Engine::EcTc] {
+            let (n, b) = (64, 8);
+            let a: Mat<f32> = generate(n, MatrixType::Normal, 34).cast();
+            let ctx = GemmContext::new(engine).with_trace();
+            let _ = sbr_zy(
+                &a,
+                &SbrOptions {
+                    bandwidth: b,
+                    panel: PanelKind::Tsqr,
+                    accumulate_q: false,
+                },
+                &ctx,
+            );
+            let real = ctx.take_trace();
+            let model = zy_trace_on(n, b, engine);
+            assert_eq!(real, model.gemms, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn sgemm_zy_model_halves_syr2k_flops() {
+        let (n, b) = (512, 32);
+        let tc = zy_trace_on(n, b, Engine::Tc);
+        let sg = zy_trace_on(n, b, Engine::Sgemm);
+        assert!(sg.gemms.len() < tc.gemms.len());
+        let syr2k_flops = |t: &SbrTrace| -> u64 {
+            t.gemms
+                .iter()
+                .filter(|r| r.label == "zy_syr2k")
+                .map(|r| r.flops())
+                .sum()
+        };
+        assert_eq!(2 * syr2k_flops(&sg), syr2k_flops(&tc));
+    }
+
+    #[test]
+    fn wy_model_engine_matches_real_trace_exactly() {
+        let (n, b, nb) = (64, 8, 16);
+        let a: Mat<f32> = generate(n, MatrixType::Normal, 35).cast();
+        let ctx = GemmContext::new(Engine::Sgemm).with_trace();
+        let _ = sbr_wy(
+            &a,
+            &WyOptions {
+                bandwidth: b,
+                block: nb,
+                panel: PanelKind::Tsqr,
+                accumulate_q: false,
+            },
+            &ctx,
+        );
+        let real = ctx.take_trace();
+        let model = wy_trace_on(n, b, nb, Engine::Sgemm);
+        assert_eq!(real, model.gemms);
+    }
+
+    #[test]
     fn wy_flops_grow_with_block_size() {
         // Table 2's monotone growth
         let n = 32768;
@@ -268,8 +370,14 @@ mod tests {
         let zy = zy_trace(n, 128).gemm_flops() as f64;
         assert!((zy / 0.70e14 - 1.0).abs() < 0.15, "ZY flops {zy:.3e}");
         let wy128 = wy_trace(n, 128, 128).gemm_flops() as f64;
-        assert!((wy128 / 0.93e14 - 1.0).abs() < 0.20, "WY(128) flops {wy128:.3e}");
+        assert!(
+            (wy128 / 0.93e14 - 1.0).abs() < 0.20,
+            "WY(128) flops {wy128:.3e}"
+        );
         let wy4096 = wy_trace(n, 128, 4096).gemm_flops() as f64;
-        assert!((wy4096 / 1.31e14 - 1.0).abs() < 0.30, "WY(4096) flops {wy4096:.3e}");
+        assert!(
+            (wy4096 / 1.31e14 - 1.0).abs() < 0.30,
+            "WY(4096) flops {wy4096:.3e}"
+        );
     }
 }

@@ -26,14 +26,30 @@ fn bench_gemm_engines(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("sgemm", n), &n, |bch, _| {
             bch.iter(|| {
                 let mut out = Mat::<f32>::zeros(n, n);
-                gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, out.as_mut());
+                gemm(
+                    1.0,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    out.as_mut(),
+                );
                 black_box(out)
             })
         });
         g.bench_with_input(BenchmarkId::new("tc_gemm", n), &n, |bch, _| {
             bch.iter(|| {
                 let mut out = Mat::<f32>::zeros(n, n);
-                tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, out.as_mut());
+                tc_gemm(
+                    1.0,
+                    a.as_ref(),
+                    Op::NoTrans,
+                    b.as_ref(),
+                    Op::NoTrans,
+                    0.0,
+                    out.as_mut(),
+                );
                 black_box(out)
             })
         });
@@ -138,8 +154,12 @@ fn bench_stage2_and_solvers(c: &mut Criterion) {
 
     let chase = bulge_chase(&band, b, false);
     let t = SymTridiag::new(chase.diag.clone(), chase.offdiag.clone());
-    g.bench_function("dc_384", |bch| bch.iter(|| black_box(tridiag_eig_dc(&t).unwrap())));
-    g.bench_function("ql_384", |bch| bch.iter(|| black_box(tridiag_eig_ql(&t).unwrap())));
+    g.bench_function("dc_384", |bch| {
+        bch.iter(|| black_box(tridiag_eig_dc(&t).unwrap()))
+    });
+    g.bench_function("ql_384", |bch| {
+        bch.iter(|| black_box(tridiag_eig_ql(&t).unwrap()))
+    });
     g.finish();
 }
 
@@ -159,8 +179,24 @@ fn bench_extensions(c: &mut Criterion) {
     g.bench_function("syr2k_two_gemms_256", |bch| {
         bch.iter(|| {
             let mut cm = c0.clone();
-            tc_gemm(-1.0, y.as_ref(), Op::NoTrans, z.as_ref(), Op::Trans, 1.0, cm.as_mut());
-            tc_gemm(-1.0, z.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, cm.as_mut());
+            tc_gemm(
+                -1.0,
+                y.as_ref(),
+                Op::NoTrans,
+                z.as_ref(),
+                Op::Trans,
+                1.0,
+                cm.as_mut(),
+            );
+            tc_gemm(
+                -1.0,
+                z.as_ref(),
+                Op::NoTrans,
+                y.as_ref(),
+                Op::Trans,
+                1.0,
+                cm.as_mut(),
+            );
             black_box(cm)
         })
     });
@@ -210,6 +246,7 @@ fn bench_extensions(c: &mut Criterion) {
             panel: PanelKind::Tsqr,
             solver: tcevd_core::TridiagSolver::DivideConquer,
             vectors: true,
+            trace: false,
         };
         bch.iter(|| black_box(tcevd_core::sym_eig(&a, &o, &ctx).unwrap()))
     });

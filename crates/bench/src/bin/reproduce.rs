@@ -6,7 +6,13 @@
 //! reproduce table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|formw
 //! reproduce table3 [--n 512] [--seed 42]
 //! reproduce table4 [--n 512] [--seed 42]
+//! reproduce --trace=out.json [--n 512] [--seed 42]   # traced real run
 //! ```
+//!
+//! `--trace=PATH` (or `--trace PATH`) runs the real two-stage EVD with the
+//! structured trace sink enabled, writes a Chrome `trace_event` JSON to
+//! PATH (load it at <https://ui.perfetto.dev>), and prints the per-stage
+//! report plus the GEMM flop cross-check on stdout.
 
 use tcevd_bench as bench;
 use tcevd_tensorcore::Engine;
@@ -19,11 +25,55 @@ fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// `--trace=PATH` or `--trace PATH`, anywhere in the argument list.
+/// Exits with a usage error on a missing or empty path rather than
+/// silently treating the next flag as a filename.
+fn parse_trace_path(args: &[String]) -> Option<String> {
+    let usage = || -> ! {
+        eprintln!("error: --trace requires an output path, e.g. --trace=out.json");
+        std::process::exit(2);
+    };
+    for (i, a) in args.iter().enumerate() {
+        if let Some(p) = a.strip_prefix("--trace=") {
+            if p.is_empty() {
+                usage();
+            }
+            return Some(p.to_string());
+        }
+        if a == "--trace" {
+            match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") && !p.is_empty() => return Some(p.clone()),
+                _ => usage(),
+            }
+        }
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let n = parse_flag(&args, "--n", 512) as usize;
     let seed = parse_flag(&args, "--seed", 42);
+
+    if let Some(path) = parse_trace_path(&args) {
+        eprintln!("[traced sym_eig run at n = {n}; use --n to change]");
+        let run = bench::trace_run(n, seed);
+        if let Err(e) = std::fs::write(&path, &run.chrome_json) {
+            eprintln!("error: writing trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        print!("{}", run.report);
+        println!("wrote Chrome trace to {path} (open at https://ui.perfetto.dev)");
+        if run.sink_flops != run.ctx_flops {
+            eprintln!(
+                "flop tally mismatch: sink {} vs ctx {}",
+                run.sink_flops, run.ctx_flops
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let perf = || {
         println!("{}", bench::table1());
@@ -70,7 +120,7 @@ fn main() {
         "table4" => print!("{}", bench::table4(n, seed)),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all perf table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory");
+            eprintln!("known: all perf table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH");
             std::process::exit(2);
         }
     }

@@ -14,7 +14,7 @@ use std::fmt::Write as _;
 use tcevd_band::trace_model::{formw_trace, wy_trace, zy_trace};
 use tcevd_band::{bulge_chase, form_wy, sbr_wy, PanelKind, WyOptions};
 use tcevd_core::{
-    backward_error, eigenvalue_error, orthogonality, sym_eigenvalues, sym_eigenvalues_ref,
+    backward_error, eigenvalue_error, orthogonality, sym_eig, sym_eigenvalues, sym_eigenvalues_ref,
     SbrVariant, SymEigOptions, TridiagSolver,
 };
 use tcevd_matrix::blas3::gemm;
@@ -82,7 +82,13 @@ pub fn table2() -> String {
     let paper = [0.93, 1.05, 1.12, 1.17, 1.22, 1.31];
     for (i, nb) in [128usize, 256, 512, 1024, 2048, 4096].iter().enumerate() {
         let f = wy_trace(n, b, *nb).gemm_flops() as f64 / 1e14;
-        let _ = writeln!(out, "{:>12} | {:>8.2} | {:.2}", format!("WY nb={nb}"), f, paper[i]);
+        let _ = writeln!(
+            out,
+            "{:>12} | {:>8.2} | {:.2}",
+            format!("WY nb={nb}"),
+            f,
+            paper[i]
+        );
     }
     out
 }
@@ -120,7 +126,11 @@ pub fn fig6_fig7(engine: Engine) -> String {
     };
     let mut out = String::new();
     let _ = writeln!(out, "{name} total time (s): WY (nb = {BLOCK}) vs ZY");
-    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>9}", "n", "WY", "ZY", "WY TFLOPS");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} | {:>10} | {:>9}",
+        "n", "WY", "ZY", "WY TFLOPS"
+    );
     for &n in &SIZES {
         let wy = wy_trace(n, BANDWIDTH, BLOCK);
         let zy = zy_trace(n, BANDWIDTH);
@@ -146,7 +156,11 @@ pub fn fig8() -> String {
         out,
         "Figure 8 — total panel factorization time (s), b = {BANDWIDTH}"
     );
-    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>10}", "n", "TSQR", "cuSOLVER", "MAGMA");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} | {:>10} | {:>10}",
+        "n", "TSQR", "cuSOLVER", "MAGMA"
+    );
     for &n in &SIZES {
         let tr = zy_trace(n, BANDWIDTH); // same panel sequence for either SBR
         let t = |kind| -> f64 { tr.panels.iter().map(|p| model.panel_time(p, kind)).sum() };
@@ -223,14 +237,21 @@ pub fn fig11() -> String {
         out,
         "Figure 11 — 2-stage EVD total time (s): WY-TC SBR + host stage2/D&C vs MAGMA"
     );
-    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>8}", "n", "ours", "MAGMA", "speedup");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} | {:>10} | {:>8}",
+        "n", "ours", "MAGMA", "speedup"
+    );
     for &n in &SIZES {
         let ours = evd_time(&model, n, BANDWIDTH, SbrConfig::WyTc { nb: BLOCK });
         let magma = evd_time(&model, n, BANDWIDTH, SbrConfig::Magma);
         let _ = writeln!(
             out,
             "{:>6} | {:>10.3} | {:>10.3} | {:>7.2}x",
-            n, ours, magma, magma / ours
+            n,
+            ours,
+            magma,
+            magma / ours
         );
     }
     out
@@ -267,7 +288,10 @@ pub fn formw_claim() -> String {
         i += BANDWIDTH;
     }
     let t_zy = model.gemm_time_total(&zy_recs, Engine::Tc);
-    let _ = writeln!(out, "§4.4 — back-transformation at n = 32768 (paper: 320 ms vs 420 ms)");
+    let _ = writeln!(
+        out,
+        "§4.4 — back-transformation at n = 32768 (paper: 320 ms vs 420 ms)"
+    );
     let _ = writeln!(out, "  WY recursive FormW: {:>7.1} ms", t_wy * 1e3);
     let _ = writeln!(out, "  ZY per-panel:       {:>7.1} ms", t_zy * 1e3);
     let _ = writeln!(out, "  ratio: {:.2}x", t_zy / t_wy);
@@ -328,6 +352,7 @@ pub fn table4(n: usize, seed: u64) -> String {
         panel: PanelKind::Tsqr,
         solver: TridiagSolver::DivideConquer,
         vectors: false,
+        trace: false,
     };
     for (name, mt) in MatrixType::paper_suite() {
         let a64 = generate(n, mt, seed);
@@ -397,6 +422,64 @@ pub fn futurework() -> String {
     out
 }
 
+/// Output of a fully traced pipeline run ([`trace_run`]).
+pub struct TraceRun {
+    /// Chrome `trace_event` JSON (load at <https://ui.perfetto.dev>).
+    pub chrome_json: String,
+    /// Human-readable per-stage time/counter report.
+    pub report: String,
+    /// GEMM flops tallied by the sink during the run.
+    pub sink_flops: u64,
+    /// GEMM flops tallied by the context's own accounting.
+    pub ctx_flops: u64,
+}
+
+/// Run the *real* two-stage EVD (with eigenvectors) at size `n` with the
+/// structured trace sink enabled, and return the exported artifacts plus
+/// the flop cross-check between the sink counters and
+/// [`GemmContext::total_flops`]. This backs `reproduce --trace=out.json`.
+pub fn trace_run(n: usize, seed: u64) -> TraceRun {
+    let b = (n / 16).clamp(4, 32);
+    let nb = 4 * b;
+    let a64 = generate(n, MatrixType::Normal, seed);
+    let a: Mat<f32> = a64.cast();
+
+    let sink = tcevd_trace::TraceSink::enabled();
+    let ctx = GemmContext::new(Engine::Tc)
+        .with_trace()
+        .with_sink(sink.clone());
+    let opts = SymEigOptions {
+        bandwidth: b,
+        sbr: SbrVariant::Wy { block: nb },
+        panel: PanelKind::Tsqr,
+        solver: TridiagSolver::DivideConquer,
+        vectors: true,
+        trace: true,
+    };
+    let r = sym_eig(&a, &opts, &ctx).expect("traced pipeline run");
+
+    let sink_flops = sink.counter("gemm_flops");
+    let ctx_flops = ctx.total_flops();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Traced sym_eig run: n = {n}, b = {b}, nb = {nb}, {} eigenvalues",
+        r.values.len()
+    );
+    report.push_str(&sink.stage_report());
+    let _ = writeln!(
+        report,
+        "flop cross-check: sink gemm_flops = {sink_flops}, GemmContext::total_flops = {ctx_flops} ({})",
+        if sink_flops == ctx_flops { "match" } else { "MISMATCH" }
+    );
+    TraceRun {
+        chrome_json: sink.chrome_trace_json(),
+        report,
+        sink_flops,
+        ctx_flops,
+    }
+}
+
 /// §3.1 motivation check: "the unblocked computations take over 90% of the
 /// execution time of the tridiagonalization (ssytrd routine)". One-stage
 /// Householder tridiagonalization spends half its 4n³/3 flops in `symv`
@@ -408,7 +491,11 @@ pub fn motivation() -> String {
         out,
         "§3.1 motivation — one-stage ssytrd time split (model): BLAS-2 share"
     );
-    let _ = writeln!(out, "{:>6} | {:>10} | {:>10} | {:>8}", "n", "BLAS2 (s)", "BLAS3 (s)", "share");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>10} | {:>10} | {:>8}",
+        "n", "BLAS2 (s)", "BLAS3 (s)", "share"
+    );
     // memory-bound symv: 2 flops per 4-byte element read → HBM-limited
     let hbm = 1.555e12; // A100 bytes/s
     let blas2_rate = hbm / 4.0 * 2.0; // ~0.78 Tflop/s upper bound
@@ -490,12 +577,27 @@ pub fn formw_numeric_check(n: usize) -> String {
     );
     let (w, y) = form_wy(&r.levels, n, &ctx);
     let mut q_formw = Mat::<f32>::identity(n, n);
-    gemm(-1.0, w.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q_formw.as_mut());
+    gemm(
+        -1.0,
+        w.as_ref(),
+        Op::NoTrans,
+        y.as_ref(),
+        Op::Trans,
+        1.0,
+        q_formw.as_mut(),
+    );
     let diff = q_formw.max_abs_diff(r.q.as_ref().unwrap());
-    let _ = writeln!(out, "FormW numeric check (n = {n}): max |Q_formw − Q_acc| = {diff:.2e}");
+    let _ = writeln!(
+        out,
+        "FormW numeric check (n = {n}): max |Q_formw − Q_acc| = {diff:.2e}"
+    );
     // feed the band through stage 2 so the whole chain is exercised
     let chase = bulge_chase(&r.band, b, false);
-    let _ = writeln!(out, "  band → tridiagonal: {} diagonal entries", chase.diag.len());
+    let _ = writeln!(
+        out,
+        "  band → tridiagonal: {} diagonal entries",
+        chase.diag.len()
+    );
     out
 }
 
@@ -505,7 +607,18 @@ mod tests {
 
     #[test]
     fn perf_tables_render() {
-        for s in [table1(), table2(), fig5(), fig8(), fig9(), fig10(), fig11(), formw_claim(), futurework(), memory_table()] {
+        for s in [
+            table1(),
+            table2(),
+            fig5(),
+            fig8(),
+            fig9(),
+            fig10(),
+            fig11(),
+            formw_claim(),
+            futurework(),
+            memory_table(),
+        ] {
             assert!(s.lines().count() >= 4, "table too short:\n{s}");
         }
         assert!(fig6_fig7(Engine::Tc).contains("Figure 6"));

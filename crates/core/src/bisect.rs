@@ -36,9 +36,7 @@ pub fn tridiag_eig_bisect<T: Scalar>(t: &SymTridiag<T>, range: EigRange<T>) -> V
         return Vec::new();
     }
 
-    (ilo..ihi)
-        .map(|k| bisect_kth(t, k, glo, ghi))
-        .collect()
+    (ilo..ihi).map(|k| bisect_kth(t, k, glo, ghi)).collect()
 }
 
 /// The k-th (0-based, ascending) eigenvalue via bisection.
@@ -96,7 +94,11 @@ mod tests {
         let t = laplacian(10);
         let ql = tridiag_eigenvalues(&t).unwrap();
         let inside = tridiag_eig_bisect(&t, EigRange::Value { lo: 1.0, hi: 3.0 });
-        let want: Vec<f64> = ql.iter().cloned().filter(|&x| x > 1.0 && x <= 3.0).collect();
+        let want: Vec<f64> = ql
+            .iter()
+            .cloned()
+            .filter(|&x| x > 1.0 && x <= 3.0)
+            .collect();
         assert_eq!(inside.len(), want.len());
         for (a, b) in inside.iter().zip(want.iter()) {
             assert!((a - b).abs() < 1e-12);
@@ -109,7 +111,10 @@ mod tests {
         assert!(tridiag_eig_bisect(&t, EigRange::Index { lo: 5, hi: 9 }).is_empty());
         assert!(tridiag_eig_bisect(&t, EigRange::Value { lo: 10.0, hi: 20.0 }).is_empty());
         // hi clamped to n
-        assert_eq!(tridiag_eig_bisect(&t, EigRange::Index { lo: 3, hi: 99 }).len(), 2);
+        assert_eq!(
+            tridiag_eig_bisect(&t, EigRange::Index { lo: 3, hi: 99 }).len(),
+            2
+        );
     }
 
     #[test]

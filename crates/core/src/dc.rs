@@ -18,6 +18,7 @@ use crate::tridiag::SymTridiag;
 use tcevd_matrix::blas3::matmul;
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::{Mat, Op};
+use tcevd_trace::{span, TraceSink};
 
 /// Below this size the recursion bottoms out into QL.
 const DC_BASE: usize = 24;
@@ -25,10 +26,27 @@ const DC_BASE: usize = 24;
 /// Full eigendecomposition `T = Z·Λ·Zᵀ` by divide & conquer: eigenvalues
 /// ascending with matching eigenvector columns.
 pub fn tridiag_eig_dc<T: Scalar>(t: &SymTridiag<T>) -> Result<(Vec<T>, Mat<T>), EigError> {
-    dc_rec(&t.d, &t.e)
+    tridiag_eig_dc_with(t, &TraceSink::disabled())
 }
 
-fn dc_rec<T: Scalar>(d: &[T], e: &[T]) -> Result<(Vec<T>, Mat<T>), EigError> {
+/// [`tridiag_eig_dc`] with observability: emits a `tridiag_dc` span, counts
+/// rank-1 merges (`dc_merges`), and records merge sizes and recursion depths
+/// (`dc_merge_size`, `dc_merge_depth` histograms) into `sink`.
+pub fn tridiag_eig_dc_with<T: Scalar>(
+    t: &SymTridiag<T>,
+    sink: &TraceSink,
+) -> Result<(Vec<T>, Mat<T>), EigError> {
+    let n = t.n();
+    let _span = span!(sink, "tridiag_dc", n);
+    dc_rec(&t.d, &t.e, 0, sink)
+}
+
+fn dc_rec<T: Scalar>(
+    d: &[T],
+    e: &[T],
+    depth: u64,
+    sink: &TraceSink,
+) -> Result<(Vec<T>, Mat<T>), EigError> {
     let n = d.len();
     if n <= DC_BASE {
         return tridiag_eig_ql(&SymTridiag::new(d.to_vec(), e.to_vec()));
@@ -42,9 +60,15 @@ fn dc_rec<T: Scalar>(d: &[T], e: &[T]) -> Result<(Vec<T>, Mat<T>), EigError> {
     let mut d2 = d[m..].to_vec();
     d2[0] -= rho;
 
-    let (r1, r2) = rayon::join(|| dc_rec(&d1, &e[..m - 1]), || dc_rec(&d2, &e[m..]));
+    let (r1, r2) = rayon::join(
+        || dc_rec(&d1, &e[..m - 1], depth + 1, sink),
+        || dc_rec(&d2, &e[m..], depth + 1, sink),
+    );
     let (l1, q1) = r1?;
     let (l2, q2) = r2?;
+    sink.add("dc_merges", 1);
+    sink.record("dc_merge_size", n as u64);
+    sink.record("dc_merge_depth", depth);
 
     // Assemble D, z, and the block-diagonal Q.
     let mut dvals = Vec::with_capacity(n);
@@ -67,12 +91,7 @@ fn dc_rec<T: Scalar>(d: &[T], e: &[T]) -> Result<(Vec<T>, Mat<T>), EigError> {
 /// Eigendecomposition of `D + ρ·z·zᵀ`, composed with the accumulated `q`
 /// (whose columns correspond to the coordinates of `D`). Returns ascending
 /// eigenvalues and `q·U`.
-pub fn rank1_update<T: Scalar>(
-    dvals: Vec<T>,
-    z: Vec<T>,
-    rho: T,
-    q: Mat<T>,
-) -> (Vec<T>, Mat<T>) {
+pub fn rank1_update<T: Scalar>(dvals: Vec<T>, z: Vec<T>, rho: T, q: Mat<T>) -> (Vec<T>, Mat<T>) {
     if rho > T::ZERO {
         rank1_core(dvals, z, rho, q)
     } else if rho < T::ZERO {
@@ -239,8 +258,7 @@ fn rank1_core<T: Scalar>(dvals: Vec<T>, z: Vec<T>, rho: T, q: Mat<T>) -> (Vec<T>
             col += 1;
         }
     }
-    for k in 0..kk {
-        let (org, mu) = roots[k];
+    for (k, &(org, mu)) in roots.iter().enumerate().take(kk) {
         vals.push(da[org] + mu);
         qout.col_mut(col).copy_from_slice(qau.col(k));
         col += 1;
@@ -338,7 +356,7 @@ fn secular_root<T: Scalar>(d: &[T], z: &[T], rho: T, zsum2: T, k: usize) -> (usi
         }
         let step = -f / fp;
         let mut next = mu + step;
-        if !(next > lo && next < hi) || !next.is_finite() {
+        if !(next > lo && next < hi && next.is_finite()) {
             next = (lo + hi) * T::HALF; // bisection fallback
         }
         if next == mu {
@@ -362,10 +380,15 @@ mod tests {
     fn rand_tridiag(n: usize, seed: u64) -> SymTridiag<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
-        SymTridiag::new((0..n).map(|_| next()).collect(), (0..n - 1).map(|_| next()).collect())
+        SymTridiag::new(
+            (0..n).map(|_| next()).collect(),
+            (0..n - 1).map(|_| next()).collect(),
+        )
     }
 
     fn check_eig(t: &SymTridiag<f64>, tol_rel: f64) {
@@ -388,15 +411,15 @@ mod tests {
         let ortho = orthogonality_residual(z.as_ref());
         assert!(ortho < tol * n as f64, "orthogonality {ortho}");
         // residual ‖T·z − λ·z‖ per pair
-        for k in 0..n {
+        for (k, &val) in vals.iter().enumerate() {
             let x: Vec<f64> = z.col(k).to_vec();
             let y = t.mul_vec(&x);
             for i in 0..n {
                 assert!(
-                    (y[i] - vals[k] * x[i]).abs() < tol * 10.0,
+                    (y[i] - val * x[i]).abs() < tol * 10.0,
                     "residual at k={k} i={i}: {} vs {}",
                     y[i],
-                    vals[k] * x[i]
+                    val * x[i]
                 );
             }
         }

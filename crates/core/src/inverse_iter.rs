@@ -27,7 +27,12 @@ pub fn tridiag_inverse_iteration<T: Scalar>(
     }
     // perturb the shift off the exact eigenvalue so (T − λI) stays
     // invertible in floating point
-    let scale = t.gershgorin().1.abs().max_val(t.gershgorin().0.abs()).max_val(T::ONE);
+    let scale = t
+        .gershgorin()
+        .1
+        .abs()
+        .max_val(t.gershgorin().0.abs())
+        .max_val(T::ONE);
     let pert = T::from_f64(2.0) * T::EPSILON * scale;
     let shift = lambda + pert;
 
@@ -37,7 +42,9 @@ pub fn tridiag_inverse_iteration<T: Scalar>(
         .wrapping_add(0x2545F4914F6CDD1D);
     let mut x: Vec<T> = (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             T::from_f64(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0)
         })
         .collect();
@@ -214,10 +221,15 @@ mod tests {
     fn rand_tridiag(n: usize, seed: u64) -> SymTridiag<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(13);
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
-        SymTridiag::new((0..n).map(|_| next()).collect(), (0..n - 1).map(|_| next()).collect())
+        SymTridiag::new(
+            (0..n).map(|_| next()).collect(),
+            (0..n - 1).map(|_| next()).collect(),
+        )
     }
 
     #[test]
@@ -240,8 +252,7 @@ mod tests {
         let n = 30;
         let t = rand_tridiag(n, 2);
         let ql = tridiag_eig_ql(&t).unwrap();
-        let (vals, vecs) =
-            tridiag_eig_selected(&t, EigRange::Index { lo: n - 3, hi: n }).unwrap();
+        let (vals, vecs) = tridiag_eig_selected(&t, EigRange::Index { lo: n - 3, hi: n }).unwrap();
         assert_eq!(vals.len(), 3);
         for (j, v) in vals.iter().enumerate() {
             assert!((v - ql.0[n - 3 + j]).abs() < 1e-10);

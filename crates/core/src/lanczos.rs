@@ -63,14 +63,41 @@ pub fn block_lanczos(
         // W = A·V_last (GEMM through the engine)
         let last = v.submatrix(0, cols - last_width, n, last_width);
         let mut w = Mat::<f32>::zeros(n, last_width);
-        ctx.gemm("lanczos_av", 1.0, a.as_ref(), Op::NoTrans, last.as_ref(), Op::NoTrans, 0.0, w.as_mut());
+        ctx.gemm(
+            "lanczos_av",
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            last.as_ref(),
+            Op::NoTrans,
+            0.0,
+            w.as_mut(),
+        );
 
         // full block reorthogonalization against the existing basis (CGS2)
         for _ in 0..2 {
             let vk = v.view(0, 0, n, cols);
             let mut proj = Mat::<f32>::zeros(cols, last_width);
-            ctx.gemm("lanczos_proj", 1.0, vk, Op::Trans, w.as_ref(), Op::NoTrans, 0.0, proj.as_mut());
-            ctx.gemm("lanczos_deflate", -1.0, vk, Op::NoTrans, proj.as_ref(), Op::NoTrans, 1.0, w.as_mut());
+            ctx.gemm(
+                "lanczos_proj",
+                1.0,
+                vk,
+                Op::Trans,
+                w.as_ref(),
+                Op::NoTrans,
+                0.0,
+                proj.as_mut(),
+            );
+            ctx.gemm(
+                "lanczos_deflate",
+                -1.0,
+                vk,
+                Op::NoTrans,
+                proj.as_ref(),
+                Op::NoTrans,
+                1.0,
+                w.as_mut(),
+            );
         }
 
         // Rank-revealing column acceptance: orthogonalize each candidate
@@ -122,9 +149,27 @@ pub fn block_lanczos(
     // Rayleigh–Ritz on the grown basis
     let vk = v.submatrix(0, 0, n, cols);
     let mut av = Mat::<f32>::zeros(n, cols);
-    ctx.gemm("lanczos_avk", 1.0, a.as_ref(), Op::NoTrans, vk.as_ref(), Op::NoTrans, 0.0, av.as_mut());
+    ctx.gemm(
+        "lanczos_avk",
+        1.0,
+        a.as_ref(),
+        Op::NoTrans,
+        vk.as_ref(),
+        Op::NoTrans,
+        0.0,
+        av.as_mut(),
+    );
     let mut t = Mat::<f32>::zeros(cols, cols);
-    ctx.gemm("lanczos_project", 1.0, vk.as_ref(), Op::Trans, av.as_ref(), Op::NoTrans, 0.0, t.as_mut());
+    ctx.gemm(
+        "lanczos_project",
+        1.0,
+        vk.as_ref(),
+        Op::Trans,
+        av.as_ref(),
+        Op::NoTrans,
+        0.0,
+        t.as_mut(),
+    );
     for j in 0..cols {
         for i in 0..j {
             let s = 0.5 * (t[(i, j)] + t[(j, i)]);
@@ -146,7 +191,16 @@ pub fn block_lanczos(
         zk.col_mut(c).copy_from_slice(z.col(i));
     }
     let mut vecs = Mat::<f32>::zeros(n, kk);
-    ctx.gemm("lanczos_lift", 1.0, vk.as_ref(), Op::NoTrans, zk.as_ref(), Op::NoTrans, 0.0, vecs.as_mut());
+    ctx.gemm(
+        "lanczos_lift",
+        1.0,
+        vk.as_ref(),
+        Op::NoTrans,
+        zk.as_ref(),
+        Op::NoTrans,
+        0.0,
+        vecs.as_mut(),
+    );
     Ok((out_vals, vecs))
 }
 

@@ -10,12 +10,16 @@
 //! scalar CPU arithmetic, exactly mirroring the paper's split where stage 2
 //! and divide-&-conquer are delegated to MAGMA on the host.
 
-use crate::dc::tridiag_eig_dc;
-use crate::ql::{tridiag_eig_ql, tridiag_eigenvalues, EigError};
+use crate::dc::tridiag_eig_dc_with;
+use crate::ql::{tridiag_eig_ql_with, tridiag_eigenvalues_with, EigError};
 use crate::tridiag::SymTridiag;
-use tcevd_band::{bulge_chase, form_wy, sbr_wy, sbr_zy, PanelKind, SbrOptions, WyOptions};
+use tcevd_band::{
+    bulge_chase_packed_with, bulge_chase_with, form_wy, sbr_wy, sbr_zy, PanelKind, SbrOptions,
+    WyOptions,
+};
 use tcevd_matrix::{Mat, Op};
 use tcevd_tensorcore::GemmContext;
+use tcevd_trace::{span, TraceSink};
 
 /// Which band-reduction algorithm stage 1 uses.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -47,6 +51,10 @@ pub struct SymEigOptions {
     /// Also form the eigenvector matrix `X` (back-transformation through
     /// both stages).
     pub vectors: bool,
+    /// Emit pipeline-stage spans and counters into the context's
+    /// [`TraceSink`] (see `GemmContext::with_sink`). A no-op — zero sink
+    /// allocations — when the context sink is disabled.
+    pub trace: bool,
 }
 
 impl Default for SymEigOptions {
@@ -57,6 +65,7 @@ impl Default for SymEigOptions {
             panel: PanelKind::Tsqr,
             solver: TridiagSolver::DivideConquer,
             vectors: false,
+            trace: false,
         }
     }
 }
@@ -88,6 +97,7 @@ pub struct SymEigResult {
 ///     panel: PanelKind::Tsqr,
 ///     solver: TridiagSolver::DivideConquer,
 ///     vectors: true,
+///     trace: false,
 /// };
 /// let ctx = GemmContext::new(Engine::Tc);  // simulated Tensor Core
 /// let eig = sym_eig(&a, &opts, &ctx).unwrap();
@@ -116,6 +126,23 @@ pub fn sym_eig(
     }
     let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
 
+    // Tracing: `opts.trace` routes pipeline stage spans into the context's
+    // sink; the SBR/GEMM layers below always use the context sink directly.
+    let sink = if opts.trace {
+        ctx.sink().clone()
+    } else {
+        TraceSink::disabled()
+    };
+    let _root_span = span!(sink, "sym_eig", n, b);
+    if sink.is_enabled() {
+        // Device-byte estimate from the MemoryModel (paper §7 footprints).
+        let est = match opts.sbr {
+            SbrVariant::Wy { block } => tcevd_perfmodel::wy_memory(n, b, block).total(),
+            SbrVariant::Zy => tcevd_perfmodel::zy_memory(n, b).total(),
+        };
+        sink.add("sbr_bytes_est", est);
+    }
+
     // Stage 1: successive band reduction.
     let (band, q1_wy, q1_dense) = match opts.sbr {
         SbrVariant::Wy { block } => {
@@ -131,8 +158,7 @@ pub fn sym_eig(
             );
             // For eigenvectors, merge the per-level WY factors (Algorithm 2)
             // rather than accumulating a dense Q during the reduction.
-            let wy = (opts.vectors && !r.levels.is_empty())
-                .then(|| form_wy(&r.levels, n, ctx));
+            let wy = (opts.vectors && !r.levels.is_empty()).then(|| form_wy(&r.levels, n, ctx));
             (r.band, wy, None)
         }
         SbrVariant::Zy => {
@@ -154,29 +180,41 @@ pub fn sym_eig(
     // the dense chase, whose Q accumulation it needs anyway.
     if !opts.vectors {
         let packed = tcevd_band::SymBand::from_dense(&band, b);
-        let chase = tcevd_band::bulge_chase_packed(&packed, false);
+        let chase = bulge_chase_packed_with(&packed, false, &sink);
         let t = SymTridiag::new(chase.diag, chase.offdiag);
         let values = match opts.solver {
-            TridiagSolver::Ql => tridiag_eigenvalues(&t)?,
-            TridiagSolver::DivideConquer => tridiag_eig_dc(&t)?.0,
+            TridiagSolver::Ql => tridiag_eigenvalues_with(&t, &sink)?,
+            TridiagSolver::DivideConquer => tridiag_eig_dc_with(&t, &sink)?.0,
         };
         return Ok(SymEigResult {
             values,
             vectors: None,
         });
     }
-    let chase = bulge_chase(&band, b, true);
+    let chase = bulge_chase_with(&band, b, true, &sink);
     let t = SymTridiag::new(chase.diag, chase.offdiag);
 
     let (values, z) = match opts.solver {
-        TridiagSolver::Ql => tridiag_eig_ql(&t)?,
-        TridiagSolver::DivideConquer => tridiag_eig_dc(&t)?,
+        TridiagSolver::Ql => tridiag_eig_ql_with(&t, &sink)?,
+        TridiagSolver::DivideConquer => tridiag_eig_dc_with(&t, &sink)?,
     };
 
     // Back-transformation: X = Q₁·Q₂·Z.
-    let q2 = chase.q.expect("bulge chase accumulates Q when vectors requested");
+    let _bt_span = span!(sink, "back_transform", n);
+    let q2 = chase
+        .q
+        .expect("bulge chase accumulates Q when vectors requested");
     let mut x = Mat::<f32>::zeros(n, n);
-    ctx.gemm("evd_q2z", 1.0, q2.as_ref(), Op::NoTrans, z.as_ref(), Op::NoTrans, 0.0, x.as_mut());
+    ctx.gemm(
+        "evd_q2z",
+        1.0,
+        q2.as_ref(),
+        Op::NoTrans,
+        z.as_ref(),
+        Op::NoTrans,
+        0.0,
+        x.as_mut(),
+    );
     match (q1_wy, q1_dense) {
         (Some((w, y)), _) => {
             // X ← (I − W·Yᵀ)·X — the FormW back-transformation (paper §4.4).
@@ -184,7 +222,16 @@ pub fn sym_eig(
         }
         (None, Some(q1)) => {
             let mut xq = Mat::<f32>::zeros(n, n);
-            ctx.gemm("evd_q1x", 1.0, q1.as_ref(), Op::NoTrans, x.as_ref(), Op::NoTrans, 0.0, xq.as_mut());
+            ctx.gemm(
+                "evd_q1x",
+                1.0,
+                q1.as_ref(),
+                Op::NoTrans,
+                x.as_ref(),
+                Op::NoTrans,
+                0.0,
+                xq.as_mut(),
+            );
             x = xq;
         }
         (None, None) => {} // n ≤ b+1: SBR was a no-op, Q₁ = I
@@ -228,6 +275,12 @@ pub fn sym_eig_selected(
         });
     }
     let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
+    let sink = if opts.trace {
+        ctx.sink().clone()
+    } else {
+        TraceSink::disabled()
+    };
+    let _root_span = span!(sink, "sym_eig_selected", n, b);
 
     // Stage 1 (always via the WY form here; its FormW factors back-transform
     // cheaply for a thin eigenvector block).
@@ -247,7 +300,7 @@ pub fn sym_eig_selected(
     );
 
     // Stage 2 with Q₂ (needed to lift tridiagonal vectors to band space).
-    let chase = bulge_chase(&r.band, b, true);
+    let chase = bulge_chase_with(&r.band, b, true, &sink);
     let t = SymTridiag::new(chase.diag, chase.offdiag);
 
     let (values, z) = crate::inverse_iter::tridiag_eig_selected(&t, range)?;
@@ -262,7 +315,16 @@ pub fn sym_eig_selected(
     // X = Q₁·(Q₂·Z_sel)
     let q2 = chase.q.expect("bulge chase accumulated Q");
     let mut x = Mat::<f32>::zeros(n, k);
-    ctx.gemm("evd_sel_q2z", 1.0, q2.as_ref(), Op::NoTrans, z.as_ref(), Op::NoTrans, 0.0, x.as_mut());
+    ctx.gemm(
+        "evd_sel_q2z",
+        1.0,
+        q2.as_ref(),
+        Op::NoTrans,
+        z.as_ref(),
+        Op::NoTrans,
+        0.0,
+        x.as_mut(),
+    );
     if !r.levels.is_empty() {
         let (w, y) = form_wy(&r.levels, n, ctx);
         tcevd_band::apply_q(w.as_ref(), y.as_ref(), &mut x, ctx);
@@ -288,6 +350,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             solver: TridiagSolver::DivideConquer,
             vectors: false,
+            trace: false,
         }
     }
 
@@ -333,7 +396,10 @@ mod tests {
             let ctx = GemmContext::new(Engine::EcTc);
             es_error(&a64, &sym_eigenvalues(&a, &opts(8, 32), &ctx).unwrap())
         };
-        assert!(e_ec <= e_tc, "EC ({e_ec}) should not be worse than TC ({e_tc})");
+        assert!(
+            e_ec <= e_tc,
+            "EC ({e_ec}) should not be worse than TC ({e_tc})"
+        );
     }
 
     #[test]
@@ -348,6 +414,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             solver: TridiagSolver::Ql,
             vectors: false,
+            trace: false,
         };
         let vals = sym_eigenvalues(&a, &o, &ctx).unwrap();
         assert!(es_error(&a64, &vals) < 1e-6);
@@ -380,6 +447,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             solver: TridiagSolver::DivideConquer,
             vectors: true,
+            trace: false,
         };
         let r = sym_eig(&a, &o, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();
@@ -432,13 +500,14 @@ mod tests {
             &a,
             &SymEigOptions {
                 vectors: true,
+                trace: false,
                 ..opts(8, 32)
             },
             &ctx,
         )
         .unwrap();
-        let sel = sym_eig_selected(&a, EigRange::Index { lo: n - 5, hi: n }, &opts(8, 32), &ctx)
-            .unwrap();
+        let sel =
+            sym_eig_selected(&a, EigRange::Index { lo: n - 5, hi: n }, &opts(8, 32), &ctx).unwrap();
         assert_eq!(sel.values.len(), 5);
         for (j, v) in sel.values.iter().enumerate() {
             assert!((v - full.values[n - 5 + j]).abs() < 1e-4, "{v}");

@@ -8,6 +8,7 @@
 use crate::tridiag::SymTridiag;
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::Mat;
+use tcevd_trace::{span, TraceSink};
 
 /// Failure modes of the eigensolvers.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,9 +38,20 @@ const MAX_ITER: usize = 50;
 
 /// Eigenvalues (ascending) of a symmetric tridiagonal matrix.
 pub fn tridiag_eigenvalues<T: Scalar>(t: &SymTridiag<T>) -> Result<Vec<T>, EigError> {
+    tridiag_eigenvalues_with(t, &TraceSink::disabled())
+}
+
+/// [`tridiag_eigenvalues`] with observability: emits a `tridiag_ql` span and
+/// counts QL sweeps (`ql_iterations`) into `sink`.
+pub fn tridiag_eigenvalues_with<T: Scalar>(
+    t: &SymTridiag<T>,
+    sink: &TraceSink,
+) -> Result<Vec<T>, EigError> {
+    let n = t.n();
+    let _span = span!(sink, "tridiag_ql", n);
     let mut d = t.d.clone();
-    let mut e = t.e.clone();
-    ql_iterate(&mut d, &mut e, None)?;
+    let e = t.e.clone();
+    ql_iterate(&mut d, &e, None, sink)?;
     d.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Ok(d)
 }
@@ -47,11 +59,21 @@ pub fn tridiag_eigenvalues<T: Scalar>(t: &SymTridiag<T>) -> Result<Vec<T>, EigEr
 /// Full eigendecomposition `T = Z·Λ·Zᵀ`: eigenvalues ascending, matching
 /// eigenvectors in the columns of `Z`.
 pub fn tridiag_eig_ql<T: Scalar>(t: &SymTridiag<T>) -> Result<(Vec<T>, Mat<T>), EigError> {
+    tridiag_eig_ql_with(t, &TraceSink::disabled())
+}
+
+/// [`tridiag_eig_ql`] with observability: emits a `tridiag_ql` span and
+/// counts QL sweeps (`ql_iterations`) into `sink`.
+pub fn tridiag_eig_ql_with<T: Scalar>(
+    t: &SymTridiag<T>,
+    sink: &TraceSink,
+) -> Result<(Vec<T>, Mat<T>), EigError> {
     let n = t.n();
+    let _span = span!(sink, "tridiag_ql", n);
     let mut d = t.d.clone();
-    let mut e = t.e.clone();
+    let e = t.e.clone();
     let mut z = Mat::<T>::identity(n, n);
-    ql_iterate(&mut d, &mut e, Some(&mut z))?;
+    ql_iterate(&mut d, &e, Some(&mut z), sink)?;
     // sort ascending, permuting eigenvector columns
     let mut idx: Vec<usize> = (0..n).collect();
     idx.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
@@ -67,8 +89,9 @@ pub fn tridiag_eig_ql<T: Scalar>(t: &SymTridiag<T>) -> Result<(Vec<T>, Mat<T>), 
 /// (columns = eigenvectors of the original tridiagonal).
 fn ql_iterate<T: Scalar>(
     d: &mut [T],
-    e_in: &mut Vec<T>,
+    e_in: &[T],
     mut z: Option<&mut Mat<T>>,
+    sink: &TraceSink,
 ) -> Result<(), EigError> {
     let n = d.len();
     if n <= 1 {
@@ -119,6 +142,7 @@ fn ql_iterate<T: Scalar>(
             if iter > MAX_ITER {
                 return Err(EigError::NoConvergence { index: l });
             }
+            sink.add("ql_iterations", 1);
             // Wilkinson shift.
             let mut g = (d[l + 1] - d[l]) / (T::TWO * e[l]);
             let mut r = g.hypot(T::ONE);
@@ -204,11 +228,11 @@ mod tests {
         let (vals, z) = tridiag_eig_ql(&t).unwrap();
         assert!(orthogonality_residual(z.as_ref()) < 1e-13 * n as f64);
         // T·z_k = λ_k·z_k
-        for k in 0..n {
+        for (k, &val) in vals.iter().enumerate() {
             let x: Vec<f64> = z.col(k).to_vec();
             let y = t.mul_vec(&x);
             for i in 0..n {
-                assert!((y[i] - vals[k] * x[i]).abs() < 1e-12, "k={k} i={i}");
+                assert!((y[i] - val * x[i]).abs() < 1e-12, "k={k} i={i}");
             }
         }
     }
@@ -221,7 +245,10 @@ mod tests {
             s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
-        let t = SymTridiag::new((0..n).map(|_| next()).collect(), (0..n - 1).map(|_| next()).collect());
+        let t = SymTridiag::new(
+            (0..n).map(|_| next()).collect(),
+            (0..n - 1).map(|_| next()).collect(),
+        );
         let (vals, z) = tridiag_eig_ql(&t).unwrap();
         // Z·Λ·Zᵀ = T
         let lam = Mat::from_diag(&vals);

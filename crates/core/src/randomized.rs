@@ -55,22 +55,58 @@ pub fn randomized_eig(
 
     // Y = A·Ω through the engine.
     let mut y = Mat::<f32>::zeros(n, l);
-    ctx.gemm("rand_sketch", 1.0, a.as_ref(), Op::NoTrans, omega.as_ref(), Op::NoTrans, 0.0, y.as_mut());
+    ctx.gemm(
+        "rand_sketch",
+        1.0,
+        a.as_ref(),
+        Op::NoTrans,
+        omega.as_ref(),
+        Op::NoTrans,
+        0.0,
+        y.as_mut(),
+    );
 
     // Power iterations with QR re-orthonormalization each step
     // (A symmetric ⇒ (AAᵀ)^q A Ω = A^{2q+1} Ω).
     let mut q = orthonormalize(&y);
     for _ in 0..opts.power_iters {
         let mut z = Mat::<f32>::zeros(n, l);
-        ctx.gemm("rand_power", 1.0, a.as_ref(), Op::NoTrans, q.as_ref(), Op::NoTrans, 0.0, z.as_mut());
+        ctx.gemm(
+            "rand_power",
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            q.as_ref(),
+            Op::NoTrans,
+            0.0,
+            z.as_mut(),
+        );
         q = orthonormalize(&z);
     }
 
     // Rayleigh–Ritz: B = Qᵀ·A·Q (l×l), eig via Jacobi (small and dense).
     let mut aq = Mat::<f32>::zeros(n, l);
-    ctx.gemm("rand_aq", 1.0, a.as_ref(), Op::NoTrans, q.as_ref(), Op::NoTrans, 0.0, aq.as_mut());
+    ctx.gemm(
+        "rand_aq",
+        1.0,
+        a.as_ref(),
+        Op::NoTrans,
+        q.as_ref(),
+        Op::NoTrans,
+        0.0,
+        aq.as_mut(),
+    );
     let mut b = Mat::<f32>::zeros(l, l);
-    ctx.gemm("rand_project", 1.0, q.as_ref(), Op::Trans, aq.as_ref(), Op::NoTrans, 0.0, b.as_mut());
+    ctx.gemm(
+        "rand_project",
+        1.0,
+        q.as_ref(),
+        Op::Trans,
+        aq.as_ref(),
+        Op::NoTrans,
+        0.0,
+        b.as_mut(),
+    );
     // exact symmetry for the small solve
     for j in 0..l {
         for i in 0..j {
@@ -93,7 +129,16 @@ pub fn randomized_eig(
         zk.col_mut(c).copy_from_slice(z.col(i));
     }
     let mut vecs = Mat::<f32>::zeros(n, k);
-    ctx.gemm("rand_lift", 1.0, q.as_ref(), Op::NoTrans, zk.as_ref(), Op::NoTrans, 0.0, vecs.as_mut());
+    ctx.gemm(
+        "rand_lift",
+        1.0,
+        q.as_ref(),
+        Op::NoTrans,
+        zk.as_ref(),
+        Op::NoTrans,
+        0.0,
+        vecs.as_mut(),
+    );
     Ok((out_vals, vecs))
 }
 

@@ -20,10 +20,7 @@ use tcevd_matrix::{Mat, MatRef};
 /// If `x` has eigenvector error `O(ε)`, the Rayleigh quotient has
 /// eigenvalue error `O(ε²)` — fp16-pipeline vectors (ε ≈ 1e-4) yield
 /// eigenvalues near f32 accuracy (≈1e-8).
-pub fn refine_eigenvalues_rayleigh(
-    a64: &Mat<f64>,
-    vectors: MatRef<'_, f32>,
-) -> Vec<f64> {
+pub fn refine_eigenvalues_rayleigh(a64: &Mat<f64>, vectors: MatRef<'_, f32>) -> Vec<f64> {
     let n = a64.rows();
     assert_eq!(vectors.rows(), n);
     let k = vectors.cols();
@@ -35,8 +32,8 @@ pub fn refine_eigenvalues_rayleigh(
         for v in ax.iter_mut() {
             *v = 0.0;
         }
-        for c in 0..n {
-            let xc = x[c] as f64;
+        for (c, &xc) in x.iter().enumerate() {
+            let xc = xc as f64;
             if xc != 0.0 {
                 let col = a64.col(c);
                 for i in 0..n {
@@ -66,9 +63,8 @@ pub fn eigenpair_residuals_f64<T: Scalar>(
     let n = a64.rows();
     let k = values.len();
     let mut out = Vec::with_capacity(k);
-    for j in 0..k {
+    for (j, &lam) in values.iter().enumerate().take(k) {
         let x = vectors.col(j);
-        let lam = values[j];
         let mut r2 = 0.0f64;
         for i in 0..n {
             let mut axi = 0.0f64;
@@ -112,6 +108,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             solver: TridiagSolver::DivideConquer,
             vectors: true,
+            trace: false,
         };
         let r = sym_eig(&a, &opts, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();
@@ -151,6 +148,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             solver: TridiagSolver::DivideConquer,
             vectors: true,
+            trace: false,
         };
         let r = sym_eig(&a, &opts, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();

@@ -26,17 +26,25 @@ pub struct Svd {
 }
 
 /// Thin SVD via the symmetric eigensolver on the Gram matrix.
-pub fn svd_via_evd(
-    a: &Mat<f32>,
-    opts: &SymEigOptions,
-    ctx: &GemmContext,
-) -> Result<Svd, EigError> {
+pub fn svd_via_evd(a: &Mat<f32>, opts: &SymEigOptions, ctx: &GemmContext) -> Result<Svd, EigError> {
     let (m, n) = (a.rows(), a.cols());
-    assert!(m >= n, "svd_via_evd expects a tall (m ≥ n) matrix; transpose first");
+    assert!(
+        m >= n,
+        "svd_via_evd expects a tall (m ≥ n) matrix; transpose first"
+    );
 
     // Gram matrix G = AᵀA (n×n, symmetric PSD) on the selected engine.
     let mut g = Mat::<f32>::zeros(n, n);
-    ctx.gemm("svd_gram", 1.0, a.as_ref(), Op::Trans, a.as_ref(), Op::NoTrans, 0.0, g.as_mut());
+    ctx.gemm(
+        "svd_gram",
+        1.0,
+        a.as_ref(),
+        Op::Trans,
+        a.as_ref(),
+        Op::NoTrans,
+        0.0,
+        g.as_mut(),
+    );
     // enforce exact symmetry
     for j in 0..n {
         for i in 0..j {
@@ -64,11 +72,20 @@ pub fn svd_via_evd(
     // ~σ_max·√eps (an eigenvalue of G is only accurate to eps·‖G‖, and a
     // σ is its square root), so that is the rank-detection tolerance.
     let mut u = Mat::<f32>::zeros(m, n);
-    ctx.gemm("svd_av", 1.0, a.as_ref(), Op::NoTrans, v.as_ref(), Op::NoTrans, 0.0, u.as_mut());
+    ctx.gemm(
+        "svd_av",
+        1.0,
+        a.as_ref(),
+        Op::NoTrans,
+        v.as_ref(),
+        Op::NoTrans,
+        0.0,
+        u.as_mut(),
+    );
     let tol = s.first().copied().unwrap_or(0.0) * (f32::EPSILON * m as f32).sqrt() * 4.0;
-    for k in 0..n {
-        if s[k] > tol {
-            let inv = 1.0 / s[k];
+    for (k, &sk) in s.iter().enumerate().take(n) {
+        if sk > tol {
+            let inv = 1.0 / sk;
             for val in u.col_mut(k) {
                 *val *= inv;
             }
@@ -90,7 +107,16 @@ pub fn singular_values(
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n);
     let mut g = Mat::<f32>::zeros(n, n);
-    ctx.gemm("svd_gram", 1.0, a.as_ref(), Op::Trans, a.as_ref(), Op::NoTrans, 0.0, g.as_mut());
+    ctx.gemm(
+        "svd_gram",
+        1.0,
+        a.as_ref(),
+        Op::Trans,
+        a.as_ref(),
+        Op::NoTrans,
+        0.0,
+        g.as_mut(),
+    );
     for j in 0..n {
         for i in 0..j {
             let s = 0.5 * (g[(i, j)] + g[(j, i)]);
@@ -128,7 +154,15 @@ pub fn low_rank_approx(
     }
     let vk = svd.v.submatrix(0, 0, n, k);
     let mut out = Mat::<f32>::zeros(m, n);
-    gemm(1.0, us.as_ref(), Op::NoTrans, vk.as_ref(), Op::Trans, 0.0, out.as_mut());
+    gemm(
+        1.0,
+        us.as_ref(),
+        Op::NoTrans,
+        vk.as_ref(),
+        Op::Trans,
+        0.0,
+        out.as_mut(),
+    );
     Ok(out)
 }
 
@@ -149,6 +183,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             solver: TridiagSolver::DivideConquer,
             vectors: false,
+            trace: false,
         }
     }
 
@@ -236,7 +271,10 @@ mod tests {
         let s = singular_values(&a, &opts(), &ctx).unwrap();
         for (got, want) in s.iter().zip(svals.iter()) {
             // Gram squaring + fp16: expect ~1e-2 relative here
-            assert!(((*got as f64) - want).abs() / want < 2e-2, "{got} vs {want}");
+            assert!(
+                ((*got as f64) - want).abs() / want < 2e-2,
+                "{got} vs {want}"
+            );
         }
     }
 

@@ -61,9 +61,7 @@ pub fn potrf<T: Scalar>(a: &mut Mat<T>, nb: usize) -> Result<(), NotPositiveDefi
     while j < n {
         let jb = nb.min(n - j);
         // diagonal block
-        potf2(a.view_mut(j, j, jb, jb)).map_err(|e| NotPositiveDefinite {
-            index: j + e.index,
-        })?;
+        potf2(a.view_mut(j, j, jb, jb)).map_err(|e| NotPositiveDefinite { index: j + e.index })?;
         if j + jb < n {
             let m = n - j - jb;
             // panel solve: L21 = A21·L11⁻ᵀ
@@ -122,7 +120,15 @@ pub fn cholesky_reconstruct<T: Scalar>(l_packed: &Mat<T>) -> Mat<T> {
     let n = l_packed.rows();
     let l = Mat::<T>::from_fn(n, n, |i, j| if i >= j { l_packed[(i, j)] } else { T::ZERO });
     let mut out = Mat::<T>::zeros(n, n);
-    gemm(T::ONE, l.as_ref(), Op::NoTrans, l.as_ref(), Op::Trans, T::ZERO, out.as_mut());
+    gemm(
+        T::ONE,
+        l.as_ref(),
+        Op::NoTrans,
+        l.as_ref(),
+        Op::Trans,
+        T::ZERO,
+        out.as_mut(),
+    );
     out
 }
 
@@ -134,11 +140,21 @@ mod tests {
         // G·Gᵀ + n·I is comfortably SPD
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
         let g = Mat::<f64>::from_fn(n, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         let mut a = Mat::<f64>::zeros(n, n);
-        gemm(1.0, g.as_ref(), Op::NoTrans, g.as_ref(), Op::Trans, 0.0, a.as_mut());
+        gemm(
+            1.0,
+            g.as_ref(),
+            Op::NoTrans,
+            g.as_ref(),
+            Op::Trans,
+            0.0,
+            a.as_mut(),
+        );
         for i in 0..n {
             a[(i, i)] += n as f64;
         }
@@ -184,7 +200,15 @@ mod tests {
         potrf(&mut p, 4).unwrap();
         let x_true = Mat::<f64>::from_fn(12, 3, |i, j| (i + 2 * j) as f64 / 5.0 - 1.0);
         let mut b = Mat::<f64>::zeros(12, 3);
-        gemm(1.0, a.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans, 0.0, b.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            x_true.as_ref(),
+            Op::NoTrans,
+            0.0,
+            b.as_mut(),
+        );
         cholesky_solve(&p, &mut b);
         assert!(b.max_abs_diff(&x_true) < 1e-10);
     }

@@ -4,6 +4,10 @@
 //! `H = I − tau·v·vᵀ` with `v[0] = 1` maps a vector `x` onto
 //! `beta·e₁` with `|beta| = ‖x‖`. `H` is orthogonal and symmetric.
 
+// Index-based loops mirror the BLAS/LAPACK reference formulations these
+// kernels follow; iterator rewrites obscure the subscript arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 use tcevd_matrix::blas1::{dot, nrm2, scal};
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::MatMut;
@@ -217,7 +221,13 @@ mod tests {
             }
         }
         let hah = tcevd_matrix::blas3::matmul(
-            tcevd_matrix::blas3::matmul(h.as_ref(), tcevd_matrix::Op::NoTrans, a.as_ref(), tcevd_matrix::Op::NoTrans).as_ref(),
+            tcevd_matrix::blas3::matmul(
+                h.as_ref(),
+                tcevd_matrix::Op::NoTrans,
+                a.as_ref(),
+                tcevd_matrix::Op::NoTrans,
+            )
+            .as_ref(),
             tcevd_matrix::Op::NoTrans,
             h.as_ref(),
             tcevd_matrix::Op::NoTrans,

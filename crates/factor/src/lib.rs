@@ -26,8 +26,8 @@ pub mod tsqr;
 
 pub use cholesky::{cholesky_solve, potf2, potrf, NotPositiveDefinite};
 pub use householder::{apply_reflector_left, apply_reflector_right, larfg};
-pub use ormqr::ormqr;
 pub use lu::{invert, lu_nopivot, lu_partial_pivot, lu_solve, LuError};
+pub use ormqr::ormqr;
 pub use qr::{geqr2, geqrf, larft, orgqr, wy_from_packed, QrFactors};
-pub use reconstruct::{panel_qr_tsqr, reconstruct_wy, PanelWy};
-pub use tsqr::{tsqr, tsqr_flops};
+pub use reconstruct::{panel_qr_tsqr, panel_qr_tsqr_with, reconstruct_wy, PanelWy};
+pub use tsqr::{tsqr, tsqr_flops, tsqr_with};

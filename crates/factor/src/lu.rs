@@ -130,8 +130,24 @@ pub fn lu_solve<T: Scalar>(packed: &Mat<T>, piv: &[usize], b: &mut Mat<T>) {
             }
         }
     }
-    trsm(Side::Left, T::ONE, packed.as_ref(), Op::NoTrans, true, true, b.as_mut());
-    trsm(Side::Left, T::ONE, packed.as_ref(), Op::NoTrans, false, false, b.as_mut());
+    trsm(
+        Side::Left,
+        T::ONE,
+        packed.as_ref(),
+        Op::NoTrans,
+        true,
+        true,
+        b.as_mut(),
+    );
+    trsm(
+        Side::Left,
+        T::ONE,
+        packed.as_ref(),
+        Op::NoTrans,
+        false,
+        false,
+        b.as_mut(),
+    );
 }
 
 /// Dense inverse via partial-pivot LU — the substrate the scaled-Newton
@@ -179,7 +195,9 @@ mod tests {
     fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -299,8 +317,24 @@ mod tests {
         let x_true = rand_mat(6, 2, 5);
         let b = tcevd_matrix::blas3::matmul(a.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans);
         let mut x = b.clone();
-        trsm(Side::Left, 1.0, p.as_ref(), Op::NoTrans, true, true, x.as_mut()); // L
-        trsm(Side::Left, 1.0, p.as_ref(), Op::NoTrans, false, false, x.as_mut()); // U
+        trsm(
+            Side::Left,
+            1.0,
+            p.as_ref(),
+            Op::NoTrans,
+            true,
+            true,
+            x.as_mut(),
+        ); // L
+        trsm(
+            Side::Left,
+            1.0,
+            p.as_ref(),
+            Op::NoTrans,
+            false,
+            false,
+            x.as_mut(),
+        ); // U
         assert!(x.max_abs_diff(&x_true) < 1e-11);
     }
 }

@@ -3,6 +3,10 @@
 //! (`orgqr`), and extraction of the `Q = I − W·Yᵀ` representation used by
 //! the band-reduction algorithms.
 
+// Index-based loops mirror the BLAS/LAPACK reference formulations these
+// kernels follow; iterator rewrites obscure the subscript arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 use crate::householder::{apply_reflector_left, larfg};
 use tcevd_matrix::blas1::dot;
 use tcevd_matrix::blas3::{gemm, matmul};
@@ -46,10 +50,7 @@ pub fn geqr2<T: Scalar>(mut a: MatMut<'_, T>) -> Vec<T> {
 }
 
 /// Blocked Householder QR (LAPACK `geqrf`) with panel width `nb`.
-pub fn geqrf<T: Scalar>(a: &mut Mat<T>, nb: usize) -> QrFactors<T>
-where
-    T: Scalar,
-{
+pub fn geqrf<T: Scalar>(a: &mut Mat<T>, nb: usize) -> QrFactors<T> {
     let (m, n) = (a.rows(), a.cols());
     let kmax = m.min(n);
     let mut tau = vec![T::ZERO; kmax];
@@ -173,7 +174,9 @@ mod tests {
     fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -238,11 +241,19 @@ mod tests {
         // I − Y·T·Yᵀ must equal the product H₁H₂H₃H₄ = orgqr of identity m×m
         let yt = matmul(y.as_ref(), Op::NoTrans, t.as_ref(), Op::NoTrans);
         let mut q_block = Mat::<f64>::identity(10, 10);
-        gemm(-1.0, yt.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q_block.as_mut());
+        gemm(
+            -1.0,
+            yt.as_ref(),
+            Op::NoTrans,
+            y.as_ref(),
+            Op::Trans,
+            1.0,
+            q_block.as_mut(),
+        );
 
         // explicit product
         let mut q_prod = Mat::<f64>::identity(10, 10);
-        let mut v = vec![0.0; 10];
+        let mut v = [0.0; 10];
         for j in (0..4).rev() {
             v[j] = 1.0;
             for i in j + 1..10 {
@@ -261,7 +272,15 @@ mod tests {
         let (w, y) = wy_from_packed(p.as_ref(), &tau);
         // Q_wy = I − W·Yᵀ ; thin part must equal orgqr
         let mut q_wy = Mat::<f64>::identity(12, 12);
-        gemm(-1.0, w.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q_wy.as_mut());
+        gemm(
+            -1.0,
+            w.as_ref(),
+            Op::NoTrans,
+            y.as_ref(),
+            Op::Trans,
+            1.0,
+            q_wy.as_mut(),
+        );
         let q_thin = orgqr(p.as_ref(), &tau);
         assert!(q_wy.submatrix(0, 0, 12, 5).max_abs_diff(&q_thin) < 1e-13);
         // orthogonality of the full square Q_wy
@@ -281,7 +300,11 @@ mod tests {
         let q = orgqr(p.as_ref(), &tau);
         assert!(orthogonality_residual(q.as_ref()) < 1e-12);
         let r = extract_r(p.as_ref());
-        assert!(r[(2, 2)].abs() < 1e-12, "expected tiny pivot, got {}", r[(2, 2)]);
+        assert!(
+            r[(2, 2)].abs() < 1e-12,
+            "expected tiny pivot, got {}",
+            r[(2, 2)]
+        );
         let qr = matmul(q.as_ref(), Op::NoTrans, r.as_ref(), Op::NoTrans);
         assert!(qr.max_abs_diff(&a) < 1e-12);
     }

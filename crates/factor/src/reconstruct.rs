@@ -15,7 +15,6 @@
 //! `Q_wy = I − W·Yᵀ` whose first b columns equal `Q·S`.
 
 use crate::lu::{lu_nopivot, LuError};
-use crate::tsqr::tsqr;
 use tcevd_matrix::blas3::{trsm, Side};
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::{Mat, MatRef, Op};
@@ -69,18 +68,30 @@ pub fn reconstruct_wy<T: Scalar>(q: MatRef<'_, T>) -> Result<PanelWy<T>, LuError
     y.view_mut(0, 0, b, b).copy_from(y1.as_ref());
     if m > b {
         let mut l2 = bmat.submatrix(b, 0, m - b, b);
-        trsm(Side::Right, T::ONE, u.as_ref(), Op::NoTrans, false, false, l2.as_mut());
+        trsm(
+            Side::Right,
+            T::ONE,
+            u.as_ref(),
+            Op::NoTrans,
+            false,
+            false,
+            l2.as_mut(),
+        );
         y.view_mut(b, 0, m - b, b).copy_from(l2.as_ref());
     }
 
     // W = B·Y₁⁻ᵀ (solve X·Y₁ᵀ = B; Y₁ᵀ is unit upper triangular).
-    trsm(Side::Right, T::ONE, y1.as_ref(), Op::Trans, true, true, bmat.as_mut());
+    trsm(
+        Side::Right,
+        T::ONE,
+        y1.as_ref(),
+        Op::Trans,
+        true,
+        true,
+        bmat.as_mut(),
+    );
 
-    Ok(PanelWy {
-        w: bmat,
-        y,
-        signs,
-    })
+    Ok(PanelWy { w: bmat, y, signs })
 }
 
 /// Full panel factorization for SBR: TSQR + WY reconstruction.
@@ -89,7 +100,16 @@ pub fn reconstruct_wy<T: Scalar>(q: MatRef<'_, T>) -> Result<PanelWy<T>, LuError
 /// factor such that `panel = (I − W·Yᵀ)[:, 0..b] · r` exactly (i.e.
 /// `(I − Y·Wᵀ)·panel = [r; 0]`).
 pub fn panel_qr_tsqr<T: Scalar>(panel: MatRef<'_, T>) -> Result<(PanelWy<T>, Mat<T>), LuError> {
-    let (q, r) = tsqr(panel);
+    panel_qr_tsqr_with(panel, &tcevd_trace::TraceSink::disabled())
+}
+
+/// [`panel_qr_tsqr`] with observability: the inner TSQR records its span
+/// and leaf counts into `sink`.
+pub fn panel_qr_tsqr_with<T: Scalar>(
+    panel: MatRef<'_, T>,
+    sink: &tcevd_trace::TraceSink,
+) -> Result<(PanelWy<T>, Mat<T>), LuError> {
+    let (q, r) = crate::tsqr::tsqr_with(panel, sink);
     let wy = reconstruct_wy(q.as_ref())?;
     // panel = Q·R = (Q·S)·(S·R); (I − WYᵀ) thin = Q·S, so scale R's rows.
     let b = panel.cols();
@@ -106,13 +126,16 @@ pub fn panel_qr_tsqr<T: Scalar>(panel: MatRef<'_, T>) -> Result<(PanelWy<T>, Mat
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tsqr::tsqr;
     use tcevd_matrix::blas3::{gemm, matmul};
     use tcevd_matrix::norms::orthogonality_residual;
 
     fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(77);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -121,7 +144,15 @@ mod tests {
     fn q_from_wy(w: &Mat<f64>, y: &Mat<f64>) -> Mat<f64> {
         let m = w.rows();
         let mut q = Mat::<f64>::identity(m, m);
-        gemm(-1.0, w.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, q.as_mut());
+        gemm(
+            -1.0,
+            w.as_ref(),
+            Op::NoTrans,
+            y.as_ref(),
+            Op::Trans,
+            1.0,
+            q.as_mut(),
+        );
         q
     }
 
@@ -208,7 +239,15 @@ mod tests {
         let wy = reconstruct_wy(q.as_ref()).unwrap();
         let m = 128;
         let mut qwy = Mat::<f32>::identity(m, m);
-        gemm(-1.0f32, wy.w.as_ref(), Op::NoTrans, wy.y.as_ref(), Op::Trans, 1.0, qwy.as_mut());
+        gemm(
+            -1.0f32,
+            wy.w.as_ref(),
+            Op::NoTrans,
+            wy.y.as_ref(),
+            Op::Trans,
+            1.0,
+            qwy.as_mut(),
+        );
         assert!(orthogonality_residual(qwy.as_ref()) < 1e-3);
     }
 

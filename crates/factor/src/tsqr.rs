@@ -14,6 +14,7 @@ use crate::qr::{extract_r, geqr2, orgqr};
 use tcevd_matrix::blas3::matmul;
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::{Mat, MatRef, Op};
+use tcevd_trace::{span, TraceSink};
 
 /// Minimum rows per leaf before recursion stops (≥ 2·cols keeps leaves tall).
 const MIN_LEAF_ROWS: usize = 64;
@@ -34,25 +35,33 @@ const MIN_LEAF_ROWS: usize = 64;
 /// assert!(qr.max_abs_diff(&a) < 1e-11);
 /// ```
 pub fn tsqr<T: Scalar>(a: MatRef<'_, T>) -> (Mat<T>, Mat<T>) {
+    tsqr_with(a, &TraceSink::disabled())
+}
+
+/// [`tsqr`] with observability: emits a `tsqr` span and counts leaf
+/// factorizations (`tsqr_leaves`) into `sink`.
+pub fn tsqr_with<T: Scalar>(a: MatRef<'_, T>, sink: &TraceSink) -> (Mat<T>, Mat<T>) {
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n, "TSQR requires a tall matrix (m ≥ n), got {m}×{n}");
+    let _span = span!(sink, "tsqr", m, n);
     if n == 0 {
         return (Mat::zeros(m, 0), Mat::zeros(0, 0));
     }
-    tsqr_rec(a)
+    tsqr_rec(a, sink)
 }
 
-fn tsqr_rec<T: Scalar>(a: MatRef<'_, T>) -> (Mat<T>, Mat<T>) {
+fn tsqr_rec<T: Scalar>(a: MatRef<'_, T>, sink: &TraceSink) -> (Mat<T>, Mat<T>) {
     let (m, n) = (a.rows(), a.cols());
     let leaf_rows = MIN_LEAF_ROWS.max(2 * n);
     if m <= leaf_rows {
+        sink.add("tsqr_leaves", 1);
         return qr_leaf(a);
     }
     // Split rows in half, keeping both halves ≥ n rows.
     let half = (m / 2).max(n);
     let top = a.view(0, 0, half, n);
     let bot = a.view(half, 0, m - half, n);
-    let ((q1, r1), (q2, r2)) = rayon::join(|| tsqr_rec(top), || tsqr_rec(bot));
+    let ((q1, r1), (q2, r2)) = rayon::join(|| tsqr_rec(top, sink), || tsqr_rec(bot, sink));
 
     // Combine: QR of the stacked [R1; R2] (2n×n).
     let mut stacked = Mat::<T>::zeros(2 * n, n);
@@ -111,7 +120,9 @@ mod tests {
     fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f64> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(99);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }

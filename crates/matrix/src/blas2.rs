@@ -1,5 +1,9 @@
 //! Matrix–vector (BLAS-2) kernels over strided views.
 
+// Index-based loops mirror the BLAS/LAPACK reference formulations these
+// kernels follow; iterator rewrites obscure the subscript arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 use crate::blas1::{axpy, dot};
 use crate::mat::{MatMut, MatRef};
 use crate::scalar::Scalar;

@@ -6,6 +6,10 @@
 //! `split_cols_at`), which keeps everything in safe code — no raw-pointer
 //! sharing — while letting rayon balance the work.
 
+// Index-based loops mirror the BLAS/LAPACK reference formulations these
+// kernels follow; iterator rewrites obscure the subscript arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 use crate::blas1::{axpy, dot};
 use crate::blas2::{trsv, Op};
 use crate::mat::{Mat, MatMut, MatRef};
@@ -447,11 +451,7 @@ pub fn trmm<T: Scalar>(
 }
 
 /// Borrow column `j` mutably and column `l` immutably (j != l).
-fn split_two_cols<'b, T: Scalar>(
-    b: MatMut<'b, T>,
-    j: usize,
-    l: usize,
-) -> (&'b mut [T], &'b [T]) {
+fn split_two_cols<'b, T: Scalar>(b: MatMut<'b, T>, j: usize, l: usize) -> (&'b mut [T], &'b [T]) {
     assert_ne!(j, l);
     let rows = b.rows();
     let ld = b.ld();
@@ -504,7 +504,9 @@ mod tests {
         let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -549,7 +551,15 @@ mod tests {
         let b = rand_mat(k, n, 11);
         let mut c = Mat::zeros(m, n);
         let mut c_ref = Mat::zeros(m, n);
-        gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c.as_mut(),
+        );
         naive_gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c_ref);
         assert!(c.max_abs_diff(&c_ref) < 1e-11);
     }
@@ -572,7 +582,15 @@ mod tests {
         let a_sub = a.submatrix(2, 1, 4, 3);
         let b_sub = b.submatrix(0, 2, 3, 4);
         let mut want = Mat::zeros(4, 4);
-        naive_gemm(1.0, &a_sub, Op::NoTrans, &b_sub, Op::NoTrans, 0.0, &mut want);
+        naive_gemm(
+            1.0,
+            &a_sub,
+            Op::NoTrans,
+            &b_sub,
+            Op::NoTrans,
+            0.0,
+            &mut want,
+        );
         assert!(c.submatrix(1, 1, 4, 4).max_abs_diff(&want) < 1e-13);
         // untouched border stays zero
         assert_eq!(c[(0, 0)], 0.0);
@@ -585,7 +603,15 @@ mod tests {
         let a = Mat::<f64>::identity(2, 2);
         let b = Mat::<f64>::identity(2, 2);
         let mut c = Mat::from_col_major(2, 2, vec![f64::NAN; 4]);
-        gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c.as_mut(),
+        );
         assert_eq!(c.max_abs_diff(&Mat::identity(2, 2)), 0.0);
     }
 
@@ -646,13 +672,29 @@ mod tests {
         let x_true = rand_mat(n, 4, 51);
         let b = matmul(l.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans);
         let mut x = b.clone();
-        trsm(Side::Left, 1.0, l.as_ref(), Op::NoTrans, true, false, x.as_mut());
+        trsm(
+            Side::Left,
+            1.0,
+            l.as_ref(),
+            Op::NoTrans,
+            true,
+            false,
+            x.as_mut(),
+        );
         assert!(x.max_abs_diff(&x_true) < 1e-11);
 
         // transpose case: L^T X = B
         let b2 = matmul(l.as_ref(), Op::Trans, x_true.as_ref(), Op::NoTrans);
         let mut x2 = b2.clone();
-        trsm(Side::Left, 1.0, l.as_ref(), Op::Trans, true, false, x2.as_mut());
+        trsm(
+            Side::Left,
+            1.0,
+            l.as_ref(),
+            Op::Trans,
+            true,
+            false,
+            x2.as_mut(),
+        );
         assert!(x2.max_abs_diff(&x_true) < 1e-11);
     }
 
@@ -670,13 +712,29 @@ mod tests {
         // X U = B
         let b = matmul(x_true.as_ref(), Op::NoTrans, u.as_ref(), Op::NoTrans);
         let mut x = b.clone();
-        trsm(Side::Right, 1.0, u.as_ref(), Op::NoTrans, false, false, x.as_mut());
+        trsm(
+            Side::Right,
+            1.0,
+            u.as_ref(),
+            Op::NoTrans,
+            false,
+            false,
+            x.as_mut(),
+        );
         assert!(x.max_abs_diff(&x_true) < 1e-11);
 
         // X U^T = B  (U^T is lower → eff_lower path)
         let b2 = matmul(x_true.as_ref(), Op::NoTrans, u.as_ref(), Op::Trans);
         let mut x2 = b2.clone();
-        trsm(Side::Right, 1.0, u.as_ref(), Op::Trans, false, false, x2.as_mut());
+        trsm(
+            Side::Right,
+            1.0,
+            u.as_ref(),
+            Op::Trans,
+            false,
+            false,
+            x2.as_mut(),
+        );
         assert!(x2.max_abs_diff(&x_true) < 1e-11);
     }
 
@@ -696,7 +754,15 @@ mod tests {
         let x_true = rand_mat(n, 3, 71);
         let b = matmul(l_unit.as_ref(), Op::NoTrans, x_true.as_ref(), Op::NoTrans);
         let mut x = b.clone();
-        trsm(Side::Left, 1.0, l.as_ref(), Op::NoTrans, true, true, x.as_mut());
+        trsm(
+            Side::Left,
+            1.0,
+            l.as_ref(),
+            Op::NoTrans,
+            true,
+            true,
+            x.as_mut(),
+        );
         assert!(x.max_abs_diff(&x_true) < 1e-12);
     }
 
@@ -717,7 +783,11 @@ mod tests {
                     Op::Trans => (j, i),
                 };
                 if r == c {
-                    if unit { 1.0 } else { l[(r, c)] }
+                    if unit {
+                        1.0
+                    } else {
+                        l[(r, c)]
+                    }
                 } else if r > c {
                     l[(r, c)]
                 } else {
@@ -767,7 +837,15 @@ mod tests {
         }
         let b = rand_mat(n, 3, 84);
         let mut got = b.clone();
-        trmm(Side::Left, 1.0, u.as_ref(), Op::NoTrans, false, false, got.as_mut());
+        trmm(
+            Side::Left,
+            1.0,
+            u.as_ref(),
+            Op::NoTrans,
+            false,
+            false,
+            got.as_mut(),
+        );
         let want = matmul(u.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
         assert!(got.max_abs_diff(&want) < 1e-13);
     }
@@ -776,10 +854,26 @@ mod tests {
     fn trsm_alpha_scales() {
         let l = Mat::<f64>::identity(3, 3);
         let mut b = Mat::from_col_major(3, 3, vec![1.0; 9]);
-        trsm(Side::Left, 2.0, l.as_ref(), Op::NoTrans, true, false, b.as_mut());
+        trsm(
+            Side::Left,
+            2.0,
+            l.as_ref(),
+            Op::NoTrans,
+            true,
+            false,
+            b.as_mut(),
+        );
         assert_eq!(b[(0, 0)], 2.0);
         let mut b2 = Mat::from_col_major(3, 3, vec![1.0; 9]);
-        trsm(Side::Right, 3.0, l.as_ref(), Op::NoTrans, true, false, b2.as_mut());
+        trsm(
+            Side::Right,
+            3.0,
+            l.as_ref(),
+            Op::NoTrans,
+            true,
+            false,
+            b2.as_mut(),
+        );
         assert_eq!(b2[(2, 2)], 3.0);
     }
 }

@@ -234,10 +234,7 @@ mod tests {
         let mut x = 1e-3f32;
         while x < 1e4 {
             let r = round_through_f16(x);
-            assert!(
-                ((r - x) / x).abs() <= F16_UNIT_ROUNDOFF,
-                "x={x} r={r}"
-            );
+            assert!(((r - x) / x).abs() <= F16_UNIT_ROUNDOFF, "x={x} r={r}");
             x *= 1.37;
         }
     }

@@ -248,7 +248,12 @@ impl<'a, T: Scalar> MatRef<'a, T> {
         if cols > 0 {
             assert!(data.len() >= (cols - 1) * ld + rows, "buffer too short");
         }
-        MatRef { data, rows, cols, ld }
+        MatRef {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     #[inline]
@@ -279,7 +284,10 @@ impl<'a, T: Scalar> MatRef<'a, T> {
 
     /// Sub-view.
     pub fn view(&self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatRef<'a, T> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "view out of bounds"
+        );
         if nr == 0 || nc == 0 {
             return MatRef {
                 data: &[],
@@ -310,7 +318,6 @@ impl<'a, T: Scalar> MatRef<'a, T> {
             cols: self.cols,
         }
     }
-
 }
 
 /// Mutable strided view.
@@ -328,7 +335,12 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         if cols > 0 {
             assert!(data.len() >= (cols - 1) * ld + rows, "buffer too short");
         }
-        MatMut { data, rows, cols, ld }
+        MatMut {
+            data,
+            rows,
+            cols,
+            ld,
+        }
     }
 
     #[inline]
@@ -392,7 +404,10 @@ impl<'a, T: Scalar> MatMut<'a, T> {
 
     /// Consume into a sub-view (keeps lifetime `'a`).
     pub fn into_view(self, r0: usize, c0: usize, nr: usize, nc: usize) -> MatMut<'a, T> {
-        assert!(r0 + nr <= self.rows && c0 + nc <= self.cols, "view out of bounds");
+        assert!(
+            r0 + nr <= self.rows && c0 + nc <= self.cols,
+            "view out of bounds"
+        );
         if nr == 0 || nc == 0 {
             return MatMut {
                 ld: self.ld,
@@ -532,7 +547,6 @@ mod tests {
         r.set(0, 0, 2.0);
         assert_eq!(l.cols(), 2);
         assert_eq!(r.cols(), 2);
-        drop((l, r));
         assert_eq!(m[(0, 0)], 1.0);
         assert_eq!(m[(0, 2)], 2.0);
     }

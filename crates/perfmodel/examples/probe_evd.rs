@@ -10,14 +10,15 @@ use tcevd_perfmodel::*;
 fn main() {
     let m = A100Model::default();
     for n in [4096usize, 8192, 16384, 32768] {
-        let b = 128; let nb = 1024;
-        let wy = sbr_cost(&m, n, b, SbrConfig::WyTc{nb}).total();
+        let b = 128;
+        let nb = 1024;
+        let wy = sbr_cost(&m, n, b, SbrConfig::WyTc { nb }).total();
         let magma = sbr_cost(&m, n, b, SbrConfig::Magma).total();
         let zy = sbr_cost(&m, n, b, SbrConfig::ZyTc).total();
-        let ec = sbr_cost(&m, n, b, SbrConfig::WyEcTc{nb}).total();
+        let ec = sbr_cost(&m, n, b, SbrConfig::WyEcTc { nb }).total();
         let s2 = m.stage2_dc_time(n, b);
         let tr = m.transfer_time(n);
-        let evd_wy = evd_time(&m, n, b, SbrConfig::WyTc{nb});
+        let evd_wy = evd_time(&m, n, b, SbrConfig::WyTc { nb });
         let evd_magma = evd_time(&m, n, b, SbrConfig::Magma);
         println!("n={n}: sbr wy={wy:.3} zy={zy:.3} ec={ec:.3} magma={magma:.3} | s2dc={s2:.3} tr={tr:.3} | evd {evd_wy:.3} vs {evd_magma:.3} speedup {:.2}", evd_magma/evd_wy);
     }

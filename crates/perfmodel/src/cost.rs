@@ -2,9 +2,9 @@
 //!
 //! Every constant is either taken from the paper (Table 1 rates, the
 //! 12 GB/s device-to-host rate of §6.4.1) or calibrated once against a
-//! stated claim of the paper (panel speeds against Figure 8's ~5×, stage-2
-//! + divide & conquer against Figure 11's MAGMA bars). DESIGN.md documents
-//! each; nothing is fitted per-figure.
+//! stated claim of the paper (panel speeds against Figure 8's ~5×,
+//! stage-2 plus divide & conquer against Figure 11's MAGMA bars).
+//! DESIGN.md documents each; nothing is fitted per-figure.
 
 use crate::rates::{
     classify, interp_rate, ShapeClass, EC_RATE_CAP, SGEMM_OUTER, SGEMM_SQUARE_TALL, TC_OUTER,
@@ -95,9 +95,7 @@ impl A100Model {
             (Engine::Tc, ShapeClass::Outer) => interp_rate(&TC_OUTER, small),
             // TF32 Tensor-Core peak is half the fp16 peak on A100
             // (156 vs 312 TFLOPS); scale the measured fp16 profile.
-            (Engine::Tf32, ShapeClass::SquareTall) => {
-                0.5 * interp_rate(&TC_SQUARE_TALL, small)
-            }
+            (Engine::Tf32, ShapeClass::SquareTall) => 0.5 * interp_rate(&TC_SQUARE_TALL, small),
             (Engine::Tf32, ShapeClass::Outer) => 0.5 * interp_rate(&TC_OUTER, small),
             (Engine::EcTc, class) => {
                 // EC issues 3 reduced-precision products, but the CUTLASS

@@ -1,7 +1,7 @@
 //! Named experiment configurations — the lines/bars of the paper's figures.
 
 use crate::cost::{A100Model, PanelCost, SbrCost};
-use tcevd_band::trace_model::{wy_trace, zy_trace};
+use tcevd_band::trace_model::{wy_trace, zy_trace, zy_trace_on};
 use tcevd_tensorcore::Engine;
 
 /// One SBR configuration as plotted in Figures 9 and 10.
@@ -52,7 +52,15 @@ pub fn sbr_cost(model: &A100Model, n: usize, b: usize, config: SbrConfig) -> Sbr
         }
         SbrConfig::ZyTc => model.sbr_time(&zy_trace(n, b), Engine::Tc, PanelCost::Tsqr, false),
         SbrConfig::Magma => {
-            model.sbr_time(&zy_trace(n, b), Engine::Sgemm, PanelCost::Magma, true)
+            // engine-faithful trace: the Sgemm path already records its
+            // rank-2k updates as single native-syr2k GEMMs (half flops), so
+            // no post-hoc halving (`syr2k_native = false`) is needed.
+            model.sbr_time(
+                &zy_trace_on(n, b, Engine::Sgemm),
+                Engine::Sgemm,
+                PanelCost::Magma,
+                false,
+            )
         }
     }
 }
@@ -106,7 +114,10 @@ mod tests {
             / sbr_cost(&m, 4096, B, SbrConfig::WyTc { nb: NB }).total();
         let s_big = sbr_cost(&m, 32768, B, SbrConfig::Magma).total()
             / sbr_cost(&m, 32768, B, SbrConfig::WyTc { nb: NB }).total();
-        assert!(s_big > s_small, "speedup must grow with n: {s_small} vs {s_big}");
+        assert!(
+            s_big > s_small,
+            "speedup must grow with n: {s_small} vs {s_big}"
+        );
     }
 
     #[test]
@@ -138,9 +149,7 @@ mod tests {
         let n = 32768;
         let times: Vec<f64> = [128usize, 256, 512, 1024, 2048, 4096]
             .iter()
-            .map(|&nb| {
-                m.gemm_time_total(&wy_trace(n, B, nb).gemms, Engine::Tc)
-            })
+            .map(|&nb| m.gemm_time_total(&wy_trace(n, B, nb).gemms, Engine::Tc))
             .collect();
         let best = times
             .iter()

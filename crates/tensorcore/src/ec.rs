@@ -74,6 +74,7 @@ pub fn split_tf32(a: MatRef<'_, f32>) -> (Mat<f32>, Mat<f32>) {
 /// Error-corrected Tensor-Core GEMM:
 /// `C ← alpha·A·B + beta·C` at ≈FP32 accuracy using three reduced-precision
 /// GEMMs.
+#[allow(clippy::too_many_arguments)] // BLAS gemm signature + mode
 pub fn ec_gemm(
     alpha: f32,
     a: MatRef<'_, f32>,
@@ -89,7 +90,15 @@ pub fn ec_gemm(
             let (ah, ar) = split_f16(a);
             let (bh, br) = split_f16(b);
             // C ← beta·C + alpha·Ã·B̃
-            blas3::gemm(alpha, ah.as_ref(), op_a, bh.as_ref(), op_b, beta, c.as_mut());
+            blas3::gemm(
+                alpha,
+                ah.as_ref(),
+                op_a,
+                bh.as_ref(),
+                op_b,
+                beta,
+                c.as_mut(),
+            );
             // C += (alpha/s)·(Ã·ΔB + ΔA·B̃)
             let s = alpha / EC_SCALE;
             blas3::gemm(s, ah.as_ref(), op_a, br.as_ref(), op_b, 1.0, c.as_mut());
@@ -98,7 +107,15 @@ pub fn ec_gemm(
         EcMode::Tf32 => {
             let (ah, ar) = split_tf32(a);
             let (bh, br) = split_tf32(b);
-            blas3::gemm(alpha, ah.as_ref(), op_a, bh.as_ref(), op_b, beta, c.as_mut());
+            blas3::gemm(
+                alpha,
+                ah.as_ref(),
+                op_a,
+                bh.as_ref(),
+                op_b,
+                beta,
+                c.as_mut(),
+            );
             blas3::gemm(alpha, ah.as_ref(), op_a, br.as_ref(), op_b, 1.0, c.as_mut());
             blas3::gemm(alpha, ar.as_ref(), op_a, bh.as_ref(), op_b, 1.0, c.as_mut());
         }
@@ -113,7 +130,9 @@ mod tests {
     fn pseudo_rand_mat(m: usize, n: usize, seed: u64, scale: f32) -> Mat<f32> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * scale
         })
     }
@@ -146,9 +165,26 @@ mod tests {
         let exact = exact_gemm_f64(&a, &b);
 
         let mut c_tc = Mat::zeros(m, n);
-        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c_tc.as_mut());
+        tc_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_tc.as_mut(),
+        );
         let mut c_ec = Mat::zeros(m, n);
-        ec_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c_ec.as_mut(), EcMode::F16Scaled);
+        ec_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_ec.as_mut(),
+            EcMode::F16Scaled,
+        );
 
         let err = |c: &Mat<f32>| -> f64 {
             let mut e = 0.0f64;
@@ -174,7 +210,16 @@ mod tests {
         let b = pseudo_rand_mat(k, n, 6, 1.0);
         let exact = exact_gemm_f64(&a, &b);
         let mut c = Mat::zeros(m, n);
-        ec_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut(), EcMode::Tf32);
+        ec_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c.as_mut(),
+            EcMode::Tf32,
+        );
         let mut e = 0.0f64;
         for j in 0..n {
             for i in 0..m {
@@ -193,7 +238,16 @@ mod tests {
         let b = pseudo_rand_mat(k, n, 8, 1e3);
         let exact = exact_gemm_f64(&a, &b);
         let mut c = Mat::zeros(m, n);
-        ec_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut(), EcMode::F16Scaled);
+        ec_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c.as_mut(),
+            EcMode::F16Scaled,
+        );
         let mut rel = 0.0f64;
         let scale: f64 = tcevd_matrix::norms::max_abs(exact.as_ref());
         for j in 0..n {
@@ -211,7 +265,16 @@ mod tests {
         let b = pseudo_rand_mat(k, n, 10, 1.0);
         let c0 = pseudo_rand_mat(m, n, 11, 1.0);
         let mut c = c0.clone();
-        ec_gemm(2.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.5, c.as_mut(), EcMode::F16Scaled);
+        ec_gemm(
+            2.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.5,
+            c.as_mut(),
+            EcMode::F16Scaled,
+        );
         let ab = blas3::matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
         for j in 0..n {
             for i in 0..m {

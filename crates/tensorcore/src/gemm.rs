@@ -52,6 +52,7 @@ pub fn tc_gemm(
 /// Tensor-Core GEMM (strict tiled path): identical quantity computed tile by
 /// tile through the MMA simulator. `op` handling is done by materializing
 /// transposed copies (the GPU's wmma loader does the equivalent re-layout).
+#[allow(clippy::too_many_arguments)] // BLAS gemm signature + mode
 pub fn tc_gemm_strict(
     alpha: f32,
     a: MatRef<'_, f32>,
@@ -82,18 +83,8 @@ pub fn tc_gemm_strict(
             let mut acc = TileF32::zero();
             for l0 in (0..k).step_by(TILE) {
                 let nl = TILE.min(k - l0);
-                let at = TileF16::load(
-                    &a_eff.as_slice()[i0 + l0 * m..],
-                    ni,
-                    nl,
-                    m,
-                );
-                let bt = TileF16::load(
-                    &b_eff.as_slice()[l0 + j0 * k..],
-                    nl,
-                    nj,
-                    k,
-                );
+                let at = TileF16::load(&a_eff.as_slice()[i0 + l0 * m..], ni, nl, m);
+                let bt = TileF16::load(&b_eff.as_slice()[l0 + j0 * k..], nl, nj, k);
                 mma(&at, &bt, &mut acc, mode);
             }
             // C tile ← alpha*acc + beta*C tile
@@ -115,7 +106,9 @@ mod tests {
     fn pseudo_rand_mat(m: usize, n: usize, seed: u64, scale: f32) -> Mat<f32> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * scale
         })
     }
@@ -134,7 +127,15 @@ mod tests {
         let a = Mat::<f32>::from_fn(20, 18, |i, j| ((i * 7 + j) % 9) as f32 - 4.0);
         let b = Mat::<f32>::from_fn(18, 17, |i, j| ((i + 3 * j) % 5) as f32);
         let mut c = Mat::zeros(20, 17);
-        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        tc_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c.as_mut(),
+        );
         let want = blas3::matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
         assert_eq!(c.max_abs_diff(&want), 0.0);
     }
@@ -146,7 +147,15 @@ mod tests {
         let b = pseudo_rand_mat(k, n, 3, 1.0);
         let mut c_fast = Mat::zeros(m, n);
         let mut c_strict = Mat::zeros(m, n);
-        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c_fast.as_mut());
+        tc_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_fast.as_mut(),
+        );
         tc_gemm_strict(
             1.0,
             a.as_ref(),
@@ -160,7 +169,10 @@ mod tests {
         // Same products, different f32 summation order: tiny difference only.
         let diff = c_fast.max_abs_diff(&c_strict);
         let scale = tcevd_matrix::norms::max_abs(c_fast.as_ref());
-        assert!(diff <= 4.0 * f32::EPSILON * scale * (k as f32).sqrt(), "diff={diff}");
+        assert!(
+            diff <= 4.0 * f32::EPSILON * scale * (k as f32).sqrt(),
+            "diff={diff}"
+        );
     }
 
     #[test]
@@ -180,7 +192,15 @@ mod tests {
             c.as_mut(),
             AccumMode::F32Rn,
         );
-        tc_gemm(2.0, a.as_ref(), Op::Trans, b.as_ref(), Op::Trans, -1.0, c_ref.as_mut());
+        tc_gemm(
+            2.0,
+            a.as_ref(),
+            Op::Trans,
+            b.as_ref(),
+            Op::Trans,
+            -1.0,
+            c_ref.as_mut(),
+        );
         let diff = c.max_abs_diff(&c_ref);
         assert!(diff <= 1e-4, "diff={diff}");
     }
@@ -193,7 +213,15 @@ mod tests {
         let a = pseudo_rand_mat(m, k, 7, 1.0);
         let b = pseudo_rand_mat(k, n, 8, 1.0);
         let mut c = Mat::zeros(m, n);
-        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+        tc_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c.as_mut(),
+        );
         let exact = blas3::matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
         let err = c.max_abs_diff(&exact);
         // error present (>> f32 eps) but bounded by ~2·u16·k·max|a||b|
@@ -212,8 +240,26 @@ mod tests {
         let b_abs = Mat::from_fn(k, n, |i, j| (0.1 + ((i + j) % 3) as f32) / 3.0);
         let mut c_rn = Mat::zeros(m, n);
         let mut c_rz = Mat::zeros(m, n);
-        tc_gemm_strict(1.0, a_abs.as_ref(), Op::NoTrans, b_abs.as_ref(), Op::NoTrans, 0.0, c_rn.as_mut(), AccumMode::F32Rn);
-        tc_gemm_strict(1.0, a_abs.as_ref(), Op::NoTrans, b_abs.as_ref(), Op::NoTrans, 0.0, c_rz.as_mut(), AccumMode::F32Rz);
+        tc_gemm_strict(
+            1.0,
+            a_abs.as_ref(),
+            Op::NoTrans,
+            b_abs.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_rn.as_mut(),
+            AccumMode::F32Rn,
+        );
+        tc_gemm_strict(
+            1.0,
+            a_abs.as_ref(),
+            Op::NoTrans,
+            b_abs.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_rz.as_mut(),
+            AccumMode::F32Rz,
+        );
         for j in 0..n {
             for i in 0..m {
                 assert!(c_rz[(i, j)] <= c_rn[(i, j)] + f32::EPSILON);

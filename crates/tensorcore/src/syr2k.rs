@@ -99,26 +99,38 @@ pub fn syr2k_flops(n: usize, k: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::gemm::tc_gemm;
-    use tcevd_matrix::Op;
     use tcevd_matrix::Mat;
+    use tcevd_matrix::Op;
 
     fn rand_mat(m: usize, n: usize, seed: u64) -> Mat<f32> {
         let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Mat::from_fn(m, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f32 / (1u64 << 31) as f32) - 1.0
         })
     }
 
-    fn two_gemm_reference(
-        alpha: f32,
-        a: &Mat<f32>,
-        b: &Mat<f32>,
-        beta: f32,
-        c: &mut Mat<f32>,
-    ) {
-        tc_gemm(alpha, a.as_ref(), Op::NoTrans, b.as_ref(), Op::Trans, beta, c.as_mut());
-        tc_gemm(alpha, b.as_ref(), Op::NoTrans, a.as_ref(), Op::Trans, 1.0, c.as_mut());
+    fn two_gemm_reference(alpha: f32, a: &Mat<f32>, b: &Mat<f32>, beta: f32, c: &mut Mat<f32>) {
+        tc_gemm(
+            alpha,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::Trans,
+            beta,
+            c.as_mut(),
+        );
+        tc_gemm(
+            alpha,
+            b.as_ref(),
+            Op::NoTrans,
+            a.as_ref(),
+            Op::Trans,
+            1.0,
+            c.as_mut(),
+        );
     }
 
     #[test]

@@ -132,8 +132,7 @@ pub fn prescribed_spectrum(lambda: &[f64], seed: u64) -> Mat<f64> {
     let q = haar_orthogonal(n, seed);
     // A = Q·Λ·Qᵀ — scale columns of Q by λ then multiply by Qᵀ.
     let mut ql = q.clone();
-    for j in 0..n {
-        let l = lambda[j];
+    for (j, &l) in lambda.iter().enumerate() {
         for v in ql.col_mut(j) {
             *v *= l;
         }

@@ -14,6 +14,6 @@
 pub mod generators;
 
 pub use generators::{
-    generate, haar_orthogonal, prescribed_spectrum, random_gaussian, random_symmetric,
-    spectrum, MatrixType,
+    generate, haar_orthogonal, prescribed_spectrum, random_gaussian, random_symmetric, spectrum,
+    MatrixType,
 };

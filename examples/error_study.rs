@@ -45,7 +45,15 @@ fn main() {
         let exact = matmul(a64.as_ref(), Op::NoTrans, b64.as_ref(), Op::NoTrans);
 
         let mut c_rn = Mat::zeros(m, m);
-        tc_gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c_rn.as_mut());
+        tc_gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_rn.as_mut(),
+        );
 
         let mut c_rz = Mat::zeros(m, m);
         tc_gemm_strict(

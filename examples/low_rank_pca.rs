@@ -30,7 +30,15 @@ fn main() {
     let g = random_gaussian(rank, samples, 3);
     // X += signal · U[:, 0..rank] · G
     let u_r = u64mat.submatrix(0, 0, dim, rank);
-    gemm(signal, u_r.as_ref(), Op::NoTrans, g.as_ref(), Op::NoTrans, 1.0, x.as_mut());
+    gemm(
+        signal,
+        u_r.as_ref(),
+        Op::NoTrans,
+        g.as_ref(),
+        Op::NoTrans,
+        1.0,
+        x.as_mut(),
+    );
 
     // Covariance C = X·Xᵀ / samples.
     let mut c = matmul(x.as_ref(), Op::NoTrans, x.as_ref(), Op::Trans);
@@ -46,6 +54,7 @@ fn main() {
         panel: PanelKind::Tsqr,
         solver: TridiagSolver::DivideConquer,
         vectors: true,
+        trace: false,
     };
     let ctx = GemmContext::new(Engine::Tc);
     let r = sym_eig(&c32, &opts, &ctx).expect("EVD failed");
@@ -55,10 +64,7 @@ fn main() {
     let total: f32 = r.values.iter().sum();
     let top: f32 = r.values[dim - rank..].iter().sum();
     println!("planted rank-{rank} signal in {dim}-dim data ({samples} samples)");
-    println!(
-        "top-{rank} eigenvalues: {:?}",
-        &r.values[dim - rank..]
-    );
+    println!("top-{rank} eigenvalues: {:?}", &r.values[dim - rank..]);
     println!(
         "explained variance by top-{rank} components: {:.1}%",
         100.0 * top / total
@@ -80,6 +86,9 @@ fn main() {
         "subspace alignment with planted directions: {:.4} (1.0 = perfect)",
         align2 / rank as f64
     );
-    assert!(align2 / rank as f64 > 0.9, "PCA failed to find the planted subspace");
+    assert!(
+        align2 / rank as f64 > 0.9,
+        "PCA failed to find the planted subspace"
+    );
     println!("OK");
 }

@@ -13,7 +13,10 @@
 //! ```
 
 use tcevd::band::PanelKind;
-use tcevd::evd::{eigenvalue_error, sym_eigenvalues, sym_eigenvalues_ref, SbrVariant, SymEigOptions, TridiagSolver};
+use tcevd::evd::{
+    eigenvalue_error, sym_eigenvalues, sym_eigenvalues_ref, SbrVariant, SymEigOptions,
+    TridiagSolver,
+};
 use tcevd::matrix::Mat;
 use tcevd::perfmodel::{sbr_cost, A100Model, SbrConfig};
 use tcevd::tensorcore::{Engine, GemmContext};
@@ -31,6 +34,7 @@ fn main() {
         panel: PanelKind::Tsqr,
         solver: TridiagSolver::DivideConquer,
         vectors: false,
+        trace: false,
     };
     let model = A100Model::default();
     let paper_n = 32768;
@@ -50,7 +54,12 @@ fn main() {
         let v64: Vec<f64> = vals.iter().map(|&x| x as f64).collect();
         let es = eigenvalue_error(&reference, &v64);
         let t = sbr_cost(&model, paper_n, paper_b, cfg).total();
-        println!("{:<10} | {:>12.2e} | {:>19.2} s", format!("{engine:?}"), es, t);
+        println!(
+            "{:<10} | {:>12.2e} | {:>19.2} s",
+            format!("{engine:?}"),
+            es,
+            t
+        );
     }
 
     println!();

@@ -5,10 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tcevd::evd::{sym_eig, SbrVariant, SymEigOptions, TridiagSolver};
-use tcevd::evd::{eigenpair_residual, orthogonality};
-use tcevd::matrix::Mat;
 use tcevd::band::PanelKind;
+use tcevd::evd::{eigenpair_residual, orthogonality};
+use tcevd::evd::{sym_eig, SbrVariant, SymEigOptions, TridiagSolver};
+use tcevd::matrix::Mat;
 use tcevd::tensorcore::{Engine, GemmContext};
 use tcevd::testmat::{generate, MatrixType};
 
@@ -28,6 +28,7 @@ fn main() {
         panel: PanelKind::Tsqr,
         solver: TridiagSolver::DivideConquer,
         vectors: true,
+        trace: false,
     };
     let ctx = GemmContext::new(Engine::Tc).with_trace();
 
@@ -37,13 +38,13 @@ fn main() {
 
     println!("n = {n}, simulated-Tensor-Core 2-stage EVD in {elapsed:?}");
     println!("smallest eigenvalues: {:?}", &r.values[..4]);
-    println!(
-        "largest eigenvalues:  {:?}",
-        &r.values[n - 4..]
-    );
+    println!("largest eigenvalues:  {:?}", &r.values[n - 4..]);
 
     let x = r.vectors.as_ref().unwrap();
-    println!("eigenvector orthogonality E_o = {:.3e}", orthogonality(x.as_ref()));
+    println!(
+        "eigenvector orthogonality E_o = {:.3e}",
+        orthogonality(x.as_ref())
+    );
     println!(
         "worst eigenpair residual       = {:.3e}",
         eigenpair_residual(a.as_ref(), &r.values, x.as_ref())

@@ -11,8 +11,8 @@
 //! ```
 
 use tcevd::band::PanelKind;
-use tcevd::evd::{sym_eig_selected, EigRange, SbrVariant, SymEigOptions, TridiagSolver};
 use tcevd::evd::eigenpair_residual;
+use tcevd::evd::{sym_eig_selected, EigRange, SbrVariant, SymEigOptions, TridiagSolver};
 use tcevd::matrix::Mat;
 use tcevd::tensorcore::{Engine, GemmContext};
 use tcevd::testmat::{generate, spectrum, MatrixType};
@@ -28,6 +28,7 @@ fn main() {
         panel: PanelKind::Tsqr,
         solver: TridiagSolver::DivideConquer, // unused by the selected path
         vectors: true,
+        trace: false,
     };
     let ctx = GemmContext::new(Engine::Tc);
 

@@ -56,6 +56,7 @@ fn main() {
         panel: PanelKind::Tsqr,
         solver: TridiagSolver::DivideConquer,
         vectors: true,
+        trace: false,
     };
     let ctx = GemmContext::new(Engine::Tc);
     let r = sym_eig(&lap32, &opts, &ctx).expect("EVD failed");

@@ -1,0 +1,41 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The container this repo builds in has no network access and no registry
+//! cache, so external crates cannot be resolved. The workspace only uses
+//! `rayon::join` for divide-and-conquer parallelism (TSQR, FormW, D&C,
+//! blocked GEMM); this shim keeps the exact signature and executes the two
+//! closures sequentially. That preserves determinism and correctness — the
+//! recursion shape is identical — at the cost of single-threaded wall
+//! clock, which is acceptable for a software simulation.
+//!
+//! Swap back to real rayon by repointing `[workspace.dependencies] rayon`
+//! at crates.io once the build environment has network access.
+
+/// Run both closures and return their results, mirroring
+/// [`rayon::join`](https://docs.rs/rayon/latest/rayon/fn.join.html).
+///
+/// Sequential: `a` runs to completion before `b` starts. The `Send` bounds
+/// are kept so code written against real rayon still compiles unchanged.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ra = oper_a();
+    let rb = oper_b();
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn join_returns_both_results_in_order() {
+        let mut log = Vec::new();
+        let (a, b) = super::join(|| 1 + 1, || 2 + 2);
+        log.push(a);
+        log.push(b);
+        assert_eq!(log, vec![2, 4]);
+    }
+}

@@ -10,3 +10,4 @@ pub use tcevd_matrix as matrix;
 pub use tcevd_perfmodel as perfmodel;
 pub use tcevd_tensorcore as tensorcore;
 pub use tcevd_testmat as testmat;
+pub use tcevd_trace as trace;

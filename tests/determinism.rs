@@ -15,6 +15,7 @@ fn run(seed: u64, engine: Engine) -> (Vec<f32>, Mat<f32>) {
     let r = sym_eig(
         &a,
         &SymEigOptions {
+            trace: false,
             bandwidth: 8,
             sbr: SbrVariant::Wy { block: 32 },
             panel: PanelKind::Tsqr,

@@ -13,6 +13,7 @@ use tcevd::testmat::{generate, MatrixType};
 
 fn opts(b: usize, nb: usize, vectors: bool) -> SymEigOptions {
     SymEigOptions {
+        trace: false,
         bandwidth: b,
         sbr: SbrVariant::Wy { block: nb },
         panel: PanelKind::Tsqr,
@@ -125,8 +126,13 @@ fn selected_pipeline_through_tensor_core() {
     let a64 = generate(n, MatrixType::Arith { cond: 1e2 }, 305);
     let a: Mat<f32> = a64.cast();
     let ctx = GemmContext::new(Engine::Tc);
-    let sel = sym_eig_selected(&a, EigRange::Index { lo: n - 4, hi: n }, &opts(8, 32, false), &ctx)
-        .unwrap();
+    let sel = sym_eig_selected(
+        &a,
+        EigRange::Index { lo: n - 4, hi: n },
+        &opts(8, 32, false),
+        &ctx,
+    )
+    .unwrap();
     let reference = sym_eigenvalues_ref(&a64).unwrap();
     for (j, v) in sel.values.iter().enumerate() {
         assert!(
@@ -143,13 +149,33 @@ fn tc_syr2k_drop_in_for_trailing_update() {
     // step yields the same trailing matrix
     let n = 48;
     let k = 8;
-    let y: Mat<f32> = generate(n, MatrixType::Normal, 306).cast().submatrix(0, 0, n, k);
-    let z: Mat<f32> = generate(n, MatrixType::Normal, 307).cast().submatrix(0, 0, n, k);
+    let y: Mat<f32> = generate(n, MatrixType::Normal, 306)
+        .cast()
+        .submatrix(0, 0, n, k);
+    let z: Mat<f32> = generate(n, MatrixType::Normal, 307)
+        .cast()
+        .submatrix(0, 0, n, k);
     let c0: Mat<f32> = generate(n, MatrixType::Uniform, 308).cast();
 
     let mut c1 = c0.clone();
-    tc_gemm(-1.0, y.as_ref(), Op::NoTrans, z.as_ref(), Op::Trans, 1.0, c1.as_mut());
-    tc_gemm(-1.0, z.as_ref(), Op::NoTrans, y.as_ref(), Op::Trans, 1.0, c1.as_mut());
+    tc_gemm(
+        -1.0,
+        y.as_ref(),
+        Op::NoTrans,
+        z.as_ref(),
+        Op::Trans,
+        1.0,
+        c1.as_mut(),
+    );
+    tc_gemm(
+        -1.0,
+        z.as_ref(),
+        Op::NoTrans,
+        y.as_ref(),
+        Op::Trans,
+        1.0,
+        c1.as_mut(),
+    );
 
     let mut c2 = c0.clone();
     tc_syr2k(-1.0, y.as_ref(), z.as_ref(), 1.0, c2.as_mut());

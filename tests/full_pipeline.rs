@@ -13,6 +13,7 @@ use tcevd::testmat::{generate, MatrixType};
 
 fn opts(b: usize, nb: usize, vectors: bool) -> SymEigOptions {
     SymEigOptions {
+        trace: false,
         bandwidth: b,
         sbr: SbrVariant::Wy { block: nb },
         panel: PanelKind::Tsqr,

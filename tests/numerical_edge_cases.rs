@@ -12,6 +12,7 @@ use tcevd::testmat::{generate, MatrixType};
 
 fn opts(vectors: bool) -> SymEigOptions {
     SymEigOptions {
+        trace: false,
         bandwidth: 8,
         sbr: SbrVariant::Wy { block: 32 },
         panel: PanelKind::Tsqr,
@@ -86,7 +87,10 @@ fn indefinite_spectrum() {
     let a: Mat<f32> = a64.cast();
     let ctx = GemmContext::new(Engine::Tc);
     let vals = sym_eigenvalues(&a, &opts(false), &ctx).unwrap();
-    assert!(vals[0] < 0.0, "Wigner matrix must have negative eigenvalues");
+    assert!(
+        vals[0] < 0.0,
+        "Wigner matrix must have negative eigenvalues"
+    );
     assert!(vals[n - 1] > 0.0);
     // symmetric spectrum bulk: |λ_min| ≈ |λ_max| within 30%
     let r = (-vals[0] / vals[n - 1]) as f64;
@@ -142,10 +146,7 @@ fn jacobi_handles_graded_matrices_with_relative_accuracy() {
     // Demmel–Veselić: Jacobi gets small eigenvalues of SPD graded matrices
     // to high *relative* accuracy; verify against the f64 reference.
     let n = 24;
-    let a64 = {
-        let g = generate(n, MatrixType::Geo { cond: 1e6 }, 506);
-        g
-    };
+    let a64 = generate(n, MatrixType::Geo { cond: 1e6 }, 506);
     let a: Mat<f32> = a64.cast();
     let (vals, _) = jacobi_eig(&a).unwrap();
     let reference = sym_eigenvalues_ref(&a64).unwrap();

@@ -16,7 +16,10 @@ fn claim_sbr_speedup_vs_magma() {
     let m = A100Model::default();
     let s = sbr_cost(&m, N, B, SbrConfig::Magma).total()
         / sbr_cost(&m, N, B, SbrConfig::WyTc { nb: NB }).total();
-    assert!((2.5..4.5).contains(&s), "SBR speedup {s:.2} outside the paper's band");
+    assert!(
+        (2.5..4.5).contains(&s),
+        "SBR speedup {s:.2} outside the paper's band"
+    );
 }
 
 #[test]
@@ -54,7 +57,10 @@ fn claim_panel_speedup() {
     let vs_magma = t(PanelCost::Magma) / t(PanelCost::Tsqr);
     let vs_cusolver = t(PanelCost::Cusolver) / t(PanelCost::Tsqr);
     assert!((3.5..7.0).contains(&vs_magma), "vs MAGMA {vs_magma:.2}");
-    assert!((3.5..7.0).contains(&vs_cusolver), "vs cuSOLVER {vs_cusolver:.2}");
+    assert!(
+        (3.5..7.0).contains(&vs_cusolver),
+        "vs cuSOLVER {vs_cusolver:.2}"
+    );
 }
 
 #[test]
@@ -67,7 +73,10 @@ fn claim_flop_increase_is_the_price() {
         assert!(f >= last, "flops must not decrease with nb");
         last = f;
     }
-    assert!(last as f64 / zy as f64 > 1.3, "WY's flop overhead should be visible");
+    assert!(
+        last as f64 / zy as f64 > 1.3,
+        "WY's flop overhead should be visible"
+    );
 }
 
 #[test]
@@ -77,7 +86,10 @@ fn claim_nb_1024_is_near_optimal() {
     let t = |nb| m.gemm_time_total(&wy_trace(N, B, nb).gemms, Engine::Tc);
     let t1024 = t(1024);
     for nb in [128usize, 4096] {
-        assert!(t(nb) > t1024 * 0.99, "nb=1024 should beat the extremes (nb={nb})");
+        assert!(
+            t(nb) > t1024 * 0.99,
+            "nb=1024 should beat the extremes (nb={nb})"
+        );
     }
 }
 

@@ -3,10 +3,11 @@
 //! algorithms actually execute, and the flop accounting must line up with
 //! the paper's Table 2.
 
-use tcevd::band::{
-    formw_trace, sbr_wy, sbr_zy, wy_trace, zy_trace, PanelKind, SbrOptions, WyOptions,
-};
 use tcevd::band::form_wy;
+use tcevd::band::{
+    formw_trace, sbr_wy, sbr_zy, wy_trace, wy_trace_on, zy_trace, zy_trace_on, PanelKind,
+    SbrOptions, WyOptions,
+};
 use tcevd::matrix::Mat;
 use tcevd::perfmodel::{sbr_cost, A100Model, SbrConfig};
 use tcevd::tensorcore::{Engine, GemmContext};
@@ -28,7 +29,11 @@ fn real_and_model_traces_agree_across_configs() {
             },
             &ctx,
         );
-        let real: Vec<_> = ctx.take_trace().iter().map(|r| (r.label, r.m, r.n, r.k)).collect();
+        let real: Vec<_> = ctx
+            .take_trace()
+            .iter()
+            .map(|r| (r.label, r.m, r.n, r.k))
+            .collect();
         let model: Vec<_> = wy_trace(n, b, nb)
             .gemms
             .iter()
@@ -46,13 +51,61 @@ fn real_and_model_traces_agree_across_configs() {
             },
             &ctx,
         );
-        let real: Vec<_> = ctx.take_trace().iter().map(|r| (r.label, r.m, r.n, r.k)).collect();
+        let real: Vec<_> = ctx
+            .take_trace()
+            .iter()
+            .map(|r| (r.label, r.m, r.n, r.k))
+            .collect();
         let model: Vec<_> = zy_trace(n, b)
             .gemms
             .iter()
             .map(|r| (r.label, r.m, r.n, r.k))
             .collect();
         assert_eq!(real, model, "ZY n={n} b={b}");
+    }
+}
+
+#[test]
+fn real_and_model_engine_fields_agree() {
+    // The model traces must record the engine the context actually
+    // dispatches — full GemmRecord equality, engine field included. This
+    // covers the Sgemm path's native-syr2k shape (one record, half flops)
+    // vs the Tensor-Core decomposition (two outer products).
+    let (n, b, nb) = (96usize, 8usize, 16usize);
+    let a: Mat<f32> = generate(n, MatrixType::Normal, 9).cast();
+    for engine in [Engine::Sgemm, Engine::Tc, Engine::EcTc] {
+        let ctx = GemmContext::new(engine).with_trace();
+        let _ = sbr_zy(
+            &a,
+            &SbrOptions {
+                bandwidth: b,
+                panel: PanelKind::Tsqr,
+                accumulate_q: false,
+            },
+            &ctx,
+        );
+        assert_eq!(
+            ctx.take_trace(),
+            zy_trace_on(n, b, engine).gemms,
+            "ZY {engine:?}"
+        );
+
+        let ctx = GemmContext::new(engine).with_trace();
+        let _ = sbr_wy(
+            &a,
+            &WyOptions {
+                bandwidth: b,
+                block: nb,
+                panel: PanelKind::Tsqr,
+                accumulate_q: false,
+            },
+            &ctx,
+        );
+        assert_eq!(
+            ctx.take_trace(),
+            wy_trace_on(n, b, nb, engine).gemms,
+            "WY {engine:?}"
+        );
     }
 }
 
@@ -73,7 +126,11 @@ fn formw_trace_matches_real_merge_tree() {
     );
     let _ = ctx.take_trace();
     let _ = form_wy(&r.levels, n, &ctx);
-    let mut real: Vec<_> = ctx.take_trace().iter().map(|r| (r.label, r.m, r.n, r.k)).collect();
+    let mut real: Vec<_> = ctx
+        .take_trace()
+        .iter()
+        .map(|r| (r.label, r.m, r.n, r.k))
+        .collect();
     let mut model: Vec<_> = formw_trace(n, b, nb, 0)
         .iter()
         .map(|r| (r.label, r.m, r.n, r.k))
@@ -118,8 +175,14 @@ fn model_speedups_hold_the_paper_shape() {
     // WY-vs-ZY crossover: ZY wins at 4096, WY wins at 32768 (Figure 6)
     let wy_small = sbr_cost(&m, 4096, b, SbrConfig::WyTc { nb }).gemm_s;
     let zy_small = sbr_cost(&m, 4096, b, SbrConfig::ZyTc).gemm_s;
-    assert!(zy_small < wy_small, "at 4096 ZY should win: {zy_small} vs {wy_small}");
+    assert!(
+        zy_small < wy_small,
+        "at 4096 ZY should win: {zy_small} vs {wy_small}"
+    );
     let wy_big = sbr_cost(&m, 32768, b, SbrConfig::WyTc { nb }).gemm_s;
     let zy_big = sbr_cost(&m, 32768, b, SbrConfig::ZyTc).gemm_s;
-    assert!(wy_big < zy_big, "at 32768 WY should win: {wy_big} vs {zy_big}");
+    assert!(
+        wy_big < zy_big,
+        "at 32768 WY should win: {wy_big} vs {zy_big}"
+    );
 }
