@@ -112,6 +112,7 @@ pub fn bulge_chase_with<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::blas3::matmul;

@@ -193,6 +193,7 @@ pub(crate) fn two_sided_packed<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::bulge::bulge_chase;

@@ -121,6 +121,7 @@ pub fn apply_q(w: MatRef<'_, f32>, y: MatRef<'_, f32>, v: &mut Mat<f32>, ctx: &G
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::panel::PanelKind;
@@ -140,7 +141,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             accumulate_q: true,
         };
-        let r = sbr_wy(&a, &opts, &ctx);
+        let r = sbr_wy(&a, &opts, &ctx).expect("sbr reduction");
         assert!(r.levels.len() > 1, "want a multi-level case");
 
         let (w, y) = form_wy(&r.levels, n, &ctx);
@@ -172,7 +173,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             accumulate_q: true,
         };
-        let r = sbr_wy(&a, &opts, &ctx);
+        let r = sbr_wy(&a, &opts, &ctx).expect("sbr reduction");
         let (w, y) = form_wy(&r.levels, n, &ctx);
 
         let v: Mat<f32> = generate(n, MatrixType::Normal, 23).cast();
@@ -214,7 +215,7 @@ mod tests {
             panel: PanelKind::Tsqr,
             accumulate_q: false,
         };
-        let r = sbr_wy(&a, &opts, &ctx);
+        let r = sbr_wy(&a, &opts, &ctx).expect("sbr reduction");
         let _ = ctx.take_trace();
         let _ = form_wy(&r.levels, n, &ctx);
         let tr = ctx.take_trace();

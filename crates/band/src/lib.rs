@@ -21,9 +21,12 @@
 //! the simulated Tensor Core (fp16), the error-corrected Tensor Core, or
 //! plain FP32 — the paper's three configurations.
 
+#![deny(clippy::unwrap_used)]
+
 pub mod bulge;
 pub mod bulge_packed;
 pub mod common;
+pub mod error;
 pub mod formw;
 pub mod multisweep;
 pub mod panel;
@@ -35,6 +38,7 @@ pub mod trace_model;
 pub use bulge::{bulge_chase, bulge_chase_with, BulgeResult};
 pub use bulge_packed::{bulge_chase_packed, bulge_chase_packed_with};
 pub use common::{max_outside_band, SbrOptions, SbrResult};
+pub use error::BandError;
 pub use formw::{apply_q, form_wy};
 pub use multisweep::{band_reduce_sweep, multi_sweep_tridiagonalize};
 pub use panel::{factor_panel, factor_panel_with, FactoredPanel, PanelKind};

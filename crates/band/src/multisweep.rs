@@ -128,6 +128,7 @@ fn widen_to<T: Scalar>(src: &SymBand<T>, new_b: usize) -> SymBand<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::bulge_packed::bulge_chase_packed;

@@ -12,7 +12,8 @@
 //! back to Householder QR in either mode — TSQR requires m ≥ n.
 
 use tcevd_factor::qr::{geqr2, wy_from_packed};
-use tcevd_factor::reconstruct::panel_qr_tsqr_with;
+use tcevd_factor::reconstruct::{reconstruct_wy, reconstruct_wy_pivoted, PanelWy};
+use tcevd_factor::tsqr::tsqr_with;
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::{Mat, MatRef};
 use tcevd_trace::{span, TraceSink};
@@ -57,6 +58,17 @@ pub fn factor_panel_with<T: Scalar>(
     factor_panel_impl(panel, kind, sink)
 }
 
+/// The panel recovery ladder (rungs 1–3 of the pipeline's `RecoveryPolicy`):
+///
+/// 1. TSQR + **non-pivoted** LU reconstruction — the paper's fast path.
+/// 2. On a degenerate pivot, retry the reconstruction from the *same* TSQR
+///    `Q` with **partial-pivoting** LU (counter
+///    `recovery.lu_pivot_escalation`).
+/// 3. If that also fails, fall back to the plain **Householder** panel,
+///    which has no LU step at all (counter
+///    `recovery.panel_householder_fallback`).
+///
+/// TSQR runs once; both reconstructions reuse its `Q` and `R`.
 fn factor_panel_impl<T: Scalar>(
     panel: MatRef<'_, T>,
     kind: PanelKind,
@@ -65,19 +77,41 @@ fn factor_panel_impl<T: Scalar>(
     let (m, b) = (panel.rows(), panel.cols());
     let use_tsqr = kind == PanelKind::Tsqr && m >= b && m > 0;
     if use_tsqr {
-        // Rank-deficient panels can break the non-pivoted LU; fall back to
-        // the Householder path, which has no such restriction.
-        if let Ok((wy, r)) = panel_qr_tsqr_with(panel, sink) {
-            let mut reduced = Mat::<T>::zeros(m, b);
-            reduced.view_mut(0, 0, b, b).copy_from(r.as_ref());
-            return FactoredPanel {
-                w: wy.w,
-                y: wy.y,
-                reduced,
-            };
+        let (q, r) = tsqr_with(panel, sink);
+        match reconstruct_wy(q.as_ref()) {
+            Ok(wy) => return assemble_tsqr_panel(wy, &r, m, b),
+            Err(_) => {
+                sink.add("recovery.lu_pivot_escalation", 1);
+                if let Ok(wy) = reconstruct_wy_pivoted(q.as_ref()) {
+                    return assemble_tsqr_panel(wy, &r, m, b);
+                }
+                sink.add("recovery.panel_householder_fallback", 1);
+            }
         }
     }
     householder_panel(panel)
+}
+
+/// Combine a reconstructed WY pair with the TSQR `R` factor:
+/// `panel = Q·R = (Q·S)·(S·R)`, and `(I − W·Yᵀ)` thin is `Q·S`, so the rows
+/// of `R` are scaled by the reconstruction's sign choices.
+fn assemble_tsqr_panel<T: Scalar>(
+    wy: PanelWy<T>,
+    r: &Mat<T>,
+    m: usize,
+    b: usize,
+) -> FactoredPanel<T> {
+    let mut reduced = Mat::<T>::zeros(m, b);
+    for j in 0..b {
+        for i in 0..=j {
+            reduced[(i, j)] = r[(i, j)] * wy.signs[i];
+        }
+    }
+    FactoredPanel {
+        w: wy.w,
+        y: wy.y,
+        reduced,
+    }
 }
 
 fn householder_panel<T: Scalar>(panel: MatRef<'_, T>) -> FactoredPanel<T> {
@@ -97,6 +131,7 @@ fn householder_panel<T: Scalar>(panel: MatRef<'_, T>) -> FactoredPanel<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::blas3::{gemm, matmul};
@@ -183,6 +218,35 @@ mod tests {
         // 1×3: Q is 1×1 = ±1; reduced = ±panel
         assert_eq!(f.w.cols(), 1);
         verify(&p, &f, 1e-13);
+    }
+
+    #[test]
+    fn pivot_escalation_rung_fires_once() {
+        // Poison the non-pivoted LU: the ladder must escalate to partial
+        // pivoting (counter fires once) and still produce a valid panel.
+        let p = rand_mat(80, 8, 7);
+        let sink = TraceSink::enabled();
+        tcevd_factor::fault::poison_nopivot_pivot(2);
+        let f = factor_panel_with(p.as_ref(), PanelKind::Tsqr, &sink);
+        tcevd_factor::fault::clear();
+        assert_eq!(sink.counter("recovery.lu_pivot_escalation"), 1);
+        assert_eq!(sink.counter("recovery.panel_householder_fallback"), 0);
+        verify(&p, &f, 1e-12);
+    }
+
+    #[test]
+    fn householder_fallback_rung_fires_once() {
+        // Poison both LU variants: the ladder must land on the Householder
+        // panel, recording both escalations exactly once.
+        let p = rand_mat(80, 8, 8);
+        let sink = TraceSink::enabled();
+        tcevd_factor::fault::poison_nopivot_pivot(0);
+        tcevd_factor::fault::fail_next_partial_pivot(1);
+        let f = factor_panel_with(p.as_ref(), PanelKind::Tsqr, &sink);
+        tcevd_factor::fault::clear();
+        assert_eq!(sink.counter("recovery.lu_pivot_escalation"), 1);
+        assert_eq!(sink.counter("recovery.panel_householder_fallback"), 1);
+        verify(&p, &f, 1e-12);
     }
 
     #[test]

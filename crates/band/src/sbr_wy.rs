@@ -80,6 +80,9 @@ impl From<WySbrResult> for SbrResult {
 /// Reduce symmetric `a` to band form with the recursive WY algorithm
 /// (paper Algorithm 1).
 ///
+/// Returns [`crate::BandError`] (rather than panicking) on a non-square
+/// input, a zero bandwidth, or non-finite entries.
+///
 /// ```
 /// use tcevd_band::{sbr_wy, WyOptions, PanelKind, max_outside_band};
 /// use tcevd_tensorcore::{Engine, GemmContext};
@@ -89,14 +92,17 @@ impl From<WySbrResult> for SbrResult {
 /// let ctx = GemmContext::new(Engine::Tc);
 /// let r = sbr_wy(&a, &WyOptions {
 ///     bandwidth: 8, block: 16, panel: PanelKind::Tsqr, accumulate_q: false,
-/// }, &ctx);
+/// }, &ctx).expect("finite square input");
 /// assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
 /// ```
-pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult {
+pub fn sbr_wy(
+    a: &Mat<f32>,
+    opts: &WyOptions,
+    ctx: &GemmContext,
+) -> Result<WySbrResult, crate::BandError> {
+    crate::error::check_sbr_input(a, opts.bandwidth)?;
     let n = a.rows();
-    assert!(a.is_square(), "SBR needs a square symmetric matrix");
     let b = opts.bandwidth;
-    assert!(b >= 1, "bandwidth must be ≥ 1");
     let nb = (opts.block / b).max(1) * b;
 
     let sink = ctx.sink().clone();
@@ -355,10 +361,11 @@ pub fn sbr_wy(a: &Mat<f32>, opts: &WyOptions, ctx: &GemmContext) -> WySbrResult 
 
     symmetrize(&mut a);
     clip_to_band(&mut a, b);
-    WySbrResult { band: a, q, levels }
+    Ok(WySbrResult { band: a, q, levels })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::common::max_outside_band;
@@ -399,7 +406,7 @@ mod tests {
     fn produces_band_structure() {
         let a = test_matrix(96, 1);
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_wy(&a, &opts(8, 32, false), &ctx);
+        let r = sbr_wy(&a, &opts(8, 32, false), &ctx).expect("sbr reduction");
         assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
         assert_eq!(r.band.max_abs_diff(&r.band.transpose()), 0.0);
     }
@@ -408,7 +415,7 @@ mod tests {
     fn backward_stable_sgemm() {
         let a = test_matrix(96, 2);
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_wy(&a, &opts(8, 32, true), &ctx);
+        let r = sbr_wy(&a, &opts(8, 32, true), &ctx).expect("sbr reduction");
         let q = r.q.as_ref().unwrap();
         assert!(orthogonality_residual(q.as_ref()) / 96.0 < 1e-5);
         let be = backward_error(&a, &r.band, q);
@@ -419,7 +426,7 @@ mod tests {
     fn backward_stable_tensor_core() {
         let a = test_matrix(96, 3);
         let ctx = GemmContext::new(Engine::Tc);
-        let r = sbr_wy(&a, &opts(8, 32, true), &ctx);
+        let r = sbr_wy(&a, &opts(8, 32, true), &ctx).expect("sbr reduction");
         let be = backward_error(&a, &r.band, r.q.as_ref().unwrap());
         assert!(be < 1e-4, "backward error {be}"); // TC machine-eps level
     }
@@ -430,7 +437,7 @@ mod tests {
         // check both against A via their Qs.
         let a = test_matrix(64, 4);
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r_wy = sbr_wy(&a, &opts(8, 16, true), &ctx);
+        let r_wy = sbr_wy(&a, &opts(8, 16, true), &ctx).expect("sbr reduction");
         let r_zy = sbr_zy(
             &a,
             &SbrOptions {
@@ -439,7 +446,8 @@ mod tests {
                 accumulate_q: true,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         assert!(backward_error(&a, &r_wy.band, r_wy.q.as_ref().unwrap()) < 1e-6);
         assert!(backward_error(&a, &r_zy.band, r_zy.q.as_ref().unwrap()) < 1e-6);
     }
@@ -448,7 +456,7 @@ mod tests {
     fn nb_equal_b_degenerates_correctly() {
         let a = test_matrix(48, 5);
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_wy(&a, &opts(8, 8, true), &ctx);
+        let r = sbr_wy(&a, &opts(8, 8, true), &ctx).expect("sbr reduction");
         assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
         assert!(backward_error(&a, &r.band, r.q.as_ref().unwrap()) < 1e-6);
     }
@@ -457,7 +465,7 @@ mod tests {
     fn nb_larger_than_matrix() {
         let a = test_matrix(40, 6);
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_wy(&a, &opts(8, 1024, true), &ctx);
+        let r = sbr_wy(&a, &opts(8, 1024, true), &ctx).expect("sbr reduction");
         assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
         assert!(backward_error(&a, &r.band, r.q.as_ref().unwrap()) < 1e-6);
     }
@@ -467,7 +475,7 @@ mod tests {
         for (n, b, nb) in [(67, 8, 16), (50, 4, 12), (33, 8, 32), (20, 16, 32)] {
             let a = test_matrix(n, 7 + n as u64);
             let ctx = GemmContext::new(Engine::Sgemm);
-            let r = sbr_wy(&a, &opts(b, nb, true), &ctx);
+            let r = sbr_wy(&a, &opts(b, nb, true), &ctx).expect("sbr reduction");
             assert_eq!(
                 max_outside_band(r.band.as_ref(), b),
                 0.0,
@@ -483,7 +491,7 @@ mod tests {
         // With nb = 4b, aggregated inner dimension must reach nb.
         let a = test_matrix(128, 8);
         let ctx = GemmContext::new(Engine::Tc).with_trace();
-        let _ = sbr_wy(&a, &opts(8, 32, false), &ctx);
+        let _ = sbr_wy(&a, &opts(8, 32, false), &ctx).expect("sbr reduction");
         let tr = ctx.take_trace();
         // the big trailing updates (the syr2k replacement) run at k = nb
         let max_k_final = tr
@@ -508,7 +516,7 @@ mod tests {
         // Table 2: WY does more arithmetic than ZY at the same bandwidth.
         let a = test_matrix(128, 9);
         let ctx_wy = GemmContext::new(Engine::Tc).with_trace();
-        let _ = sbr_wy(&a, &opts(8, 32, false), &ctx_wy);
+        let _ = sbr_wy(&a, &opts(8, 32, false), &ctx_wy).expect("sbr reduction");
         let ctx_zy = GemmContext::new(Engine::Tc).with_trace();
         let _ = sbr_zy(
             &a,
@@ -518,7 +526,8 @@ mod tests {
                 accumulate_q: false,
             },
             &ctx_zy,
-        );
+        )
+        .expect("sbr reduction");
         let f_wy = ctx_wy.total_flops();
         let f_zy = ctx_zy.total_flops();
         assert!(f_wy > f_zy, "WY {f_wy} should exceed ZY {f_zy}");
@@ -528,7 +537,7 @@ mod tests {
     fn levels_capture_all_reflectors() {
         let a = test_matrix(96, 10);
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_wy(&a, &opts(8, 16, false), &ctx);
+        let r = sbr_wy(&a, &opts(8, 16, false), &ctx).expect("sbr reduction");
         let total_k: usize = r.levels.iter().map(|l| l.w.cols()).sum();
         // every column block except those inside the final band gets reflectors
         assert!(total_k >= 96 - 2 * 8);

@@ -19,11 +19,17 @@ use tcevd_tensorcore::GemmContext;
 use tcevd_trace::span;
 
 /// Reduce symmetric `a` to band form with the ZY algorithm.
-pub fn sbr_zy(a: &Mat<f32>, opts: &SbrOptions, ctx: &GemmContext) -> SbrResult {
+///
+/// Returns [`crate::BandError`] (rather than panicking) on a non-square
+/// input, a zero bandwidth, or non-finite entries.
+pub fn sbr_zy(
+    a: &Mat<f32>,
+    opts: &SbrOptions,
+    ctx: &GemmContext,
+) -> Result<SbrResult, crate::BandError> {
+    crate::error::check_sbr_input(a, opts.bandwidth)?;
     let n = a.rows();
-    assert!(a.is_square(), "SBR needs a square symmetric matrix");
     let b = opts.bandwidth;
-    assert!(b >= 1, "bandwidth must be ≥ 1");
 
     let sink = ctx.sink().clone();
     let _sbr_span = span!(sink, "sbr_zy", n, b);
@@ -105,10 +111,11 @@ pub fn sbr_zy(a: &Mat<f32>, opts: &SbrOptions, ctx: &GemmContext) -> SbrResult {
     // The two one-sided updates leave O(eps) asymmetry; restore it exactly.
     symmetrize(&mut a);
     crate::common::clip_to_band(&mut a, b);
-    SbrResult { band: a, q }
+    Ok(SbrResult { band: a, q })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::common::max_outside_band;
@@ -146,7 +153,7 @@ mod tests {
             accumulate_q: false,
         };
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_zy(&a, &opts, &ctx);
+        let r = sbr_zy(&a, &opts, &ctx).expect("sbr reduction");
         assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
         // symmetric
         assert!(r.band.max_abs_diff(&r.band.transpose()) == 0.0);
@@ -161,7 +168,7 @@ mod tests {
             accumulate_q: true,
         };
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_zy(&a, &opts, &ctx);
+        let r = sbr_zy(&a, &opts, &ctx).expect("sbr reduction");
         let q = r.q.as_ref().unwrap();
         assert!(orthogonality_residual(q.as_ref()) / 96.0 < 1e-5);
         assert!(backward_error(&a, &r) < 1e-6);
@@ -176,7 +183,7 @@ mod tests {
             accumulate_q: true,
         };
         let ctx = GemmContext::new(Engine::Tc);
-        let r = sbr_zy(&a, &opts, &ctx);
+        let r = sbr_zy(&a, &opts, &ctx).expect("sbr reduction");
         // the paper's machine epsilon for Tensor Core is 1e-4 (normalized by N)
         assert!(backward_error(&a, &r) < 1e-4);
     }
@@ -191,7 +198,7 @@ mod tests {
             accumulate_q: false,
         };
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_zy(&a, &opts, &ctx);
+        let r = sbr_zy(&a, &opts, &ctx).expect("sbr reduction");
         let tr_a: f32 = (0..80).map(|i| a[(i, i)]).sum();
         let tr_b: f32 = (0..80).map(|i| r.band[(i, i)]).sum();
         assert!((tr_a - tr_b).abs() < 1e-3 * tr_a.abs().max(1.0));
@@ -209,7 +216,8 @@ mod tests {
                 accumulate_q: true,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         let r2 = sbr_zy(
             &a,
             &SbrOptions {
@@ -218,7 +226,8 @@ mod tests {
                 accumulate_q: true,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         // band matrices are similar (not equal: sign choices differ), so
         // compare via backward error of each
         assert!(backward_error(&a, &r1) < 1e-6);
@@ -234,7 +243,7 @@ mod tests {
             accumulate_q: true,
         };
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_zy(&a, &opts, &ctx);
+        let r = sbr_zy(&a, &opts, &ctx).expect("sbr reduction");
         assert_eq!(max_outside_band(r.band.as_ref(), 8), 0.0);
         assert!(backward_error(&a, &r) < 1e-6);
     }
@@ -248,7 +257,7 @@ mod tests {
             accumulate_q: false,
         };
         let ctx = GemmContext::new(Engine::Tc).with_trace();
-        let _ = sbr_zy(&a, &opts, &ctx);
+        let _ = sbr_zy(&a, &opts, &ctx).expect("sbr reduction");
         let tr = ctx.take_trace();
         assert!(!tr.is_empty());
         // every ZY trailing-update GEMM has inner dimension ≤ b
@@ -268,7 +277,7 @@ mod tests {
             accumulate_q: true,
         };
         let ctx = GemmContext::new(Engine::Sgemm);
-        let r = sbr_zy(&a, &opts, &ctx);
+        let r = sbr_zy(&a, &opts, &ctx).expect("sbr reduction");
         assert_eq!(max_outside_band(r.band.as_ref(), 1), 0.0);
         assert!(backward_error(&a, &r) < 1e-5);
     }

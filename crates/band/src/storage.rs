@@ -128,6 +128,7 @@ impl<T: Scalar> SymBand<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -199,6 +199,7 @@ fn merge_rec(widths: &[usize], n: usize, engine: Engine, out: &mut Vec<GemmRecor
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::common::SbrOptions;
@@ -226,7 +227,8 @@ mod tests {
                     accumulate_q: false,
                 },
                 &ctx,
-            );
+            )
+            .expect("sbr reduction");
             let real = ctx.take_trace();
             let model = zy_trace(n, b);
             assert_eq!(shapes(&real), shapes(&model.gemms), "n={n} b={b}");
@@ -253,7 +255,8 @@ mod tests {
                     accumulate_q: false,
                 },
                 &ctx,
-            );
+            )
+            .expect("sbr reduction");
             let real = ctx.take_trace();
             let model = wy_trace(n, b, nb);
             assert_eq!(shapes(&real), shapes(&model.gemms), "n={n} b={b} nb={nb}");
@@ -274,7 +277,8 @@ mod tests {
                 accumulate_q: false,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         let _ = ctx.take_trace();
         let _ = crate::formw::form_wy(&r.levels, n, &ctx);
         let real = ctx.take_trace();
@@ -304,7 +308,8 @@ mod tests {
                     accumulate_q: false,
                 },
                 &ctx,
-            );
+            )
+            .expect("sbr reduction");
             let real = ctx.take_trace();
             let model = zy_trace_on(n, b, engine);
             assert_eq!(real, model.gemms, "engine {engine:?}");
@@ -341,7 +346,8 @@ mod tests {
                 accumulate_q: false,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         let real = ctx.take_trace();
         let model = wy_trace_on(n, b, nb, Engine::Sgemm);
         assert_eq!(real, model.gemms);

@@ -100,30 +100,36 @@ fn bench_sbr(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("wy_tc", n), &n, |bch, _| {
             let ctx = GemmContext::new(Engine::Tc);
             bch.iter(|| {
-                black_box(sbr_wy(
-                    &a,
-                    &WyOptions {
-                        bandwidth: b,
-                        block: 4 * b,
-                        panel: PanelKind::Tsqr,
-                        accumulate_q: false,
-                    },
-                    &ctx,
-                ))
+                black_box(
+                    sbr_wy(
+                        &a,
+                        &WyOptions {
+                            bandwidth: b,
+                            block: 4 * b,
+                            panel: PanelKind::Tsqr,
+                            accumulate_q: false,
+                        },
+                        &ctx,
+                    )
+                    .expect("sbr reduction"),
+                )
             })
         });
         g.bench_with_input(BenchmarkId::new("zy_tc", n), &n, |bch, _| {
             let ctx = GemmContext::new(Engine::Tc);
             bch.iter(|| {
-                black_box(sbr_zy(
-                    &a,
-                    &SbrOptions {
-                        bandwidth: b,
-                        panel: PanelKind::Tsqr,
-                        accumulate_q: false,
-                    },
-                    &ctx,
-                ))
+                black_box(
+                    sbr_zy(
+                        &a,
+                        &SbrOptions {
+                            bandwidth: b,
+                            panel: PanelKind::Tsqr,
+                            accumulate_q: false,
+                        },
+                        &ctx,
+                    )
+                    .expect("sbr reduction"),
+                )
             })
         });
     }
@@ -147,6 +153,7 @@ fn bench_stage2_and_solvers(c: &mut Criterion) {
         },
         &ctx,
     )
+    .expect("sbr reduction")
     .band;
     g.bench_function("bulge_chase_384_b16", |bch| {
         bch.iter(|| black_box(bulge_chase(&band, b, false)))
@@ -223,6 +230,7 @@ fn bench_extensions(c: &mut Criterion) {
             },
             &ctx,
         )
+        .expect("sbr reduction")
         .band
     };
     let packed = tcevd_band::SymBand::from_dense(&band, 16);
@@ -247,6 +255,7 @@ fn bench_extensions(c: &mut Criterion) {
             solver: tcevd_core::TridiagSolver::DivideConquer,
             vectors: true,
             trace: false,
+            recovery: Default::default(),
         };
         bch.iter(|| black_box(tcevd_core::sym_eig(&a, &o, &ctx).unwrap()))
     });

@@ -7,12 +7,20 @@
 //! reproduce table3 [--n 512] [--seed 42]
 //! reproduce table4 [--n 512] [--seed 42]
 //! reproduce --trace=out.json [--n 512] [--seed 42]   # traced real run
+//! reproduce --faults=plan.json [--n 512] [--seed 42] # fault-injected run
 //! ```
 //!
 //! `--trace=PATH` (or `--trace PATH`) runs the real two-stage EVD with the
 //! structured trace sink enabled, writes a Chrome `trace_event` JSON to
 //! PATH (load it at <https://ui.perfetto.dev>), and prints the per-stage
 //! report plus the GEMM flop cross-check on stdout.
+//!
+//! `--faults=PATH` (or `--faults PATH`) reads a fault plan — a JSON array
+//! such as `[{"kind": "dc_fail"}, {"kind": "gemm", "mode": "nan"}]` — arms
+//! it against the real pipeline, and prints which recovery-ladder rungs
+//! fired plus the final outcome (recovered residual or typed error). Both
+//! outcomes exit 0: surfacing a typed error instead of a panic or a silent
+//! wrong answer is the demonstration.
 
 use tcevd_bench as bench;
 use tcevd_tensorcore::Engine;
@@ -25,22 +33,24 @@ fn parse_flag(args: &[String], flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// `--trace=PATH` or `--trace PATH`, anywhere in the argument list.
+/// `--<flag>=PATH` or `--<flag> PATH`, anywhere in the argument list.
 /// Exits with a usage error on a missing or empty path rather than
 /// silently treating the next flag as a filename.
-fn parse_trace_path(args: &[String]) -> Option<String> {
+fn parse_path_flag(args: &[String], flag: &str, example: &str) -> Option<String> {
     let usage = || -> ! {
-        eprintln!("error: --trace requires an output path, e.g. --trace=out.json");
+        eprintln!("error: --{flag} requires a path, e.g. --{flag}={example}");
         std::process::exit(2);
     };
+    let eq = format!("--{flag}=");
+    let bare = format!("--{flag}");
     for (i, a) in args.iter().enumerate() {
-        if let Some(p) = a.strip_prefix("--trace=") {
+        if let Some(p) = a.strip_prefix(&eq) {
             if p.is_empty() {
                 usage();
             }
             return Some(p.to_string());
         }
-        if a == "--trace" {
+        if *a == bare {
             match args.get(i + 1) {
                 Some(p) if !p.starts_with("--") && !p.is_empty() => return Some(p.clone()),
                 _ => usage(),
@@ -56,7 +66,28 @@ fn main() {
     let n = parse_flag(&args, "--n", 512) as usize;
     let seed = parse_flag(&args, "--seed", 42);
 
-    if let Some(path) = parse_trace_path(&args) {
+    if let Some(path) = parse_path_flag(&args, "faults", "plan.json") {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading fault plan {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let plan = match tcevd_testmat::FaultPlan::parse_json(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: parsing fault plan {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!("[fault-injected sym_eig run at n = {n}; use --n to change]");
+        let run = bench::fault_run(n, seed, &plan);
+        print!("{}", run.report);
+        return;
+    }
+
+    if let Some(path) = parse_path_flag(&args, "trace", "out.json") {
         eprintln!("[traced sym_eig run at n = {n}; use --n to change]");
         let run = bench::trace_run(n, seed);
         if let Err(e) = std::fs::write(&path, &run.chrome_json) {
@@ -120,7 +151,7 @@ fn main() {
         "table4" => print!("{}", bench::table4(n, seed)),
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all perf table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH");
+            eprintln!("known: all perf table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
             std::process::exit(2);
         }
     }

@@ -322,7 +322,8 @@ pub fn table3(n: usize, seed: u64) -> String {
                 accumulate_q: true,
             },
             &ctx,
-        );
+        )
+        .expect("SBR on finite input");
         let q = r.q.as_ref().unwrap();
         let eb = backward_error(a.as_ref(), q.as_ref(), r.band.as_ref());
         let eo = orthogonality(q.as_ref());
@@ -353,6 +354,7 @@ pub fn table4(n: usize, seed: u64) -> String {
         solver: TridiagSolver::DivideConquer,
         vectors: false,
         trace: false,
+        recovery: Default::default(),
     };
     for (name, mt) in MatrixType::paper_suite() {
         let a64 = generate(n, mt, seed);
@@ -455,6 +457,7 @@ pub fn trace_run(n: usize, seed: u64) -> TraceRun {
         solver: TridiagSolver::DivideConquer,
         vectors: true,
         trace: true,
+        recovery: Default::default(),
     };
     let r = sym_eig(&a, &opts, &ctx).expect("traced pipeline run");
 
@@ -574,7 +577,8 @@ pub fn formw_numeric_check(n: usize) -> String {
             accumulate_q: true,
         },
         &ctx,
-    );
+    )
+    .expect("SBR on finite input");
     let (w, y) = form_wy(&r.levels, n, &ctx);
     let mut q_formw = Mat::<f32>::identity(n, n);
     gemm(
@@ -599,6 +603,87 @@ pub fn formw_numeric_check(n: usize) -> String {
         chase.diag.len()
     );
     out
+}
+
+/// The trace counters a fault-injected run reports (injection events plus
+/// every recovery-ladder rung, in escalation order).
+pub const FAULT_COUNTERS: [&str; 7] = [
+    "fault.gemm_injected",
+    "recovery.lu_pivot_escalation",
+    "recovery.panel_householder_fallback",
+    "recovery.dc_to_ql",
+    "recovery.ql_budget_retry",
+    "recovery.ql_to_bisect",
+    "recovery.residual_resolve",
+];
+
+/// Result of a fault-injected pipeline run (`reproduce --faults=plan.json`).
+pub struct FaultRun {
+    /// Which faults were armed, which counters fired, and the outcome.
+    pub report: String,
+    /// `Ok(worst residual/orthogonality measure)` when the pipeline
+    /// survived the faults, the typed error otherwise.
+    pub outcome: Result<f64, tcevd_core::EvdError>,
+}
+
+/// Run the real two-stage EVD (with eigenvectors and the post-solve
+/// verification rung enabled) under a declarative
+/// [`FaultPlan`](tcevd_testmat::FaultPlan), and report which recovery
+/// rungs fired. This backs `reproduce --faults=plan.json`.
+pub fn fault_run(n: usize, seed: u64, plan: &tcevd_testmat::FaultPlan) -> FaultRun {
+    let b = (n / 16).clamp(4, 32);
+    let nb = 4 * b;
+    let a64 = generate(n, MatrixType::Normal, seed);
+    let a: Mat<f32> = a64.cast();
+
+    let sink = tcevd_trace::TraceSink::enabled();
+    let ctx = GemmContext::new(Engine::Tc).with_sink(sink.clone());
+    let opts = SymEigOptions {
+        bandwidth: b,
+        sbr: SbrVariant::Wy { block: nb },
+        panel: PanelKind::Tsqr,
+        solver: TridiagSolver::DivideConquer,
+        vectors: true,
+        trace: true,
+        recovery: tcevd_core::RecoveryPolicy {
+            verify_tol: Some(1e-2),
+            ..Default::default()
+        },
+    };
+    tcevd_core::fault::apply_plan(plan, &ctx);
+    let r = sym_eig(&a, &opts, &ctx);
+    tcevd_core::fault::reset();
+    ctx.clear_faults();
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "Fault-injected sym_eig run: n = {n}, b = {b}, nb = {nb}, {} fault(s) armed",
+        plan.faults.len()
+    );
+    for c in FAULT_COUNTERS {
+        let _ = writeln!(report, "  {:<38} {}", c, sink.counter(c));
+    }
+    let outcome = match &r {
+        Ok(res) => {
+            let x = res.vectors.as_ref().expect("vectors requested");
+            let resid = orthogonality(x.as_ref()).max(tcevd_core::eigenpair_residual(
+                a.as_ref(),
+                &res.values,
+                x.as_ref(),
+            )) as f64;
+            let _ = writeln!(
+                report,
+                "outcome: recovered — worst residual/orthogonality = {resid:.2e}"
+            );
+            Ok(resid)
+        }
+        Err(e) => {
+            let _ = writeln!(report, "outcome: failed with typed error: {e}");
+            Err(e.clone())
+        }
+    };
+    FaultRun { report, outcome }
 }
 
 #[cfg(test)]
@@ -638,5 +723,30 @@ mod tests {
     fn formw_numeric() {
         let s = formw_numeric_check(64);
         assert!(s.contains("FormW"));
+    }
+
+    #[test]
+    fn fault_run_reports_ladder() {
+        let plan =
+            tcevd_testmat::FaultPlan::parse_json(r#"[{"kind": "dc_fail"}]"#).expect("valid plan");
+        let fr = fault_run(64, 9, &plan);
+        let line = fr
+            .report
+            .lines()
+            .find(|l| l.trim_start().starts_with("recovery.dc_to_ql"))
+            .expect("dc_to_ql counter listed");
+        assert!(line.trim_end().ends_with(" 1"), "{}", fr.report);
+        let resid = fr.outcome.expect("dc fault is recoverable");
+        assert!(resid < 1e-2, "residual {resid}");
+    }
+
+    #[test]
+    fn fault_run_surfaces_unrecoverable() {
+        let plan =
+            tcevd_testmat::FaultPlan::parse_json(r#"[{"kind": "gemm", "mode": "nan", "nth": 1}]"#)
+                .expect("valid plan");
+        let fr = fault_run(64, 9, &plan);
+        assert!(fr.outcome.is_err(), "{}", fr.report);
+        assert!(fr.report.contains("typed error"), "{}", fr.report);
     }
 }

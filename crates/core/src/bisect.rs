@@ -60,6 +60,7 @@ fn bisect_kth<T: Scalar>(t: &SymTridiag<T>, k: usize, mut lo: T, mut hi: T) -> T
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ql::tridiag_eigenvalues;

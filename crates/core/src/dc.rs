@@ -110,7 +110,11 @@ pub fn rank1_update<T: Scalar>(dvals: Vec<T>, z: Vec<T>, rho: T, q: Mat<T>) -> (
         // ρ = 0: already diagonal — sort.
         let n = dvals.len();
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| dvals[a].partial_cmp(&dvals[b]).unwrap());
+        idx.sort_by(|&a, &b| {
+            dvals[a]
+                .partial_cmp(&dvals[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let vals = idx.iter().map(|&i| dvals[i]).collect();
         let mut qs = Mat::<T>::zeros(q.rows(), n);
         for (new, &old) in idx.iter().enumerate() {
@@ -130,7 +134,11 @@ fn rank1_core<T: Scalar>(dvals: Vec<T>, z: Vec<T>, rho: T, q: Mat<T>) -> (Vec<T>
 
     // Sort D ascending, carrying z and Q columns.
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| dvals[a].partial_cmp(&dvals[b]).unwrap());
+    idx.sort_by(|&a, &b| {
+        dvals[a]
+            .partial_cmp(&dvals[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ds: Vec<T> = idx.iter().map(|&i| dvals[i]).collect();
     let inv_norm = if znorm2 > T::ZERO {
         T::ONE / znorm2.sqrt()
@@ -269,7 +277,11 @@ fn rank1_core<T: Scalar>(dvals: Vec<T>, z: Vec<T>, rho: T, q: Mat<T>) -> (Vec<T>
 fn sort_final<T: Scalar>(vals: Vec<T>, q: Mat<T>) -> (Vec<T>, Mat<T>) {
     let n = vals.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+    idx.sort_by(|&a, &b| {
+        vals[a]
+            .partial_cmp(&vals[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let out_vals: Vec<T> = idx.iter().map(|&i| vals[i]).collect();
     let mut out_q = Mat::<T>::zeros(q.rows(), n);
     for (new, &old) in idx.iter().enumerate() {
@@ -368,6 +380,7 @@ fn secular_root<T: Scalar>(d: &[T], z: &[T], rho: T, zsum2: T, k: usize) -> (usi
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ql::tridiag_eigenvalues;

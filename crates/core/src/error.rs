@@ -1,0 +1,223 @@
+//! The unified error surface of the EVD pipeline.
+//!
+//! Every fallible entry point in this crate returns [`EvdError`], which
+//! absorbs the lower-level error types ([`EigError`] from the tridiagonal
+//! solvers, [`LuError`] from panel reconstruction, `BandError` from SBR
+//! input validation) via `From`, and tags numerical failures with the
+//! pipeline [`EvdStage`] where they surfaced.
+
+use crate::ql::EigError;
+use tcevd_band::BandError;
+use tcevd_factor::lu::LuError;
+
+/// Where in the two-stage pipeline a failure was detected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EvdStage {
+    /// Validating the user's input matrix.
+    Input,
+    /// Stage 1: successive band reduction.
+    Sbr,
+    /// Stage 2: bulge chasing band → tridiagonal.
+    BulgeChase,
+    /// The tridiagonal eigensolver (D&C / QL / bisection).
+    TridiagSolve,
+    /// The eigenvector back-transformation.
+    BackTransform,
+    /// The opt-in post-solve residual/orthogonality verification.
+    ResidualCheck,
+}
+
+impl std::fmt::Display for EvdStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EvdStage::Input => "input validation",
+            EvdStage::Sbr => "band reduction",
+            EvdStage::BulgeChase => "bulge chase",
+            EvdStage::TridiagSolve => "tridiagonal solve",
+            EvdStage::BackTransform => "back-transformation",
+            EvdStage::ResidualCheck => "residual check",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unified typed error for the symmetric EVD drivers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvdError {
+    /// The input (or an argument) had an unusable shape.
+    Shape {
+        /// What was mis-shaped, e.g. `"sym_eig input (must be square)"`.
+        what: &'static str,
+        /// Observed row count.
+        rows: usize,
+        /// Observed column count.
+        cols: usize,
+    },
+    /// A NaN or infinity was detected in the named stage's output (or, for
+    /// [`EvdStage::Input`], in the user's matrix).
+    NonFinite {
+        /// The stage whose data was non-finite.
+        stage: EvdStage,
+    },
+    /// Panel factorization failed: the LU step of Householder-vector
+    /// reconstruction hit a degenerate pivot that the recovery ladder could
+    /// not route around.
+    PanelFactorization(LuError),
+    /// The tridiagonal eigensolver exhausted its iteration budget (and
+    /// recovery, if enabled, was itself exhausted or disabled).
+    TridiagNoConvergence {
+        /// Which solver gave up (`"divide & conquer"`, `"ql"`, …).
+        solver: &'static str,
+        /// The eigenvalue index that failed to converge.
+        index: usize,
+    },
+    /// All recovery rungs were spent and the result still failed
+    /// verification.
+    Unrecoverable {
+        /// The stage that finally failed.
+        stage: EvdStage,
+        /// Human-readable diagnosis (residual magnitudes, tolerances, …).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for EvdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvdError::Shape { what, rows, cols } => {
+                write!(f, "bad shape for {what}: {rows}×{cols}")
+            }
+            EvdError::NonFinite { stage } => {
+                write!(f, "non-finite values detected during {stage}")
+            }
+            EvdError::PanelFactorization(e) => write!(f, "panel factorization failed: {e}"),
+            EvdError::TridiagNoConvergence { solver, index } => {
+                write!(f, "{solver} failed to converge at eigenvalue index {index}")
+            }
+            EvdError::Unrecoverable { stage, detail } => {
+                write!(f, "unrecoverable failure during {stage}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvdError::PanelFactorization(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LuError> for EvdError {
+    fn from(e: LuError) -> Self {
+        EvdError::PanelFactorization(e)
+    }
+}
+
+impl From<EigError> for EvdError {
+    fn from(e: EigError) -> Self {
+        match e {
+            EigError::NoConvergence { index } => EvdError::TridiagNoConvergence {
+                solver: "ql",
+                index,
+            },
+            EigError::NonFiniteInput => EvdError::NonFinite {
+                stage: EvdStage::TridiagSolve,
+            },
+        }
+    }
+}
+
+impl From<BandError> for EvdError {
+    fn from(e: BandError) -> Self {
+        match e {
+            BandError::NotSquare { rows, cols } => EvdError::Shape {
+                what: "SBR input (must be square)",
+                rows,
+                cols,
+            },
+            BandError::NonFinite => EvdError::NonFinite {
+                stage: EvdStage::Input,
+            },
+            // The pipeline clamps its bandwidth to ≥ 1 before calling SBR,
+            // so this only reaches users who drive the band layer directly.
+            BandError::ZeroBandwidth => EvdError::Unrecoverable {
+                stage: EvdStage::Sbr,
+                detail: "band reduction requested with zero bandwidth".to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EvdError::Shape {
+            what: "sym_eig input (must be square)",
+            rows: 3,
+            cols: 4,
+        };
+        assert!(e.to_string().contains("3×4"));
+        let e = EvdError::NonFinite {
+            stage: EvdStage::Sbr,
+        };
+        assert!(e.to_string().contains("band reduction"));
+        let e = EvdError::TridiagNoConvergence {
+            solver: "ql",
+            index: 7,
+        };
+        assert!(e.to_string().contains("index 7"));
+    }
+
+    #[test]
+    fn absorbs_eig_error() {
+        assert_eq!(
+            EvdError::from(EigError::NoConvergence { index: 2 }),
+            EvdError::TridiagNoConvergence {
+                solver: "ql",
+                index: 2
+            }
+        );
+        assert_eq!(
+            EvdError::from(EigError::NonFiniteInput),
+            EvdError::NonFinite {
+                stage: EvdStage::TridiagSolve
+            }
+        );
+    }
+
+    #[test]
+    fn absorbs_lu_error_with_source() {
+        let e = EvdError::from(LuError::ZeroPivot {
+            index: 1,
+            magnitude: 0.0,
+        });
+        assert!(matches!(e, EvdError::PanelFactorization(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn absorbs_band_error() {
+        assert_eq!(
+            EvdError::from(BandError::NotSquare { rows: 2, cols: 5 }),
+            EvdError::Shape {
+                what: "SBR input (must be square)",
+                rows: 2,
+                cols: 5
+            }
+        );
+        assert_eq!(
+            EvdError::from(BandError::NonFinite),
+            EvdError::NonFinite {
+                stage: EvdStage::Input
+            }
+        );
+    }
+}

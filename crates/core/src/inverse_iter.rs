@@ -210,6 +210,7 @@ pub fn tridiag_eig_selected<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ql::tridiag_eig_ql;

@@ -48,7 +48,11 @@ pub fn jacobi_eig<T: Scalar>(a: &Mat<T>) -> Result<(Vec<T>, Mat<T>), EigError> {
 
     // sort ascending
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&x, &y| a[(x, x)].partial_cmp(&a[(y, y)]).unwrap());
+    idx.sort_by(|&x, &y| {
+        a[(x, x)]
+            .partial_cmp(&a[(y, y)])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let vals: Vec<T> = idx.iter().map(|&i| a[(i, i)]).collect();
     let mut vs = Mat::<T>::zeros(n, n);
     for (new, &old) in idx.iter().enumerate() {
@@ -124,6 +128,7 @@ fn rotate<T: Scalar>(a: &mut Mat<T>, v: &mut Mat<T>, p: usize, q: usize) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::eigenpair_residual;

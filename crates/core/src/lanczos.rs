@@ -182,7 +182,12 @@ pub fn block_lanczos(
     // top-k by |λ|
     let kk = k.min(cols);
     let mut idx: Vec<usize> = (0..cols).collect();
-    idx.sort_by(|&x, &y| vals[y].abs().partial_cmp(&vals[x].abs()).unwrap());
+    idx.sort_by(|&x, &y| {
+        vals[y]
+            .abs()
+            .partial_cmp(&vals[x].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(kk);
     let mut out_vals = Vec::with_capacity(kk);
     let mut zk = Mat::<f32>::zeros(cols, kk);
@@ -211,6 +216,7 @@ fn thin_qr(a: &Mat<f32>) -> Mat<f32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::eigenpair_residual;

@@ -15,9 +15,16 @@
 //! * [`tridiag`] — symmetric tridiagonal type + Sturm counts.
 //! * `reference` — f64 one-stage pipeline (LAPACK stand-in).
 //! * [`metrics`] — the paper's E_b, E_o, E_s error measures.
+//! * [`error`] — the unified [`EvdError`] surface every driver returns.
+//! * [`fault`] — deterministic numerical fault injection for robustness
+//!   tests (arms [`tcevd_testmat::FaultPlan`]s across all layers).
+
+#![deny(clippy::unwrap_used)]
 
 pub mod bisect;
 pub mod dc;
+pub mod error;
+pub mod fault;
 pub mod inverse_iter;
 pub mod jacobi;
 pub mod lanczos;
@@ -33,17 +40,19 @@ pub mod tridiag;
 
 pub use bisect::{tridiag_eig_bisect, EigRange};
 pub use dc::{rank1_update, tridiag_eig_dc, tridiag_eig_dc_with};
+pub use error::{EvdError, EvdStage};
 pub use inverse_iter::{tridiag_eig_selected, tridiag_inverse_iteration};
 pub use jacobi::jacobi_eig;
 pub use lanczos::{block_lanczos, LanczosOptions};
 pub use metrics::{backward_error, eigenpair_residual, eigenvalue_error, orthogonality};
 pub use pipeline::{
-    sym_eig, sym_eig_selected, sym_eigenvalues, SbrVariant, SymEigOptions, SymEigResult,
-    TridiagSolver,
+    sym_eig, sym_eig_selected, sym_eigenvalues, RecoveryPolicy, SbrVariant, SymEigOptions,
+    SymEigResult, TridiagSolver,
 };
 pub use polar::{abs_eigenvalues_via_polar, polar_newton, Polar};
 pub use ql::{
-    tridiag_eig_ql, tridiag_eig_ql_with, tridiag_eigenvalues, tridiag_eigenvalues_with, EigError,
+    tridiag_eig_ql, tridiag_eig_ql_budget_with, tridiag_eig_ql_with, tridiag_eigenvalues,
+    tridiag_eigenvalues_budget_with, tridiag_eigenvalues_with, EigError, DEFAULT_MAX_ITER,
 };
 pub use randomized::{randomized_eig, RandomizedOptions};
 pub use reference::{sym_eig_ref, sym_eigenvalues_ref, tridiagonalize};

@@ -59,6 +59,7 @@ pub fn eigenpair_residual<T: Scalar>(a: MatRef<'_, T>, vals: &[T], vecs: MatRef<
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

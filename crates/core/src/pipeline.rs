@@ -9,9 +9,30 @@
 //! EC-TC); stage 2 (bulge chasing) and the tridiagonal eigensolver run on
 //! scalar CPU arithmetic, exactly mirroring the paper's split where stage 2
 //! and divide-&-conquer are delegated to MAGMA on the host.
+//!
+//! # Robustness
+//!
+//! Every driver returns [`EvdError`] instead of panicking, and an
+//! escalating [`RecoveryPolicy`] routes around numerical breakdowns:
+//!
+//! | rung | failure | fallback | counter |
+//! |------|---------|----------|---------|
+//! | 1 | non-pivoted LU pivot collapse | partial-pivot LU | `recovery.lu_pivot_escalation` |
+//! | 2 | partial-pivot LU failure | Householder panel | `recovery.panel_householder_fallback` |
+//! | 3 | D&C secular breakdown | QL | `recovery.dc_to_ql` |
+//! | 4 | QL non-convergence | enlarged sweep budget | `recovery.ql_budget_retry` |
+//! | 5 | QL still stuck | bisection (+ inverse iteration) | `recovery.ql_to_bisect` |
+//! | 6 | residual check failed | one re-solve, other solver | `recovery.residual_resolve` |
+//!
+//! Rungs 1–2 live in `tcevd-band`'s panel factorization; rungs 3–6 here.
+//! Each escalation is recorded in the context's [`TraceSink`], so a
+//! recovered run is observable after the fact.
 
 use crate::dc::tridiag_eig_dc_with;
-use crate::ql::{tridiag_eig_ql_with, tridiag_eigenvalues_with, EigError};
+use crate::error::{EvdError, EvdStage};
+use crate::ql::{
+    tridiag_eig_ql_budget_with, tridiag_eigenvalues_budget_with, EigError, DEFAULT_MAX_ITER,
+};
 use crate::tridiag::SymTridiag;
 use tcevd_band::{
     bulge_chase_packed_with, bulge_chase_with, form_wy, sbr_wy, sbr_zy, PanelKind, SbrOptions,
@@ -40,6 +61,52 @@ pub enum TridiagSolver {
     Ql,
 }
 
+/// How aggressively the pipeline routes around numerical breakdowns.
+///
+/// The default enables every automatic rung (solver fallbacks and the
+/// enlarged QL budget) but not the post-solve verification, which costs an
+/// extra O(n²·k) residual evaluation and is opt-in via
+/// [`RecoveryPolicy::verify_tol`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Escalate across solvers on failure: D&C → QL → bisection. When
+    /// `false`, the first solver failure is returned as
+    /// [`EvdError::TridiagNoConvergence`].
+    pub solver_fallback: bool,
+    /// On QL non-convergence, retry once with the sweep budget multiplied
+    /// by this factor before falling further. `1` disables the retry rung.
+    pub ql_budget_boost: u32,
+    /// When set, verify the final eigenpairs (max of the normalized
+    /// residual and orthogonality measures from [`crate::metrics`]) against
+    /// this tolerance; on failure, re-solve once with the other tridiagonal
+    /// solver, then report [`EvdError::Unrecoverable`]. Only applies when
+    /// eigenvectors are requested.
+    pub verify_tol: Option<f32>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            solver_fallback: true,
+            ql_budget_boost: 4,
+            verify_tol: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No recovery at all: the first failure anywhere is returned verbatim.
+    /// (The panel LU escalation in `tcevd-band` is unconditional — it never
+    /// changes the result, only how it is computed.)
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            solver_fallback: false,
+            ql_budget_boost: 1,
+            verify_tol: None,
+        }
+    }
+}
+
 /// Full pipeline configuration.
 #[derive(Copy, Clone, Debug)]
 pub struct SymEigOptions {
@@ -55,6 +122,8 @@ pub struct SymEigOptions {
     /// [`TraceSink`] (see `GemmContext::with_sink`). A no-op — zero sink
     /// allocations — when the context sink is disabled.
     pub trace: bool,
+    /// The failure-recovery ladder (see [`RecoveryPolicy`]).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for SymEigOptions {
@@ -66,11 +135,13 @@ impl Default for SymEigOptions {
             solver: TridiagSolver::DivideConquer,
             vectors: false,
             trace: false,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
 
 /// Result of [`sym_eig`].
+#[derive(Debug)]
 pub struct SymEigResult {
     /// Eigenvalues, ascending.
     pub values: Vec<f32>,
@@ -82,7 +153,7 @@ pub struct SymEigResult {
 /// engine.
 ///
 /// ```
-/// use tcevd_core::{sym_eig, SymEigOptions, SbrVariant, TridiagSolver};
+/// use tcevd_core::{sym_eig, RecoveryPolicy, SymEigOptions, SbrVariant, TridiagSolver};
 /// use tcevd_band::PanelKind;
 /// use tcevd_tensorcore::{Engine, GemmContext};
 /// use tcevd_matrix::Mat;
@@ -98,6 +169,7 @@ pub struct SymEigResult {
 ///     solver: TridiagSolver::DivideConquer,
 ///     vectors: true,
 ///     trace: false,
+///     recovery: RecoveryPolicy::default(),
 /// };
 /// let ctx = GemmContext::new(Engine::Tc);  // simulated Tensor Core
 /// let eig = sym_eig(&a, &opts, &ctx).unwrap();
@@ -110,9 +182,15 @@ pub fn sym_eig(
     a: &Mat<f32>,
     opts: &SymEigOptions,
     ctx: &GemmContext,
-) -> Result<SymEigResult, EigError> {
+) -> Result<SymEigResult, EvdError> {
     let n = a.rows();
-    assert!(a.is_square(), "sym_eig needs a square symmetric matrix");
+    if !a.is_square() {
+        return Err(EvdError::Shape {
+            what: "sym_eig input (must be square)",
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
     if n == 0 {
         return Ok(SymEigResult {
             values: Vec::new(),
@@ -120,10 +198,8 @@ pub fn sym_eig(
         });
     }
     // Fail fast on NaN/Inf: every downstream iteration would otherwise spin
-    // to its budget and report a misleading NoConvergence.
-    if a.as_slice().iter().any(|v| !v.is_finite()) {
-        return Err(EigError::NonFiniteInput);
-    }
+    // to its budget and report a misleading non-convergence.
+    ensure_finite(a.as_slice(), EvdStage::Input)?;
     let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
 
     // Tracing: `opts.trace` routes pipeline stage spans into the context's
@@ -134,6 +210,72 @@ pub fn sym_eig(
         TraceSink::disabled()
     };
     let _root_span = span!(sink, "sym_eig", n, b);
+
+    let result = run_pipeline(a, b, opts, opts.solver, ctx, &sink)?;
+
+    // Rung 6: opt-in post-solve verification with one cross-solver re-solve.
+    let Some(tol) = opts.recovery.verify_tol else {
+        return Ok(result);
+    };
+    let Some(x) = result.vectors.as_ref() else {
+        return Ok(result);
+    };
+    let worst = verify_worst(a, &result.values, x);
+    if worst <= tol {
+        return Ok(result);
+    }
+    sink.add("recovery.residual_resolve", 1);
+    let alt = match opts.solver {
+        TridiagSolver::DivideConquer => TridiagSolver::Ql,
+        TridiagSolver::Ql => TridiagSolver::DivideConquer,
+    };
+    let retry = run_pipeline(a, b, opts, alt, ctx, &sink)?;
+    let worst2 = match retry.vectors.as_ref() {
+        Some(x2) => verify_worst(a, &retry.values, x2),
+        None => f32::INFINITY,
+    };
+    if worst2 <= tol {
+        return Ok(retry);
+    }
+    Err(EvdError::Unrecoverable {
+        stage: EvdStage::ResidualCheck,
+        detail: format!(
+            "residual/orthogonality {worst2:.3e} still exceeds tolerance {tol:.3e} \
+             after re-solve (first attempt: {worst:.3e})"
+        ),
+    })
+}
+
+/// Worst of the normalized eigenpair residual and orthogonality measures —
+/// the quantity [`RecoveryPolicy::verify_tol`] bounds.
+fn verify_worst(a: &Mat<f32>, values: &[f32], x: &Mat<f32>) -> f32 {
+    let resid = crate::metrics::eigenpair_residual(a.as_ref(), values, x.as_ref());
+    let orth = crate::metrics::orthogonality(x.as_ref());
+    if resid.is_nan() || orth.is_nan() {
+        return f32::INFINITY;
+    }
+    resid.max(orth)
+}
+
+fn ensure_finite(data: &[f32], stage: EvdStage) -> Result<(), EvdError> {
+    if data.iter().any(|v| !v.is_finite()) {
+        Err(EvdError::NonFinite { stage })
+    } else {
+        Ok(())
+    }
+}
+
+/// One full pass of the two-stage pipeline with an explicit tridiagonal
+/// solver choice (so the verification rung can re-run with the other one).
+fn run_pipeline(
+    a: &Mat<f32>,
+    b: usize,
+    opts: &SymEigOptions,
+    solver: TridiagSolver,
+    ctx: &GemmContext,
+    sink: &TraceSink,
+) -> Result<SymEigResult, EvdError> {
+    let n = a.rows();
     if sink.is_enabled() {
         // Device-byte estimate from the MemoryModel (paper §7 footprints).
         let est = match opts.sbr {
@@ -155,7 +297,7 @@ pub fn sym_eig(
                     accumulate_q: false,
                 },
                 ctx,
-            );
+            )?;
             // For eigenvectors, merge the per-level WY factors (Algorithm 2)
             // rather than accumulating a dense Q during the reduction.
             let wy = (opts.vectors && !r.levels.is_empty()).then(|| form_wy(&r.levels, n, ctx));
@@ -170,34 +312,37 @@ pub fn sym_eig(
                     accumulate_q: opts.vectors,
                 },
                 ctx,
-            );
+            )?;
             (r.band, None, r.q)
         }
     };
+    // A corrupted GEMM (fp16 overflow to Inf, a poisoned accumulator, …)
+    // surfaces here as a stage-tagged error instead of a downstream
+    // non-convergence mystery.
+    ensure_finite(band.as_slice(), EvdStage::Sbr)?;
 
     // Stage 2: bulge chasing to tridiagonal. The eigenvalues-only path uses
     // packed band storage (O(n·b) working set); the eigenvector path keeps
     // the dense chase, whose Q accumulation it needs anyway.
     if !opts.vectors {
         let packed = tcevd_band::SymBand::from_dense(&band, b);
-        let chase = bulge_chase_packed_with(&packed, false, &sink);
+        let chase = bulge_chase_packed_with(&packed, false, sink);
         let t = SymTridiag::new(chase.diag, chase.offdiag);
-        let values = match opts.solver {
-            TridiagSolver::Ql => tridiag_eigenvalues_with(&t, &sink)?,
-            TridiagSolver::DivideConquer => tridiag_eig_dc_with(&t, &sink)?.0,
-        };
+        ensure_finite(&t.d, EvdStage::BulgeChase)?;
+        ensure_finite(&t.e, EvdStage::BulgeChase)?;
+        let (values, _) = solve_tridiag(&t, solver, false, &opts.recovery, sink)?;
         return Ok(SymEigResult {
             values,
             vectors: None,
         });
     }
-    let chase = bulge_chase_with(&band, b, true, &sink);
+    let chase = bulge_chase_with(&band, b, true, sink);
     let t = SymTridiag::new(chase.diag, chase.offdiag);
+    ensure_finite(&t.d, EvdStage::BulgeChase)?;
+    ensure_finite(&t.e, EvdStage::BulgeChase)?;
 
-    let (values, z) = match opts.solver {
-        TridiagSolver::Ql => tridiag_eig_ql_with(&t, &sink)?,
-        TridiagSolver::DivideConquer => tridiag_eig_dc_with(&t, &sink)?,
-    };
+    let (values, z) = solve_tridiag(&t, solver, true, &opts.recovery, sink)?;
+    let z = z.expect("solve_tridiag returns vectors when requested");
 
     // Back-transformation: X = Q₁·Q₂·Z.
     let _bt_span = span!(sink, "back_transform", n);
@@ -236,11 +381,103 @@ pub fn sym_eig(
         }
         (None, None) => {} // n ≤ b+1: SBR was a no-op, Q₁ = I
     }
+    ensure_finite(x.as_slice(), EvdStage::BackTransform)?;
 
     Ok(SymEigResult {
         values,
         vectors: Some(x),
     })
+}
+
+/// The tridiagonal solver ladder (rungs 3–5 of the [`RecoveryPolicy`]):
+/// D&C → QL → QL with an enlarged budget → bisection (+ inverse iteration
+/// when vectors are wanted). Deterministic fault hooks
+/// ([`crate::fault::fail_dc`]/[`crate::fault::fail_ql`]) are consumed here
+/// — at the seam — so D&C's internal QL base case never eats a QL fault.
+fn solve_tridiag(
+    t: &SymTridiag<f32>,
+    solver: TridiagSolver,
+    vectors: bool,
+    rec: &RecoveryPolicy,
+    sink: &TraceSink,
+) -> Result<(Vec<f32>, Option<Mat<f32>>), EvdError> {
+    // Rung 3: divide & conquer, falling to QL on a secular breakdown.
+    if solver == TridiagSolver::DivideConquer {
+        let r = if crate::fault::take_dc_failure() {
+            Err(EigError::NoConvergence { index: 0 })
+        } else {
+            tridiag_eig_dc_with(t, sink)
+        };
+        match r {
+            Ok((values, z)) => return Ok((values, vectors.then_some(z))),
+            Err(EigError::NonFiniteInput) => {
+                return Err(EvdError::NonFinite {
+                    stage: EvdStage::TridiagSolve,
+                })
+            }
+            Err(EigError::NoConvergence { index }) => {
+                if !rec.solver_fallback {
+                    return Err(EvdError::TridiagNoConvergence {
+                        solver: "divide & conquer",
+                        index,
+                    });
+                }
+                sink.add("recovery.dc_to_ql", 1);
+            }
+        }
+    }
+
+    // Rung 4: QL, retried once with an enlarged sweep budget.
+    let mut budget = DEFAULT_MAX_ITER;
+    let attempts = if rec.ql_budget_boost > 1 { 2 } else { 1 };
+    let mut last_index = 0;
+    for attempt in 0..attempts {
+        let r = if crate::fault::take_ql_failure() {
+            Err(EigError::NoConvergence { index: 0 })
+        } else if vectors {
+            tridiag_eig_ql_budget_with(t, sink, budget).map(|(v, z)| (v, Some(z)))
+        } else {
+            tridiag_eigenvalues_budget_with(t, sink, budget).map(|v| (v, None))
+        };
+        match r {
+            Ok(out) => return Ok(out),
+            Err(EigError::NoConvergence { index }) => last_index = index,
+            Err(EigError::NonFiniteInput) => {
+                return Err(EvdError::NonFinite {
+                    stage: EvdStage::TridiagSolve,
+                })
+            }
+        }
+        if attempt == 0 && attempts == 2 {
+            sink.add("recovery.ql_budget_retry", 1);
+            budget = DEFAULT_MAX_ITER * rec.ql_budget_boost as usize;
+        }
+    }
+    if !rec.solver_fallback {
+        return Err(EvdError::TridiagNoConvergence {
+            solver: "ql",
+            index: last_index,
+        });
+    }
+
+    // Rung 5: bisection always converges; inverse iteration lifts vectors.
+    sink.add("recovery.ql_to_bisect", 1);
+    let n = t.n();
+    let range = crate::bisect::EigRange::Index { lo: 0, hi: n };
+    if vectors {
+        match crate::inverse_iter::tridiag_eig_selected(t, range) {
+            Ok((values, z)) => Ok((values, Some(z))),
+            Err(EigError::NoConvergence { index }) => Err(EvdError::TridiagNoConvergence {
+                solver: "inverse iteration",
+                index,
+            }),
+            Err(EigError::NonFiniteInput) => Err(EvdError::NonFinite {
+                stage: EvdStage::TridiagSolve,
+            }),
+        }
+    } else {
+        Ok((crate::bisect::tridiag_eig_bisect(t, range), None))
+    }
 }
 
 /// Eigenvalues only — the paper's case-study configuration (§6.4, "no
@@ -249,7 +486,7 @@ pub fn sym_eigenvalues(
     a: &Mat<f32>,
     opts: &SymEigOptions,
     ctx: &GemmContext,
-) -> Result<Vec<f32>, EigError> {
+) -> Result<Vec<f32>, EvdError> {
     let mut o = *opts;
     o.vectors = false;
     Ok(sym_eig(a, &o, ctx)?.values)
@@ -265,15 +502,22 @@ pub fn sym_eig_selected(
     range: crate::bisect::EigRange<f32>,
     opts: &SymEigOptions,
     ctx: &GemmContext,
-) -> Result<SymEigResult, EigError> {
+) -> Result<SymEigResult, EvdError> {
     let n = a.rows();
-    assert!(a.is_square());
+    if !a.is_square() {
+        return Err(EvdError::Shape {
+            what: "sym_eig_selected input (must be square)",
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
     if n == 0 {
         return Ok(SymEigResult {
             values: Vec::new(),
             vectors: None,
         });
     }
+    ensure_finite(a.as_slice(), EvdStage::Input)?;
     let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
     let sink = if opts.trace {
         ctx.sink().clone()
@@ -297,11 +541,14 @@ pub fn sym_eig_selected(
             accumulate_q: false,
         },
         ctx,
-    );
+    )?;
+    ensure_finite(r.band.as_slice(), EvdStage::Sbr)?;
 
     // Stage 2 with Q₂ (needed to lift tridiagonal vectors to band space).
     let chase = bulge_chase_with(&r.band, b, true, &sink);
     let t = SymTridiag::new(chase.diag, chase.offdiag);
+    ensure_finite(&t.d, EvdStage::BulgeChase)?;
+    ensure_finite(&t.e, EvdStage::BulgeChase)?;
 
     let (values, z) = crate::inverse_iter::tridiag_eig_selected(&t, range)?;
     let k = values.len();
@@ -329,6 +576,7 @@ pub fn sym_eig_selected(
         let (w, y) = form_wy(&r.levels, n, ctx);
         tcevd_band::apply_q(w.as_ref(), y.as_ref(), &mut x, ctx);
     }
+    ensure_finite(x.as_slice(), EvdStage::BackTransform)?;
     Ok(SymEigResult {
         values,
         vectors: Some(x),
@@ -336,6 +584,7 @@ pub fn sym_eig_selected(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::metrics::{eigenpair_residual, eigenvalue_error, orthogonality};
@@ -351,6 +600,7 @@ mod tests {
             solver: TridiagSolver::DivideConquer,
             vectors: false,
             trace: false,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -415,6 +665,7 @@ mod tests {
             solver: TridiagSolver::Ql,
             vectors: false,
             trace: false,
+            recovery: RecoveryPolicy::default(),
         };
         let vals = sym_eigenvalues(&a, &o, &ctx).unwrap();
         assert!(es_error(&a64, &vals) < 1e-6);
@@ -448,6 +699,7 @@ mod tests {
             solver: TridiagSolver::DivideConquer,
             vectors: true,
             trace: false,
+            recovery: RecoveryPolicy::default(),
         };
         let r = sym_eig(&a, &o, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();
@@ -500,7 +752,6 @@ mod tests {
             &a,
             &SymEigOptions {
                 vectors: true,
-                trace: false,
                 ..opts(8, 32)
             },
             &ctx,
@@ -539,5 +790,124 @@ mod tests {
         let ctx = GemmContext::new(Engine::Sgemm);
         let r = sym_eig(&a, &opts(4, 8), &ctx).unwrap();
         assert!(r.values.is_empty());
+    }
+
+    #[test]
+    fn non_square_input_is_shape_error() {
+        let a = Mat::<f32>::zeros(4, 6);
+        let ctx = GemmContext::new(Engine::Sgemm);
+        match sym_eig(&a, &opts(2, 4), &ctx) {
+            Err(EvdError::Shape {
+                rows: 4, cols: 6, ..
+            }) => {}
+            other => panic!("expected Shape error, got {other:?}"),
+        }
+        let sel = sym_eig_selected(
+            &a,
+            crate::bisect::EigRange::Index { lo: 0, hi: 1 },
+            &opts(2, 4),
+            &ctx,
+        );
+        assert!(matches!(sel, Err(EvdError::Shape { .. })));
+    }
+
+    #[test]
+    fn nan_input_is_stage_tagged() {
+        let mut a = generate(16, MatrixType::Normal, 60).cast::<f32>();
+        a[(3, 3)] = f32::NAN;
+        let ctx = GemmContext::new(Engine::Sgemm);
+        assert!(matches!(
+            sym_eig(&a, &opts(4, 8), &ctx),
+            Err(EvdError::NonFinite {
+                stage: EvdStage::Input
+            })
+        ));
+    }
+
+    #[test]
+    fn dc_breakdown_falls_back_to_ql() {
+        let n = 48;
+        let a: Mat<f32> = generate(n, MatrixType::Normal, 63).cast();
+        let sink = TraceSink::enabled();
+        let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+        let mut o = opts(8, 16);
+        o.trace = true;
+        crate::fault::fail_dc(1);
+        let r = sym_eig(&a, &o, &ctx);
+        crate::fault::reset();
+        let vals = r.unwrap().values;
+        assert_eq!(sink.counter("recovery.dc_to_ql"), 1);
+        assert_eq!(sink.counter("recovery.ql_budget_retry"), 0);
+        assert!(es_error(&generate(n, MatrixType::Normal, 63), &vals) < 1e-5);
+    }
+
+    #[test]
+    fn ql_budget_retry_then_bisect() {
+        let n = 32;
+        let a64 = generate(n, MatrixType::Normal, 64);
+        let a: Mat<f32> = a64.cast();
+        // one armed failure: budget retry succeeds
+        {
+            let sink = TraceSink::enabled();
+            let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+            let mut o = opts(4, 8);
+            o.solver = TridiagSolver::Ql;
+            o.trace = true;
+            crate::fault::fail_ql(1);
+            let r = sym_eig(&a, &o, &ctx);
+            crate::fault::reset();
+            assert!(r.is_ok());
+            assert_eq!(sink.counter("recovery.ql_budget_retry"), 1);
+            assert_eq!(sink.counter("recovery.ql_to_bisect"), 0);
+        }
+        // two armed failures: ladder bottoms out in bisection
+        {
+            let sink = TraceSink::enabled();
+            let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+            let mut o = opts(4, 8);
+            o.solver = TridiagSolver::Ql;
+            o.trace = true;
+            crate::fault::fail_ql(2);
+            let r = sym_eig(&a, &o, &ctx);
+            crate::fault::reset();
+            let vals = r.unwrap().values;
+            assert_eq!(sink.counter("recovery.ql_budget_retry"), 1);
+            assert_eq!(sink.counter("recovery.ql_to_bisect"), 1);
+            assert!(es_error(&a64, &vals) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn disabled_recovery_surfaces_solver_error() {
+        let n = 24;
+        let a: Mat<f32> = generate(n, MatrixType::Normal, 65).cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let mut o = opts(4, 8);
+        o.recovery = RecoveryPolicy::disabled();
+        crate::fault::fail_dc(1);
+        let r = sym_eig(&a, &o, &ctx);
+        crate::fault::reset();
+        assert!(matches!(
+            r,
+            Err(EvdError::TridiagNoConvergence {
+                solver: "divide & conquer",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn verify_tol_passes_clean_runs_and_counts_nothing() {
+        let n = 48;
+        let a: Mat<f32> = generate(n, MatrixType::Normal, 66).cast();
+        let sink = TraceSink::enabled();
+        let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+        let mut o = opts(8, 16);
+        o.vectors = true;
+        o.trace = true;
+        o.recovery.verify_tol = Some(1e-3);
+        let r = sym_eig(&a, &o, &ctx).unwrap();
+        assert!(r.vectors.is_some());
+        assert_eq!(sink.counter("recovery.residual_resolve"), 0);
     }
 }

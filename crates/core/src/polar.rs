@@ -93,6 +93,7 @@ pub fn abs_eigenvalues_via_polar(a: &Mat<f64>) -> Result<Vec<f64>, EigError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::norms::orthogonality_residual;

@@ -34,7 +34,10 @@ impl std::fmt::Display for EigError {
 
 impl std::error::Error for EigError {}
 
-const MAX_ITER: usize = 50;
+/// The default per-eigenvalue QL sweep budget (the EISPACK/LAPACK value).
+/// The pipeline's recovery ladder retries with a multiple of this before
+/// falling back to bisection.
+pub const DEFAULT_MAX_ITER: usize = 50;
 
 /// Eigenvalues (ascending) of a symmetric tridiagonal matrix.
 pub fn tridiag_eigenvalues<T: Scalar>(t: &SymTridiag<T>) -> Result<Vec<T>, EigError> {
@@ -47,12 +50,22 @@ pub fn tridiag_eigenvalues_with<T: Scalar>(
     t: &SymTridiag<T>,
     sink: &TraceSink,
 ) -> Result<Vec<T>, EigError> {
+    tridiag_eigenvalues_budget_with(t, sink, DEFAULT_MAX_ITER)
+}
+
+/// [`tridiag_eigenvalues_with`] with an explicit per-eigenvalue sweep
+/// budget (`max_iter` in place of [`DEFAULT_MAX_ITER`]).
+pub fn tridiag_eigenvalues_budget_with<T: Scalar>(
+    t: &SymTridiag<T>,
+    sink: &TraceSink,
+    max_iter: usize,
+) -> Result<Vec<T>, EigError> {
     let n = t.n();
     let _span = span!(sink, "tridiag_ql", n);
     let mut d = t.d.clone();
     let e = t.e.clone();
-    ql_iterate(&mut d, &e, None, sink)?;
-    d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ql_iterate(&mut d, &e, None, sink, max_iter)?;
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     Ok(d)
 }
 
@@ -68,15 +81,25 @@ pub fn tridiag_eig_ql_with<T: Scalar>(
     t: &SymTridiag<T>,
     sink: &TraceSink,
 ) -> Result<(Vec<T>, Mat<T>), EigError> {
+    tridiag_eig_ql_budget_with(t, sink, DEFAULT_MAX_ITER)
+}
+
+/// [`tridiag_eig_ql_with`] with an explicit per-eigenvalue sweep budget
+/// (`max_iter` in place of [`DEFAULT_MAX_ITER`]).
+pub fn tridiag_eig_ql_budget_with<T: Scalar>(
+    t: &SymTridiag<T>,
+    sink: &TraceSink,
+    max_iter: usize,
+) -> Result<(Vec<T>, Mat<T>), EigError> {
     let n = t.n();
     let _span = span!(sink, "tridiag_ql", n);
     let mut d = t.d.clone();
     let e = t.e.clone();
     let mut z = Mat::<T>::identity(n, n);
-    ql_iterate(&mut d, &e, Some(&mut z), sink)?;
+    ql_iterate(&mut d, &e, Some(&mut z), sink, max_iter)?;
     // sort ascending, permuting eigenvector columns
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap());
+    idx.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).unwrap_or(std::cmp::Ordering::Equal));
     let vals: Vec<T> = idx.iter().map(|&i| d[i]).collect();
     let mut zs = Mat::<T>::zeros(n, n);
     for (new, &old) in idx.iter().enumerate() {
@@ -92,6 +115,7 @@ fn ql_iterate<T: Scalar>(
     e_in: &[T],
     mut z: Option<&mut Mat<T>>,
     sink: &TraceSink,
+    max_iter: usize,
 ) -> Result<(), EigError> {
     let n = d.len();
     if n <= 1 {
@@ -139,7 +163,7 @@ fn ql_iterate<T: Scalar>(
                 break;
             }
             iter += 1;
-            if iter > MAX_ITER {
+            if iter > max_iter {
                 return Err(EigError::NoConvergence { index: l });
             }
             sink.add("ql_iterations", 1);
@@ -193,6 +217,7 @@ fn ql_iterate<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::blas3::matmul;

@@ -119,7 +119,12 @@ pub fn randomized_eig(
 
     // take the k Ritz pairs of largest |λ| (vals ascend)
     let mut idx: Vec<usize> = (0..l).collect();
-    idx.sort_by(|&x, &y| vals[y].abs().partial_cmp(&vals[x].abs()).unwrap());
+    idx.sort_by(|&x, &y| {
+        vals[y]
+            .abs()
+            .partial_cmp(&vals[x].abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
 
     let mut out_vals = Vec::with_capacity(k);
@@ -150,6 +155,7 @@ fn orthonormalize(y: &Mat<f32>) -> Mat<f32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::norms::orthogonality_residual;

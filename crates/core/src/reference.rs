@@ -69,7 +69,7 @@ pub fn sym_eigenvalues_ref(a: &Mat<f64>) -> Result<Vec<f64>, EigError> {
 pub fn sym_eig_ref(a: &Mat<f64>) -> Result<(Vec<f64>, Mat<f64>), EigError> {
     let (t, q) = tridiagonalize(a, true);
     let (vals, z) = tridiag_eig_ql(&t)?;
-    let q = q.unwrap();
+    let q = q.expect("tridiagonalize returns Q when requested");
     let x = tcevd_matrix::blas3::matmul(
         q.as_ref(),
         tcevd_matrix::Op::NoTrans,
@@ -80,6 +80,7 @@ pub fn sym_eig_ref(a: &Mat<f64>) -> Result<(Vec<f64>, Mat<f64>), EigError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::norms::orthogonality_residual;

@@ -80,6 +80,7 @@ pub fn eigenpair_residuals_f64<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pipeline::{sym_eig, SbrVariant, SymEigOptions, TridiagSolver};
@@ -109,6 +110,7 @@ mod tests {
             solver: TridiagSolver::DivideConquer,
             vectors: true,
             trace: false,
+            recovery: Default::default(),
         };
         let r = sym_eig(&a, &opts, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();
@@ -149,6 +151,7 @@ mod tests {
             solver: TridiagSolver::DivideConquer,
             vectors: true,
             trace: false,
+            recovery: Default::default(),
         };
         let r = sym_eig(&a, &opts, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();

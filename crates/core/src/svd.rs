@@ -9,8 +9,8 @@
 //! accuracy-tolerant workloads the paper's introduction targets, and the
 //! natural consumer of the Tensor-Core engine.
 
+use crate::error::EvdError;
 use crate::pipeline::{sym_eig, SymEigOptions};
-use crate::ql::EigError;
 use tcevd_matrix::blas3::gemm;
 use tcevd_matrix::{Mat, Op};
 use tcevd_tensorcore::GemmContext;
@@ -26,12 +26,15 @@ pub struct Svd {
 }
 
 /// Thin SVD via the symmetric eigensolver on the Gram matrix.
-pub fn svd_via_evd(a: &Mat<f32>, opts: &SymEigOptions, ctx: &GemmContext) -> Result<Svd, EigError> {
+pub fn svd_via_evd(a: &Mat<f32>, opts: &SymEigOptions, ctx: &GemmContext) -> Result<Svd, EvdError> {
     let (m, n) = (a.rows(), a.cols());
-    assert!(
-        m >= n,
-        "svd_via_evd expects a tall (m ≥ n) matrix; transpose first"
-    );
+    if m < n {
+        return Err(EvdError::Shape {
+            what: "svd_via_evd input (expects m ≥ n; transpose first)",
+            rows: m,
+            cols: n,
+        });
+    }
 
     // Gram matrix G = AᵀA (n×n, symmetric PSD) on the selected engine.
     let mut g = Mat::<f32>::zeros(n, n);
@@ -103,9 +106,15 @@ pub fn singular_values(
     a: &Mat<f32>,
     opts: &SymEigOptions,
     ctx: &GemmContext,
-) -> Result<Vec<f32>, EigError> {
+) -> Result<Vec<f32>, EvdError> {
     let (m, n) = (a.rows(), a.cols());
-    assert!(m >= n);
+    if m < n {
+        return Err(EvdError::Shape {
+            what: "singular_values input (expects m ≥ n; transpose first)",
+            rows: m,
+            cols: n,
+        });
+    }
     let mut g = Mat::<f32>::zeros(n, n);
     ctx.gemm(
         "svd_gram",
@@ -138,7 +147,7 @@ pub fn low_rank_approx(
     k: usize,
     opts: &SymEigOptions,
     ctx: &GemmContext,
-) -> Result<Mat<f32>, EigError> {
+) -> Result<Mat<f32>, EvdError> {
     let svd = svd_via_evd(a, opts, ctx)?;
     let k = k.min(svd.s.len());
     let (m, n) = (a.rows(), a.cols());
@@ -167,6 +176,7 @@ pub fn low_rank_approx(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pipeline::{SbrVariant, TridiagSolver};
@@ -184,6 +194,7 @@ mod tests {
             solver: TridiagSolver::DivideConquer,
             vectors: false,
             trace: false,
+            recovery: crate::pipeline::RecoveryPolicy::default(),
         }
     }
 

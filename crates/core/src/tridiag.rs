@@ -99,6 +99,7 @@ impl<T: Scalar> SymTridiag<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

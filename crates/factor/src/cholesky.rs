@@ -133,6 +133,7 @@ pub fn cholesky_reconstruct<T: Scalar>(l_packed: &Mat<T>) -> Mat<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

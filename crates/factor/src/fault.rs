@@ -1,0 +1,87 @@
+//! Deterministic fault hooks for the factorization layer.
+//!
+//! The recovery ladder (core `RecoveryPolicy`) escalates from non-pivoted LU
+//! reconstruction to partial pivoting to a plain Householder panel. Those
+//! escalations only trigger on numerically degenerate inputs, which are hard
+//! to construct on demand — so the hooks below let tests arm a one-shot
+//! failure that the *next* factorization call consumes. All state is
+//! thread-local; with the sequential `rayon` shim the injection point is
+//! fully deterministic.
+//!
+//! These hooks are always compiled (the cost is one thread-local read per
+//! factorization call) but do nothing unless armed.
+
+use std::cell::Cell;
+
+thread_local! {
+    static POISON_PIVOT: Cell<Option<usize>> = const { Cell::new(None) };
+    static FAIL_PARTIAL: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Arm the *next* [`crate::lu::lu_nopivot`] call on this thread to treat the
+/// pivot at elimination step `index` as collapsed (magnitude × 1e-30), so the
+/// genuine relative-threshold rejection path fires with a real index and
+/// magnitude. Consumed by exactly one call.
+pub fn poison_nopivot_pivot(index: usize) {
+    POISON_PIVOT.with(|c| c.set(Some(index)));
+}
+
+/// Force the next `times` calls to [`crate::lu::lu_partial_pivot`] on this
+/// thread to fail outright, as if the matrix were exactly singular.
+pub fn fail_next_partial_pivot(times: u32) {
+    FAIL_PARTIAL.with(|c| c.set(times));
+}
+
+/// Disarm all factorization fault hooks on this thread.
+pub fn clear() {
+    POISON_PIVOT.with(|c| c.set(None));
+    FAIL_PARTIAL.with(|c| c.set(0));
+}
+
+/// Consume the armed pivot poison, if any (one-shot).
+pub(crate) fn take_poisoned_pivot() -> Option<usize> {
+    POISON_PIVOT.with(|c| c.take())
+}
+
+/// Consume one armed partial-pivot failure, if any.
+pub(crate) fn take_partial_failure() -> bool {
+    FAIL_PARTIAL.with(|c| {
+        let n = c.get();
+        if n > 0 {
+            c.set(n - 1);
+            true
+        } else {
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_default_disarmed() {
+        clear();
+        assert_eq!(take_poisoned_pivot(), None);
+        assert!(!take_partial_failure());
+    }
+
+    #[test]
+    fn partial_failure_counts_down() {
+        fail_next_partial_pivot(2);
+        assert!(take_partial_failure());
+        assert!(take_partial_failure());
+        assert!(!take_partial_failure());
+    }
+
+    #[test]
+    fn clear_disarms_everything() {
+        poison_nopivot_pivot(3);
+        fail_next_partial_pivot(5);
+        clear();
+        assert_eq!(take_poisoned_pivot(), None);
+        assert!(!take_partial_failure());
+    }
+}

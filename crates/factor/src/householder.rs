@@ -103,6 +103,7 @@ pub fn apply_reflector_two_sided_sym<T: Scalar>(tau: T, v: &[T], mut a: MatMut<'
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::Mat;

@@ -16,7 +16,10 @@
 //! Everything is generic over [`tcevd_matrix::Scalar`] — the same code runs
 //! the f32 working pipeline and the f64 reference pipeline.
 
+#![deny(clippy::unwrap_used)]
+
 pub mod cholesky;
+pub mod fault;
 pub mod householder;
 pub mod lu;
 pub mod ormqr;
@@ -29,5 +32,7 @@ pub use householder::{apply_reflector_left, apply_reflector_right, larfg};
 pub use lu::{invert, lu_nopivot, lu_partial_pivot, lu_solve, LuError};
 pub use ormqr::ormqr;
 pub use qr::{geqr2, geqrf, larft, orgqr, wy_from_packed, QrFactors};
-pub use reconstruct::{panel_qr_tsqr, panel_qr_tsqr_with, reconstruct_wy, PanelWy};
+pub use reconstruct::{
+    panel_qr_tsqr, panel_qr_tsqr_with, reconstruct_wy, reconstruct_wy_pivoted, PanelWy,
+};
 pub use tsqr::{tsqr, tsqr_flops, tsqr_with};

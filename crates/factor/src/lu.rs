@@ -10,17 +10,55 @@ use tcevd_matrix::blas1::axpy;
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::{Mat, MatMut};
 
-/// Error from a failed factorization.
+/// Error from a failed factorization. Every variant carries the offending
+/// pivot index and its magnitude so the recovery ladder can report exactly
+/// why it escalated.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LuError {
-    /// Pivot at the given index was exactly zero (or subnormal).
-    ZeroPivot(usize),
+    /// Pivot was exactly zero (or subnormal).
+    ZeroPivot {
+        /// Elimination step at which the breakdown occurred.
+        index: usize,
+        /// `|pivot|` observed (zero or subnormal).
+        magnitude: f64,
+    },
+    /// Pivot was nonzero but below the relative threshold `ε·‖A‖_max`,
+    /// meaning the factorization would amplify rounding error unboundedly.
+    TinyPivot {
+        /// Elimination step at which the tiny pivot was hit.
+        index: usize,
+        /// `|pivot|` observed.
+        magnitude: f64,
+        /// The relative threshold it fell below.
+        threshold: f64,
+    },
+    /// The input shape is unusable for the requested factorization
+    /// (e.g. WY reconstruction needs a tall matrix, m ≥ b).
+    BadShape {
+        /// Rows of the offending input.
+        rows: usize,
+        /// Columns of the offending input.
+        cols: usize,
+    },
 }
 
 impl std::fmt::Display for LuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LuError::ZeroPivot(i) => write!(f, "zero pivot at index {i} in LU factorization"),
+            LuError::ZeroPivot { index, magnitude } => {
+                write!(f, "zero pivot at index {index} (|pivot| = {magnitude:.3e}) in LU factorization")
+            }
+            LuError::TinyPivot {
+                index,
+                magnitude,
+                threshold,
+            } => write!(
+                f,
+                "tiny pivot at index {index}: |pivot| = {magnitude:.3e} below relative threshold {threshold:.3e}"
+            ),
+            LuError::BadShape { rows, cols } => {
+                write!(f, "bad shape {rows}x{cols} for factorization")
+            }
         }
     }
 }
@@ -29,12 +67,41 @@ impl std::error::Error for LuError {}
 
 /// In-place LU without pivoting: on success `a` holds `U` in its upper
 /// triangle and the strictly-lower part of unit-lower `L` below.
+///
+/// Pivots are validated against a *relative* threshold `ε·‖A‖_max` computed
+/// from the input at entry — a tiny-but-nonzero pivot is as fatal for the
+/// downstream triangular solves as an exact zero, and is reported as
+/// [`LuError::TinyPivot`] with its index and magnitude.
 pub fn lu_nopivot<T: Scalar>(mut a: MatMut<'_, T>) -> Result<(), LuError> {
     let n = a.rows().min(a.cols());
+    let mut scale = 0.0f64;
+    for j in 0..a.cols() {
+        for i in 0..a.rows() {
+            scale = scale.max(a.get(i, j).abs().to_f64());
+        }
+    }
+    let threshold = T::EPSILON.to_f64() * scale;
+    let poisoned = crate::fault::take_poisoned_pivot();
     for k in 0..n {
         let pivot = a.get(k, k);
-        if pivot.abs() < T::MIN_POSITIVE {
-            return Err(LuError::ZeroPivot(k));
+        let mut magnitude = pivot.abs().to_f64();
+        if poisoned == Some(k) {
+            // Injected fault: pretend the pivot collapsed by 30 orders of
+            // magnitude, driving the genuine threshold path below.
+            magnitude *= 1e-30;
+        }
+        if magnitude < T::MIN_POSITIVE.to_f64() {
+            return Err(LuError::ZeroPivot {
+                index: k,
+                magnitude,
+            });
+        }
+        if magnitude < threshold {
+            return Err(LuError::TinyPivot {
+                index: k,
+                magnitude,
+                threshold,
+            });
         }
         let m = a.rows();
         // scale multipliers
@@ -71,6 +138,12 @@ fn two_cols<'a, T: Scalar>(a: MatMut<'a, T>, k: usize, j: usize) -> (&'a [T], &'
 pub fn lu_partial_pivot<T: Scalar>(a: &mut Mat<T>) -> Result<Vec<usize>, LuError> {
     let m = a.rows();
     let n = a.cols();
+    if crate::fault::take_partial_failure() {
+        return Err(LuError::ZeroPivot {
+            index: 0,
+            magnitude: 0.0,
+        });
+    }
     let kmax = m.min(n);
     let mut piv: Vec<usize> = (0..m).collect();
     for k in 0..kmax {
@@ -85,7 +158,10 @@ pub fn lu_partial_pivot<T: Scalar>(a: &mut Mat<T>) -> Result<Vec<usize>, LuError
             }
         }
         if pv < T::MIN_POSITIVE {
-            return Err(LuError::ZeroPivot(k));
+            return Err(LuError::ZeroPivot {
+                index: k,
+                magnitude: pv.to_f64(),
+            });
         }
         if p != k {
             piv.swap(k, p);
@@ -189,6 +265,7 @@ pub fn lu_reconstruct<T: Scalar>(packed: &Mat<T>) -> Mat<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -234,7 +311,72 @@ mod tests {
     #[test]
     fn nopivot_detects_zero_pivot() {
         let mut a = Mat::<f64>::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
-        assert_eq!(lu_nopivot(a.as_mut()), Err(LuError::ZeroPivot(0)));
+        assert_eq!(
+            lu_nopivot(a.as_mut()),
+            Err(LuError::ZeroPivot {
+                index: 0,
+                magnitude: 0.0
+            })
+        );
+    }
+
+    #[test]
+    fn nopivot_rejects_tiny_relative_pivot() {
+        // Leading pivot is 1e-18 while the matrix scale is O(1): far below
+        // ε·‖A‖_max, so the factorization must refuse rather than divide.
+        let mut a = Mat::<f64>::from_rows(2, 2, &[1e-18, 1.0, 1.0, 1.0]);
+        match lu_nopivot(a.as_mut()) {
+            Err(LuError::TinyPivot {
+                index,
+                magnitude,
+                threshold,
+            }) => {
+                assert_eq!(index, 0);
+                assert!((magnitude - 1e-18).abs() < 1e-30);
+                assert!(threshold > magnitude);
+            }
+            other => panic!("expected TinyPivot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nopivot_accepts_uniformly_small_matrix() {
+        // A well-conditioned matrix scaled down by 1e-12 must still factor:
+        // the threshold is relative to the entry scale, not absolute.
+        let mut a = diag_dominant(6, 9);
+        for j in 0..6 {
+            for i in 0..6 {
+                a[(i, j)] *= 1e-12;
+            }
+        }
+        let orig = a.clone();
+        lu_nopivot(a.as_mut()).unwrap();
+        let lu = lu_reconstruct(&a);
+        assert!(lu.max_abs_diff(&orig) < 1e-24);
+    }
+
+    #[test]
+    fn poisoned_pivot_fires_once_then_clears() {
+        crate::fault::poison_nopivot_pivot(1);
+        let mut a = diag_dominant(4, 11);
+        match lu_nopivot(a.as_mut()) {
+            Err(LuError::TinyPivot { index, .. } | LuError::ZeroPivot { index, .. }) => {
+                assert_eq!(index, 1)
+            }
+            other => panic!("expected poisoned pivot failure, got {other:?}"),
+        }
+        // hook is consumed: the same factorization now succeeds
+        let mut b = diag_dominant(4, 11);
+        lu_nopivot(b.as_mut()).unwrap();
+    }
+
+    #[test]
+    fn forced_partial_pivot_failure() {
+        crate::fault::fail_next_partial_pivot(1);
+        let mut a = diag_dominant(4, 12);
+        assert!(lu_partial_pivot(&mut a).is_err());
+        let mut b = diag_dominant(4, 12);
+        assert!(lu_partial_pivot(&mut b).is_ok());
     }
 
     #[test]

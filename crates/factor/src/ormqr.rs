@@ -60,6 +60,7 @@ pub fn ormqr<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::qr::{geqr2, orgqr};

@@ -167,6 +167,7 @@ pub fn wy_from_packed<T: Scalar>(packed: MatRef<'_, T>, tau: &[T]) -> (Mat<T>, M
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::norms::orthogonality_residual;

@@ -14,7 +14,7 @@
 //! `L₂ = B₂·U⁻¹` and `W = B·Y₁⁻ᵀ`, giving the orthogonal block reflector
 //! `Q_wy = I − W·Yᵀ` whose first b columns equal `Q·S`.
 
-use crate::lu::{lu_nopivot, LuError};
+use crate::lu::{lu_nopivot, lu_partial_pivot, LuError};
 use tcevd_matrix::blas3::{trsm, Side};
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::{Mat, MatRef, Op};
@@ -36,7 +36,9 @@ pub struct PanelWy<T: Scalar> {
 /// (paper Algorithm 3).
 pub fn reconstruct_wy<T: Scalar>(q: MatRef<'_, T>) -> Result<PanelWy<T>, LuError> {
     let (m, b) = (q.rows(), q.cols());
-    assert!(m >= b);
+    if m < b {
+        return Err(LuError::BadShape { rows: m, cols: b });
+    }
 
     // S with s_j = −sign(q_jj): diagonal of B = I − Q·S is 1 + |q_jj| ≥ 1,
     // guaranteeing the non-pivoted LU below is well defined.
@@ -94,6 +96,64 @@ pub fn reconstruct_wy<T: Scalar>(q: MatRef<'_, T>) -> Result<PanelWy<T>, LuError
     Ok(PanelWy { w: bmat, y, signs })
 }
 
+/// Partial-pivoting variant of [`reconstruct_wy`] — the second rung of the
+/// panel recovery ladder, for when the non-pivoted LU hits a degenerate
+/// pivot.
+///
+/// With `E = [I_b; 0]` and `B = E − Q·S`, the key identity `BᵀB = B₁ + B₁ᵀ`
+/// holds for *any* invertible factorization `B₁ = M·N`: setting
+/// `Y = B·N⁻¹`, `W = B·M⁻ᵀ` yields an orthogonal `I − W·Yᵀ` with
+/// `(I − W·Yᵀ)·E = Q·S`. Here `P·B₁ = L·U`, so `M = Pᵀ·L`, `N = U`, giving
+/// `Y = B·U⁻¹` and `W = (B·Pᵀ)·L⁻ᵀ` where `(B·Pᵀ)[:, j] = B[:, piv[j]]`.
+///
+/// Unlike the non-pivoted recipe, `Y` is **not** unit lower trapezoidal —
+/// but the SBR trailing update only ever touches `W` and `Y` through GEMMs,
+/// so the shape of `Y` is immaterial downstream.
+pub fn reconstruct_wy_pivoted<T: Scalar>(q: MatRef<'_, T>) -> Result<PanelWy<T>, LuError> {
+    let (m, b) = (q.rows(), q.cols());
+    if m < b {
+        return Err(LuError::BadShape { rows: m, cols: b });
+    }
+
+    let signs: Vec<T> = (0..b).map(|j| -q.get(j, j).sign1()).collect();
+
+    // B = E − Q·S (m×b)
+    let bmat = Mat::<T>::from_fn(m, b, |i, j| {
+        let eye = if i == j { T::ONE } else { T::ZERO };
+        eye - q.get(i, j) * signs[j]
+    });
+
+    // P·B₁ = L·U of the top b×b block.
+    let mut b1 = bmat.submatrix(0, 0, b, b);
+    let piv = lu_partial_pivot(&mut b1)?;
+
+    // Y = B·U⁻¹ (U: upper, non-unit, read from packed b1).
+    let mut y = bmat.clone();
+    trsm(
+        Side::Right,
+        T::ONE,
+        b1.as_ref(),
+        Op::NoTrans,
+        false,
+        false,
+        y.as_mut(),
+    );
+
+    // W = C·L⁻ᵀ with C[:, j] = B[:, piv[j]] (L: lower, unit, transposed).
+    let mut w = Mat::<T>::from_fn(m, b, |i, j| bmat[(i, piv[j])]);
+    trsm(
+        Side::Right,
+        T::ONE,
+        b1.as_ref(),
+        Op::Trans,
+        true,
+        true,
+        w.as_mut(),
+    );
+
+    Ok(PanelWy { w, y, signs })
+}
+
 /// Full panel factorization for SBR: TSQR + WY reconstruction.
 ///
 /// Returns `(wy, r)` where `r` is the *sign-adjusted* upper-triangular
@@ -124,6 +184,7 @@ pub fn panel_qr_tsqr_with<T: Scalar>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::tsqr::tsqr;
@@ -249,6 +310,61 @@ mod tests {
             qwy.as_mut(),
         );
         assert!(orthogonality_residual(qwy.as_ref()) < 1e-3);
+    }
+
+    #[test]
+    fn pivoted_reconstruction_reproduces_q_up_to_signs() {
+        let a = rand_mat(40, 6, 7);
+        let (q, _) = tsqr(a.as_ref());
+        let wy = reconstruct_wy_pivoted(q.as_ref()).unwrap();
+        let qwy = q_from_wy(&wy.w, &wy.y);
+        for j in 0..6 {
+            for i in 0..40 {
+                let want = q[(i, j)] * wy.signs[j];
+                assert!(
+                    (qwy[(i, j)] - want).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    qwy[(i, j)],
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pivoted_reconstruction_is_orthogonal() {
+        let a = rand_mat(64, 8, 8);
+        let (q, _) = tsqr(a.as_ref());
+        let wy = reconstruct_wy_pivoted(q.as_ref()).unwrap();
+        let qwy = q_from_wy(&wy.w, &wy.y);
+        assert!(orthogonality_residual(qwy.as_ref()) < 1e-11);
+    }
+
+    #[test]
+    fn pivoted_matches_nopivot_reflector() {
+        // Both recipes must produce the same orthogonal I − W·Yᵀ (the W, Y
+        // factors differ, their product cannot).
+        let a = rand_mat(30, 5, 9);
+        let (q, _) = tsqr(a.as_ref());
+        let plain = reconstruct_wy(q.as_ref()).unwrap();
+        let piv = reconstruct_wy_pivoted(q.as_ref()).unwrap();
+        let q1 = q_from_wy(&plain.w, &plain.y);
+        let q2 = q_from_wy(&piv.w, &piv.y);
+        assert!(q1.max_abs_diff(&q2) < 1e-11);
+        assert_eq!(plain.signs, piv.signs);
+    }
+
+    #[test]
+    fn bad_shape_is_an_error_not_a_panic() {
+        let a = rand_mat(3, 7, 10);
+        assert!(matches!(
+            reconstruct_wy(a.as_ref()),
+            Err(LuError::BadShape { rows: 3, cols: 7 })
+        ));
+        assert!(matches!(
+            reconstruct_wy_pivoted(a.as_ref()),
+            Err(LuError::BadShape { rows: 3, cols: 7 })
+        ));
     }
 
     #[test]

@@ -113,6 +113,7 @@ pub fn tsqr_flops(m: usize, n: usize) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use tcevd_matrix::norms::orthogonality_residual;

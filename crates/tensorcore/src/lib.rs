@@ -25,7 +25,7 @@ pub mod syr2k;
 
 pub use ec::{ec_gemm, EcMode};
 pub use engine::tf32_gemm;
-pub use engine::{Engine, GemmContext, GemmRecord};
+pub use engine::{Engine, FaultMode, GemmContext, GemmFault, GemmRecord};
 pub use gemm::{tc_gemm, tc_gemm_strict, truncate_f16};
 pub use mma::AccumMode;
 pub use syr2k::{syr2k_flops, tc_syr2k};

@@ -155,7 +155,10 @@ pub fn generate(n: usize, mtype: MatrixType, seed: u64) -> Mat<f64> {
     match mtype {
         MatrixType::Normal => random_symmetric(n, seed, false),
         MatrixType::Uniform => random_symmetric(n, seed, true),
-        _ => prescribed_spectrum(&spectrum(n, mtype).unwrap(), seed),
+        _ => prescribed_spectrum(
+            &spectrum(n, mtype).expect("non-random types have a prescribed spectrum"),
+            seed,
+        ),
     }
 }
 

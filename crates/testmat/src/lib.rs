@@ -11,8 +11,10 @@
 //! which is how `magma_generate --matrix svd_*` builds its symmetric
 //! variants.
 
+pub mod fault;
 pub mod generators;
 
+pub use fault::{Fault, FaultPlan, GemmFaultMode};
 pub use generators::{
     generate, haar_orthogonal, prescribed_spectrum, random_gaussian, random_symmetric, spectrum,
     MatrixType,

@@ -144,7 +144,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // consume one UTF-8 scalar
                 let s = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8")?;
-                let c = s.chars().next().unwrap();
+                let c = s.chars().next().expect("checked non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -202,6 +202,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,3 +1,4 @@
+#![deny(clippy::unwrap_used)]
 //! # tcevd-trace — pipeline-wide structured observability
 //!
 //! Zero-overhead-when-disabled instrumentation for the EVD pipeline:
@@ -116,7 +117,7 @@ struct Inner {
 impl Inner {
     fn tid(&self) -> u32 {
         let id = std::thread::current().id();
-        let mut g = self.tids.lock().unwrap();
+        let mut g = self.tids.lock().expect("trace mutex");
         if let Some(&t) = g.0.get(&id) {
             return t;
         }
@@ -138,7 +139,7 @@ impl Inner {
             ts_us: self.ts_us(),
             ph,
         };
-        self.events.lock().unwrap().push(ev);
+        self.events.lock().expect("trace mutex").push(ev);
     }
 }
 
@@ -218,7 +219,7 @@ impl TraceSink {
     /// Increment the monotonic counter `name` by `v`.
     pub fn add(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
-            let mut g = inner.counters.lock().unwrap();
+            let mut g = inner.counters.lock().expect("trace mutex");
             if let Some(c) = g.get_mut(name) {
                 *c += v;
             } else {
@@ -230,7 +231,7 @@ impl TraceSink {
     /// Record one sample into the histogram `name`.
     pub fn record(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
-            let mut g = inner.hists.lock().unwrap();
+            let mut g = inner.hists.lock().expect("trace mutex");
             if let Some(h) = g.get_mut(name) {
                 h.record(v);
             } else {
@@ -245,7 +246,7 @@ impl TraceSink {
     pub fn counter(&self, name: &str) -> u64 {
         self.inner
             .as_ref()
-            .and_then(|i| i.counters.lock().unwrap().get(name).copied())
+            .and_then(|i| i.counters.lock().expect("trace mutex").get(name).copied())
             .unwrap_or(0)
     }
 
@@ -253,7 +254,7 @@ impl TraceSink {
     pub fn counters(&self) -> BTreeMap<String, u64> {
         self.inner
             .as_ref()
-            .map(|i| i.counters.lock().unwrap().clone())
+            .map(|i| i.counters.lock().expect("trace mutex").clone())
             .unwrap_or_default()
     }
 
@@ -261,7 +262,7 @@ impl TraceSink {
     pub fn histograms(&self) -> BTreeMap<String, Histogram> {
         self.inner
             .as_ref()
-            .map(|i| i.hists.lock().unwrap().clone())
+            .map(|i| i.hists.lock().expect("trace mutex").clone())
             .unwrap_or_default()
     }
 
@@ -269,7 +270,7 @@ impl TraceSink {
     pub fn events(&self) -> Vec<Event> {
         self.inner
             .as_ref()
-            .map(|i| i.events.lock().unwrap().clone())
+            .map(|i| i.events.lock().expect("trace mutex").clone())
             .unwrap_or_default()
     }
 
@@ -584,6 +585,7 @@ macro_rules! __span_arg {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

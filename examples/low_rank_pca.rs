@@ -55,6 +55,7 @@ fn main() {
         solver: TridiagSolver::DivideConquer,
         vectors: true,
         trace: false,
+        recovery: Default::default(),
     };
     let ctx = GemmContext::new(Engine::Tc);
     let r = sym_eig(&c32, &opts, &ctx).expect("EVD failed");

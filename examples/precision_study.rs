@@ -35,6 +35,7 @@ fn main() {
         solver: TridiagSolver::DivideConquer,
         vectors: false,
         trace: false,
+        recovery: Default::default(),
     };
     let model = A100Model::default();
     let paper_n = 32768;

@@ -29,6 +29,7 @@ fn main() {
         solver: TridiagSolver::DivideConquer,
         vectors: true,
         trace: false,
+        recovery: Default::default(),
     };
     let ctx = GemmContext::new(Engine::Tc).with_trace();
 

@@ -29,6 +29,7 @@ fn main() {
         solver: TridiagSolver::DivideConquer, // unused by the selected path
         vectors: true,
         trace: false,
+        recovery: Default::default(),
     };
     let ctx = GemmContext::new(Engine::Tc);
 

@@ -57,6 +57,7 @@ fn main() {
         solver: TridiagSolver::DivideConquer,
         vectors: true,
         trace: false,
+        recovery: Default::default(),
     };
     let ctx = GemmContext::new(Engine::Tc);
     let r = sym_eig(&lap32, &opts, &ctx).expect("EVD failed");

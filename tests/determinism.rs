@@ -16,6 +16,7 @@ fn run(seed: u64, engine: Engine) -> (Vec<f32>, Mat<f32>) {
         &a,
         &SymEigOptions {
             trace: false,
+            recovery: Default::default(),
             bandwidth: 8,
             sbr: SbrVariant::Wy { block: 32 },
             panel: PanelKind::Tsqr,

@@ -5,7 +5,7 @@
 use tcevd::band::{bulge_chase, bulge_chase_packed, sbr_wy, PanelKind, SymBand, WyOptions};
 use tcevd::evd::{
     jacobi_eig, refine_eigenvalues_rayleigh, sym_eig, sym_eig_selected, sym_eigenvalues,
-    sym_eigenvalues_ref, EigError, EigRange, SbrVariant, SymEigOptions, TridiagSolver,
+    sym_eigenvalues_ref, EigRange, SbrVariant, SymEigOptions, TridiagSolver,
 };
 use tcevd::matrix::{Mat, Op};
 use tcevd::tensorcore::{tc_gemm, tc_syr2k, Engine, GemmContext};
@@ -14,6 +14,7 @@ use tcevd::testmat::{generate, MatrixType};
 fn opts(b: usize, nb: usize, vectors: bool) -> SymEigOptions {
     SymEigOptions {
         trace: false,
+        recovery: Default::default(),
         bandwidth: b,
         sbr: SbrVariant::Wy { block: nb },
         panel: PanelKind::Tsqr,
@@ -81,7 +82,8 @@ fn packed_and_dense_stage2_agree_inside_pipeline() {
             accumulate_q: false,
         },
         &ctx,
-    );
+    )
+    .expect("sbr reduction");
     let chase = bulge_chase(&r.band, 8, false);
     let t = tcevd::evd::SymTridiag::new(chase.diag, chase.offdiag);
     let vals_manual = tcevd::evd::tridiag_eig_dc(&t).unwrap().0;
@@ -105,7 +107,8 @@ fn packed_chase_on_tc_band_output() {
             accumulate_q: false,
         },
         &ctx,
-    );
+    )
+    .expect("sbr reduction");
     let packed = SymBand::from_dense(&r.band, 8);
     let rp = bulge_chase_packed(&packed, false);
     let rd = bulge_chase(&r.band, 8, false);
@@ -240,12 +243,22 @@ fn nan_input_fails_fast() {
     a[(5, 3)] = f32::NAN;
     let ctx = GemmContext::new(Engine::Sgemm);
     let r = sym_eig(&a, &opts(4, 8, false), &ctx);
-    assert_eq!(r.err(), Some(EigError::NonFiniteInput));
+    assert_eq!(
+        r.err(),
+        Some(tcevd::evd::EvdError::NonFinite {
+            stage: tcevd::evd::EvdStage::Input
+        })
+    );
 
     let mut b: Mat<f32> = generate(16, MatrixType::Normal, 311).cast();
     b[(0, 0)] = f32::INFINITY;
     let r = sym_eig(&b, &opts(4, 8, true), &ctx);
-    assert_eq!(r.err(), Some(EigError::NonFiniteInput));
+    assert_eq!(
+        r.err(),
+        Some(tcevd::evd::EvdError::NonFinite {
+            stage: tcevd::evd::EvdStage::Input
+        })
+    );
 }
 
 #[test]

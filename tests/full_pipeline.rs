@@ -14,6 +14,7 @@ use tcevd::testmat::{generate, MatrixType};
 fn opts(b: usize, nb: usize, vectors: bool) -> SymEigOptions {
     SymEigOptions {
         trace: false,
+        recovery: Default::default(),
         bandwidth: b,
         sbr: SbrVariant::Wy { block: nb },
         panel: PanelKind::Tsqr,

@@ -13,6 +13,7 @@ use tcevd::testmat::{generate, MatrixType};
 fn opts(vectors: bool) -> SymEigOptions {
     SymEigOptions {
         trace: false,
+        recovery: Default::default(),
         bandwidth: 8,
         sbr: SbrVariant::Wy { block: 32 },
         panel: PanelKind::Tsqr,

@@ -147,7 +147,7 @@ proptest! {
         let ctx = GemmContext::new(Engine::Sgemm);
         let r = sbr_wy(&a32, &WyOptions {
             bandwidth: 8, block: 16, panel: PanelKind::Tsqr, accumulate_q: false,
-        }, &ctx);
+        }, &ctx).expect("sbr reduction");
         let tr_a: f32 = (0..48).map(|i| a32[(i, i)]).sum();
         let tr_b: f32 = (0..48).map(|i| r.band[(i, i)]).sum();
         prop_assert!((tr_a - tr_b).abs() < 1e-3 * (1.0 + tr_a.abs()));

@@ -28,7 +28,8 @@ fn real_and_model_traces_agree_across_configs() {
                 accumulate_q: false,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         let real: Vec<_> = ctx
             .take_trace()
             .iter()
@@ -50,7 +51,8 @@ fn real_and_model_traces_agree_across_configs() {
                 accumulate_q: false,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         let real: Vec<_> = ctx
             .take_trace()
             .iter()
@@ -83,7 +85,8 @@ fn real_and_model_engine_fields_agree() {
                 accumulate_q: false,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         assert_eq!(
             ctx.take_trace(),
             zy_trace_on(n, b, engine).gemms,
@@ -100,7 +103,8 @@ fn real_and_model_engine_fields_agree() {
                 accumulate_q: false,
             },
             &ctx,
-        );
+        )
+        .expect("sbr reduction");
         assert_eq!(
             ctx.take_trace(),
             wy_trace_on(n, b, nb, engine).gemms,
@@ -123,7 +127,8 @@ fn formw_trace_matches_real_merge_tree() {
             accumulate_q: false,
         },
         &ctx,
-    );
+    )
+    .expect("sbr reduction");
     let _ = ctx.take_trace();
     let _ = form_wy(&r.levels, n, &ctx);
     let mut real: Vec<_> = ctx

@@ -29,6 +29,7 @@ fn traced_run(seed: u64) -> (TraceSink, GemmContext) {
         solver: TridiagSolver::DivideConquer,
         vectors: true,
         trace: true,
+        recovery: Default::default(),
     };
     sym_eig(&a, &opts, &ctx).expect("traced run");
     (sink, ctx)
