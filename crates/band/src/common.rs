@@ -57,7 +57,7 @@ pub fn clip_to_band(a: &mut Mat<f32>, b: usize) {
     for j in 0..n {
         for i in 0..n {
             if i.abs_diff(j) > b {
-                a[(i, j)] = 0.0;
+                a.set(i, j, 0.0);
             }
         }
     }
@@ -69,9 +69,9 @@ pub fn symmetrize(a: &mut Mat<f32>) {
     let n = a.rows();
     for j in 0..n {
         for i in 0..j {
-            let s = 0.5 * (a[(i, j)] + a[(j, i)]);
-            a[(i, j)] = s;
-            a[(j, i)] = s;
+            let s = 0.5 * (a.get(i, j) + a.get(j, i));
+            a.set(i, j, s);
+            a.set(j, i, s);
         }
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcevd-band — successive band reduction and bulge chasing
 //!
 //! The two stages of two-stage tridiagonalization (paper Figure 1), plus the

@@ -102,9 +102,9 @@ fn assemble_tsqr_panel<T: Scalar>(
     b: usize,
 ) -> FactoredPanel<T> {
     let mut reduced = Mat::<T>::zeros(m, b);
-    for j in 0..b {
-        for i in 0..=j {
-            reduced[(i, j)] = r[(i, j)] * wy.signs[i];
+    for (i, &s) in wy.signs.iter().enumerate().take(b) {
+        for j in i..b {
+            reduced.set(i, j, r.get(i, j) * s);
         }
     }
     FactoredPanel {
@@ -124,7 +124,7 @@ fn householder_panel<T: Scalar>(panel: MatRef<'_, T>) -> FactoredPanel<T> {
     let mut reduced = Mat::<T>::zeros(m, b);
     for j in 0..b {
         for i in 0..=j.min(k - 1) {
-            reduced[(i, j)] = packed[(i, j)];
+            reduced.set(i, j, packed.get(i, j));
         }
     }
     FactoredPanel { w, y, reduced }

@@ -215,6 +215,25 @@ mod tests {
     }
 
     #[test]
+    fn model_labels_are_all_registered() {
+        // The dry-run models must emit labels from the closed registry in
+        // `tcevd-tensorcore::labels`, or fault plans / sanitizer reports /
+        // per-label flop counters keyed on real traces can never match them.
+        let mut recs = Vec::new();
+        recs.extend(zy_trace(64, 8).gemms);
+        recs.extend(wy_trace(64, 8, 16).gemms);
+        recs.extend(formw_trace(64, 8, 16, 64));
+        assert!(!recs.is_empty());
+        for r in &recs {
+            assert!(
+                tcevd_tensorcore::is_registered(r.label),
+                "trace-model label {:?} missing from GEMM_LABELS",
+                r.label
+            );
+        }
+    }
+
+    #[test]
     fn zy_model_matches_real_trace() {
         for (n, b) in [(96, 8), (70, 8), (64, 16), (30, 4)] {
             let a: Mat<f32> = generate(n, MatrixType::Normal, 31).cast();

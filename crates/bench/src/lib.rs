@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcevd-bench — paper reproduction harness
 //!
 //! One generator per table/figure of the paper's evaluation. Each function

@@ -79,6 +79,17 @@ pub enum EvdError {
         /// Human-readable diagnosis (residual magnitudes, tolerances, …).
         detail: String,
     },
+    /// The runtime numerical sanitizer (feature `sanitize`) caught a NaN/±∞
+    /// or f16-out-of-range value at a GEMM boundary and attributed it to the
+    /// step label of the GEMM that produced (or consumed) it.
+    Sanitizer {
+        /// The registered GEMM step label the violation is attributed to.
+        label: &'static str,
+        /// The pipeline stage at whose boundary the violation surfaced.
+        stage: EvdStage,
+        /// Full report: kind, value, position, operand provenance.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EvdError {
@@ -96,6 +107,16 @@ impl std::fmt::Display for EvdError {
             }
             EvdError::Unrecoverable { stage, detail } => {
                 write!(f, "unrecoverable failure during {stage}: {detail}")
+            }
+            EvdError::Sanitizer {
+                label,
+                stage,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "sanitizer violation during {stage} at GEMM {label:?}: {detail}"
+                )
             }
         }
     }

@@ -73,15 +73,25 @@ pub fn apply_plan(plan: &FaultPlan, ctx: &GemmContext) {
             }
             Fault::DcFail { times } => fail_dc(*times),
             Fault::QlFail { times } => fail_ql(*times),
-            Fault::Gemm { label, nth, mode } => ctx.arm_fault(GemmFault {
-                label: label.clone(),
-                nth: *nth,
-                mode: match mode {
-                    GemmFaultMode::Nan => FaultMode::Nan,
-                    GemmFaultMode::Inf => FaultMode::Inf,
-                    GemmFaultMode::F16Overflow => FaultMode::F16Overflow,
-                },
-            }),
+            Fault::Gemm { label, nth, mode } => {
+                // A label outside the registry can never match a call site:
+                // the fault would silently never fire. Tally it so harnesses
+                // catch plan typos (`tcevd-lint` R1 closes the registry).
+                if let Some(l) = label {
+                    if !tcevd_tensorcore::is_registered(l) {
+                        ctx.sink().add("fault.unregistered_label", 1);
+                    }
+                }
+                ctx.arm_fault(GemmFault {
+                    label: label.clone(),
+                    nth: *nth,
+                    mode: match mode {
+                        GemmFaultMode::Nan => FaultMode::Nan,
+                        GemmFaultMode::Inf => FaultMode::Inf,
+                        GemmFaultMode::F16Overflow => FaultMode::F16Overflow,
+                    },
+                });
+            }
         }
     }
 }
@@ -100,6 +110,23 @@ mod tests {
         fail_ql(1);
         reset();
         assert!(!take_ql_failure());
+    }
+
+    #[test]
+    fn unregistered_plan_label_is_tallied() {
+        use tcevd_trace::TraceSink;
+        let plan = FaultPlan::parse_json(
+            r#"[
+              {"kind": "gemm", "label": "no_such_step", "mode": "nan"},
+              {"kind": "gemm", "label": "evd_q2z", "mode": "inf"}
+            ]"#,
+        )
+        .unwrap();
+        let sink = TraceSink::enabled();
+        let ctx = GemmContext::new(tcevd_tensorcore::Engine::Sgemm).with_sink(sink.clone());
+        apply_plan(&plan, &ctx);
+        assert_eq!(sink.counter("fault.unregistered_label"), 1);
+        ctx.clear_faults();
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcevd-core — symmetric eigenvalue decomposition drivers
 //!
 //! The paper's primary deliverable assembled from the substrate crates: a

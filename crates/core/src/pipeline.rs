@@ -98,6 +98,7 @@ impl RecoveryPolicy {
     /// No recovery at all: the first failure anywhere is returned verbatim.
     /// (The panel LU escalation in `tcevd-band` is unconditional — it never
     /// changes the result, only how it is computed.)
+    // tcevd-lint: allow(R4) — infallible constructor, not a pipeline entry point
     pub fn disabled() -> Self {
         RecoveryPolicy {
             solver_fallback: false,
@@ -265,6 +266,28 @@ fn ensure_finite(data: &[f32], stage: EvdStage) -> Result<(), EvdError> {
     }
 }
 
+/// Surface the runtime sanitizer's first recorded GEMM violation (feature
+/// `sanitize`) as a typed, label-attributed error at a stage boundary.
+/// Checked *before* the stage's own `ensure_finite` scan so the report that
+/// names the offending GEMM wins over the generic stage-tagged one; drains
+/// the context's report slot so a recovery re-run starts clean.
+#[cfg(feature = "sanitize")]
+fn check_sanitizer(ctx: &GemmContext, stage: EvdStage) -> Result<(), EvdError> {
+    match ctx.take_sanitize_report() {
+        Some(r) => Err(EvdError::Sanitizer {
+            label: r.label,
+            stage,
+            detail: r.to_string(),
+        }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+fn check_sanitizer(_ctx: &GemmContext, _stage: EvdStage) -> Result<(), EvdError> {
+    Ok(())
+}
+
 /// One full pass of the two-stage pipeline with an explicit tridiagonal
 /// solver choice (so the verification rung can re-run with the other one).
 fn run_pipeline(
@@ -318,7 +341,9 @@ fn run_pipeline(
     };
     // A corrupted GEMM (fp16 overflow to Inf, a poisoned accumulator, …)
     // surfaces here as a stage-tagged error instead of a downstream
-    // non-convergence mystery.
+    // non-convergence mystery. Under the `sanitize` feature the per-GEMM
+    // scan reports first, naming the exact label that produced the value.
+    check_sanitizer(ctx, EvdStage::Sbr)?;
     ensure_finite(band.as_slice(), EvdStage::Sbr)?;
 
     // Stage 2: bulge chasing to tridiagonal. The eigenvalues-only path uses
@@ -342,13 +367,21 @@ fn run_pipeline(
     ensure_finite(&t.e, EvdStage::BulgeChase)?;
 
     let (values, z) = solve_tridiag(&t, solver, true, &opts.recovery, sink)?;
-    let z = z.expect("solve_tridiag returns vectors when requested");
+    let Some(z) = z else {
+        return Err(EvdError::Unrecoverable {
+            stage: EvdStage::TridiagSolve,
+            detail: "tridiagonal solver returned no eigenvectors despite request".to_string(),
+        });
+    };
 
     // Back-transformation: X = Q₁·Q₂·Z.
     let _bt_span = span!(sink, "back_transform", n);
-    let q2 = chase
-        .q
-        .expect("bulge chase accumulates Q when vectors requested");
+    let Some(q2) = chase.q else {
+        return Err(EvdError::Unrecoverable {
+            stage: EvdStage::BackTransform,
+            detail: "bulge chase did not accumulate Q despite vector request".to_string(),
+        });
+    };
     let mut x = Mat::<f32>::zeros(n, n);
     ctx.gemm(
         "evd_q2z",
@@ -381,6 +414,7 @@ fn run_pipeline(
         }
         (None, None) => {} // n ≤ b+1: SBR was a no-op, Q₁ = I
     }
+    check_sanitizer(ctx, EvdStage::BackTransform)?;
     ensure_finite(x.as_slice(), EvdStage::BackTransform)?;
 
     Ok(SymEigResult {
@@ -542,6 +576,7 @@ pub fn sym_eig_selected(
         },
         ctx,
     )?;
+    check_sanitizer(ctx, EvdStage::Sbr)?;
     ensure_finite(r.band.as_slice(), EvdStage::Sbr)?;
 
     // Stage 2 with Q₂ (needed to lift tridiagonal vectors to band space).
@@ -560,7 +595,12 @@ pub fn sym_eig_selected(
     }
 
     // X = Q₁·(Q₂·Z_sel)
-    let q2 = chase.q.expect("bulge chase accumulated Q");
+    let Some(q2) = chase.q else {
+        return Err(EvdError::Unrecoverable {
+            stage: EvdStage::BackTransform,
+            detail: "bulge chase did not accumulate Q despite vector request".to_string(),
+        });
+    };
     let mut x = Mat::<f32>::zeros(n, k);
     ctx.gemm(
         "evd_sel_q2z",
@@ -576,6 +616,7 @@ pub fn sym_eig_selected(
         let (w, y) = form_wy(&r.levels, n, ctx);
         tcevd_band::apply_q(w.as_ref(), y.as_ref(), &mut x, ctx);
     }
+    check_sanitizer(ctx, EvdStage::BackTransform)?;
     ensure_finite(x.as_slice(), EvdStage::BackTransform)?;
     Ok(SymEigResult {
         values,

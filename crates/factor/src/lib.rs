@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcevd-factor — orthogonal and triangular factorizations
 //!
 //! The factorization toolbox under the band-reduction algorithms:

@@ -1,0 +1,566 @@
+//! A hand-rolled token-level lexer for Rust source — just enough syntax for
+//! the lint rules, with no `syn`/`proc-macro2` dependency.
+//!
+//! Understands (so the rules never fire inside them):
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw strings
+//!   (`r"…"`, `r#"…"#`, any number of `#`s);
+//! * char literals vs. lifetimes (`'a'` vs `'a`);
+//!
+//! and produces a flat token stream where every token carries its 1-based
+//! line and an `in_test` flag. Test regions are marked by a post-pass that
+//! brace-matches the item following a `#[test]` / `#[cfg(test)]`-style
+//! attribute (any attribute whose tokens include the ident `test`, except
+//! under `not(…)`).
+//!
+//! Comments are also scanned for waiver directives:
+//! `// tcevd-lint: allow(R3)` (comma-separated rule ids allowed). A waiver
+//! on line `L` suppresses matching diagnostics on lines `L..=L+2`, so the
+//! directive sits on or just above the offending line.
+
+/// Token classes the rules dispatch on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (text = decoded-enough contents, escapes left as-is).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: Kind,
+    /// Identifier text, string contents, or the punctuation character.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// Inside a `#[test]` / `#[cfg(test)]` item (or a test-only file).
+    pub in_test: bool,
+}
+
+impl Token {
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+}
+
+/// A `// tcevd-lint: allow(Rn, …)` directive found in a comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// 1-based line the directive's comment starts on.
+    pub line: usize,
+    /// Rule id, e.g. `"R3"`.
+    pub rule: String,
+}
+
+/// The lexed file: token stream plus the waivers its comments declared.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub waivers: Vec<Waiver>,
+}
+
+impl Lexed {
+    /// Whether a diagnostic for `rule` at `line` is suppressed by a waiver
+    /// on lines `line-2 ..= line`.
+    pub fn waived(&self, rule: &str, line: usize) -> bool {
+        self.waivers
+            .iter()
+            .any(|w| w.rule == rule && w.line <= line && line <= w.line + 2)
+    }
+}
+
+/// Lex `src` into tokens + waivers and mark test regions.
+/// `all_test` pre-marks every token (for files under `tests/` etc.).
+pub fn lex(src: &str, all_test: bool) -> Lexed {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    };
+    lx.run();
+    let mut lexed = lx.out;
+    if all_test {
+        for t in &mut lexed.tokens {
+            t.in_test = true;
+        }
+    } else {
+        mark_test_regions(&mut lexed.tokens);
+    }
+    lexed
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.src.get(self.pos + off).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: usize) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            in_test: false,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'"' => self.string_lit(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump();
+                    self.push(Kind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.scan_waivers(&text, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume /*
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.scan_waivers(&text, line);
+    }
+
+    /// Parse every `tcevd-lint: allow(R1, R4)` directive in a comment.
+    fn scan_waivers(&mut self, comment: &str, line: usize) {
+        let mut rest = comment;
+        while let Some(i) = rest.find("tcevd-lint:") {
+            rest = &rest[i + "tcevd-lint:".len()..];
+            let Some(open) = rest.find("allow(") else {
+                break;
+            };
+            let after = &rest[open + "allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            for rule in after[..close].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    self.out.waivers.push(Waiver {
+                        line,
+                        rule: rule.to_string(),
+                    });
+                }
+            }
+            rest = &after[close..];
+        }
+    }
+
+    /// Try `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`; returns false if the `r`/`b`
+    /// is just an identifier start.
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut off = 1;
+        if self.peek(0) == b'b' && self.peek(1) == b'r' {
+            off = 2;
+        }
+        let mut hashes = 0;
+        while self.peek(off + hashes) == b'#' {
+            hashes += 1;
+        }
+        let is_raw = self.peek(0) != b'b' || off == 2 || hashes > 0;
+        // r/br with hashes-or-quote next → raw string; b"…" → plain byte str
+        if self.peek(off + hashes) != b'"' {
+            return false;
+        }
+        if (self.peek(0) == b'r' || off == 2) && is_raw {
+            let line = self.line;
+            for _ in 0..off + hashes + 1 {
+                self.bump();
+            }
+            let start = self.pos;
+            // scan for `"` followed by `hashes` hashes
+            loop {
+                if self.pos >= self.src.len() {
+                    break;
+                }
+                if self.peek(0) == b'"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                        for _ in 0..hashes + 1 {
+                            self.bump();
+                        }
+                        self.push(Kind::Str, text, line);
+                        return true;
+                    }
+                }
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(Kind::Str, text, line);
+            return true;
+        }
+        // b"…": consume the b, fall through to the plain string lexer
+        self.bump();
+        self.string_lit();
+        true
+    }
+
+    fn string_lit(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.push(Kind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // Lifetime: 'ident NOT followed by a closing quote.
+        if (self.peek(1).is_ascii_alphabetic() || self.peek(1) == b'_') && self.peek(2) != b'\'' {
+            self.bump(); // '
+            let start = self.pos;
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(Kind::Lifetime, text, line);
+            return;
+        }
+        self.bump(); // opening '
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        self.push(Kind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        // fractional part — but not the `..` of a range
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        // exponent sign: 1.5e-3
+        if (self.peek(0) == b'-' || self.peek(0) == b'+')
+            && self
+                .src
+                .get(self.pos.wrapping_sub(1))
+                .is_some_and(|c| *c == b'e' || *c == b'E')
+        {
+            self.bump();
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(Kind::Num, text, line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(Kind::Ident, text, line);
+    }
+}
+
+/// Mark the item following every test attribute (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(all(test, …))]`, …) as `in_test`, by brace-matching its body.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, is_test)) = scan_attribute(tokens, i + 1) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further stacked attributes.
+        let mut j = attr_end + 1;
+        while j < tokens.len()
+            && tokens[j].is_punct('#')
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            match scan_attribute(tokens, j + 1) {
+                Some((end, _)) => j = end + 1,
+                None => break,
+            }
+        }
+        // Mark to the end of the item: the matching `}` of its first body
+        // brace, or a `;` before any brace (e.g. `#[cfg(test)] use …;`).
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < tokens.len() {
+            if tokens[k].kind == Kind::Punct {
+                match tokens[k].text.as_bytes().first() {
+                    Some(b'{') => depth += 1,
+                    Some(b'}') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    Some(b';') if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        let end = (k + 1).min(tokens.len());
+        for t in tokens.iter_mut().take(end).skip(i) {
+            t.in_test = true;
+        }
+        i = k + 1;
+    }
+}
+
+/// Scan an attribute starting at its `[` token; returns (index of the
+/// matching `]`, whether it is a test attribute). A `test` ident under
+/// `not(…)` does NOT count (`#[cfg(not(test))]` guards non-test code).
+fn scan_attribute(tokens: &[Token], open: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut k = open;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.kind == Kind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'[') => depth += 1,
+                Some(b']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some((k, is_test));
+                    }
+                }
+                _ => {}
+            }
+        } else if t.is_ident("test") {
+            let negated = k >= 2
+                && tokens
+                    .get(k.wrapping_sub(2))
+                    .is_some_and(|p| p.is_ident("not"))
+                && tokens
+                    .get(k.wrapping_sub(1))
+                    .is_some_and(|p| p.is_punct('('));
+            if !negated {
+                is_test = true;
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_invisible() {
+        let lx = lex(
+            r##"
+// ctx.gemm("fake_label", …) in a comment
+/* nested /* block */ ctx.gemm("x") */
+let s = "gemm(\"quoted\")";
+let r = r#"raw "gemm" body"#;
+let c = '"';
+real_ident();
+"##,
+            false,
+        );
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "r", "let", "c", "real_ident"]);
+        let strs: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].contains("raw"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lx = lex(
+            "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }",
+            false,
+        );
+        let lifetimes = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .count();
+        let chars = lx.tokens.iter().filter(|t| t.kind == Kind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = r#"
+fn live() { a.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { b.unwrap(); }
+}
+fn live2() {}
+#[test]
+fn one_test() { c.unwrap(); }
+fn live3() {}
+"#;
+        let lx = lex(src, false);
+        let find = |name: &str| lx.tokens.iter().find(|t| t.is_ident(name)).unwrap();
+        assert!(!find("live").in_test);
+        assert!(find("helper").in_test);
+        assert!(!find("live2").in_test);
+        assert!(find("one_test").in_test);
+        assert!(!find("live3").in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_marks_and_not_test_does_not() {
+        let src = r#"
+#[cfg(all(test, feature = "sanitize"))]
+mod sanitize_tests { fn t() { x.unwrap(); } }
+#[cfg(not(test))]
+fn shipped() { y.unwrap(); }
+"#;
+        let lx = lex(src, false);
+        let find = |name: &str| lx.tokens.iter().find(|t| t.is_ident(name)).unwrap();
+        assert!(find("t").in_test);
+        assert!(!find("shipped").in_test);
+    }
+
+    #[test]
+    fn waivers_parse_and_scope() {
+        let src = "// tcevd-lint: allow(R3, R4)\nfn f() {}\n\n\nfn g() {}\n";
+        let lx = lex(src, false);
+        assert_eq!(lx.waivers.len(), 2);
+        assert!(lx.waived("R3", 1));
+        assert!(lx.waived("R3", 2));
+        assert!(lx.waived("R4", 3));
+        assert!(!lx.waived("R3", 4)); // out of the 3-line window
+        assert!(!lx.waived("R1", 2)); // different rule
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lx = lex("for i in 0..n { x(1.5e-3); }", false);
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == Kind::Num && t.text == "0"));
+        assert!(lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == Kind::Num && t.text == "1.5e-3"));
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.is_punct('.')).count(),
+            2,
+            "range dots survive"
+        );
+    }
+}

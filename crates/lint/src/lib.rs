@@ -1,0 +1,252 @@
+#![forbid(unsafe_code)]
+//! `tcevd-lint` — repo-specific static analysis for the Tensor-Core EVD
+//! workspace.
+//!
+//! The engine is deliberately dependency-free: a hand-rolled token-level
+//! lexer ([`lexer`]) feeds a small set of rules ([`rules`]) that encode
+//! invariants no off-the-shelf linter knows about:
+//!
+//! - **R1** every `GemmContext::gemm` / `syr2k_update` call site passes a
+//!   static string label drawn from the registry in
+//!   `crates/tensorcore/src/labels.rs`; the dry-run trace model uses the
+//!   same label set; no registry entry is dead.
+//! - **R2** lossy precision conversions (`round_through_f16`,
+//!   `truncate_f16`, `round_to_tf32`, `F16::from_f32`) appear only inside
+//!   the precision boundary (`crates/matrix/src/f16.rs` and
+//!   `crates/tensorcore`).
+//! - **R3** hot-path files contain no `unwrap`/`expect`/`panic!`-family
+//!   macros and no `[...]` indexing outside test code.
+//! - **R4** public functions in pipeline modules return `Result`.
+//! - **R5** every crate root carries `#![forbid(unsafe_code)]` and the
+//!   `unsafe` keyword never appears.
+//!
+//! Findings can be waived line-locally with a
+//! `// tcevd-lint: allow(R3)` comment; the waiver covers the comment's
+//! line and the two lines after it.
+//!
+//! Run it with `cargo run -p tcevd-lint`; it exits non-zero when any
+//! diagnostic fires and prints `file:line: RULE: message` lines.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+use lexer::{Kind, Lexed};
+
+/// One lint finding, addressed by workspace-relative path (forward
+/// slashes) and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The GEMM label registry parsed out of `crates/tensorcore/src/labels.rs`:
+/// every string literal inside the `GEMM_LABELS` array, with its line.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// Workspace-relative path of the registry source file.
+    pub path: String,
+    /// `(label, line)` pairs in declaration order.
+    pub labels: Vec<(String, usize)>,
+}
+
+/// Path of the registry source, relative to the workspace root.
+pub const REGISTRY_PATH: &str = "crates/tensorcore/src/labels.rs";
+
+/// Parse the `GEMM_LABELS` array from registry source text.
+///
+/// Token-level: finds the `GEMM_LABELS` identifier, skips to the first `[`
+/// after it, and collects every string literal until the matching `]`.
+pub fn parse_registry(src: &str) -> Registry {
+    let lx = lexer::lex(src, false);
+    let toks = &lx.tokens;
+    let mut reg = Registry {
+        path: REGISTRY_PATH.to_string(),
+        labels: Vec::new(),
+    };
+    let Some(start) = toks.iter().position(|t| t.is_ident("GEMM_LABELS")) else {
+        return reg;
+    };
+    // Skip past the `=` so the `[` in the `&[&str]` type annotation is not
+    // mistaken for the array opener.
+    let Some(eq) = toks[start..].iter().position(|t| t.is_punct('=')) else {
+        return reg;
+    };
+    let Some(open) = toks[start + eq..].iter().position(|t| t.is_punct('[')) else {
+        return reg;
+    };
+    let mut depth = 0usize;
+    for t in &toks[start + eq + open..] {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == Kind::Str && depth == 1 {
+            reg.labels.push((t.text.clone(), t.line));
+        }
+    }
+    reg
+}
+
+/// True when a workspace-relative path holds code that is test-only in its
+/// entirety (integration tests, benches, examples): R1's literal-label and
+/// R3's hygiene requirements do not apply there.
+pub fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples")
+}
+
+/// Lint one source file given its workspace-relative path. `used` collects
+/// the GEMM labels this file consumes (for the registry dead-entry check).
+pub fn lint_source(
+    path: &str,
+    src: &str,
+    reg: &Registry,
+    used: &mut BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let lx: Lexed = lexer::lex(src, is_test_path(path));
+    rules::r1_call_sites(path, &lx, reg, used, out);
+    rules::r1_trace_model(path, &lx, reg, out);
+    rules::r2_precision_boundary(path, &lx, out);
+    rules::r3_hot_path(path, &lx, out);
+    rules::r4_result_surface(path, &lx, out);
+    if path.ends_with("src/lib.rs") {
+        rules::r5_forbid_unsafe_attr(path, &lx, out);
+    }
+    rules::r5_no_unsafe(path, &lx, out);
+}
+
+/// Every `.rs` file the lint covers, workspace-relative with forward
+/// slashes, sorted. Skips `target/`, hidden directories, and the lint
+/// crate itself (it must mention banned tokens to detect them).
+pub fn workspace_files(root: &Path) -> Vec<String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name == "target" || name.starts_with('.') {
+                    continue;
+                }
+                if p == root.join("crates").join("lint") {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                if let Some(rel) = relative(root, &p) {
+                    files.push(rel);
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn relative(root: &Path, p: &Path) -> Option<String> {
+    let rel = p.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for c in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&c.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+/// Lint the whole workspace rooted at `root`. Returns all diagnostics,
+/// sorted by (file, line, rule).
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let reg_src = std::fs::read_to_string(root.join(REGISTRY_PATH)).unwrap_or_default();
+    let reg = parse_registry(&reg_src);
+    if reg.labels.is_empty() {
+        out.push(Diagnostic {
+            file: REGISTRY_PATH.to_string(),
+            line: 1,
+            rule: "R1",
+            message: "GEMM label registry is missing or empty".to_string(),
+        });
+        return out;
+    }
+    let mut used = BTreeSet::new();
+    for rel in workspace_files(root) {
+        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
+            continue;
+        };
+        lint_source(&rel, &src, &reg, &mut used, &mut out);
+    }
+    rules::r1_unused_entries(&reg, &used, &mut out);
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_parses_labels_with_lines() {
+        let src = r#"
+pub const GEMM_LABELS: &[&str] = &[
+    "sbr_panel_update",
+    "zy_aw",
+];
+pub fn is_registered(l: &str) -> bool { GEMM_LABELS.contains(&l) }
+"#;
+        let reg = parse_registry(src);
+        assert_eq!(
+            reg.labels,
+            vec![
+                ("sbr_panel_update".to_string(), 3),
+                ("zy_aw".to_string(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn test_paths_are_recognised() {
+        assert!(is_test_path("tests/full_pipeline.rs"));
+        assert!(is_test_path("crates/bench/benches/gemm.rs"));
+        assert!(is_test_path("examples/demo.rs"));
+        assert!(!is_test_path("crates/core/src/pipeline.rs"));
+    }
+
+    #[test]
+    fn diagnostics_render_as_file_line_rule() {
+        let d = Diagnostic {
+            file: "a/b.rs".to_string(),
+            line: 7,
+            rule: "R3",
+            message: "nope".to_string(),
+        };
+        assert_eq!(d.to_string(), "a/b.rs:7: R3: nope");
+    }
+}

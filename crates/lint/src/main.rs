@@ -1,0 +1,37 @@
+#![forbid(unsafe_code)]
+//! CLI entry point: `cargo run -p tcevd-lint` from anywhere in the
+//! workspace. Prints `file:line: RULE: message` per finding and exits
+//! non-zero when anything fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // The binary is compiled from crates/lint; the workspace root is two
+    // levels up from its manifest. Falls back to the current directory so
+    // a copied binary can still run from a checkout root.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let candidate = manifest.join("..").join("..");
+    if candidate.join("Cargo.toml").is_file() {
+        return candidate;
+    }
+    PathBuf::from(".")
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => workspace_root(),
+    };
+    let diags = tcevd_lint::lint_workspace(&root);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("tcevd-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tcevd-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

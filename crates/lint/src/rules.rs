@@ -1,0 +1,407 @@
+//! The rule set. Every rule takes the lexed token stream plus the
+//! workspace-relative path (forward slashes) and appends [`Diagnostic`]s.
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1 | GEMM call sites pass a registered static label; registry entries are all used; trace-model labels are registered |
+//! | R2 | lossy precision conversions stay inside the precision boundary |
+//! | R3 | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` and no `[` indexing in hot paths |
+//! | R4 | public pipeline functions return `Result` |
+//! | R5 | every crate forbids `unsafe_code` (and none uses `unsafe`) |
+
+use crate::lexer::{Kind, Lexed, Token};
+use crate::{Diagnostic, Registry};
+
+/// Hot-path files under rule R3 (no-panic, no-indexing hygiene).
+pub const R3_FILES: &[&str] = &[
+    "crates/band/src/common.rs",
+    "crates/band/src/formw.rs",
+    "crates/band/src/panel.rs",
+    "crates/band/src/sbr_wy.rs",
+    "crates/band/src/sbr_zy.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/tensorcore/src/engine.rs",
+];
+
+/// Pipeline modules whose public functions must return `Result` (R4).
+pub const R4_FILES: &[&str] = &[
+    "crates/band/src/formw.rs",
+    "crates/band/src/sbr_wy.rs",
+    "crates/band/src/sbr_zy.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/svd.rs",
+    "crates/factor/src/reconstruct.rs",
+];
+
+/// Files allowed to perform lossy precision conversion (R2): the fp16/tf32
+/// scalar emulation itself and the Tensor-Core simulator built on it.
+pub const R2_ALLOWED: &[&str] = &["crates/matrix/src/f16.rs", "crates/tensorcore/"];
+
+/// Lossy conversion entry points R2 contains.
+const R2_BANNED_IDENTS: &[&str] = &["round_through_f16", "truncate_f16", "round_to_tf32"];
+
+/// The GEMM-forwarding layer itself: passes its `label` parameter through,
+/// so R1's literal-label requirement does not apply to it.
+const R1_EXEMPT: &[&str] = &["crates/tensorcore/src/engine.rs"];
+
+fn diag(out: &mut Vec<Diagnostic>, path: &str, line: usize, rule: &'static str, msg: String) {
+    out.push(Diagnostic {
+        file: path.to_string(),
+        line,
+        rule,
+        message: msg,
+    });
+}
+
+fn in_list(path: &str, list: &[&str]) -> bool {
+    list.iter().any(|p| {
+        if p.ends_with('/') {
+            path.starts_with(p)
+        } else {
+            path == *p
+        }
+    })
+}
+
+/// R1a: every `.gemm(` / `.syr2k_update(` call site in non-test code passes
+/// a string-literal first argument drawn from the registry. Returns the
+/// labels used (for the registry's unused-entry check).
+pub fn r1_call_sites(
+    path: &str,
+    lx: &Lexed,
+    reg: &Registry,
+    used: &mut std::collections::BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        if !(toks[i].is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("gemm") || t.is_ident("syr2k_update"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        let call = &toks[i + 1];
+        let Some(arg) = toks.get(i + 3) else { continue };
+        if call.in_test {
+            continue; // test call sites may use ad-hoc labels
+        }
+        if in_list(path, R1_EXEMPT) {
+            continue;
+        }
+        let line = arg.line;
+        if lx.waived("R1", line) {
+            continue;
+        }
+        if arg.kind != Kind::Str {
+            diag(
+                out,
+                path,
+                line,
+                "R1",
+                format!(
+                    "{} call must pass a static string label as its first \
+                     argument (got `{}`)",
+                    call.text, arg.text
+                ),
+            );
+            continue;
+        }
+        used.insert(arg.text.clone());
+        if !reg.labels.iter().any(|(l, _)| l == &arg.text) {
+            diag(
+                out,
+                path,
+                line,
+                "R1",
+                format!(
+                    "GEMM label {:?} is not in the registry \
+                     (crates/tensorcore/src/labels.rs)",
+                    arg.text
+                ),
+            );
+        }
+    }
+}
+
+/// R1b: string labels fed to the dry-run trace model's `rec(`/`rec_on(`
+/// generators must also come from the registry, so model traces stay
+/// join-able with real traces.
+pub fn r1_trace_model(path: &str, lx: &Lexed, reg: &Registry, out: &mut Vec<Diagnostic>) {
+    if !path.ends_with("trace_model.rs") {
+        return;
+    }
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        if !((toks[i].is_ident("rec") || toks[i].is_ident("rec_on"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        if toks[i].in_test {
+            continue;
+        }
+        // scan the argument list (depth-1) for string literals
+        let mut depth = 0usize;
+        let mut k = i + 1;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == Kind::Str
+                && depth == 1
+                && !reg.labels.iter().any(|(l, _)| l == &t.text)
+                && !lx.waived("R1", t.line)
+            {
+                diag(
+                    out,
+                    path,
+                    t.line,
+                    "R1",
+                    format!("trace-model label {:?} is not in the registry", t.text),
+                );
+            }
+            k += 1;
+        }
+    }
+}
+
+/// R1c: registry entries no live call site or trace-model generator uses.
+/// Run once after all files are scanned, with the union of used labels.
+pub fn r1_unused_entries(
+    reg: &Registry,
+    used: &std::collections::BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (label, line) in &reg.labels {
+        if !used.contains(label) {
+            diag(
+                out,
+                &reg.path,
+                *line,
+                "R1",
+                format!("registry entry {label:?} is used by no GEMM call site"),
+            );
+        }
+    }
+}
+
+/// R2: lossy precision conversions (`round_through_f16`, `truncate_f16`,
+/// `round_to_tf32`, `F16::from_f32`) only inside the precision boundary.
+pub fn r2_precision_boundary(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if in_list(path, R2_ALLOWED) {
+        return;
+    }
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || t.in_test {
+            continue;
+        }
+        let banned = R2_BANNED_IDENTS.contains(&t.text.as_str())
+            || (t.text == "from_f32"
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("F16"));
+        if banned && !lx.waived("R2", t.line) {
+            diag(
+                out,
+                path,
+                t.line,
+                "R2",
+                format!(
+                    "lossy precision conversion `{}` outside the precision \
+                     boundary (crates/matrix/src/f16.rs, crates/tensorcore)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Identifiers that may legitimately precede `[` without it being indexing
+/// (statement/expression keywords).
+const NON_VALUE_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "dyn", "else", "enum", "fn", "for", "if",
+    "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static",
+    "struct", "trait", "type", "use", "where", "while",
+];
+
+/// R3: hot-path hygiene — no `unwrap`/`expect`/`panic!`/`todo!`/
+/// `unimplemented!`, and no `[`-indexing (postfix after a value), in the
+/// non-test code of [`R3_FILES`].
+pub fn r3_hot_path(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !in_list(path, R3_FILES) {
+        return;
+    }
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || lx.waived("R3", t.line) {
+            continue;
+        }
+        // .unwrap( / .expect(
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            // poison-recovery (`unwrap_or_else`) and friends are idents like
+            // `unwrap_or_else`, lexed as one token — only exact matches fire.
+            diag(
+                out,
+                path,
+                t.line,
+                "R3",
+                format!(
+                    "`.{}()` in a hot path — return a typed error instead",
+                    t.text
+                ),
+            );
+        }
+        // panic! / todo! / unimplemented!
+        if (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            diag(
+                out,
+                path,
+                t.line,
+                "R3",
+                format!("`{}!` in a hot path — return a typed error instead", t.text),
+            );
+        }
+        // postfix indexing: `[` after a value (ident, `)`, `]`, `?`)
+        if t.is_punct('[') && i >= 1 {
+            let p = &toks[i - 1];
+            let is_value = match p.kind {
+                Kind::Ident => !NON_VALUE_KEYWORDS.contains(&p.text.as_str()),
+                Kind::Punct => p.is_punct(')') || p.is_punct(']') || p.is_punct('?'),
+                _ => false,
+            };
+            if is_value {
+                diag(
+                    out,
+                    path,
+                    t.line,
+                    "R3",
+                    "`[...]` indexing in a hot path — use `.get`/`.set`, views, \
+                     or iterators"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// R4: `pub fn`s in pipeline modules return `Result`. `pub(crate)`/
+/// `pub(super)` functions are not public API and are exempt.
+pub fn r4_result_surface(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !in_list(path, R4_FILES) {
+        return;
+    }
+    let toks = &lx.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("pub") || toks[i].in_test {
+            i += 1;
+            continue;
+        }
+        // pub(crate)/pub(super): restricted visibility → exempt
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let Some(fn_tok) = toks.get(i + 1) else { break };
+        if !fn_tok.is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 2) else { break };
+        let line = fn_tok.line;
+        // scan the signature: from `fn` to the body `{` at paren-depth 0
+        let mut depth = 0usize;
+        let mut has_result = false;
+        let mut k = i + 2;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth = depth.saturating_sub(1);
+            } else if (t.is_punct('{') || t.is_punct(';')) && depth == 0 {
+                break;
+            } else if t.is_ident("Result") {
+                has_result = true;
+            }
+            k += 1;
+        }
+        if !has_result && !lx.waived("R4", line) {
+            diag(
+                out,
+                path,
+                line,
+                "R4",
+                format!(
+                    "public pipeline function `{}` does not return `Result` — \
+                     surface failures as typed `EvdError`s",
+                    name.text
+                ),
+            );
+        }
+        i = k + 1;
+    }
+}
+
+/// R5a: the crate root must carry `#![forbid(unsafe_code)]`.
+/// Called only for `crates/*/src/lib.rs` files.
+pub fn r5_forbid_unsafe_attr(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    let toks = &lx.tokens;
+    let found = toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if !found && !lx.waived("R5", 1) {
+        diag(
+            out,
+            path,
+            1,
+            "R5",
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}
+
+/// R5b: no `unsafe` keyword anywhere in non-test code (the attribute makes
+/// the compiler enforce this too; the lint reports it with the rest).
+pub fn r5_no_unsafe(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    for t in &lx.tokens {
+        if t.is_ident("unsafe") && !t.in_test && !lx.waived("R5", t.line) {
+            diag(
+                out,
+                path,
+                t.line,
+                "R5",
+                "`unsafe` is banned workspace-wide".to_string(),
+            );
+        }
+    }
+}
+
+/// Helper for rules/tests: the first-token line of a lexed stream (or 1).
+pub fn first_line(tokens: &[Token]) -> usize {
+    tokens.first().map_or(1, |t| t.line)
+}

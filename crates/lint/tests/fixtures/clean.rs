@@ -1,0 +1,12 @@
+// lint-fixture-path: crates/band/src/panel.rs
+//! Clean fixture: a compliant hot-path module with zero findings.
+
+pub(crate) fn scale(v: &mut [f32], s: f32) {
+    for x in v.iter_mut() {
+        *x *= s;
+    }
+}
+
+fn panel_update(ctx: &GemmContext, a: MatRef<f32>, b: MatRef<f32>, c: MatMut<f32>) {
+    ctx.gemm("sbr_panel_update", a, b, 1.0, c, 0.0);
+}

@@ -1,0 +1,17 @@
+// lint-fixture-path: crates/band/src/bulge.rs
+//! R1 fixture: GEMM label discipline.
+
+fn chase(ctx: &GemmContext, a: MatRef<f32>, b: MatRef<f32>, mut c: MatMut<f32>) {
+    ctx.gemm("zy_aw", a, b, 1.0, c.as_mut(), 0.0);
+    ctx.gemm("mystery_step", a, b, 1.0, c.as_mut(), 0.0);
+    let label = "zy_aw";
+    ctx.gemm(label, a, b, 1.0, c.as_mut(), 0.0);
+    ctx.syr2k_update(label, a, b, c.as_mut());
+    // tcevd-lint: allow(R1) — fixture waiver demonstration
+    ctx.gemm("unregistered_but_waived", a, b, 1.0, c.as_mut(), 0.0);
+}
+
+#[test]
+fn test_sites_are_exempt() {
+    ctx.gemm("anything_goes", a, b, 1.0, c, 0.0);
+}

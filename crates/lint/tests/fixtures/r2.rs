@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/core/src/metrics.rs
+//! R2 fixture: precision-boundary containment.
+
+fn lossy(x: f32) -> f32 {
+    let y = round_through_f16(x);
+    let z = F16::from_f32(x).to_f32();
+    let w = Wide::from_f32(x);
+    // tcevd-lint: allow(R2) — demonstrating a reviewed escape hatch
+    let v = round_to_tf32(x);
+    y + z + w + v
+}
+
+#[cfg(test)]
+mod tests {
+    fn truncating_in_tests_is_fine(m: MatMut<f32>) {
+        truncate_f16(m);
+    }
+}

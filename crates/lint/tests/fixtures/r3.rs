@@ -1,0 +1,24 @@
+// lint-fixture-path: crates/band/src/common.rs
+//! R3 fixture: hot-path hygiene.
+
+fn hot(v: &[f32], m: &Mat) -> f32 {
+    let a = v[0];
+    let b = v.first().unwrap();
+    let c = m.value().expect("present");
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    // tcevd-lint: allow(R3) — bounds established by caller contract
+    let d = v[1];
+    a + b + c + d
+}
+
+fn fine(v: &[f32]) -> Option<f32> {
+    v.first().copied()
+}
+
+#[test]
+fn tests_may_index_and_unwrap() {
+    let v = vec![1.0];
+    assert_eq!(v.first().copied().unwrap(), v[0]);
+}

@@ -1,0 +1,6 @@
+// lint-fixture-path: crates/perfmodel/src/lib.rs
+//! R5 fixture: crate roots must forbid unsafe code.
+
+pub fn read_raw(p: *const f32) -> f32 {
+    unsafe { *p }
+}

@@ -163,8 +163,30 @@ pub fn f16_bits_to_f32(h: u16) -> f32 {
 
 /// Round an `f32` through fp16 and back: the value a Tensor Core actually
 /// multiplies after operand truncation.
+///
+/// Non-finite handling (the pipeline's precision-boundary contract):
+///
+/// * NaN and ±∞ inputs are returned **bit-exactly unchanged** — truncation
+///   never launders a non-finite value into a different one, so the runtime
+///   sanitizer (feature `sanitize`, which scans operands *before* this
+///   conversion) is the single path that detects and attributes them.
+/// * Finite values beyond the fp16 range **saturate** to ±[`F16_MAX`]
+///   instead of overflowing to ±∞ (the `__float2half_rn` behaviour kept by
+///   [`F16::from_f32`]). Minting a fresh infinity here would surface as a
+///   NaN two GEMMs later and be blamed on the wrong stage; saturation keeps
+///   the corruption finite and local, where the sanitizer's magnitude scan
+///   (|x| > [`F16_MAX`]) has already flagged the out-of-range operand.
 #[inline]
 pub fn round_through_f16(x: f32) -> f32 {
+    if !x.is_finite() {
+        return x;
+    }
+    if x > F16_MAX {
+        return F16_MAX;
+    }
+    if x < -F16_MAX {
+        return -F16_MAX;
+    }
     F16::from_f32(x).to_f32()
 }
 
@@ -271,6 +293,42 @@ mod tests {
         let r = round_to_tf32(1e30);
         assert!(r.is_finite());
         assert!(((r - 1e30) / 1e30).abs() <= 2f32.powi(-11));
-        assert!(round_through_f16(1e30).is_infinite());
+        // fp16 truncation saturates instead of overflowing to infinity
+        assert_eq!(round_through_f16(1e30), F16_MAX);
+    }
+
+    #[test]
+    fn round_through_f16_saturates_finite_overflow() {
+        // One ULP above the largest finite fp16 value: F16::from_f32 rounds
+        // to +inf (hardware), round_through_f16 saturates (pipeline).
+        for x in [65520.0f32, 7.0e4, 1e30, f32::MAX] {
+            assert_eq!(round_through_f16(x), F16_MAX, "x={x}");
+            assert_eq!(round_through_f16(-x), -F16_MAX, "x={x}");
+        }
+        // In-range values are untouched by the saturation clamp.
+        assert_eq!(round_through_f16(65504.0), 65504.0);
+        assert_eq!(round_through_f16(-65504.0), -65504.0);
+        // The raw hardware conversion still overflows to infinity.
+        assert!(F16::from_f32(7.0e4).is_infinite());
+    }
+
+    #[test]
+    fn round_through_f16_preserves_non_finite_bit_exactly() {
+        assert_eq!(
+            round_through_f16(f32::INFINITY).to_bits(),
+            f32::INFINITY.to_bits()
+        );
+        assert_eq!(
+            round_through_f16(f32::NEG_INFINITY).to_bits(),
+            f32::NEG_INFINITY.to_bits()
+        );
+        // NaN passes through with its payload intact (not re-quieted by the
+        // f16 round trip) — the sanitizer, not truncation, reports it.
+        let payload_nan = f32::from_bits(0x7FC1_2345);
+        assert!(round_through_f16(payload_nan).is_nan());
+        assert_eq!(
+            round_through_f16(payload_nan).to_bits(),
+            payload_nan.to_bits()
+        );
     }
 }

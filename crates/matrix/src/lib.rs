@@ -17,6 +17,8 @@
 //!   the paper's working precision, the f64 pipeline is the LAPACK-substitute
 //!   reference.
 
+#![forbid(unsafe_code)]
+
 pub mod blas1;
 pub mod blas2;
 pub mod blas3;

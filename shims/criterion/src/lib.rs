@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `criterion` crate.
 //!
 //! Supplies just enough of criterion's API for `benches/kernels.rs` to

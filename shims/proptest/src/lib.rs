@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no network, so upstream proptest cannot be

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate (0.9 API surface).
 //!
 //! No network access means no crates.io; this shim supplies the small

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The container this repo builds in has no network access and no registry

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcevd — Tensor-Core symmetric eigenvalue decomposition (PPoPP'23 reproduction)
 //!
 //! Umbrella crate re-exporting the whole workspace. See README.md for the

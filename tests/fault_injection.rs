@@ -102,11 +102,26 @@ fn gemm_nan_is_caught_at_the_sbr_stage() {
         &opts(TridiagSolver::DivideConquer),
     );
     assert_eq!(sink.counter("fault.gemm_injected"), 1);
+    #[cfg(not(feature = "sanitize"))]
     assert!(
         matches!(
             r,
             Err(EvdError::NonFinite {
                 stage: EvdStage::Sbr
+            })
+        ),
+        "{r:?}"
+    );
+    // Under the sanitizer the violation is caught at the producing GEMM's
+    // output scan and attributed to its label, upgrading the stage-level
+    // NonFinite into the label-carrying Sanitizer error.
+    #[cfg(feature = "sanitize")]
+    assert!(
+        matches!(
+            r,
+            Err(EvdError::Sanitizer {
+                stage: EvdStage::Sbr,
+                ..
             })
         ),
         "{r:?}"
@@ -120,11 +135,24 @@ fn gemm_inf_in_back_transform_is_stage_tagged() {
         &opts(TridiagSolver::DivideConquer),
     );
     assert_eq!(sink.counter("fault.gemm_injected"), 1);
+    #[cfg(not(feature = "sanitize"))]
     assert!(
         matches!(
             r,
             Err(EvdError::NonFinite {
                 stage: EvdStage::BackTransform
+            })
+        ),
+        "{r:?}"
+    );
+    #[cfg(feature = "sanitize")]
+    assert!(
+        matches!(
+            r,
+            Err(EvdError::Sanitizer {
+                label: "evd_q2z",
+                stage: EvdStage::BackTransform,
+                ..
             })
         ),
         "{r:?}"
@@ -196,6 +224,7 @@ fn ql_exhaustion_falls_back_to_bisection_once() {
 }
 
 #[test]
+#[cfg(not(feature = "sanitize"))]
 fn silent_f16_overflow_is_caught_by_the_residual_check() {
     // F16Overflow writes a *finite* out-of-range value — no NaN gate can
     // see it, only the opt-in post-solve verification rung
@@ -209,6 +238,32 @@ fn silent_f16_overflow_is_caught_by_the_residual_check() {
     assert_eq!(sink.counter("fault.gemm_injected"), 1);
     assert_eq!(sink.counter("recovery.residual_resolve"), 1);
     assert_accurate(&a, &r);
+}
+
+#[test]
+#[cfg(feature = "sanitize")]
+fn f16_overflow_is_preempted_by_the_sanitizer() {
+    // with the sanitizer on, the finite out-of-range value is caught at the
+    // producing GEMM — the residual rung never needs to fire
+    let mut o = opts(TridiagSolver::DivideConquer);
+    o.recovery.verify_tol = Some(1e-2);
+    let (r, sink, _) = run_plan(
+        r#"[{"kind": "gemm", "label": "evd_q2z", "mode": "f16_overflow"}]"#,
+        &o,
+    );
+    assert_eq!(sink.counter("fault.gemm_injected"), 1);
+    assert_eq!(sink.counter("recovery.residual_resolve"), 0);
+    assert!(
+        matches!(
+            r,
+            Err(EvdError::Sanitizer {
+                label: "evd_q2z",
+                stage: EvdStage::BackTransform,
+                ..
+            })
+        ),
+        "{r:?}"
+    );
 }
 
 #[test]
