@@ -12,6 +12,7 @@
 //! Generic over [`Scalar`]: the f32 pipeline and the f64 reference use the
 //! same code.
 
+use crate::qupdate::{apply_pending_to_q, batching_pays_off, PendingReflector, Q_FLUSH_REFLECTORS};
 use tcevd_factor::householder::{apply_reflector_left, apply_reflector_right, larfg};
 use tcevd_matrix::scalar::Scalar;
 use tcevd_matrix::Mat;
@@ -50,6 +51,13 @@ pub fn bulge_chase_with<T: Scalar>(
 
     if b > 1 && n > 2 {
         let mut v = vec![T::ZERO; b + 1];
+        // Q accumulation is the chase's O(n³) term (the band work is only
+        // O(n²·b)), so each sweep records its reflectors and batch-applies
+        // them to disjoint row blocks of Q in parallel — see
+        // `crate::qupdate` for the bit-exactness argument. Both paths
+        // produce identical bits, so the gate never affects results.
+        let par_q = q.is_some() && batching_pays_off(n);
+        let mut pending: Vec<PendingReflector<T>> = Vec::new();
         for j in 0..n - 2 {
             sink.add("bulge_sweeps", 1);
             // Chase the fill-in of column j down the band.
@@ -77,7 +85,15 @@ pub fn bulge_chase_with<T: Scalar>(
                     apply_reflector_left(tau, &v[..len], a.view_mut(s, wl, len, wh - wl));
                     apply_reflector_right(tau, &v[..len], a.view_mut(wl, s, wh - wl, len));
                     if let Some(q) = q.as_mut() {
-                        apply_reflector_right(tau, &v[..len], q.view_mut(0, s, n, len));
+                        if par_q {
+                            pending.push(PendingReflector {
+                                s,
+                                tau,
+                                v: v[..len].to_vec(),
+                            });
+                        } else {
+                            apply_reflector_right(tau, &v[..len], q.view_mut(0, s, n, len));
+                        }
                     }
                 }
 
@@ -94,6 +110,20 @@ pub fn bulge_chase_with<T: Scalar>(
                 if s >= n {
                     break;
                 }
+            }
+            // Reflectors only ever append to Q's product, so batches can
+            // span sweeps; flush once enough work has accumulated to
+            // amortize the fan-out (order is preserved, bits unchanged).
+            if pending.len() >= Q_FLUSH_REFLECTORS {
+                if let Some(q) = q.as_mut() {
+                    apply_pending_to_q(q, &pending);
+                }
+                pending.clear();
+            }
+        }
+        if !pending.is_empty() {
+            if let Some(q) = q.as_mut() {
+                apply_pending_to_q(q, &pending);
             }
         }
     }

@@ -9,6 +9,7 @@
 //! unlike the dense version's separate left/right sweeps.
 
 use crate::bulge::BulgeResult;
+use crate::qupdate::{apply_pending_to_q, batching_pays_off, PendingReflector, Q_FLUSH_REFLECTORS};
 use crate::storage::SymBand;
 use tcevd_factor::householder::larfg;
 use tcevd_matrix::scalar::Scalar;
@@ -50,6 +51,14 @@ pub fn bulge_chase_packed_with<T: Scalar>(
     let mut v = vec![T::ZERO; b + 1];
     let mut p = vec![T::ZERO; 6 * b + 4]; // A·v support: len + 2·wb ≤ 5b+1
 
+    // Q accumulation is the chase's O(n³) term (the packed band work is
+    // only O(n²·b)), so each sweep records its reflectors and batch-applies
+    // them to disjoint row blocks of Q in parallel — see `crate::qupdate`
+    // for the bit-exactness argument. Both paths produce identical bits,
+    // so the gate never affects results.
+    let par_q = q.is_some() && batching_pays_off(n);
+    let mut pending: Vec<PendingReflector<T>> = Vec::new();
+
     for j in 0..n - 2 {
         sink.add("bulge_sweeps", 1);
         let mut src_col = j;
@@ -72,11 +81,19 @@ pub fn bulge_chase_packed_with<T: Scalar>(
             if tau != T::ZERO {
                 two_sided_packed(&mut a, s, e, &v[..len], tau, &mut p);
                 if let Some(q) = q.as_mut() {
-                    tcevd_factor::householder::apply_reflector_right(
-                        tau,
-                        &v[..len],
-                        q.view_mut(0, s, n, len),
-                    );
+                    if par_q {
+                        pending.push(PendingReflector {
+                            s,
+                            tau,
+                            v: v[..len].to_vec(),
+                        });
+                    } else {
+                        tcevd_factor::householder::apply_reflector_right(
+                            tau,
+                            &v[..len],
+                            q.view_mut(0, s, n, len),
+                        );
+                    }
                 }
             }
 
@@ -91,6 +108,19 @@ pub fn bulge_chase_packed_with<T: Scalar>(
             if s >= n {
                 break;
             }
+        }
+        // Batches can span sweeps; flush once enough work has accumulated
+        // to amortize the fan-out (order is preserved, bits unchanged).
+        if pending.len() >= Q_FLUSH_REFLECTORS {
+            if let Some(q) = q.as_mut() {
+                apply_pending_to_q(q, &pending);
+            }
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        if let Some(q) = q.as_mut() {
+            apply_pending_to_q(q, &pending);
         }
     }
 

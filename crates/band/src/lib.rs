@@ -31,6 +31,7 @@ pub mod error;
 pub mod formw;
 pub mod multisweep;
 pub mod panel;
+mod qupdate;
 pub mod sbr_wy;
 pub mod sbr_zy;
 pub mod storage;

@@ -9,6 +9,7 @@
 //! the flop count, but each sweep's reflectors are long enough to block —
 //! the direction the paper's §7 names for moving stage 2 onto the GPU.
 
+use crate::qupdate::{apply_pending_to_q, batching_pays_off, PendingReflector, Q_FLUSH_REFLECTORS};
 use crate::storage::SymBand;
 use tcevd_factor::householder::larfg;
 use tcevd_matrix::scalar::Scalar;
@@ -37,6 +38,15 @@ pub fn band_reduce_sweep<T: Scalar>(
     let mut v = vec![T::ZERO; len_max];
     let mut p = vec![T::ZERO; 6 * b_from + 4];
 
+    // Q accumulation dominates a sweep's cost (every reflector touches all
+    // n rows of Q). Per-reflector `join` forks are far too fine-grained, so
+    // instead each outer iteration records its chase's reflectors and
+    // batch-applies them to disjoint row blocks of Q in parallel — see
+    // `crate::qupdate` for the bit-exactness argument. Both paths produce
+    // identical bits, so the gate never affects results.
+    let par_q = q.is_some() && batching_pays_off(n);
+    let mut pending: Vec<PendingReflector<T>> = Vec::new();
+
     for j in 0..n.saturating_sub(b_to + 1) {
         let mut src_col = j;
         let mut s = j + b_to;
@@ -56,11 +66,19 @@ pub fn band_reduce_sweep<T: Scalar>(
             if tau != T::ZERO {
                 crate::bulge_packed::two_sided_packed(&mut a, s, e, &v[..len], tau, &mut p);
                 if let Some(q) = q.as_deref_mut() {
-                    tcevd_factor::householder::apply_reflector_right(
-                        tau,
-                        &v[..len],
-                        q.view_mut(0, s, n, len),
-                    );
+                    if par_q {
+                        pending.push(PendingReflector {
+                            s,
+                            tau,
+                            v: v[..len].to_vec(),
+                        });
+                    } else {
+                        tcevd_factor::householder::apply_reflector_right(
+                            tau,
+                            &v[..len],
+                            q.view_mut(0, s, n, len),
+                        );
+                    }
                 }
             }
 
@@ -74,6 +92,19 @@ pub fn band_reduce_sweep<T: Scalar>(
             if s >= n {
                 break;
             }
+        }
+        // Batches can span sweeps; flush once enough work has accumulated
+        // to amortize the fan-out (order is preserved, bits unchanged).
+        if pending.len() >= Q_FLUSH_REFLECTORS {
+            if let Some(q) = q.as_deref_mut() {
+                apply_pending_to_q(q, &pending);
+            }
+            pending.clear();
+        }
+    }
+    if !pending.is_empty() {
+        if let Some(q) = q {
+            apply_pending_to_q(q, &pending);
         }
     }
 

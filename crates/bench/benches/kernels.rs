@@ -256,6 +256,7 @@ fn bench_extensions(c: &mut Criterion) {
             vectors: true,
             trace: false,
             recovery: Default::default(),
+            threads: 0,
         };
         bch.iter(|| black_box(tcevd_core::sym_eig(&a, &o, &ctx).unwrap()))
     });

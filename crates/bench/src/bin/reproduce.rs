@@ -6,6 +6,7 @@
 //! reproduce table1|table2|fig5|fig6|fig7|fig8|fig9|fig10|fig11|formw
 //! reproduce table3 [--n 512] [--seed 42]
 //! reproduce table4 [--n 512] [--seed 42]
+//! reproduce threads [--n 1024] [--out BENCH_pr4.json]  # thread-scaling smoke
 //! reproduce --trace=out.json [--n 512] [--seed 42]   # traced real run
 //! reproduce --faults=plan.json [--n 512] [--seed 42] # fault-injected run
 //! ```
@@ -149,9 +150,23 @@ fn main() {
         }
         "table3" => print!("{}", bench::table3(n, seed)),
         "table4" => print!("{}", bench::table4(n, seed)),
+        "threads" => {
+            // Thread-scaling smoke defaults to the PR-4 acceptance size.
+            let n = parse_flag(&args, "--n", 1024) as usize;
+            eprintln!("[thread-scaling sym_eig run at n = {n}; use --n to change]");
+            let json = bench::thread_scaling(n, seed);
+            if let Some(path) = parse_path_flag(&args, "out", "BENCH_pr4.json") {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+            print!("{json}");
+        }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all perf table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
+            eprintln!("known: all perf table1 table2 table3 table4 threads fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
             std::process::exit(2);
         }
     }

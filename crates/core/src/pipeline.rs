@@ -125,6 +125,12 @@ pub struct SymEigOptions {
     pub trace: bool,
     /// The failure-recovery ladder (see [`RecoveryPolicy`]).
     pub recovery: RecoveryPolicy,
+    /// Worker-thread budget for the parallel runtime: `0` = auto (the
+    /// `TCEVD_THREADS` environment variable if set, else available
+    /// parallelism), `1` = fully sequential. Split points and reduction
+    /// order never depend on this, so results are **bit-identical** at
+    /// every setting — it only changes wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for SymEigOptions {
@@ -137,6 +143,7 @@ impl Default for SymEigOptions {
             vectors: false,
             trace: false,
             recovery: RecoveryPolicy::default(),
+            threads: 0,
         }
     }
 }
@@ -171,6 +178,7 @@ pub struct SymEigResult {
 ///     vectors: true,
 ///     trace: false,
 ///     recovery: RecoveryPolicy::default(),
+///     threads: 0,                          // auto-size the thread pool
 /// };
 /// let ctx = GemmContext::new(Engine::Tc);  // simulated Tensor Core
 /// let eig = sym_eig(&a, &opts, &ctx).unwrap();
@@ -192,16 +200,14 @@ pub fn sym_eig(
             cols: a.cols(),
         });
     }
-    if n == 0 {
-        return Ok(SymEigResult {
-            values: Vec::new(),
-            vectors: None,
-        });
-    }
     // Fail fast on NaN/Inf: every downstream iteration would otherwise spin
     // to its budget and report a misleading non-convergence.
     ensure_finite(a.as_slice(), EvdStage::Input)?;
-    let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
+    if let Some(r) = trivial_sym_eig(a, opts.vectors) {
+        return Ok(r);
+    }
+    rayon::configure(opts.threads);
+    let b = clamp_bandwidth(opts.bandwidth, n);
 
     // Tracing: `opts.trace` routes pipeline stage spans into the context's
     // sink; the SBR/GEMM layers below always use the context sink directly.
@@ -210,6 +216,7 @@ pub fn sym_eig(
     } else {
         TraceSink::disabled()
     };
+    let _par = ParCounters::new(&sink);
     let _root_span = span!(sink, "sym_eig", n, b);
 
     let result = run_pipeline(a, b, opts, opts.solver, ctx, &sink)?;
@@ -263,6 +270,145 @@ fn ensure_finite(data: &[f32], stage: EvdStage) -> Result<(), EvdError> {
         Err(EvdError::NonFinite { stage })
     } else {
         Ok(())
+    }
+}
+
+/// Clamp the configured SBR bandwidth into the valid range `1 ..= n − 1`.
+/// Only meaningful for `n ≥ 3` — both entry points short-circuit `n ≤ 2`
+/// to [`trivial_sym_eig`] first, precisely because at `n = 1` the old
+/// inline `min(n−1).max(1)` produced the out-of-range `b = 1 > n − 1`.
+fn clamp_bandwidth(requested: usize, n: usize) -> usize {
+    requested.min(n.saturating_sub(1)).max(1)
+}
+
+/// Closed-form eigendecomposition for `n ≤ 2`, bypassing the banded
+/// pipeline (whose bandwidth parameter has no valid value below `n = 3`
+/// other than the forced `b = 1`, and none at all for `n ≤ 1`). Exact in
+/// f32 up to the 2×2 rotation arithmetic; eigenvalues ascend and the
+/// eigenvector columns are exactly orthonormal by construction. Returns
+/// `None` for `n ≥ 3`.
+fn trivial_sym_eig(a: &Mat<f32>, want_vectors: bool) -> Option<SymEigResult> {
+    let ar = a.as_ref();
+    match a.rows() {
+        0 => Some(SymEigResult {
+            values: Vec::new(),
+            vectors: None,
+        }),
+        1 => Some(SymEigResult {
+            values: vec![ar.get(0, 0)],
+            vectors: want_vectors.then(|| Mat::identity(1, 1)),
+        }),
+        2 => {
+            let (p, q, r) = (ar.get(0, 0), ar.get(1, 0), ar.get(1, 1));
+            let mean = 0.5 * (p + r);
+            let radius = (0.5 * (p - r)).hypot(q);
+            let (lo, hi) = (mean - radius, mean + radius);
+            let vectors = want_vectors.then(|| {
+                let mut x = Mat::<f32>::zeros(2, 2);
+                let mut xm = x.as_mut();
+                if q == 0.0 {
+                    // Already diagonal: unit vectors, ordered ascending.
+                    if p <= r {
+                        xm.set(0, 0, 1.0);
+                        xm.set(1, 1, 1.0);
+                    } else {
+                        xm.set(1, 0, 1.0);
+                        xm.set(0, 1, 1.0);
+                    }
+                } else {
+                    // (q, hi − p) spans the `hi` eigenspace; its norm is
+                    // ≥ |q| > 0, and the `lo` vector is its exact
+                    // orthogonal complement.
+                    let norm = q.hypot(hi - p);
+                    let (c, s) = (q / norm, (hi - p) / norm);
+                    xm.set(0, 0, -s);
+                    xm.set(1, 0, c);
+                    xm.set(0, 1, c);
+                    xm.set(1, 1, s);
+                }
+                x
+            });
+            Some(SymEigResult {
+                values: vec![lo, hi],
+                vectors,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Filter a trivial (`n ≤ 2`) full solve down to the requested range,
+/// mirroring the bisection semantics exactly: `Index` keeps positions
+/// `[lo, hi)` of the ascending order (out-of-range indices clamp away),
+/// `Value` keeps eigenvalues in the half-open interval `(lo, hi]`.
+fn select_trivial(
+    full: SymEigResult,
+    range: crate::bisect::EigRange<f32>,
+    n: usize,
+) -> SymEigResult {
+    let keep: Vec<usize> = match range {
+        crate::bisect::EigRange::Index { lo, hi } => full
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i >= lo && *i < hi)
+            .map(|(i, _)| i)
+            .collect(),
+        crate::bisect::EigRange::Value { lo, hi } => full
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| **v > lo && **v <= hi)
+            .map(|(i, _)| i)
+            .collect(),
+    };
+    let values: Vec<f32> = keep
+        .iter()
+        .filter_map(|&i| full.values.get(i).copied())
+        .collect();
+    let mut x = Mat::<f32>::zeros(n, keep.len());
+    if let Some(xf) = &full.vectors {
+        let xr = xf.as_ref();
+        let mut xm = x.as_mut();
+        for (jout, &jin) in keep.iter().enumerate() {
+            for i in 0..n {
+                xm.set(i, jout, xr.get(i, jin));
+            }
+        }
+    }
+    SymEigResult {
+        values,
+        vectors: Some(x),
+    }
+}
+
+/// RAII guard exporting the thread pool's scheduling activity over a
+/// pipeline run as `par.*` sink counters (join fate, spawns, pool size).
+/// These describe *scheduling*, not results: they legitimately vary with
+/// the thread budget while every numerical counter stays bit-identical,
+/// so determinism checks compare counter sets minus the `par.` prefix.
+struct ParCounters {
+    sink: TraceSink,
+    start: rayon::PoolStats,
+}
+
+impl ParCounters {
+    fn new(sink: &TraceSink) -> Self {
+        ParCounters {
+            sink: sink.clone(),
+            start: rayon::stats(),
+        }
+    }
+}
+
+impl Drop for ParCounters {
+    fn drop(&mut self) {
+        let d = rayon::stats().since(&self.start);
+        self.sink.add("par.join_parallel", d.join_parallel);
+        self.sink.add("par.join_inline", d.join_inline);
+        self.sink.add("par.spawns", d.spawns);
+        self.sink
+            .record("par.threads", rayon::current_num_threads() as u64);
     }
 }
 
@@ -552,12 +698,17 @@ pub fn sym_eig_selected(
         });
     }
     ensure_finite(a.as_slice(), EvdStage::Input)?;
-    let b = opts.bandwidth.min(n.saturating_sub(1)).max(1);
+    if let Some(full) = trivial_sym_eig(a, true) {
+        return Ok(select_trivial(full, range, n));
+    }
+    rayon::configure(opts.threads);
+    let b = clamp_bandwidth(opts.bandwidth, n);
     let sink = if opts.trace {
         ctx.sink().clone()
     } else {
         TraceSink::disabled()
     };
+    let _par = ParCounters::new(&sink);
     let _root_span = span!(sink, "sym_eig_selected", n, b);
 
     // Stage 1 (always via the WY form here; its FormW factors back-transform
@@ -642,6 +793,7 @@ mod tests {
             vectors: false,
             trace: false,
             recovery: RecoveryPolicy::default(),
+            threads: 0,
         }
     }
 
@@ -707,6 +859,7 @@ mod tests {
             vectors: false,
             trace: false,
             recovery: RecoveryPolicy::default(),
+            threads: 0,
         };
         let vals = sym_eigenvalues(&a, &o, &ctx).unwrap();
         assert!(es_error(&a64, &vals) < 1e-6);
@@ -741,6 +894,7 @@ mod tests {
             vectors: true,
             trace: false,
             recovery: RecoveryPolicy::default(),
+            threads: 0,
         };
         let r = sym_eig(&a, &o, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();
@@ -831,6 +985,82 @@ mod tests {
         let ctx = GemmContext::new(Engine::Sgemm);
         let r = sym_eig(&a, &opts(4, 8), &ctx).unwrap();
         assert!(r.values.is_empty());
+    }
+
+    /// The old inline bandwidth clamp `min(n−1).max(1)` produced the
+    /// out-of-range `b = 1 > n − 1` for `n = 1`; `n ≤ 2` now short-circuits
+    /// to the closed-form trivial solve, for any configured bandwidth.
+    #[test]
+    fn trivial_sizes_zero_one_two() {
+        let ctx = GemmContext::new(Engine::Sgemm);
+        for bandwidth in [1usize, 4, 32] {
+            let mut o = opts(bandwidth, 2 * bandwidth);
+            o.vectors = true;
+
+            // n = 0
+            let r = sym_eig(&Mat::<f32>::zeros(0, 0), &o, &ctx).unwrap();
+            assert!(r.values.is_empty());
+
+            // n = 1: the eigenvalue is the sole entry, the vector is e₁
+            let a1 = Mat::<f32>::from_fn(1, 1, |_, _| -3.5);
+            let r = sym_eig(&a1, &o, &ctx).unwrap();
+            assert_eq!(r.values, vec![-3.5]);
+            let x = r.vectors.as_ref().unwrap();
+            assert_eq!((x.rows(), x.cols()), (1, 1));
+            assert_eq!(x[(0, 0)], 1.0);
+
+            // n = 2: closed form must match the 2×2 characteristic roots
+            let a2 = Mat::<f32>::from_fn(2, 2, |i, j| if i == j { 2.0 + i as f32 } else { 1.5 });
+            let r = sym_eig(&a2, &o, &ctx).unwrap();
+            assert_eq!(r.values.len(), 2);
+            assert!(r.values[0] <= r.values[1]);
+            let x = r.vectors.as_ref().unwrap();
+            assert!(orthogonality(x.as_ref()) < 1e-6);
+            let res = eigenpair_residual(a2.as_ref(), &r.values, x.as_ref());
+            assert!(res < 1e-6, "b={bandwidth} residual {res}");
+            // exact 2×2 eigenvalues: mean ± radius
+            let (mean, radius) = (2.5f32, (0.25f32 + 1.5 * 1.5).sqrt());
+            assert!((r.values[0] - (mean - radius)).abs() < 1e-6);
+            assert!((r.values[1] - (mean + radius)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn trivial_two_by_two_diagonal_orders_ascending() {
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let mut o = opts(4, 8);
+        o.vectors = true;
+        // diagonal with descending entries: eigenvalues must still ascend
+        // and the vectors must be the swapped unit basis
+        let a = Mat::<f32>::from_fn(2, 2, |i, j| if i == j { 5.0 - 4.0 * i as f32 } else { 0.0 });
+        let r = sym_eig(&a, &o, &ctx).unwrap();
+        assert_eq!(r.values, vec![1.0, 5.0]);
+        let x = r.vectors.as_ref().unwrap();
+        assert_eq!((x[(0, 0)], x[(1, 0)]), (0.0, 1.0));
+        assert_eq!((x[(0, 1)], x[(1, 1)]), (1.0, 0.0));
+    }
+
+    #[test]
+    fn trivial_sizes_selected_ranges() {
+        use crate::bisect::EigRange;
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let o = opts(4, 8);
+        let a2 = Mat::<f32>::from_fn(2, 2, |i, j| if i == j { 3.0 } else { 1.0 }); // λ = 2, 4
+        let top = sym_eig_selected(&a2, EigRange::Index { lo: 1, hi: 2 }, &o, &ctx).unwrap();
+        assert_eq!(top.values, vec![4.0]);
+        let x = top.vectors.as_ref().unwrap();
+        assert_eq!((x.rows(), x.cols()), (2, 1));
+        let by_value =
+            sym_eig_selected(&a2, EigRange::Value { lo: 1.0, hi: 3.0 }, &o, &ctx).unwrap();
+        assert_eq!(by_value.values, vec![2.0]);
+        // out-of-range index clamps to the empty set
+        let none = sym_eig_selected(&a2, EigRange::Index { lo: 5, hi: 9 }, &o, &ctx).unwrap();
+        assert!(none.values.is_empty());
+        assert_eq!(none.vectors.as_ref().unwrap().cols(), 0);
+        // n = 1 by value
+        let a1 = Mat::<f32>::from_fn(1, 1, |_, _| 2.0);
+        let one = sym_eig_selected(&a1, EigRange::Value { lo: 0.0, hi: 2.0 }, &o, &ctx).unwrap();
+        assert_eq!(one.values, vec![2.0]);
     }
 
     #[test]

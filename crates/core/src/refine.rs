@@ -111,6 +111,7 @@ mod tests {
             vectors: true,
             trace: false,
             recovery: Default::default(),
+            threads: 0,
         };
         let r = sym_eig(&a, &opts, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();
@@ -152,6 +153,7 @@ mod tests {
             vectors: true,
             trace: false,
             recovery: Default::default(),
+            threads: 0,
         };
         let r = sym_eig(&a, &opts, &ctx).unwrap();
         let x = r.vectors.as_ref().unwrap();

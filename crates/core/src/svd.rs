@@ -195,6 +195,7 @@ mod tests {
             vectors: false,
             trace: false,
             recovery: crate::pipeline::RecoveryPolicy::default(),
+            threads: 0,
         }
     }
 

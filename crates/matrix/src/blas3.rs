@@ -22,6 +22,18 @@ const NC: usize = 32;
 /// Below this many flops a GEMM runs serially (rayon overhead dominates).
 const PAR_FLOP_THRESHOLD: usize = 1 << 19;
 
+/// Whether a GEMM of shape m×n×k clears the parallel flop threshold.
+/// Computed with checked multiplies: `2·m·n·k` in bare `usize` arithmetic
+/// overflows (and panics under debug assertions) for large synthetic
+/// shapes, and any product too big for `usize` certainly clears the bar.
+#[inline]
+fn parallel_worthwhile(m: usize, n: usize, k: usize) -> bool {
+    m.checked_mul(n)
+        .and_then(|mn| mn.checked_mul(k))
+        .and_then(|mnk| mnk.checked_mul(2))
+        .is_none_or(|flops| flops >= PAR_FLOP_THRESHOLD)
+}
+
 /// Dimensions of `op(A)`.
 #[inline]
 fn op_dims<T: Scalar>(a: &MatRef<'_, T>, op: Op) -> (usize, usize) {
@@ -31,41 +43,46 @@ fn op_dims<T: Scalar>(a: &MatRef<'_, T>, op: Op) -> (usize, usize) {
     }
 }
 
-/// Recursively split `c` into column halves and run `f` on chunks of at most
-/// `chunk` columns, in parallel when `parallel` is set.
-/// `f` receives the global starting column of its chunk.
+/// Split `c` into chunk-aligned column blocks of at most `chunk` columns
+/// and run `f` on each, fanned out across the thread pool when `parallel`
+/// is set. `f` receives the global starting column of its chunk.
+///
+/// The partition — blocks starting at multiples of `chunk`, the last one
+/// possibly short — is fixed by the matrix shape alone, and each block is
+/// processed with identical arithmetic whether it runs inline or on a
+/// worker, so results are bit-identical at every thread count. (This is
+/// the same partition the previous recursive-halving formulation produced,
+/// since its midpoints were always chunk-aligned.)
 pub fn for_col_chunks<T: Scalar>(
     c: MatMut<'_, T>,
     chunk: usize,
     parallel: bool,
     f: &(impl Fn(usize, MatMut<'_, T>) + Sync),
 ) {
-    fn rec<T: Scalar>(
-        c: MatMut<'_, T>,
-        j0: usize,
-        chunk: usize,
-        parallel: bool,
-        f: &(impl Fn(usize, MatMut<'_, T>) + Sync),
-    ) {
-        let n = c.cols();
-        if n <= chunk {
-            f(j0, c);
-            return;
+    let chunk = chunk.max(1);
+    if !parallel {
+        let mut rest = c;
+        let mut j0 = 0;
+        while rest.cols() > chunk {
+            let (l, r) = rest.split_cols_at(chunk);
+            f(j0, l);
+            j0 += chunk;
+            rest = r;
         }
-        // Split at a chunk-aligned midpoint.
-        let half = ((n / 2) / chunk).max(1) * chunk;
-        let (l, r) = c.split_cols_at(half);
-        if parallel {
-            rayon::join(
-                || rec(l, j0, chunk, parallel, f),
-                || rec(r, j0 + half, chunk, parallel, f),
-            );
-        } else {
-            rec(l, j0, chunk, parallel, f);
-            rec(r, j0 + half, chunk, parallel, f);
-        }
+        f(j0, rest);
+        return;
     }
-    rec(c, 0, chunk, parallel, f);
+    let mut tasks: Vec<(usize, MatMut<'_, T>)> = Vec::new();
+    let mut rest = c;
+    let mut j0 = 0;
+    while rest.cols() > chunk {
+        let (l, r) = rest.split_cols_at(chunk);
+        tasks.push((j0, l));
+        j0 += chunk;
+        rest = r;
+    }
+    tasks.push((j0, rest));
+    rayon::for_each_chunk(tasks, &|(j0, cc)| f(j0, cc));
 }
 
 /// General matrix multiply–accumulate:
@@ -88,7 +105,7 @@ pub fn gemm<T: Scalar>(
     assert_eq!(c.cols(), n, "gemm C col mismatch");
     let k = ka;
 
-    let parallel = 2 * m * n * k >= PAR_FLOP_THRESHOLD;
+    let parallel = parallel_worthwhile(m, n, k);
 
     for_col_chunks(c, NC, parallel, &|j0, mut cc| {
         let nc = cc.cols();
@@ -562,6 +579,42 @@ mod tests {
         );
         naive_gemm(1.0, &a, Op::NoTrans, &b, Op::NoTrans, 0.0, &mut c_ref);
         assert!(c.max_abs_diff(&c_ref) < 1e-11);
+    }
+
+    #[test]
+    fn parallel_heuristic_survives_the_overflow_boundary() {
+        // Shapes whose 2·m·n·k product exceeds usize::MAX used to overflow
+        // (panicking under debug assertions); they must simply count as
+        // worth parallelizing.
+        let huge = usize::MAX / 2;
+        assert!(parallel_worthwhile(huge, huge, huge));
+        assert!(parallel_worthwhile(usize::MAX, 1, 1));
+        assert!(parallel_worthwhile(1 << 40, 1 << 40, 1));
+        // Exact boundary: 2·m·n·k == PAR_FLOP_THRESHOLD is parallel…
+        assert!(parallel_worthwhile(PAR_FLOP_THRESHOLD / 2, 1, 1));
+        // …and one flop less is not.
+        assert!(!parallel_worthwhile(PAR_FLOP_THRESHOLD / 2 - 1, 1, 1));
+        assert!(!parallel_worthwhile(0, 0, 0));
+    }
+
+    #[test]
+    fn for_col_chunks_partition_is_chunk_aligned_and_complete() {
+        for (n, chunk) in [(1usize, 32usize), (31, 32), (32, 32), (100, 32), (70, 7)] {
+            for parallel in [false, true] {
+                let mut m = Mat::<f64>::zeros(2, n);
+                let mut seen = std::sync::Mutex::new(Vec::new());
+                for_col_chunks(m.as_mut(), chunk, parallel, &|j0, cc| {
+                    seen.lock().unwrap().push((j0, cc.cols()));
+                });
+                let mut got = seen.get_mut().unwrap().clone();
+                got.sort_unstable();
+                let want: Vec<(usize, usize)> = (0..n)
+                    .step_by(chunk)
+                    .map(|j0| (j0, chunk.min(n - j0)))
+                    .collect();
+                assert_eq!(got, want, "n={n} chunk={chunk} parallel={parallel}");
+            }
+        }
     }
 
     #[test]

@@ -126,6 +126,26 @@ proptest! {
     }
 
     #[test]
+    fn parallel_gemm_is_bit_identical_to_sequential(
+        a in mat(64, 64),
+        b in mat(64, 64),
+        c0 in mat(64, 64),
+    ) {
+        // 2·64³ flops clears the parallel threshold, so the 4-thread run
+        // exercises the real column-chunk fan-out rather than the serial
+        // small-matrix fallback — and must still match a 1-thread pool
+        // bit for bit (same partition, same per-chunk arithmetic).
+        rayon::configure(1);
+        let mut seq = c0.clone();
+        gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 1.0, seq.as_mut());
+        rayon::configure(4);
+        let mut par = c0.clone();
+        gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 1.0, par.as_mut());
+        rayon::configure(0);
+        prop_assert!(seq.max_abs_diff(&par) == 0.0);
+    }
+
+    #[test]
     fn gemm_beta_accumulates_correctly(
         a in mat(4, 3),
         b in mat(3, 4),

@@ -20,9 +20,16 @@
 //!   are attributed to the consuming label with
 //!   [`SanitizeOperand::A`]/[`B`](SanitizeOperand::B) provenance.
 //!
-//! Only the **first** violation is kept (later ones are downstream echoes of
-//! the same corruption); `tcevd-core`'s pipeline turns the report into a
-//! typed `EvdError::Sanitizer` at the next stage boundary.
+//! Only **one** violation is kept, selected deterministically even when
+//! GEMMs run concurrently on the thread pool: along a dependency chain the
+//! origin's output scan always happens before any consumer's scan (it runs
+//! inside the producing `gemm()` call), so first-wins handles chains, and
+//! among *independent* concurrent origins the lowest `(label, col, row,
+//! operand)` key wins regardless of thread interleaving. An output
+//! violation whose operands already carry a violation is classified as an
+//! echo and never displaces a recorded origin. `tcevd-core`'s pipeline
+//! turns the report into a typed `EvdError::Sanitizer` at the next stage
+//! boundary, tallying the `sanitize.violation` counters as it drains.
 
 use tcevd_matrix::f16::F16_MAX;
 use tcevd_matrix::MatRef;

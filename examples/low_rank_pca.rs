@@ -56,6 +56,7 @@ fn main() {
         vectors: true,
         trace: false,
         recovery: Default::default(),
+        threads: 0,
     };
     let ctx = GemmContext::new(Engine::Tc);
     let r = sym_eig(&c32, &opts, &ctx).expect("EVD failed");

@@ -36,6 +36,7 @@ fn main() {
         vectors: false,
         trace: false,
         recovery: Default::default(),
+        threads: 0,
     };
     let model = A100Model::default();
     let paper_n = 32768;

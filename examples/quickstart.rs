@@ -30,6 +30,7 @@ fn main() {
         vectors: true,
         trace: false,
         recovery: Default::default(),
+        threads: 0,
     };
     let ctx = GemmContext::new(Engine::Tc).with_trace();
 

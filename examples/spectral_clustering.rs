@@ -58,6 +58,7 @@ fn main() {
         vectors: true,
         trace: false,
         recovery: Default::default(),
+        threads: 0,
     };
     let ctx = GemmContext::new(Engine::Tc);
     let r = sym_eig(&lap32, &opts, &ctx).expect("EVD failed");

@@ -3,11 +3,14 @@
 //! results (every parallel reduction in the workspace is over disjoint
 //! data, so run-to-run outputs are exact).
 
+use std::collections::BTreeMap;
+
 use tcevd::band::PanelKind;
 use tcevd::evd::{sym_eig, SbrVariant, SymEigOptions, TridiagSolver};
 use tcevd::matrix::Mat;
 use tcevd::tensorcore::{Engine, GemmContext};
 use tcevd::testmat::{generate, MatrixType};
+use tcevd::trace::TraceSink;
 
 fn run(seed: u64, engine: Engine) -> (Vec<f32>, Mat<f32>) {
     let a: Mat<f32> = generate(96, MatrixType::Normal, seed).cast();
@@ -17,6 +20,7 @@ fn run(seed: u64, engine: Engine) -> (Vec<f32>, Mat<f32>) {
         &SymEigOptions {
             trace: false,
             recovery: Default::default(),
+            threads: 0,
             bandwidth: 8,
             sbr: SbrVariant::Wy { block: 32 },
             panel: PanelKind::Tsqr,
@@ -27,6 +31,105 @@ fn run(seed: u64, engine: Engine) -> (Vec<f32>, Mat<f32>) {
     )
     .unwrap();
     (r.values, r.vectors.unwrap())
+}
+
+/// A fully traced run at an explicit worker-pool size. Returns the spectrum,
+/// the eigenvectors, and the sink's counter totals with the `par.*` pool
+/// telemetry stripped (pool counters legitimately depend on the thread
+/// count; everything else must not).
+fn run_with_threads(
+    seed: u64,
+    n: usize,
+    threads: usize,
+    sbr: SbrVariant,
+    panel: PanelKind,
+    solver: TridiagSolver,
+) -> (Vec<f32>, Mat<f32>, BTreeMap<String, u64>) {
+    let a: Mat<f32> = generate(n, MatrixType::Normal, seed).cast();
+    let sink = TraceSink::enabled();
+    let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+    let r = sym_eig(
+        &a,
+        &SymEigOptions {
+            trace: true,
+            recovery: Default::default(),
+            threads,
+            bandwidth: 8,
+            sbr,
+            panel,
+            solver,
+            vectors: true,
+        },
+        &ctx,
+    )
+    .unwrap();
+    let counters = sink
+        .counters()
+        .into_iter()
+        .filter(|(k, _)| !k.starts_with("par."))
+        .collect();
+    (r.values, r.vectors.unwrap(), counters)
+}
+
+/// Run one configuration at 1 worker and at 4 workers and demand bitwise
+/// agreement on everything observable: eigenvalues, eigenvectors, and the
+/// trace counter totals.
+fn assert_thread_invariant(
+    seed: u64,
+    n: usize,
+    sbr: SbrVariant,
+    panel: PanelKind,
+    solver: TridiagSolver,
+) {
+    let (v1, x1, c1) = run_with_threads(seed, n, 1, sbr, panel, solver);
+    let (v4, x4, c4) = run_with_threads(seed, n, 4, sbr, panel, solver);
+    let tag = format!("{sbr:?}/{panel:?}/{solver:?} n={n}");
+    assert_eq!(v1, v4, "{tag}: eigenvalues must not depend on thread count");
+    assert_eq!(
+        x1.max_abs_diff(&x4),
+        0.0,
+        "{tag}: eigenvectors must not depend on thread count"
+    );
+    assert_eq!(
+        c1, c4,
+        "{tag}: trace counter totals must not depend on thread count"
+    );
+}
+
+#[test]
+fn thread_count_is_invisible_wy_tsqr_dc() {
+    assert_thread_invariant(
+        7,
+        96,
+        SbrVariant::Wy { block: 32 },
+        PanelKind::Tsqr,
+        TridiagSolver::DivideConquer,
+    );
+}
+
+#[test]
+fn thread_count_is_invisible_zy_householder_ql() {
+    assert_thread_invariant(
+        9,
+        96,
+        SbrVariant::Zy,
+        PanelKind::Householder,
+        TridiagSolver::Ql,
+    );
+}
+
+#[test]
+fn thread_count_is_invisible_on_the_batched_q_path() {
+    // n = 300 crosses the batched-Q cutoff in the bulge chase (n ≥ 256),
+    // so this configuration exercises the parallel row-block Q update and
+    // the parallel GEMM fan-out together.
+    assert_thread_invariant(
+        13,
+        300,
+        SbrVariant::Wy { block: 32 },
+        PanelKind::Tsqr,
+        TridiagSolver::DivideConquer,
+    );
 }
 
 #[test]

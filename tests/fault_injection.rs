@@ -40,6 +40,7 @@ fn opts(solver: TridiagSolver) -> SymEigOptions {
         vectors: true,
         trace: true,
         recovery: RecoveryPolicy::default(),
+        threads: 0,
     }
 }
 

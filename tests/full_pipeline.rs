@@ -15,6 +15,7 @@ fn opts(b: usize, nb: usize, vectors: bool) -> SymEigOptions {
     SymEigOptions {
         trace: false,
         recovery: Default::default(),
+        threads: 0,
         bandwidth: b,
         sbr: SbrVariant::Wy { block: nb },
         panel: PanelKind::Tsqr,

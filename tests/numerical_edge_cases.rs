@@ -14,6 +14,7 @@ fn opts(vectors: bool) -> SymEigOptions {
     SymEigOptions {
         trace: false,
         recovery: Default::default(),
+        threads: 0,
         bandwidth: 8,
         sbr: SbrVariant::Wy { block: 32 },
         panel: PanelKind::Tsqr,

@@ -30,6 +30,7 @@ fn opts(sbr: SbrVariant) -> SymEigOptions {
         vectors: true,
         trace: true,
         recovery: RecoveryPolicy::default(),
+        threads: 0,
     }
 }
 
@@ -166,6 +167,35 @@ fn untargeted_fault_is_attributed_to_the_first_gemm() {
         sink.counter("sanitize.violation"),
         1,
         "first violation wins; later cascading hits are not double-counted"
+    );
+}
+
+#[test]
+fn attribution_is_identical_across_thread_counts() {
+    // With workers scanning GEMM outputs concurrently, the *selected* first
+    // violation must still be deterministic: the same fault plan has to
+    // produce the same label, stage, and counter totals at 1 and 4 threads.
+    let plan = r#"[{"kind": "gemm", "label": "evd_q2z", "mode": "nan"}]"#;
+    let mut results = Vec::new();
+    for threads in [1usize, 4] {
+        let mut o = opts(SbrVariant::Wy { block: 16 });
+        o.threads = threads;
+        let (r, sink) = run_plan(plan, &o);
+        assert_attributed(&r, &sink, "evd_q2z", EvdStage::BackTransform);
+        let counters: Vec<(String, u64)> = sink
+            .counters()
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("sanitize.") || k.starts_with("fault."))
+            .collect();
+        let (label, stage) = match r {
+            Err(EvdError::Sanitizer { label, stage, .. }) => (label, stage),
+            other => panic!("expected Sanitizer error, got {other:?}"),
+        };
+        results.push((label, stage, counters));
+    }
+    assert_eq!(
+        results[0], results[1],
+        "attribution must not depend on the worker-pool size"
     );
 }
 

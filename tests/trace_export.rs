@@ -30,6 +30,7 @@ fn traced_run(seed: u64) -> (TraceSink, GemmContext) {
         vectors: true,
         trace: true,
         recovery: Default::default(),
+        threads: 0,
     };
     sym_eig(&a, &opts, &ctx).expect("traced run");
     (sink, ctx)
