@@ -7,6 +7,7 @@
 //! reproduce table3 [--n 512] [--seed 42]
 //! reproduce table4 [--n 512] [--seed 42]
 //! reproduce threads [--n 1024] [--out BENCH_pr4.json]  # thread-scaling smoke
+//! reproduce gemm [--n 1024] [--out BENCH_pr5.json]     # packed-vs-reference GEMM
 //! reproduce --trace=out.json [--n 512] [--seed 42]   # traced real run
 //! reproduce --faults=plan.json [--n 512] [--seed 42] # fault-injected run
 //! ```
@@ -164,9 +165,23 @@ fn main() {
             }
             print!("{json}");
         }
+        "gemm" => {
+            // Packed-vs-reference GEMM smoke at the PR-5 acceptance size.
+            let n = parse_flag(&args, "--n", 1024) as usize;
+            eprintln!("[packed-vs-reference GEMM bench at n = {n}; use --n to change]");
+            let json = bench::gemm_bench(n, seed);
+            if let Some(path) = parse_path_flag(&args, "out", "BENCH_pr5.json") {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+            print!("{json}");
+        }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all perf table1 table2 table3 table4 threads fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
+            eprintln!("known: all perf table1 table2 table3 table4 threads gemm fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
             std::process::exit(2);
         }
     }

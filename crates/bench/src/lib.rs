@@ -541,6 +541,100 @@ pub fn thread_scaling(n: usize, seed: u64) -> String {
     out
 }
 
+/// Packed-vs-reference GEMM wall clock on the Table-1 shape families
+/// (square `n×n×n`, rank-k `n×n×128`, tall-skinny `n×128 · 128×n` panels),
+/// f32, forced single-threaded so the kernel — not the column-chunk
+/// fan-out — is what is measured. Each shape also cross-checks the two
+/// kernels' outputs. This backs `reproduce gemm`; CI writes the output to
+/// `BENCH_pr5.json`.
+pub fn gemm_bench(n: usize, seed: u64) -> String {
+    use tcevd_matrix::blas3;
+
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut fill = move |rows: usize, cols: usize| -> Mat<f32> {
+        let data = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+            })
+            .collect();
+        Mat::from_col_major(rows, cols, data)
+    };
+
+    // The k = 128 inner dimension is the paper's bandwidth (Table 1's
+    // rank-k update column); the tall-skinny panel is the TSQR/FormW shape.
+    let k_panel = 128.min(n);
+    let shapes: [(&str, usize, usize, usize); 3] = [
+        ("square", n, n, n),
+        ("rank_k_update", n, k_panel, n),
+        ("tall_skinny", n, n, k_panel),
+    ];
+
+    rayon::configure(1);
+    let mut entries = Vec::new();
+    let mut square_packed_faster = false;
+    for (name, m, k, nn) in shapes {
+        let a = fill(m, k);
+        let b = fill(k, nn);
+        let mut c_packed = Mat::<f32>::zeros(m, nn);
+        let t0 = std::time::Instant::now();
+        gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_packed.as_mut(),
+        );
+        let t_packed = t0.elapsed().as_secs_f64();
+
+        let mut c_ref = Mat::<f32>::zeros(m, nn);
+        let t0 = std::time::Instant::now();
+        blas3::reference::gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c_ref.as_mut(),
+        );
+        let t_reference = t0.elapsed().as_secs_f64();
+
+        let diff = c_packed.max_abs_diff(&c_ref);
+        let speedup = t_reference / t_packed.max(1e-12);
+        if name == "square" {
+            square_packed_faster = t_packed < t_reference;
+        }
+        let mut e = String::new();
+        let _ = write!(
+            e,
+            "    {{\"shape\": \"{name}\", \"m\": {m}, \"k\": {k}, \"n\": {nn}, \
+             \"seconds_packed\": {t_packed:.6}, \"seconds_reference\": {t_reference:.6}, \
+             \"speedup_packed\": {speedup:.3}, \"max_abs_diff\": {diff:.3e}}}"
+        );
+        entries.push(e);
+    }
+    rayon::configure(0);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"gemm_packed_vs_reference\",");
+    let _ = writeln!(out, "  \"n\": {n},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"dtype\": \"f32\",");
+    let _ = writeln!(out, "  \"threads\": 1,");
+    let _ = writeln!(out, "  \"shapes\": [");
+    let _ = writeln!(out, "{}", entries.join(",\n"));
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"packed_faster\": {square_packed_faster}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// §3.1 motivation check: "the unblocked computations take over 90% of the
 /// execution time of the tridiagonalization (ssytrd routine)". One-stage
 /// Householder tridiagonalization spends half its 4n³/3 flops in `symv`
@@ -776,6 +870,29 @@ mod tests {
         let t4 = table4(64, 1);
         assert!(t4.contains("Normal"));
         assert!(t4.contains("SVD_Geo 1e5"));
+    }
+
+    #[test]
+    fn gemm_bench_reports_all_shapes() {
+        let s = gemm_bench(96, 3);
+        for key in [
+            "\"bench\": \"gemm_packed_vs_reference\"",
+            "\"square\"",
+            "\"rank_k_update\"",
+            "\"tall_skinny\"",
+            "\"packed_faster\"",
+        ] {
+            assert!(s.contains(key), "missing {key} in:\n{s}");
+        }
+        // the two kernels must agree on every shape (reassociation only)
+        for line in s.lines().filter(|l| l.contains("max_abs_diff")) {
+            let v = line
+                .split("\"max_abs_diff\": ")
+                .nth(1)
+                .and_then(|t| t.trim_end_matches(['}', ',', ' ']).parse::<f64>().ok())
+                .expect("parsable diff");
+            assert!(v < 1e-3, "kernels disagree: {line}");
+        }
     }
 
     #[test]

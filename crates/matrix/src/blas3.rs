@@ -1,10 +1,24 @@
-//! Matrix–matrix (BLAS-3) kernels: blocked, rayon-parallel GEMM plus the
-//! symmetric-rank-k and triangular-solve routines the factorizations need.
+//! Matrix–matrix (BLAS-3) kernels: a BLIS-style packed, cache-blocked GEMM
+//! plus the symmetric-rank-k and triangular routines the factorizations
+//! need.
 //!
-//! Parallelism follows the guide's recommended pattern: recursive
-//! `rayon::join` over *disjoint column halves* of the output (obtained with
-//! `split_cols_at`), which keeps everything in safe code — no raw-pointer
-//! sharing — while letting rayon balance the work.
+//! [`gemm`] follows the standard three-level BLIS decomposition: `op(A)` is
+//! packed into row-major MR-strips and `op(B)` into column-major NR-strips
+//! ([`crate::pack`]), and a register-tiled MR×NR microkernel
+//! ([`crate::microkernel`]) walks KC-deep panels of the packed operands.
+//! Packing makes all four `Op` combinations equally fast (no strided inner
+//! loops) and provides the fused per-element transform seam
+//! ([`gemm_with`]) that the Tensor-Core engines use for fp16/tf32
+//! truncation. The pre-packing loop nest survives as [`reference::gemm`] —
+//! the test oracle and the baseline the `reproduce gemm` bench measures
+//! against.
+//!
+//! Parallelism: workers receive *disjoint column chunks* of the output
+//! through [`for_col_chunks`] — safe code, no raw-pointer sharing — while
+//! both packed buffers are built once up front and shared read-only. The
+//! chunk partition is fixed by the output shape, chunk boundaries align
+//! with NR-strips, and the microkernel accumulates in one fixed order, so
+//! results are bit-identical at every thread count.
 
 // Index-based loops mirror the BLAS/LAPACK reference formulations these
 // kernels follow; iterator rewrites obscure the subscript arithmetic.
@@ -13,10 +27,9 @@
 use crate::blas1::{axpy, dot};
 use crate::blas2::{trsv, Op};
 use crate::mat::{Mat, MatMut, MatRef};
+use crate::pack;
 use crate::scalar::Scalar;
 
-/// Row-block height used to keep the active C/A panel cache-resident.
-const MC: usize = 512;
 /// Column chunk processed per task.
 const NC: usize = 32;
 /// Below this many flops a GEMM runs serially (rayon overhead dominates).
@@ -85,6 +98,20 @@ pub fn for_col_chunks<T: Scalar>(
     rayon::for_each_chunk(tasks, &|(j0, cc)| f(j0, cc));
 }
 
+/// Apply the `beta·C` part of a GEMM to one column chunk: `beta = 0`
+/// overwrites (even NaN), `beta = 1` is a no-op, anything else scales.
+fn scale_cols<T: Scalar>(beta: T, cc: &mut MatMut<'_, T>) {
+    if beta == T::ZERO {
+        cc.fill(T::ZERO);
+    } else if beta != T::ONE {
+        for j in 0..cc.cols() {
+            for v in cc.col_mut(j) {
+                *v *= beta;
+            }
+        }
+    }
+}
+
 /// General matrix multiply–accumulate:
 /// `C ← alpha·op(A)·op(B) + beta·C`.
 ///
@@ -98,6 +125,31 @@ pub fn gemm<T: Scalar>(
     beta: T,
     c: MatMut<'_, T>,
 ) {
+    gemm_with(alpha, a, op_a, b, op_b, beta, c, &|x| x);
+}
+
+/// [`gemm`] with a fused per-element operand transform:
+/// `C ← alpha·op(t(A))·op(t(B)) + beta·C`, where `t` is applied to every
+/// element of `A` and `B` exactly once, while it is packed — before any
+/// arithmetic. This is how the Tensor-Core engines inject fp16/tf32
+/// rounding without materializing truncated operand copies
+/// (`tcevd-tensorcore`); `t` never touches `C` or the accumulation.
+///
+/// Implementation: the three-level packed BLIS decomposition. Both packed
+/// buffers are built once, sequentially, before the parallel fan-out; the
+/// column-chunk workers then walk KC-panels × MC-row-blocks × NR/MR tiles
+/// in a fixed order, so the result is bit-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    op_a: Op,
+    b: MatRef<'_, T>,
+    op_b: Op,
+    beta: T,
+    c: MatMut<'_, T>,
+    transform: &impl Fn(T) -> T,
+) {
     let (m, ka) = op_dims(&a, op_a);
     let (kb, n) = op_dims(&b, op_b);
     assert_eq!(ka, kb, "gemm inner dimension mismatch");
@@ -106,77 +158,151 @@ pub fn gemm<T: Scalar>(
     let k = ka;
 
     let parallel = parallel_worthwhile(m, n, k);
+    if alpha == T::ZERO || k == 0 {
+        // no product term: only the beta scaling applies
+        for_col_chunks(c, NC, parallel, &|_, mut cc| scale_cols(beta, &mut cc));
+        return;
+    }
+
+    let (mr, nr, mc, kc) = (T::GEMM_MR, T::GEMM_NR, T::GEMM_MC, T::GEMM_KC);
+    debug_assert_eq!(NC % nr, 0, "column chunks must align with NR strips");
+    debug_assert_eq!(mc % mr, 0, "MC must be a multiple of MR");
+    // Pack both operands once, before the fan-out: the buffers are shared
+    // read-only by all workers, the packing cost amortizes over the whole
+    // product instead of repeating per chunk, and the fused transform runs
+    // exactly once per element.
+    let pa = pack::pack_a(a, op_a, mr, kc, transform);
+    let pb = pack::pack_b(b, op_b, nr, kc, transform);
+    let m_pad = m.div_ceil(mr) * mr;
+    let n_pad = n.div_ceil(nr) * nr;
 
     for_col_chunks(c, NC, parallel, &|j0, mut cc| {
+        scale_cols(beta, &mut cc);
         let nc = cc.cols();
-        // beta scaling
-        if beta == T::ZERO {
-            cc.fill(T::ZERO);
-        } else if beta != T::ONE {
-            for j in 0..nc {
-                for v in cc.col_mut(j) {
-                    *v *= beta;
-                }
-            }
-        }
-        if alpha == T::ZERO || k == 0 {
-            return;
-        }
-        match (op_a, op_b) {
-            (Op::NoTrans, Op::NoTrans) => {
-                // C[:,j] += alpha * sum_l A[:,l] * B[l, j0+j], blocked over rows.
-                for i0 in (0..m).step_by(MC) {
-                    let ib = MC.min(m - i0);
-                    for l in 0..k {
-                        let acol = &a.col(l)[i0..i0 + ib];
-                        for j in 0..nc {
-                            let w = alpha * b.get(l, j0 + j);
-                            if w != T::ZERO {
-                                axpy(w, acol, &mut cc.col_mut(j)[i0..i0 + ib]);
-                            }
-                        }
-                    }
-                }
-            }
-            (Op::NoTrans, Op::Trans) => {
-                for i0 in (0..m).step_by(MC) {
-                    let ib = MC.min(m - i0);
-                    for l in 0..k {
-                        let acol = &a.col(l)[i0..i0 + ib];
-                        for j in 0..nc {
-                            let w = alpha * b.get(j0 + j, l);
-                            if w != T::ZERO {
-                                axpy(w, acol, &mut cc.col_mut(j)[i0..i0 + ib]);
-                            }
-                        }
-                    }
-                }
-            }
-            (Op::Trans, Op::NoTrans) => {
-                // C[i,j] += alpha * dot(A[:,i], B[:,j]) — contiguous dots.
-                for j in 0..nc {
-                    let bcol = b.col(j0 + j);
-                    let ccol = cc.col_mut(j);
-                    for i in 0..m {
-                        ccol[i] += alpha * dot(a.col(i), bcol);
-                    }
-                }
-            }
-            (Op::Trans, Op::Trans) => {
-                // Materialize each B row into a scratch vector, then dots.
-                let mut brow = vec![T::ZERO; k];
-                for j in 0..nc {
-                    for l in 0..k {
-                        brow[l] = b.get(j0 + j, l);
-                    }
-                    let ccol = cc.col_mut(j);
-                    for i in 0..m {
-                        ccol[i] += alpha * dot(a.col(i), &brow);
+        let ldc = cc.ld();
+        // one flat view of the chunk: per-tile offsets are plain arithmetic
+        let cdat = cc.into_slice();
+        for (p0, kcb) in pack::blocks(k, kc) {
+            for (i0, mb) in pack::blocks(m, mc) {
+                for jj in (0..nc).step_by(nr) {
+                    let nrb = nr.min(nc - jj);
+                    // chunk starts are multiples of NC and NC % NR == 0, so
+                    // the global strip index is (j0 + jj) / nr
+                    let boff = n_pad * p0 + (j0 + jj) / nr * (nr * kcb);
+                    let bs = &pb[boff..boff + kcb * nr];
+                    for ii in (i0..i0 + mb).step_by(mr) {
+                        let mrb = mr.min(i0 + mb - ii);
+                        let aoff = m_pad * p0 + ii / mr * (mr * kcb);
+                        let asl = &pa[aoff..aoff + kcb * mr];
+                        let ct = &mut cdat[jj * ldc + ii..];
+                        T::gemm_microkernel(kcb, asl, bs, alpha, ct, ldc, mrb, nrb);
                     }
                 }
             }
         }
     });
+}
+
+/// The pre-packing GEMM loop nest, kept as an always-compiled reference
+/// oracle: tests cross-check the packed kernel against it, and the
+/// `reproduce gemm` bench measures the packed kernel's speedup over it.
+pub mod reference {
+    use super::*;
+
+    /// Row-block height used to keep the active C/A panel cache-resident.
+    const MC: usize = 512;
+
+    /// `C ← alpha·op(A)·op(B) + beta·C` via the original axpy/dot
+    /// formulation (same column-chunk fan-out, no packing, no register
+    /// tiling). The (Trans, Trans) case materializes `op(B)` row access as
+    /// a transposed copy once per call — hoisted out of the per-chunk
+    /// closure, which used to allocate a scratch row per chunk.
+    pub fn gemm<T: Scalar>(
+        alpha: T,
+        a: MatRef<'_, T>,
+        op_a: Op,
+        b: MatRef<'_, T>,
+        op_b: Op,
+        beta: T,
+        c: MatMut<'_, T>,
+    ) {
+        let (m, ka) = op_dims(&a, op_a);
+        let (kb, n) = op_dims(&b, op_b);
+        assert_eq!(ka, kb, "gemm inner dimension mismatch");
+        assert_eq!(c.rows(), m, "gemm C row mismatch");
+        assert_eq!(c.cols(), n, "gemm C col mismatch");
+        let k = ka;
+
+        let parallel = parallel_worthwhile(m, n, k);
+
+        // (Trans, Trans) reads rows of `b`; transpose once so the inner
+        // loop runs contiguous dots (the old code rebuilt a scratch row
+        // per output column, inside every chunk closure).
+        let bt = if alpha != T::ZERO && k != 0 && (op_a, op_b) == (Op::Trans, Op::Trans) {
+            Mat::from_fn(k, n, |l, j| b.get(j, l))
+        } else {
+            Mat::zeros(0, 0)
+        };
+
+        for_col_chunks(c, NC, parallel, &|j0, mut cc| {
+            let nc = cc.cols();
+            scale_cols(beta, &mut cc);
+            if alpha == T::ZERO || k == 0 {
+                return;
+            }
+            match (op_a, op_b) {
+                (Op::NoTrans, Op::NoTrans) => {
+                    // C[:,j] += alpha * sum_l A[:,l] * B[l, j0+j], blocked over rows.
+                    for i0 in (0..m).step_by(MC) {
+                        let ib = MC.min(m - i0);
+                        for l in 0..k {
+                            let acol = &a.col(l)[i0..i0 + ib];
+                            for j in 0..nc {
+                                let w = alpha * b.get(l, j0 + j);
+                                if w != T::ZERO {
+                                    axpy(w, acol, &mut cc.col_mut(j)[i0..i0 + ib]);
+                                }
+                            }
+                        }
+                    }
+                }
+                (Op::NoTrans, Op::Trans) => {
+                    for i0 in (0..m).step_by(MC) {
+                        let ib = MC.min(m - i0);
+                        for l in 0..k {
+                            let acol = &a.col(l)[i0..i0 + ib];
+                            for j in 0..nc {
+                                let w = alpha * b.get(j0 + j, l);
+                                if w != T::ZERO {
+                                    axpy(w, acol, &mut cc.col_mut(j)[i0..i0 + ib]);
+                                }
+                            }
+                        }
+                    }
+                }
+                (Op::Trans, Op::NoTrans) => {
+                    // C[i,j] += alpha * dot(A[:,i], B[:,j]) — contiguous dots.
+                    for j in 0..nc {
+                        let bcol = b.col(j0 + j);
+                        let ccol = cc.col_mut(j);
+                        for i in 0..m {
+                            ccol[i] += alpha * dot(a.col(i), bcol);
+                        }
+                    }
+                }
+                (Op::Trans, Op::Trans) => {
+                    // contiguous dots against the hoisted transpose
+                    for j in 0..nc {
+                        let brow = bt.col(j0 + j);
+                        let ccol = cc.col_mut(j);
+                        for i in 0..m {
+                            ccol[i] += alpha * dot(a.col(i), brow);
+                        }
+                    }
+                }
+            }
+        });
+    }
 }
 
 /// Convenience: allocate and return `op(A)·op(B)`.
@@ -188,6 +314,12 @@ pub fn matmul<T: Scalar>(a: MatRef<'_, T>, op_a: Op, b: MatRef<'_, T>, op_b: Op)
     c
 }
 
+/// Column-block width for routing the symmetric-rank updates through the
+/// packed GEMM: the strictly-sub-diagonal row panel of each column block
+/// is a plain GEMM (the bulk of the flops), while the triangular diagonal
+/// block keeps the short per-column kernels.
+const SYRK_NB: usize = 64;
+
 /// Symmetric rank-k update, lower triangle only:
 /// `C ← alpha·A·Aᵀ + beta·C` (op = NoTrans, A is n×k) or
 /// `C ← alpha·Aᵀ·A + beta·C` (op = Trans, A is k×n).
@@ -196,6 +328,56 @@ pub fn syrk_lower<T: Scalar>(alpha: T, a: MatRef<'_, T>, op: Op, beta: T, mut c:
     assert_eq!(c.cols(), n);
     let (rows, k) = op_dims(&a, op);
     assert_eq!(rows, n);
+    for (j0, jb) in pack::blocks(n, SYRK_NB) {
+        // triangular diagonal block: short columns, scalar kernels
+        let a_diag = match op {
+            Op::NoTrans => a.view(j0, 0, jb, k),
+            Op::Trans => a.view(0, j0, k, jb),
+        };
+        syrk_lower_unblocked(alpha, a_diag, op, beta, c.view_mut(j0, j0, jb, jb));
+        // everything below the diagonal block is a dense rectangular
+        // product — route it through the packed GEMM
+        let r0 = j0 + jb;
+        if r0 < n {
+            let cb = c.view_mut(r0, j0, n - r0, jb);
+            match op {
+                Op::NoTrans => gemm(
+                    alpha,
+                    a.view(r0, 0, n - r0, k),
+                    Op::NoTrans,
+                    a.view(j0, 0, jb, k),
+                    Op::Trans,
+                    beta,
+                    cb,
+                ),
+                Op::Trans => gemm(
+                    alpha,
+                    a.view(0, r0, k, n - r0),
+                    Op::Trans,
+                    a.view(0, j0, k, jb),
+                    Op::NoTrans,
+                    beta,
+                    cb,
+                ),
+            }
+        }
+    }
+}
+
+/// Per-column rank-k kernel used for the triangular diagonal blocks of
+/// [`syrk_lower`] (the pre-packing formulation, unchanged).
+fn syrk_lower_unblocked<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    op: Op,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let n = c.rows();
+    let k = match op {
+        Op::NoTrans => a.cols(),
+        Op::Trans => a.rows(),
+    };
     for j in 0..n {
         // scale the lower part of column j (beta = 0 overwrites, even NaN)
         if beta == T::ZERO {
@@ -242,6 +424,52 @@ pub fn syr2k_lower<T: Scalar>(
     assert_eq!(a.rows(), n);
     assert_eq!(b.rows(), n);
     assert_eq!(a.cols(), b.cols());
+    let k = a.cols();
+    for (j0, jb) in pack::blocks(n, SYRK_NB) {
+        syr2k_lower_unblocked(
+            alpha,
+            a.view(j0, 0, jb, k),
+            b.view(j0, 0, jb, k),
+            beta,
+            c.view_mut(j0, j0, jb, jb),
+        );
+        // below the diagonal block: two rectangular packed GEMMs,
+        // A_lo·B_hiᵀ then B_lo·A_hiᵀ accumulating on top
+        let r0 = j0 + jb;
+        if r0 < n {
+            let mut cb = c.view_mut(r0, j0, n - r0, jb);
+            gemm(
+                alpha,
+                a.view(r0, 0, n - r0, k),
+                Op::NoTrans,
+                b.view(j0, 0, jb, k),
+                Op::Trans,
+                beta,
+                cb.as_mut(),
+            );
+            gemm(
+                alpha,
+                b.view(r0, 0, n - r0, k),
+                Op::NoTrans,
+                a.view(j0, 0, jb, k),
+                Op::Trans,
+                T::ONE,
+                cb,
+            );
+        }
+    }
+}
+
+/// Per-column rank-2k kernel used for the triangular diagonal blocks of
+/// [`syr2k_lower`] (the pre-packing formulation, unchanged).
+fn syr2k_lower_unblocked<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let n = c.rows();
     let k = a.cols();
     for j in 0..n {
         if beta == T::ZERO {
@@ -359,12 +587,21 @@ pub fn trsm<T: Scalar>(
     }
 }
 
+/// Diagonal-block size for the blocked [`trmm`]; systems up to this order
+/// take the scalar unblocked path directly.
+const TRMM_NB: usize = 32;
+
 /// Triangular matrix multiply in place:
 /// * `Side::Left`:  `B ← alpha·op(A)·B`
 /// * `Side::Right`: `B ← alpha·B·op(A)`
 ///
 /// `A` triangular (`lower` names the stored triangle), optional implicit
 /// unit diagonal.
+///
+/// Blocked formulation: the strictly-off-diagonal part of each
+/// `TRMM_NB`-wide block row/column of `op(A)` is a dense rectangular
+/// product routed through the packed [`gemm`]; only the small triangular
+/// diagonal tiles run scalar loops.
 pub fn trmm<T: Scalar>(
     side: Side,
     alpha: T,
@@ -376,6 +613,178 @@ pub fn trmm<T: Scalar>(
 ) {
     let n = a.rows();
     assert_eq!(a.cols(), n, "triangular matrix must be square");
+    if n <= TRMM_NB {
+        trmm_unblocked(side, alpha, a, op, lower, unit, b);
+        return;
+    }
+    let eff_lower = lower ^ (op == Op::Trans);
+    match side {
+        Side::Left => {
+            assert_eq!(b.rows(), n);
+            // B ← alpha·M·B mixes rows of B, which column-major views
+            // cannot split disjointly — so per column chunk, snapshot the
+            // original chunk and rebuild it row block by row block from
+            // the snapshot: bulk through the packed GEMM, the triangular
+            // diagonal tile with scalar loops.
+            let ncols = b.cols();
+            for (c0, ncb) in pack::blocks(ncols, NC) {
+                let src = b.as_ref().view(0, c0, n, ncb).to_owned();
+                for (i0, ib) in pack::blocks(n, TRMM_NB) {
+                    let mut dst = b.view_mut(i0, c0, ib, ncb);
+                    if eff_lower && i0 > 0 {
+                        // strict block row left of the diagonal tile
+                        let (ma, mop) = match op {
+                            Op::NoTrans => (a.view(i0, 0, ib, i0), Op::NoTrans),
+                            Op::Trans => (a.view(0, i0, i0, ib), Op::Trans),
+                        };
+                        gemm(
+                            alpha,
+                            ma,
+                            mop,
+                            src.view(0, 0, i0, ncb),
+                            Op::NoTrans,
+                            T::ZERO,
+                            dst.as_mut(),
+                        );
+                    } else if !eff_lower && i0 + ib < n {
+                        // strict block row right of the diagonal tile
+                        let r0 = i0 + ib;
+                        let (ma, mop) = match op {
+                            Op::NoTrans => (a.view(i0, r0, ib, n - r0), Op::NoTrans),
+                            Op::Trans => (a.view(r0, i0, n - r0, ib), Op::Trans),
+                        };
+                        gemm(
+                            alpha,
+                            ma,
+                            mop,
+                            src.view(r0, 0, n - r0, ncb),
+                            Op::NoTrans,
+                            T::ZERO,
+                            dst.as_mut(),
+                        );
+                    } else {
+                        dst.fill(T::ZERO);
+                    }
+                    trmm_left_diag_acc(alpha, &a, op, lower, unit, i0, ib, &src, &mut dst);
+                }
+            }
+        }
+        Side::Right => {
+            assert_eq!(b.cols(), n);
+            let m = b.rows();
+            if eff_lower {
+                // output column block j needs B columns ≥ j → ascending
+                // order keeps every source column still original
+                for (j0, jb) in pack::blocks(n, TRMM_NB) {
+                    trmm_unblocked(
+                        Side::Right,
+                        alpha,
+                        a.view(j0, j0, jb, jb),
+                        op,
+                        lower,
+                        unit,
+                        b.view_mut(0, j0, m, jb),
+                    );
+                    let r0 = j0 + jb;
+                    if r0 < n {
+                        let (ma, mop) = match op {
+                            Op::NoTrans => (a.view(r0, j0, n - r0, jb), Op::NoTrans),
+                            Op::Trans => (a.view(j0, r0, jb, n - r0), Op::Trans),
+                        };
+                        let (left, right) = b.as_mut().split_cols_at(r0);
+                        let rsrc = right.as_ref();
+                        let dst = left.into_view(0, j0, m, jb);
+                        gemm(alpha, rsrc, Op::NoTrans, ma, mop, T::ONE, dst);
+                    }
+                }
+            } else {
+                // output column block j needs B columns ≤ j → descending
+                let blocks: Vec<(usize, usize)> = pack::blocks(n, TRMM_NB).collect();
+                for &(j0, jb) in blocks.iter().rev() {
+                    trmm_unblocked(
+                        Side::Right,
+                        alpha,
+                        a.view(j0, j0, jb, jb),
+                        op,
+                        lower,
+                        unit,
+                        b.view_mut(0, j0, m, jb),
+                    );
+                    if j0 > 0 {
+                        let (ma, mop) = match op {
+                            Op::NoTrans => (a.view(0, j0, j0, jb), Op::NoTrans),
+                            Op::Trans => (a.view(j0, 0, jb, j0), Op::Trans),
+                        };
+                        let (left, right) = b.as_mut().split_cols_at(j0);
+                        let lsrc = left.as_ref();
+                        let dst = right.into_view(0, 0, m, jb);
+                        gemm(alpha, lsrc, Op::NoTrans, ma, mop, T::ONE, dst);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `dst += alpha · tri(op(A)[i0.., i0..]) · src[i0.., :]` for one
+/// triangular diagonal tile of the blocked left [`trmm`] — scalar loops
+/// over an `ib`×`ib` triangle, `ib ≤ TRMM_NB`.
+#[allow(clippy::too_many_arguments)]
+fn trmm_left_diag_acc<T: Scalar>(
+    alpha: T,
+    a: &MatRef<'_, T>,
+    op: Op,
+    lower: bool,
+    unit: bool,
+    i0: usize,
+    ib: usize,
+    src: &Mat<T>,
+    dst: &mut MatMut<'_, T>,
+) {
+    let at = |i: usize, j: usize| -> T {
+        let (r, c) = match op {
+            Op::NoTrans => (i, j),
+            Op::Trans => (j, i),
+        };
+        let stored = if lower { r >= c } else { r <= c };
+        if r == c {
+            if unit {
+                T::ONE
+            } else {
+                a.get(r, c)
+            }
+        } else if stored {
+            a.get(r, c)
+        } else {
+            T::ZERO
+        }
+    };
+    let eff_lower = lower ^ (op == Op::Trans);
+    for j in 0..dst.cols() {
+        let sc = src.col(j);
+        for i in 0..ib {
+            let mut s = T::ZERO;
+            let (lo, hi) = if eff_lower { (0, i + 1) } else { (i, ib) };
+            for kk in lo..hi {
+                s += at(i0 + i, i0 + kk) * sc[i0 + kk];
+            }
+            *dst.at_mut(i, j) += alpha * s;
+        }
+    }
+}
+
+/// The original scalar trmm, used for systems up to `TRMM_NB` and for the
+/// triangular diagonal tiles of the blocked path.
+fn trmm_unblocked<T: Scalar>(
+    side: Side,
+    alpha: T,
+    a: MatRef<'_, T>,
+    op: Op,
+    lower: bool,
+    unit: bool,
+    mut b: MatMut<'_, T>,
+) {
+    let n = a.rows();
     let at = |i: usize, j: usize| -> T {
         let (r, c) = match op {
             Op::NoTrans => (i, j),
@@ -666,6 +1075,307 @@ mod tests {
             c.as_mut(),
         );
         assert_eq!(c.max_abs_diff(&Mat::identity(2, 2)), 0.0);
+    }
+
+    #[test]
+    fn packed_gemm_matches_reference_across_blocking_boundaries() {
+        // shapes chosen to cross the f64 tiles: MR = 8, MC = 64 — ragged
+        // edge strips, multiple MC row panels, every Op combination
+        for (m, k, n, op_a, op_b) in [
+            (150, 70, 37, Op::NoTrans, Op::NoTrans),
+            (65, 33, 70, Op::Trans, Op::Trans),
+            (17, 40, 33, Op::NoTrans, Op::Trans),
+            (33, 129, 65, Op::Trans, Op::NoTrans),
+            (1, 1, 1, Op::NoTrans, Op::NoTrans),
+            (9, 3, 100, Op::Trans, Op::Trans),
+        ] {
+            let (ar, ac) = match op_a {
+                Op::NoTrans => (m, k),
+                Op::Trans => (k, m),
+            };
+            let (br, bc) = match op_b {
+                Op::NoTrans => (k, n),
+                Op::Trans => (n, k),
+            };
+            let a = rand_mat(ar, ac, 90);
+            let b = rand_mat(br, bc, 91);
+            let c0 = rand_mat(m, n, 92);
+            let mut packed = c0.clone();
+            gemm(
+                1.3,
+                a.as_ref(),
+                op_a,
+                b.as_ref(),
+                op_b,
+                0.7,
+                packed.as_mut(),
+            );
+            let mut oracle = c0.clone();
+            reference::gemm(
+                1.3,
+                a.as_ref(),
+                op_a,
+                b.as_ref(),
+                op_b,
+                0.7,
+                oracle.as_mut(),
+            );
+            assert!(
+                packed.max_abs_diff(&oracle) < 1e-11 * (1.0 + k as f64),
+                "({m},{k},{n}) ({op_a:?},{op_b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_gemm_f32_crosses_the_kc_panel_boundary() {
+        // k = 600 > KC = 256 → three packed k-panels for f32; check the
+        // panel-accumulation arithmetic against a float64 oracle
+        let (m, k, n) = (37, 600, 35);
+        let a64 = rand_mat(m, k, 95);
+        let b64 = rand_mat(k, n, 96);
+        let a32: Mat<f32> = a64.cast();
+        let b32: Mat<f32> = b64.cast();
+        let mut c32 = Mat::<f32>::zeros(m, n);
+        gemm(
+            1.0,
+            a32.as_ref(),
+            Op::NoTrans,
+            b32.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c32.as_mut(),
+        );
+        let want = matmul(a64.as_ref(), Op::NoTrans, b64.as_ref(), Op::NoTrans);
+        for j in 0..n {
+            for i in 0..m {
+                let got = c32[(i, j)] as f64;
+                assert!(
+                    (got - want[(i, j)]).abs() < 1e-2,
+                    "({i},{j}): {got} vs {}",
+                    want[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_with_applies_the_fused_transform_once_per_element() {
+        // t(x) = 2x on both operands must quadruple the product term and
+        // leave the beta·C term untouched
+        let a = rand_mat(19, 7, 97);
+        let b = rand_mat(7, 23, 98);
+        let c0 = rand_mat(19, 23, 99);
+        let mut got = c0.clone();
+        gemm_with(
+            0.5,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            1.0,
+            got.as_mut(),
+            &|x| x * 2.0,
+        );
+        let mut want = c0.clone();
+        gemm(
+            2.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            1.0,
+            want.as_mut(),
+        );
+        assert!(got.max_abs_diff(&want) < 1e-12);
+    }
+
+    #[test]
+    fn chunk_width_aligns_with_nr_strips() {
+        // gemm's strip-offset arithmetic requires NC % GEMM_NR == 0
+        assert_eq!(NC % <f32 as Scalar>::GEMM_NR, 0);
+        assert_eq!(NC % <f64 as Scalar>::GEMM_NR, 0);
+    }
+
+    #[test]
+    fn reference_gemm_matches_naive_all_ops() {
+        let (m, k, n) = (7, 5, 9);
+        for (op_a, op_b) in [
+            (Op::NoTrans, Op::NoTrans),
+            (Op::NoTrans, Op::Trans),
+            (Op::Trans, Op::NoTrans),
+            (Op::Trans, Op::Trans),
+        ] {
+            let a = match op_a {
+                Op::NoTrans => rand_mat(m, k, 4),
+                Op::Trans => rand_mat(k, m, 4),
+            };
+            let b = match op_b {
+                Op::NoTrans => rand_mat(k, n, 5),
+                Op::Trans => rand_mat(n, k, 5),
+            };
+            let mut c = rand_mat(m, n, 6);
+            let mut c_ref = c.clone();
+            reference::gemm(1.3, a.as_ref(), op_a, b.as_ref(), op_b, 0.7, c.as_mut());
+            naive_gemm(1.3, &a, op_a, &b, op_b, 0.7, &mut c_ref);
+            assert!(
+                c.max_abs_diff(&c_ref) < 1e-12,
+                "reference mismatch for ({op_a:?},{op_b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_gemm_beta_zero_overwrites_nan() {
+        let a = Mat::<f64>::identity(2, 2);
+        let b = Mat::<f64>::identity(2, 2);
+        let mut c = Mat::from_col_major(2, 2, vec![f64::NAN; 4]);
+        reference::gemm(
+            1.0,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::NoTrans,
+            0.0,
+            c.as_mut(),
+        );
+        assert_eq!(c.max_abs_diff(&Mat::identity(2, 2)), 0.0);
+    }
+
+    #[test]
+    fn blocked_syrk_and_syr2k_cross_the_block_boundary() {
+        // n = 150 > SYRK_NB = 64 → diagonal tiles + packed sub-diagonal panels
+        let n = 150;
+        let k = 20;
+        for op in [Op::NoTrans, Op::Trans] {
+            let a = match op {
+                Op::NoTrans => rand_mat(n, k, 100),
+                Op::Trans => rand_mat(k, n, 100),
+            };
+            let mut c = rand_mat(n, n, 101);
+            let c0 = c.clone();
+            syrk_lower(1.7, a.as_ref(), op, 0.3, c.as_mut());
+            let full = match op {
+                Op::NoTrans => matmul(a.as_ref(), Op::NoTrans, a.as_ref(), Op::Trans),
+                Op::Trans => matmul(a.as_ref(), Op::Trans, a.as_ref(), Op::NoTrans),
+            };
+            for j in 0..n {
+                for i in 0..n {
+                    if i >= j {
+                        let want = 1.7 * full[(i, j)] + 0.3 * c0[(i, j)];
+                        assert!((c[(i, j)] - want).abs() < 1e-11, "{op:?} ({i},{j})");
+                    } else {
+                        // strict upper triangle untouched
+                        assert_eq!(c[(i, j)], c0[(i, j)], "{op:?} ({i},{j})");
+                    }
+                }
+            }
+        }
+        let a = rand_mat(n, k, 102);
+        let b = rand_mat(n, k, 103);
+        let mut c = rand_mat(n, n, 104);
+        let c0 = c.clone();
+        syr2k_lower(1.1, a.as_ref(), b.as_ref(), 0.6, c.as_mut());
+        let abt = matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::Trans);
+        for j in 0..n {
+            for i in 0..n {
+                if i >= j {
+                    let want = 1.1 * (abt[(i, j)] + abt[(j, i)]) + 0.6 * c0[(i, j)];
+                    assert!((c[(i, j)] - want).abs() < 1e-11, "syr2k ({i},{j})");
+                } else {
+                    assert_eq!(c[(i, j)], c0[(i, j)], "syr2k upper ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_trmm_matches_dense_above_the_block_size() {
+        // n = 75 > TRMM_NB = 32 → exercises the blocked left/right paths
+        let n = 75;
+        let mut l = rand_mat(n, n, 110);
+        for j in 0..n {
+            for i in 0..j {
+                l[(i, j)] = 0.0;
+            }
+        }
+        let dense = |op: Op, unit: bool| -> Mat<f64> {
+            Mat::from_fn(n, n, |i, j| {
+                let (r, c) = match op {
+                    Op::NoTrans => (i, j),
+                    Op::Trans => (j, i),
+                };
+                if r == c {
+                    if unit {
+                        1.0
+                    } else {
+                        l[(r, c)]
+                    }
+                } else if r > c {
+                    l[(r, c)]
+                } else {
+                    0.0
+                }
+            })
+        };
+        let b = rand_mat(n, 40, 111);
+        let bt = rand_mat(40, n, 112);
+        for op in [Op::NoTrans, Op::Trans] {
+            for unit in [false, true] {
+                let m_eff = dense(op, unit);
+                let mut got = b.clone();
+                trmm(Side::Left, 1.5, l.as_ref(), op, true, unit, got.as_mut());
+                let mut want = matmul(m_eff.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+                for v in want.as_mut_slice() {
+                    *v *= 1.5;
+                }
+                assert!(
+                    got.max_abs_diff(&want) < 1e-10,
+                    "blocked left {op:?} unit={unit}"
+                );
+                let mut got = bt.clone();
+                trmm(Side::Right, 2.0, l.as_ref(), op, true, unit, got.as_mut());
+                let mut want = matmul(bt.as_ref(), Op::NoTrans, m_eff.as_ref(), Op::NoTrans);
+                for v in want.as_mut_slice() {
+                    *v *= 2.0;
+                }
+                assert!(
+                    got.max_abs_diff(&want) < 1e-10,
+                    "blocked right {op:?} unit={unit}"
+                );
+            }
+        }
+        // upper-triangle storage through the blocked path too
+        let mut u = rand_mat(n, n, 113);
+        for j in 0..n {
+            for i in j + 1..n {
+                u[(i, j)] = 0.0;
+            }
+        }
+        for op in [Op::NoTrans, Op::Trans] {
+            let m_eff = Mat::from_fn(n, n, |i, j| {
+                let (r, c) = match op {
+                    Op::NoTrans => (i, j),
+                    Op::Trans => (j, i),
+                };
+                if r <= c {
+                    u[(r, c)]
+                } else {
+                    0.0
+                }
+            });
+            let mut got = b.clone();
+            trmm(Side::Left, 1.0, u.as_ref(), op, false, false, got.as_mut());
+            let want = matmul(m_eff.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+            assert!(got.max_abs_diff(&want) < 1e-10, "blocked upper left {op:?}");
+            let mut got = bt.clone();
+            trmm(Side::Right, 1.0, u.as_ref(), op, false, false, got.as_mut());
+            let want = matmul(bt.as_ref(), Op::NoTrans, m_eff.as_ref(), Op::NoTrans);
+            assert!(
+                got.max_abs_diff(&want) < 1e-10,
+                "blocked upper right {op:?}"
+            );
+        }
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! Design notes:
 //! * Storage is column-major with explicit leading dimension in views,
 //!   mirroring LAPACK conventions so blocked algorithms translate directly.
-//! * BLAS-3 kernels parallelize with recursive `rayon::join` over disjoint
-//!   column halves of the output — data-race freedom by construction.
+//! * GEMM is a BLIS-style cache-blocked kernel: operands are packed into
+//!   contiguous register-tile strips ([`mod@pack`]) and multiplied by a
+//!   fixed-order MR×NR microkernel ([`mod@microkernel`]); the parallel
+//!   fan-out hands workers disjoint column chunks of the output —
+//!   data-race freedom by construction, bit-identical at any thread count.
 //! * Everything is generic over [`Scalar`] (`f32`/`f64`): the f32 pipeline is
 //!   the paper's working precision, the f64 pipeline is the LAPACK-substitute
 //!   reference.
@@ -25,7 +28,9 @@ pub mod blas3;
 pub mod elementwise;
 pub mod f16;
 pub mod mat;
+pub mod microkernel;
 pub mod norms;
+pub mod pack;
 pub mod scalar;
 
 pub use blas2::Op;
@@ -38,7 +43,7 @@ pub use scalar::Scalar;
 pub mod prelude {
     pub use crate::blas1::{axpy, dot, nrm2, scal};
     pub use crate::blas2::{gemv, ger, symv_lower, Op};
-    pub use crate::blas3::{gemm, matmul, syr2k_lower, syrk_lower, trmm, trsm, Side};
+    pub use crate::blas3::{gemm, gemm_with, matmul, syr2k_lower, syrk_lower, trmm, trsm, Side};
     pub use crate::elementwise::{axpby_mat, scale_mat};
     pub use crate::mat::{Mat, MatMut, MatRef};
     pub use crate::norms::{frobenius, max_abs, orthogonality_residual};

@@ -1,0 +1,145 @@
+//! Register-tiled GEMM microkernel — the innermost level of the packed
+//! BLIS-style GEMM in [`crate::blas3`].
+//!
+//! One call computes `C[..mr, ..nr] += alpha · Ap·Bp`, where `Ap` is one
+//! MR-strip of packed `op(A)` and `Bp` one NR-strip of packed `op(B)`
+//! (layouts documented in [`crate::pack`]). The MR×NR accumulator lives in
+//! fixed-size arrays that the compiler keeps in registers / vector lanes,
+//! and both operands stream contiguously, so the kernel is limited by
+//! multiply–add throughput rather than by the strided loads that dominated
+//! the old loop nest.
+//!
+//! Everything here is safe Rust: the hot loops use const-length slice
+//! windows so bounds checks hoist and the autovectorizer fires. Per-type
+//! MR/NR choices live on [`crate::scalar::Scalar`]
+//! (`GEMM_MR`/`GEMM_NR`), which dispatches to a monomorphized instance of
+//! [`microkernel`] per scalar type.
+//!
+//! **Determinism contract:** the accumulation order — `k` ascending, then
+//! tile column, then tile row — is a pure function of the call arguments.
+//! [`crate::blas3::gemm`] relies on this (together with its fixed column
+//! partition) for bit-identical results at every thread count.
+
+use crate::scalar::Scalar;
+
+/// `C[..mr, ..nr] += alpha · Ap·Bp` for one packed tile pair.
+///
+/// * `a` — `kc` micro-columns of `MR` packed values (`a[l*MR + i]`,
+///   zero-padded past the matrix edge).
+/// * `b` — `kc` micro-rows of `NR` packed values (`b[l*NR + j]`).
+/// * `c` — column-major tile with leading dimension `ldc`; only the live
+///   `mr`×`nr` corner is written back. Padded accumulator lanes are
+///   computed (they cost nothing: full-width FMA) but never stored, so
+///   padding zeros cannot perturb the result.
+/// * `mr ≤ MR`, `nr ≤ NR` — the live extent of a ragged edge tile.
+// `inline(never)`: the kernel must be compiled as its own well-vectorized
+// function. When it inlines into the (large, generic) chunk closure of
+// `blas3::gemm_with`, register pressure from the surrounding loop nest
+// wrecks the accumulator allocation and throughput drops ~5×; outlined,
+// every instantiation gets the same tight FMA loop and the per-tile call
+// cost is noise (one call per kc·MR·NR ≈ 8k flops).
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+pub fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    a: &[T],
+    b: &[T],
+    alpha: T,
+    c: &mut [T],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    assert!(mr <= MR && nr <= NR, "live tile exceeds MR×NR");
+    assert!(a.len() >= kc * MR, "packed A strip too short");
+    assert!(b.len() >= kc * NR, "packed B strip too short");
+    let mut acc = [[T::ZERO; MR]; NR];
+    // chunks_exact + fixed-size conversion: every length in the hot loop is
+    // a compile-time constant, so no per-iteration bounds checks survive
+    // and the autovectorizer sees straight-line FMA chains.
+    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
+        let av: &[T; MR] = av.try_into().expect("chunks_exact yields MR chunks");
+        let bv: &[T; NR] = bv.try_into().expect("chunks_exact yields NR chunks");
+        for (col, &w) in acc.iter_mut().zip(bv.iter()) {
+            for (x, &ai) in col.iter_mut().zip(av.iter()) {
+                *x += ai * w;
+            }
+        }
+    }
+    if mr == MR && nr == NR {
+        // full tile: const-length writeback, fully unrollable
+        for (j, col) in acc.iter().enumerate() {
+            let cj = &mut c[j * ldc..j * ldc + MR];
+            for (ci, &x) in cj.iter_mut().zip(col) {
+                *ci += alpha * x;
+            }
+        }
+    } else {
+        // ragged edge: write only the live corner
+        for (j, col) in acc.iter().take(nr).enumerate() {
+            let cj = &mut c[j * ldc..j * ldc + mr];
+            for (ci, &x) in cj.iter_mut().zip(col) {
+                *ci += alpha * x;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-packed 2×2 strips against a naive per-entry product.
+    #[test]
+    fn full_tile_matches_naive() {
+        const MR: usize = 2;
+        const NR: usize = 2;
+        let kc = 3;
+        // op(A) = [[1,2,3],[4,5,6]] packed as micro-columns
+        let a = [1.0f64, 4.0, 2.0, 5.0, 3.0, 6.0];
+        // op(B) = [[7,8],[9,10],[11,12]] packed as micro-rows
+        let b = [7.0f64, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let mut c = [1.0f64; 4]; // 2×2, ldc = 2
+        microkernel::<f64, MR, NR>(kc, &a, &b, 2.0, &mut c, 2, 2, 2);
+        // A·B = [[58,64],[139,154]]; C = 1 + 2·(A·B), column-major
+        assert_eq!(c, [117.0, 279.0, 129.0, 309.0]);
+    }
+
+    #[test]
+    fn ragged_edge_leaves_padding_untouched() {
+        const MR: usize = 4;
+        const NR: usize = 4;
+        let kc = 2;
+        // live 1×1 problem: op(A) = [[3],[.]], op(B) = [[5],[.]] over k = 2
+        let mut a = [0.0f32; 2 * MR];
+        let mut b = [0.0f32; 2 * NR];
+        a[0] = 3.0; // l = 0, i = 0
+        a[MR] = 2.0; // l = 1, i = 0
+        b[0] = 5.0;
+        b[NR] = 7.0;
+        // poison the padding lanes: they must never reach C
+        a[1] = f32::NAN;
+        b[1] = f32::NAN;
+        let mut c = [-1.0f32; 8]; // generous buffer, ldc = 4
+        microkernel::<f32, MR, NR>(kc, &a, &b, 1.0, &mut c, 4, 1, 1);
+        assert_eq!(c[0], -1.0 + 3.0 * 5.0 + 2.0 * 7.0);
+        assert!(c[1..].iter().all(|&v| v == -1.0));
+    }
+
+    #[test]
+    fn accumulation_order_is_k_ascending() {
+        // with alpha = 1 and a 1×1 tile the kernel reduces to an ordered
+        // dot product; pin the exact f32 rounding of that order
+        const MR: usize = 1;
+        const NR: usize = 1;
+        let vals = [1.0e8f32, 1.0, -1.0e8, 1.0];
+        let ones = [1.0f32; 4];
+        let mut c = [0.0f32];
+        microkernel::<f32, MR, NR>(4, &vals, &ones, 1.0, &mut c, 1, 1, 1);
+        let mut want = 0.0f32;
+        for v in vals {
+            want += v;
+        }
+        assert_eq!(c[0], want);
+    }
+}

@@ -1,0 +1,222 @@
+//! Operand packing for the BLIS-style packed GEMM in [`crate::blas3`].
+//!
+//! `op(A)` is repacked into row-major MR-strips and `op(B)` into
+//! column-major NR-strips so the microkernel streams both operands
+//! contiguously regardless of [`Op`]. Transposed operands cost the same as
+//! untransposed ones after packing, which removes the strided-load penalty
+//! the old loop nest paid on every `Trans` case.
+//!
+//! Buffer layouts, with `m_pad = ⌈m/MR⌉·MR` and `n_pad = ⌈n/NR⌉·NR`:
+//!
+//! * **packed A** — for each KC-block (`p0` = start, `kcb` = depth) and
+//!   each MR-strip `s`, `kcb` micro-columns of `MR` values:
+//!   `buf[m_pad·p0 + s·MR·kcb + l·MR + i] = t(op(A)[s·MR + i, p0 + l])`
+//! * **packed B** — for each KC-block and each NR-strip `s`, `kcb`
+//!   micro-rows of `NR` values:
+//!   `buf[n_pad·p0 + s·NR·kcb + l·NR + j] = t(op(B)[p0 + l, s·NR + j])`
+//!
+//! Rows/columns past the matrix edge pad with zeros; the microkernel
+//! accumulates the padded lanes but never writes them back, so padding is
+//! invisible in the output.
+//!
+//! The per-element transform `t` is the **fused-truncation seam**: the
+//! Tensor-Core engines pass their fp16/tf32 rounding here instead of
+//! materializing truncated operand copies before the product
+//! (`tcevd-tensorcore`). The plain [`crate::blas3::gemm`] passes the
+//! identity.
+
+use crate::blas2::Op;
+use crate::mat::MatRef;
+use crate::scalar::Scalar;
+
+/// Chunk `[0, total)` into `(start, len)` blocks of at most `step`.
+pub(crate) fn blocks(total: usize, step: usize) -> impl Iterator<Item = (usize, usize)> {
+    let step = step.max(1);
+    (0..total)
+        .step_by(step)
+        .map(move |p0| (p0, step.min(total - p0)))
+}
+
+/// Pack `op(A)` (an `m`×`k` operand) into MR-strips, applying `t` to every
+/// element as it is copied. Layout documented at module level.
+pub fn pack_a<T: Scalar>(
+    a: MatRef<'_, T>,
+    op: Op,
+    mr: usize,
+    kc: usize,
+    t: &impl Fn(T) -> T,
+) -> Vec<T> {
+    let (m, k) = match op {
+        Op::NoTrans => (a.rows(), a.cols()),
+        Op::Trans => (a.cols(), a.rows()),
+    };
+    let m_pad = m.div_ceil(mr.max(1)) * mr.max(1);
+    let mut buf = vec![T::ZERO; m_pad * k];
+    for (p0, kcb) in blocks(k, kc) {
+        for (i0, rows) in blocks(m, mr) {
+            let base = m_pad * p0 + (i0 / mr) * (mr * kcb);
+            match op {
+                Op::NoTrans => {
+                    // op(A)[i0+i, p0+l] = a[i0+i, p0+l]: each micro-column
+                    // copies a contiguous run of column p0+l
+                    for l in 0..kcb {
+                        let src = &a.col(p0 + l)[i0..i0 + rows];
+                        let dst = &mut buf[base + l * mr..base + l * mr + rows];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = t(s);
+                        }
+                    }
+                }
+                Op::Trans => {
+                    // op(A)[i0+i, p0+l] = a[p0+l, i0+i]: each packed row
+                    // reads a contiguous run of column i0+i, writes stride mr
+                    for i in 0..rows {
+                        let src = &a.col(i0 + i)[p0..p0 + kcb];
+                        for (l, &s) in src.iter().enumerate() {
+                            buf[base + l * mr + i] = t(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// Pack `op(B)` (a `k`×`n` operand) into NR-strips, applying `t` to every
+/// element as it is copied. Layout documented at module level.
+pub fn pack_b<T: Scalar>(
+    b: MatRef<'_, T>,
+    op: Op,
+    nr: usize,
+    kc: usize,
+    t: &impl Fn(T) -> T,
+) -> Vec<T> {
+    let (k, n) = match op {
+        Op::NoTrans => (b.rows(), b.cols()),
+        Op::Trans => (b.cols(), b.rows()),
+    };
+    let n_pad = n.div_ceil(nr.max(1)) * nr.max(1);
+    let mut buf = vec![T::ZERO; n_pad * k];
+    for (p0, kcb) in blocks(k, kc) {
+        for (j0, cols) in blocks(n, nr) {
+            let base = n_pad * p0 + (j0 / nr) * (nr * kcb);
+            match op {
+                Op::NoTrans => {
+                    // op(B)[p0+l, j0+j] = b[p0+l, j0+j]: each packed column
+                    // reads a contiguous run of column j0+j, writes stride nr
+                    for j in 0..cols {
+                        let src = &b.col(j0 + j)[p0..p0 + kcb];
+                        for (l, &s) in src.iter().enumerate() {
+                            buf[base + l * nr + j] = t(s);
+                        }
+                    }
+                }
+                Op::Trans => {
+                    // op(B)[p0+l, j0+j] = b[j0+j, p0+l]: each micro-row
+                    // copies a contiguous run of column p0+l
+                    for l in 0..kcb {
+                        let src = &b.col(p0 + l)[j0..j0 + cols];
+                        let dst = &mut buf[base + l * nr..base + l * nr + cols];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = t(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::Mat;
+
+    fn op_at<T: Scalar>(m: &Mat<T>, op: Op, i: usize, j: usize) -> T {
+        match op {
+            Op::NoTrans => m[(i, j)],
+            Op::Trans => m[(j, i)],
+        }
+    }
+
+    /// Decode the packed-A layout back into `op(A)` and compare entrywise,
+    /// for ragged dimensions crossing both the MR and KC boundaries.
+    #[test]
+    fn pack_a_layout_round_trips_both_ops() {
+        let (mr, kc) = (4usize, 3usize);
+        for op in [Op::NoTrans, Op::Trans] {
+            let (rows, cols) = match op {
+                Op::NoTrans => (7, 8),
+                Op::Trans => (8, 7),
+            };
+            let a = Mat::from_fn(rows, cols, |i, j| (i * 17 + j * 3 + 1) as f64);
+            let (m, k) = (7usize, 8usize);
+            let buf = pack_a(a.as_ref(), op, mr, kc, &|x| x);
+            let m_pad = m.div_ceil(mr) * mr;
+            assert_eq!(buf.len(), m_pad * k);
+            for (p0, kcb) in blocks(k, kc) {
+                for i in 0..m_pad {
+                    let base = m_pad * p0 + (i / mr) * (mr * kcb);
+                    for l in 0..kcb {
+                        let got = buf[base + l * mr + i % mr];
+                        let want = if i < m {
+                            op_at(&a, op, i, p0 + l)
+                        } else {
+                            0.0 // padding lane
+                        };
+                        assert_eq!(got, want, "op {op:?} i {i} p {}", p0 + l);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_layout_round_trips_both_ops() {
+        let (nr, kc) = (4usize, 3usize);
+        for op in [Op::NoTrans, Op::Trans] {
+            let (rows, cols) = match op {
+                Op::NoTrans => (8, 6),
+                Op::Trans => (6, 8),
+            };
+            let b = Mat::from_fn(rows, cols, |i, j| (i * 5 + j * 11 + 2) as f64);
+            let (k, n) = (8usize, 6usize);
+            let buf = pack_b(b.as_ref(), op, nr, kc, &|x| x);
+            let n_pad = n.div_ceil(nr) * nr;
+            assert_eq!(buf.len(), n_pad * k);
+            for (p0, kcb) in blocks(k, kc) {
+                for j in 0..n_pad {
+                    let base = n_pad * p0 + (j / nr) * (nr * kcb);
+                    for l in 0..kcb {
+                        let got = buf[base + l * nr + j % nr];
+                        let want = if j < n { op_at(&b, op, p0 + l, j) } else { 0.0 };
+                        assert_eq!(got, want, "op {op:?} j {j} p {}", p0 + l);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transform_applies_to_every_element() {
+        let a = Mat::from_fn(5, 4, |i, j| (i + j) as f32 + 0.25);
+        let plain = pack_a(a.as_ref(), Op::NoTrans, 4, 8, &|x| x);
+        let doubled = pack_a(a.as_ref(), Op::NoTrans, 4, 8, &|x: f32| x * 2.0);
+        assert_eq!(plain.len(), doubled.len());
+        for (p, d) in plain.iter().zip(&doubled) {
+            assert_eq!(*d, p * 2.0);
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_produce_empty_buffers() {
+        let a = Mat::<f64>::zeros(0, 5);
+        assert!(pack_a(a.as_ref(), Op::NoTrans, 8, 256, &|x| x).is_empty());
+        let b = Mat::<f64>::zeros(5, 0);
+        assert!(pack_b(b.as_ref(), Op::NoTrans, 4, 256, &|x| x).is_empty());
+        let k0 = Mat::<f64>::zeros(5, 0);
+        assert!(pack_a(k0.as_ref(), Op::NoTrans, 8, 256, &|x| x).is_empty());
+    }
+}

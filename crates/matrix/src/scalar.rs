@@ -59,10 +59,45 @@ pub trait Scalar:
             Self::ONE
         }
     }
+
+    // --- packed-GEMM blocking parameters (see crate::pack / crate::microkernel) ---
+    //
+    // The defaults give a correct generic fallback; `impl_scalar!` overrides
+    // them with per-type register tiles sized so an MR-strip of A, an
+    // NR-strip of B and the C tile fit the vector register file. Invariants
+    // relied on by `blas3::gemm`: `GEMM_MC % GEMM_MR == 0` and
+    // `blas3::NC % GEMM_NR == 0`.
+
+    /// Microkernel tile height — rows of C per microkernel call.
+    const GEMM_MR: usize = 4;
+    /// Microkernel tile width — columns of C per microkernel call.
+    const GEMM_NR: usize = 4;
+    /// Row-panel height: the slice of packed A kept cache-resident.
+    const GEMM_MC: usize = 64;
+    /// Depth of one packed A/B panel (k-dimension blocking).
+    const GEMM_KC: usize = 256;
+
+    /// The register-tiled microkernel monomorphized at this type's MR×NR
+    /// (see [`crate::microkernel::microkernel`]). The default dispatches
+    /// the generic 4×4 fallback matching the default tile constants.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn gemm_microkernel(
+        kc: usize,
+        a: &[Self],
+        b: &[Self],
+        alpha: Self,
+        c: &mut [Self],
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        crate::microkernel::microkernel::<Self, 4, 4>(kc, a, b, alpha, c, ldc, mr, nr);
+    }
 }
 
 macro_rules! impl_scalar {
-    ($t:ty) => {
+    ($t:ty, mr = $mr:literal, nr = $nr:literal, mc = $mc:literal, kc = $kc:literal) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -115,12 +150,33 @@ macro_rules! impl_scalar {
             fn powi(self, n: i32) -> Self {
                 <$t>::powi(self, n)
             }
+
+            const GEMM_MR: usize = $mr;
+            const GEMM_NR: usize = $nr;
+            const GEMM_MC: usize = $mc;
+            const GEMM_KC: usize = $kc;
+
+            #[inline]
+            fn gemm_microkernel(
+                kc: usize,
+                a: &[Self],
+                b: &[Self],
+                alpha: Self,
+                c: &mut [Self],
+                ldc: usize,
+                mr: usize,
+                nr: usize,
+            ) {
+                crate::microkernel::microkernel::<$t, $mr, $nr>(kc, a, b, alpha, c, ldc, mr, nr);
+            }
         }
     };
 }
 
-impl_scalar!(f32);
-impl_scalar!(f64);
+// f32 packs twice as many lanes per vector register as f64, so it gets the
+// taller tile; both share NR = 4 so blas3::NC (32) stays strip-aligned.
+impl_scalar!(f32, mr = 8, nr = 4, mc = 128, kc = 256);
+impl_scalar!(f64, mr = 8, nr = 4, mc = 64, kc = 256);
 
 #[cfg(test)]
 mod tests {
@@ -147,6 +203,17 @@ mod tests {
         assert!((f64::from_f64(x).to_f64() - x).abs() == 0.0);
         assert!((f32::from_f64(x).to_f64() - x).abs() < 1e-7);
         assert_eq!(f32::from_usize(7), 7.0);
+    }
+
+    #[test]
+    fn gemm_tiles_satisfy_blocking_invariants() {
+        fn check<T: Scalar>() {
+            assert!(T::GEMM_MR > 0 && T::GEMM_NR > 0);
+            assert_eq!(T::GEMM_MC % T::GEMM_MR, 0, "MC must be a multiple of MR");
+            assert!(T::GEMM_KC > 0);
+        }
+        check::<f32>();
+        check::<f64>();
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use tcevd_matrix::blas2::Op;
-use tcevd_matrix::blas3::{gemm, matmul, syr2k_lower, syrk_lower, trmm, trsm, Side};
+use tcevd_matrix::blas3::{gemm, matmul, reference, syr2k_lower, syrk_lower, trmm, trsm, Side};
 use tcevd_matrix::elementwise::axpby_mat;
 use tcevd_matrix::norms::{frobenius, inf_norm, one_norm};
 use tcevd_matrix::Mat;
@@ -11,6 +11,34 @@ use tcevd_matrix::Mat;
 fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat<f64>> {
     proptest::collection::vec(-4.0f64..4.0, rows * cols)
         .prop_map(move |v| Mat::from_col_major(rows, cols, v))
+}
+
+const OP_PAIRS: [(Op, Op); 4] = [
+    (Op::NoTrans, Op::NoTrans),
+    (Op::NoTrans, Op::Trans),
+    (Op::Trans, Op::NoTrans),
+    (Op::Trans, Op::Trans),
+];
+
+/// A full random GEMM problem: every op combination, odd shapes that cross
+/// the f64 blocking parameters (MR = 8, MC = 64, NR = 4, NC = 32), `k = 0`,
+/// and degenerate `alpha = 0` / `beta = 0` scalings.
+#[allow(clippy::type_complexity)]
+fn gemm_case() -> impl Strategy<Value = (Mat<f64>, Op, Mat<f64>, Op, Mat<f64>, f64, f64)> {
+    (1usize..80, 1usize..80, 0usize..24, 0usize..4).prop_flat_map(|(m, n, k, opi)| {
+        let (op_a, op_b) = OP_PAIRS[opi];
+        let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+        (
+            mat(ar, ac),
+            Just(op_a),
+            mat(br, bc),
+            Just(op_b),
+            mat(m, n),
+            prop_oneof![Just(0.0f64), -2.0f64..2.0],
+            prop_oneof![Just(0.0f64), Just(1.0f64), -2.0f64..2.0],
+        )
+    })
 }
 
 fn well_conditioned_lower(n: usize) -> impl Strategy<Value = Mat<f64>> {
@@ -143,6 +171,76 @@ proptest! {
         gemm(1.0, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 1.0, par.as_mut());
         rayon::configure(0);
         prop_assert!(seq.max_abs_diff(&par) == 0.0);
+    }
+
+    #[test]
+    fn packed_gemm_matches_the_reference_oracle(case in gemm_case()) {
+        // the packed BLIS-style kernel and the plain loop-nest oracle agree
+        // (up to reassociation) on every op combo, odd shape, and scaling
+        let (a, op_a, b, op_b, c0, alpha, beta) = case;
+        let mut packed = c0.clone();
+        gemm(alpha, a.as_ref(), op_a, b.as_ref(), op_b, beta, packed.as_mut());
+        let mut oracle = c0.clone();
+        reference::gemm(alpha, a.as_ref(), op_a, b.as_ref(), op_b, beta, oracle.as_mut());
+        let k = if op_a == Op::NoTrans { a.cols() } else { a.rows() };
+        let tol = 1e-11 * (1.0 + k as f64);
+        prop_assert!(
+            packed.max_abs_diff(&oracle) < tol,
+            "{op_a:?}/{op_b:?} m={} n={} k={k} alpha={alpha} beta={beta}",
+            c0.rows(), c0.cols(),
+        );
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_in_packed_and_reference(
+        a in mat(9, 5),
+        b in mat(5, 7),
+        alpha in prop_oneof![Just(0.0f64), -2.0f64..2.0],
+    ) {
+        // beta = 0 must be a pure overwrite, never 0·NaN = NaN — in both
+        // the packed kernel and the reference oracle
+        let poison = Mat::<f64>::from_fn(9, 7, |_, _| f64::NAN);
+        let ab = matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
+        for run_reference in [false, true] {
+            let mut c = poison.clone();
+            if run_reference {
+                reference::gemm(alpha, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+            } else {
+                gemm(alpha, a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans, 0.0, c.as_mut());
+            }
+            for j in 0..7 {
+                for i in 0..9 {
+                    let want = alpha * ab[(i, j)];
+                    prop_assert!(
+                        (c[(i, j)] - want).abs() < 1e-12,
+                        "reference={run_reference} ({i}, {j}): {} vs {want}",
+                        c[(i, j)],
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gemm_is_bit_identical_across_thread_counts_all_ops(
+        a in mat(64, 64),
+        b in mat(64, 64),
+        c0 in mat(64, 64),
+        opi in 0usize..4,
+    ) {
+        // the 1-vs-4-thread bit-identity invariant holds for every op combo:
+        // packing happens once before the fan-out, chunks partition the
+        // output on NR-strip boundaries, and the microkernel's summation
+        // order is fixed
+        let (op_a, op_b) = OP_PAIRS[opi];
+        rayon::configure(1);
+        let mut seq = c0.clone();
+        gemm(1.0, a.as_ref(), op_a, b.as_ref(), op_b, 1.0, seq.as_mut());
+        rayon::configure(4);
+        let mut par = c0.clone();
+        gemm(1.0, a.as_ref(), op_a, b.as_ref(), op_b, 1.0, par.as_mut());
+        rayon::configure(0);
+        prop_assert!(seq.max_abs_diff(&par) == 0.0, "{op_a:?}/{op_b:?}");
     }
 
     #[test]

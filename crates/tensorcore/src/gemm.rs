@@ -5,10 +5,13 @@
 //! in fp32.
 //!
 //! Two execution paths compute the same quantity:
-//! * **fast** — truncate whole operand matrices through fp16 once, then run
-//!   the rayon-parallel f32 GEMM from `tcevd-matrix`. Since every fp16
-//!   product is exact in fp32, this differs from the tile path only in f32
-//!   summation order. This is what the numeric experiments use.
+//! * **fast** — run the packed f32 GEMM from `tcevd-matrix` with fp16
+//!   rounding fused into operand packing (`blas3::gemm_with`): each element
+//!   passes through [`round_through_f16`] exactly once, as it is copied
+//!   into the packed panel, with no truncated operand copies materialized
+//!   up front. Since every fp16 product is exact in fp32, this differs from
+//!   the tile path only in f32 summation order. This is what the numeric
+//!   experiments use.
 //! * **strict** — walk 16×16×16 tiles through the [`crate::mma::mma`]
 //!   simulator, modelling the per-instruction accumulation (including the
 //!   optional round-toward-zero mode). Used for validating the fast path and
@@ -41,6 +44,10 @@ pub fn truncate_f16(a: MatRef<'_, f32>) -> Mat<f32> {
 
 /// Tensor-Core GEMM (fast path):
 /// `C ← alpha·f16(op(A))·f16(op(B)) + beta·C` with fp32 accumulation.
+///
+/// The fp16 rounding is fused into the packed GEMM's operand packing: each
+/// operand element is rounded once while being copied into its packed
+/// panel, so no truncated copies of `A`/`B` are ever materialized.
 pub fn tc_gemm(
     alpha: f32,
     a: MatRef<'_, f32>,
@@ -50,9 +57,7 @@ pub fn tc_gemm(
     beta: f32,
     c: MatMut<'_, f32>,
 ) {
-    let ah = truncate_f16(a);
-    let bh = truncate_f16(b);
-    blas3::gemm(alpha, ah.as_ref(), op_a, bh.as_ref(), op_b, beta, c);
+    blas3::gemm_with(alpha, a, op_a, b, op_b, beta, c, &round_through_f16);
 }
 
 /// Tensor-Core GEMM (strict tiled path): identical quantity computed tile by
@@ -168,6 +173,38 @@ mod tests {
         );
         let want = blas3::matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::NoTrans);
         assert_eq!(c.max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn fused_truncation_matches_materialized_truncation() {
+        // fusing f16 rounding into packing must be bit-identical to
+        // truncating whole operand copies first and multiplying those
+        let (m, k, n) = (23, 31, 19);
+        let a = pseudo_rand_mat(m, k, 11, 10.0);
+        let b = pseudo_rand_mat(n, k, 12, 10.0);
+        let mut c_fused = pseudo_rand_mat(m, n, 13, 1.0);
+        let mut c_mat = c_fused.clone();
+        tc_gemm(
+            1.5,
+            a.as_ref(),
+            Op::NoTrans,
+            b.as_ref(),
+            Op::Trans,
+            0.5,
+            c_fused.as_mut(),
+        );
+        let ah = truncate_f16(a.as_ref());
+        let bh = truncate_f16(b.as_ref());
+        blas3::gemm(
+            1.5,
+            ah.as_ref(),
+            Op::NoTrans,
+            bh.as_ref(),
+            Op::Trans,
+            0.5,
+            c_mat.as_mut(),
+        );
+        assert_eq!(c_fused.max_abs_diff(&c_mat), 0.0);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   GEMM output is scanned, a corrupted multiply (including every fault the
 //!   `tcevd-testmat::FaultPlan` harness injects) is attributed at the
 //!   producing call, not wherever the poison happens to surface later.
+//!   The finiteness check runs on every engine; the fp16 *magnitude* check
+//!   only applies on engines that truncate to fp16 (Tc/EcTc) — on Sgemm or
+//!   Tf32 a legitimately huge f32 value is not a violation.
 //! * **operand scan** — before fp16 truncation on the Tensor-Core engines,
 //!   both operands are scanned. This catches bad values that entered the
 //!   GEMM stream from *outside* any GEMM (user input, scalar stages); they
@@ -109,12 +112,15 @@ impl std::fmt::Display for SanitizeReport {
     }
 }
 
-/// Classify one value against the fp16 contract.
+/// Classify one value. NaN/±∞ is always a violation; the fp16 magnitude
+/// check applies only when `f16_range` is set — i.e. when the scanned block
+/// feeds (or was produced by) an engine that truncates to fp16. On
+/// non-truncating engines legitimately huge f32 values are fine.
 #[inline]
-fn classify(v: f32) -> Option<SanitizeKind> {
+fn classify(v: f32, f16_range: bool) -> Option<SanitizeKind> {
     if !v.is_finite() {
         Some(SanitizeKind::NonFinite)
-    } else if v.abs() > F16_MAX {
+    } else if f16_range && v.abs() > F16_MAX {
         Some(SanitizeKind::F16Overflow)
     } else {
         None
@@ -122,15 +128,19 @@ fn classify(v: f32) -> Option<SanitizeKind> {
 }
 
 /// Scan a matrix block column-major; returns a report for the first
-/// violating entry, or `None` if the block honours the fp16 contract.
+/// violating entry, or `None` if the block is clean. `f16_range` enables
+/// the |x| > 65504 magnitude check on top of the universal finiteness
+/// check — pass it only for blocks crossing an fp16-truncating engine
+/// (Tc/EcTc); see [`classify`].
 pub fn scan(
     label: &'static str,
     operand: SanitizeOperand,
     m: MatRef<'_, f32>,
+    f16_range: bool,
 ) -> Option<SanitizeReport> {
     for j in 0..m.cols() {
         for (i, &v) in m.col(j).iter().enumerate() {
-            if let Some(kind) = classify(v) {
+            if let Some(kind) = classify(v, f16_range) {
                 return Some(SanitizeReport {
                     label,
                     kind,
@@ -153,9 +163,9 @@ mod tests {
     #[test]
     fn clean_block_passes() {
         let a = Mat::<f32>::from_fn(5, 4, |i, j| (i as f32 - j as f32) * 100.0);
-        assert_eq!(scan("t", SanitizeOperand::Output, a.as_ref()), None);
+        assert_eq!(scan("t", SanitizeOperand::Output, a.as_ref(), true), None);
         let edge = Mat::<f32>::from_fn(2, 2, |_, _| 65504.0);
-        assert_eq!(scan("t", SanitizeOperand::A, edge.as_ref()), None);
+        assert_eq!(scan("t", SanitizeOperand::A, edge.as_ref(), true), None);
     }
 
     #[test]
@@ -163,7 +173,7 @@ mod tests {
         let mut a = Mat::<f32>::zeros(4, 4);
         a[(3, 1)] = f32::NAN; // earlier in column-major order
         a[(0, 2)] = 7.0e4;
-        let r = scan("lbl", SanitizeOperand::Output, a.as_ref()).expect("violation");
+        let r = scan("lbl", SanitizeOperand::Output, a.as_ref(), true).expect("violation");
         assert_eq!((r.row, r.col), (3, 1));
         assert_eq!(r.kind, SanitizeKind::NonFinite);
         assert_eq!(r.label, "lbl");
@@ -174,7 +184,7 @@ mod tests {
     fn overflow_is_distinguished_from_non_finite() {
         let mut a = Mat::<f32>::zeros(3, 3);
         a[(1, 1)] = -7.0e4;
-        let r = scan("lbl", SanitizeOperand::B, a.as_ref()).expect("violation");
+        let r = scan("lbl", SanitizeOperand::B, a.as_ref(), true).expect("violation");
         assert_eq!(r.kind, SanitizeKind::F16Overflow);
         assert_eq!(r.value, -7.0e4);
         assert_eq!(r.kind.as_str(), "f16-overflow");
@@ -182,7 +192,25 @@ mod tests {
 
         let mut b = Mat::<f32>::zeros(2, 2);
         b[(0, 0)] = f32::NEG_INFINITY;
-        let r = scan("lbl", SanitizeOperand::A, b.as_ref()).expect("violation");
+        let r = scan("lbl", SanitizeOperand::A, b.as_ref(), true).expect("violation");
         assert_eq!(r.kind, SanitizeKind::NonFinite);
+    }
+
+    #[test]
+    fn range_check_is_gated_on_truncating_engines() {
+        // legitimately huge f32 values are clean when the consuming engine
+        // never truncates to fp16…
+        let mut a = Mat::<f32>::zeros(3, 3);
+        a[(1, 1)] = 7.0e4;
+        a[(2, 2)] = -1.0e30;
+        assert_eq!(
+            scan("lbl", SanitizeOperand::Output, a.as_ref(), false),
+            None
+        );
+        // …while NaN/∞ is a violation on every engine
+        a[(0, 1)] = f32::NAN;
+        let r = scan("lbl", SanitizeOperand::Output, a.as_ref(), false).expect("violation");
+        assert_eq!(r.kind, SanitizeKind::NonFinite);
+        assert_eq!((r.row, r.col), (0, 1));
     }
 }

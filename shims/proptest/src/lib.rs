@@ -4,9 +4,10 @@
 //! The build environment has no network, so upstream proptest cannot be
 //! resolved. This shim keeps the API surface the workspace's property
 //! tests use — `proptest!`, `prop_assert!`/`prop_assert_eq!`,
-//! `Strategy`/`prop_map`, range strategies, `collection::vec`, and
-//! `ProptestConfig::with_cases` — backed by a deterministic seeded RNG
-//! (seed derived from the test name, so failures reproduce exactly).
+//! `Strategy`/`prop_map`/`prop_flat_map`, `Just`, `prop_oneof!`, tuple and
+//! range strategies, `collection::vec`, and `ProptestConfig::with_cases` —
+//! backed by a deterministic seeded RNG (seed derived from the test name,
+//! so failures reproduce exactly).
 //!
 //! Differences from upstream, deliberately accepted:
 //! * no shrinking — a failing case panics with its case index instead;
@@ -79,6 +80,18 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Build a dependent strategy from each generated value — the shape of
+    /// one draw parameterizes the next (e.g. dimensions, then matrices of
+    /// those dimensions).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
@@ -98,6 +111,109 @@ where
         (self.f)(self.inner.generate(rng))
     }
 }
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between two same-valued strategies (see [`prop_oneof!`]).
+pub struct OneOf2<A, B>(pub A, pub B);
+
+impl<V, A, B> Strategy for OneOf2<A, B>
+where
+    A: Strategy<Value = V>,
+    B: Strategy<Value = V>,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> V {
+        if rng.next_u64().is_multiple_of(2) {
+            self.0.generate(rng)
+        } else {
+            self.1.generate(rng)
+        }
+    }
+}
+
+/// Uniform choice between three same-valued strategies (see [`prop_oneof!`]).
+pub struct OneOf3<A, B, C>(pub A, pub B, pub C);
+
+impl<V, A, B, C> Strategy for OneOf3<A, B, C>
+where
+    A: Strategy<Value = V>,
+    B: Strategy<Value = V>,
+    C: Strategy<Value = V>,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> V {
+        match rng.next_u64() % 3 {
+            0 => self.0.generate(rng),
+            1 => self.1.generate(rng),
+            _ => self.2.generate(rng),
+        }
+    }
+}
+
+/// Uniform choice among 2 or 3 strategies producing the same value type,
+/// mirroring the `prop_oneof!` arities the workspace uses. Unlike upstream
+/// there are no weights and no boxing — arms are picked uniformly.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($a:expr, $b:expr $(,)?) => {
+        $crate::OneOf2($a, $b)
+    };
+    ($a:expr, $b:expr, $c:expr $(,)?) => {
+        $crate::OneOf3($a, $b, $c)
+    };
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
 
 impl Strategy for core::ops::Range<f64> {
     type Value = f64;
@@ -148,8 +264,8 @@ pub mod collection {
 }
 
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
 }
 
 #[macro_export]
@@ -240,6 +356,33 @@ mod tests {
             v in crate::collection::vec(0.0f64..1.0, 17).prop_map(|v| v.len()),
         ) {
             prop_assert_eq!(v, 17);
+        }
+
+        #[test]
+        fn just_and_oneof_yield_arm_values(
+            x in prop_oneof![Just(1u64), Just(2u64), Just(3u64)],
+            y in prop_oneof![Just(0.0f64), 5.0f64..6.0],
+        ) {
+            prop_assert!((1..=3).contains(&x));
+            prop_assert!(y == 0.0 || (5.0..6.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_makes_dependent_draws(
+            v in (1usize..9).prop_flat_map(|n| {
+                crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v))
+            }),
+        ) {
+            prop_assert_eq!(v.0, v.1.len());
+        }
+
+        #[test]
+        fn tuple_strategies_draw_each_component(
+            t in (0usize..4, -1.0f64..1.0, Just(7u64)),
+        ) {
+            prop_assert!(t.0 < 4);
+            prop_assert!((-1.0..1.0).contains(&t.1));
+            prop_assert_eq!(t.2, 7);
         }
     }
 

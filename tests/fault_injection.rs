@@ -46,19 +46,27 @@ fn opts(solver: TridiagSolver) -> SymEigOptions {
 
 /// Arm `plan_json`, run `sym_eig`, disarm everything, and hand back the
 /// result together with the sink holding the ladder counters.
-fn run_plan(
+fn run_plan_on(
+    engine: Engine,
     plan_json: &str,
     opts: &SymEigOptions,
 ) -> (Result<SymEigResult, EvdError>, TraceSink, Mat<f32>) {
     let a: Mat<f32> = generate(N, MatrixType::Normal, SEED).cast();
     let sink = TraceSink::enabled();
-    let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+    let ctx = GemmContext::new(engine).with_sink(sink.clone());
     let plan = FaultPlan::parse_json(plan_json).expect("test plan parses");
     fault::apply_plan(&plan, &ctx);
     let r = sym_eig(&a, opts, &ctx);
     fault::reset();
     ctx.clear_faults();
     (r, sink, a)
+}
+
+fn run_plan(
+    plan_json: &str,
+    opts: &SymEigOptions,
+) -> (Result<SymEigResult, EvdError>, TraceSink, Mat<f32>) {
+    run_plan_on(Engine::Sgemm, plan_json, opts)
 }
 
 /// Counters must match `expected` exactly: a rung that fires twice, or a
@@ -245,10 +253,12 @@ fn silent_f16_overflow_is_caught_by_the_residual_check() {
 #[cfg(feature = "sanitize")]
 fn f16_overflow_is_preempted_by_the_sanitizer() {
     // with the sanitizer on, the finite out-of-range value is caught at the
-    // producing GEMM — the residual rung never needs to fire
+    // producing GEMM — the residual rung never needs to fire. The range
+    // scan is gated on the fp16-truncating engines, so this runs on Tc.
     let mut o = opts(TridiagSolver::DivideConquer);
     o.recovery.verify_tol = Some(1e-2);
-    let (r, sink, _) = run_plan(
+    let (r, sink, _) = run_plan_on(
+        Engine::Tc,
         r#"[{"kind": "gemm", "label": "evd_q2z", "mode": "f16_overflow"}]"#,
         &o,
     );

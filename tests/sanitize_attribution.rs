@@ -34,16 +34,24 @@ fn opts(sbr: SbrVariant) -> SymEigOptions {
     }
 }
 
-fn run_plan(plan_json: &str, opts: &SymEigOptions) -> (Result<SymEigResult, EvdError>, TraceSink) {
+fn run_plan_on(
+    engine: Engine,
+    plan_json: &str,
+    opts: &SymEigOptions,
+) -> (Result<SymEigResult, EvdError>, TraceSink) {
     let a: Mat<f32> = generate(N, MatrixType::Normal, SEED).cast();
     let sink = TraceSink::enabled();
-    let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+    let ctx = GemmContext::new(engine).with_sink(sink.clone());
     let plan = FaultPlan::parse_json(plan_json).expect("test plan parses");
     fault::apply_plan(&plan, &ctx);
     let r = sym_eig(&a, opts, &ctx);
     fault::reset();
     ctx.clear_faults();
     (r, sink)
+}
+
+fn run_plan(plan_json: &str, opts: &SymEigOptions) -> (Result<SymEigResult, EvdError>, TraceSink) {
+    run_plan_on(Engine::Sgemm, plan_json, opts)
 }
 
 /// The injected violation must surface as `EvdError::Sanitizer` carrying
@@ -107,8 +115,11 @@ fn inf_fault_is_attributed_to_the_producing_label() {
 #[test]
 fn finite_f16_overflow_is_caught_without_a_residual_check() {
     // the value 7e4 is finite, so no finiteness gate can see it — only the
-    // sanitizer's fp16-range scan; attribution still names the GEMM
-    let (r, sink) = run_plan(
+    // sanitizer's fp16-range scan, which is gated on the truncating engines
+    // (on Sgemm a huge finite f32 is legitimate); attribution still names
+    // the GEMM
+    let (r, sink) = run_plan_on(
+        Engine::Tc,
         r#"[{"kind": "gemm", "label": "evd_q2z", "mode": "f16_overflow"}]"#,
         &opts(SbrVariant::Wy { block: 16 }),
     );
