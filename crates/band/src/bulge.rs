@@ -46,6 +46,8 @@ pub fn bulge_chase_with<T: Scalar>(
     assert!(band.is_square());
     assert!(b >= 1);
     let _span = span!(sink, "bulge_chase", n, b);
+    // Stage-2 leading-term flop count (6n²b), matching the perfmodel.
+    sink.add("kernel_flops.bulge", 6 * (n as u64) * (n as u64) * b as u64);
     let mut a = band.clone();
     let mut q = accumulate_q.then(|| Mat::<T>::identity(n, n));
 

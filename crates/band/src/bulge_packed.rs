@@ -34,6 +34,8 @@ pub fn bulge_chase_packed_with<T: Scalar>(
     let n = band.n();
     let b = band.bandwidth();
     let _span = span!(sink, "bulge_chase", n, b);
+    // Stage-2 leading-term flop count (6n²b), matching the perfmodel.
+    sink.add("kernel_flops.bulge", 6 * (n as u64) * (n as u64) * b as u64);
     let mut q = accumulate_q.then(|| Mat::<T>::identity(n, n));
 
     if b <= 1 || n <= 2 {

@@ -55,6 +55,7 @@ pub fn factor_panel_with<T: Scalar>(
     let _span = span!(sink, "panel", rows, cols);
     sink.add("panel_count", 1);
     sink.record("panel_rows", rows as u64);
+    sink.add("kernel_flops.panel", tcevd_factor::tsqr_flops(rows, cols));
     factor_panel_impl(panel, kind, sink)
 }
 

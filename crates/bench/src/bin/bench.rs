@@ -1,0 +1,105 @@
+//! `bench` — BENCH_*.json artifact tooling.
+//!
+//! ```text
+//! bench compare BASELINE.json CANDIDATE.json [--tol 0.10] [--time-tol T]
+//! bench validate FILE.json [FILE.json ...]
+//! ```
+//!
+//! `compare` diffs a candidate artifact against a baseline and exits
+//! non-zero when any gated column regresses beyond the tolerance — the CI
+//! bench-regression gate. Resource/rate columns gate at `--tol`
+//! (default 10%); wall-clock columns gate at `--time-tol` (defaults to
+//! `--tol`; CI passes a looser value so runner-speed variance doesn't trip
+//! the machine-independent gate).
+//!
+//! `validate` checks files against the shared BENCH schema (see
+//! `tcevd_bench::schema`) and exits non-zero on the first violation.
+
+use tcevd_bench::schema;
+
+fn parse_f64_flag(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench compare BASELINE.json CANDIDATE.json [--tol 0.10] [--time-tol T]");
+    eprintln!("       bench validate FILE.json [FILE.json ...]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => {
+            let mut paths = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--tol" | "--time-tol" => i += 2, // flag + value
+                    a if a.starts_with("--") => usage(),
+                    a => {
+                        paths.push(a.to_string());
+                        i += 1;
+                    }
+                }
+            }
+            let [base_path, new_path] = &paths[..] else {
+                usage();
+            };
+            let tol = parse_f64_flag(&args, "--tol", 0.10);
+            let time_tol = parse_f64_flag(&args, "--time-tol", tol);
+            let base = read(base_path);
+            let cand = read(new_path);
+            match schema::compare(&base, &cand, tol, time_tol) {
+                Ok(regressions) if regressions.is_empty() => {
+                    println!(
+                        "OK: {new_path} within {:.0}% (time {:.0}%) of {base_path}",
+                        tol * 100.0,
+                        time_tol * 100.0
+                    );
+                }
+                Ok(regressions) => {
+                    eprintln!(
+                        "FAIL: {} regression(s) in {new_path} vs {base_path}:",
+                        regressions.len()
+                    );
+                    for r in &regressions {
+                        eprintln!("  {r}");
+                    }
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("validate") => {
+            if args.len() < 2 {
+                usage();
+            }
+            for path in &args[1..] {
+                if let Err(e) = schema::validate_bench_json(&read(path)) {
+                    eprintln!("FAIL: {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("OK: {path}");
+            }
+        }
+        _ => usage(),
+    }
+}

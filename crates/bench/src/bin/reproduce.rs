@@ -8,6 +8,7 @@
 //! reproduce table4 [--n 512] [--seed 42]
 //! reproduce threads [--n 1024] [--out BENCH_pr4.json]  # thread-scaling smoke
 //! reproduce gemm [--n 1024] [--out BENCH_pr5.json]     # packed-vs-reference GEMM
+//! reproduce profile [--n 1024] [--out BENCH_profile.json] # perf attribution
 //! reproduce --trace=out.json [--n 512] [--seed 42]   # traced real run
 //! reproduce --faults=plan.json [--n 512] [--seed 42] # fault-injected run
 //! ```
@@ -179,9 +180,23 @@ fn main() {
             }
             print!("{json}");
         }
+        "profile" => {
+            // Performance-attribution run at the PR-6 acceptance size.
+            let n = parse_flag(&args, "--n", 1024) as usize;
+            eprintln!("[profiled sym_eig run at n = {n}; use --n to change]");
+            let run = bench::profile_run(n, seed);
+            if let Some(path) = parse_path_flag(&args, "out", "BENCH_profile.json") {
+                if let Err(e) = std::fs::write(&path, &run.json) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+            print!("{}", run.report);
+        }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all perf table1 table2 table3 table4 threads gemm fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
+            eprintln!("known: all perf table1 table2 table3 table4 threads gemm profile fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
             std::process::exit(2);
         }
     }

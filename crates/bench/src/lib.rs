@@ -11,6 +11,12 @@
 //! software Tensor Core at a software-feasible size (default n = 512; the
 //! metrics are N-normalized exactly as in the paper).
 
+pub mod profile;
+pub mod schema;
+
+pub use profile::{profile_run, ProfileRun};
+pub use schema::{compare, validate_bench_json};
+
 use std::fmt::Write as _;
 use tcevd_band::trace_model::{formw_trace, wy_trace, zy_trace};
 use tcevd_band::{bulge_chase, form_wy, sbr_wy, PanelKind, WyOptions};
@@ -530,6 +536,8 @@ pub fn thread_scaling(n: usize, seed: u64) -> String {
     let _ = writeln!(out, "  \"bench\": \"thread_scaling\",");
     let _ = writeln!(out, "  \"n\": {n},");
     let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"dtype\": \"f32\",");
+    let _ = writeln!(out, "  \"threads\": [1, 4],");
     let _ = writeln!(out, "  \"engine\": \"Sgemm\",");
     let _ = writeln!(out, "  \"bandwidth\": {b},");
     let _ = writeln!(out, "  \"available_parallelism\": {hw},");

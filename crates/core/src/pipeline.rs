@@ -455,34 +455,37 @@ fn run_pipeline(
     }
 
     // Stage 1: successive band reduction.
-    let (band, q1_wy, q1_dense) = match opts.sbr {
-        SbrVariant::Wy { block } => {
-            let r = sbr_wy(
-                a,
-                &WyOptions {
-                    bandwidth: b,
-                    block,
-                    panel: opts.panel,
-                    accumulate_q: false,
-                },
-                ctx,
-            )?;
-            // For eigenvectors, merge the per-level WY factors (Algorithm 2)
-            // rather than accumulating a dense Q during the reduction.
-            let wy = (opts.vectors && !r.levels.is_empty()).then(|| form_wy(&r.levels, n, ctx));
-            (r.band, wy, None)
-        }
-        SbrVariant::Zy => {
-            let r = sbr_zy(
-                a,
-                &SbrOptions {
-                    bandwidth: b,
-                    panel: opts.panel,
-                    accumulate_q: opts.vectors,
-                },
-                ctx,
-            )?;
-            (r.band, None, r.q)
+    let (band, q1_wy, q1_dense) = {
+        let _stage = tcevd_prof::StageScope::begin(sink, "sbr");
+        match opts.sbr {
+            SbrVariant::Wy { block } => {
+                let r = sbr_wy(
+                    a,
+                    &WyOptions {
+                        bandwidth: b,
+                        block,
+                        panel: opts.panel,
+                        accumulate_q: false,
+                    },
+                    ctx,
+                )?;
+                // For eigenvectors, merge the per-level WY factors (Algorithm 2)
+                // rather than accumulating a dense Q during the reduction.
+                let wy = (opts.vectors && !r.levels.is_empty()).then(|| form_wy(&r.levels, n, ctx));
+                (r.band, wy, None)
+            }
+            SbrVariant::Zy => {
+                let r = sbr_zy(
+                    a,
+                    &SbrOptions {
+                        bandwidth: b,
+                        panel: opts.panel,
+                        accumulate_q: opts.vectors,
+                    },
+                    ctx,
+                )?;
+                (r.band, None, r.q)
+            }
         }
     };
     // A corrupted GEMM (fp16 overflow to Inf, a poisoned accumulator, …)
@@ -496,23 +499,36 @@ fn run_pipeline(
     // packed band storage (O(n·b) working set); the eigenvector path keeps
     // the dense chase, whose Q accumulation it needs anyway.
     if !opts.vectors {
-        let packed = tcevd_band::SymBand::from_dense(&band, b);
-        let chase = bulge_chase_packed_with(&packed, false, sink);
-        let t = SymTridiag::new(chase.diag, chase.offdiag);
+        let t = {
+            let _stage = tcevd_prof::StageScope::begin(sink, "bulge_chase");
+            let packed = tcevd_band::SymBand::from_dense(&band, b);
+            let chase = bulge_chase_packed_with(&packed, false, sink);
+            SymTridiag::new(chase.diag, chase.offdiag)
+        };
         ensure_finite(&t.d, EvdStage::BulgeChase)?;
         ensure_finite(&t.e, EvdStage::BulgeChase)?;
-        let (values, _) = solve_tridiag(&t, solver, false, &opts.recovery, sink)?;
+        let (values, _) = {
+            let _stage = tcevd_prof::StageScope::begin(sink, "tridiag_solve");
+            solve_tridiag(&t, solver, false, &opts.recovery, sink)?
+        };
         return Ok(SymEigResult {
             values,
             vectors: None,
         });
     }
-    let chase = bulge_chase_with(&band, b, true, sink);
-    let t = SymTridiag::new(chase.diag, chase.offdiag);
+    let (q2, t) = {
+        let _stage = tcevd_prof::StageScope::begin(sink, "bulge_chase");
+        let chase = bulge_chase_with(&band, b, true, sink);
+        let t = SymTridiag::new(chase.diag, chase.offdiag);
+        (chase.q, t)
+    };
     ensure_finite(&t.d, EvdStage::BulgeChase)?;
     ensure_finite(&t.e, EvdStage::BulgeChase)?;
 
-    let (values, z) = solve_tridiag(&t, solver, true, &opts.recovery, sink)?;
+    let (values, z) = {
+        let _stage = tcevd_prof::StageScope::begin(sink, "tridiag_solve");
+        solve_tridiag(&t, solver, true, &opts.recovery, sink)?
+    };
     let Some(z) = z else {
         return Err(EvdError::Unrecoverable {
             stage: EvdStage::TridiagSolve,
@@ -521,8 +537,9 @@ fn run_pipeline(
     };
 
     // Back-transformation: X = Q₁·Q₂·Z.
+    let _bt_stage = tcevd_prof::StageScope::begin(sink, "back_transform");
     let _bt_span = span!(sink, "back_transform", n);
-    let Some(q2) = chase.q else {
+    let Some(q2) = q2 else {
         return Err(EvdError::Unrecoverable {
             stage: EvdStage::BackTransform,
             detail: "bulge chase did not accumulate Q despite vector request".to_string(),
@@ -717,26 +734,36 @@ pub fn sym_eig_selected(
         SbrVariant::Wy { block } => block,
         SbrVariant::Zy => 4 * b,
     };
-    let r = sbr_wy(
-        a,
-        &WyOptions {
-            bandwidth: b,
-            block,
-            panel: opts.panel,
-            accumulate_q: false,
-        },
-        ctx,
-    )?;
+    let r = {
+        let _stage = tcevd_prof::StageScope::begin(&sink, "sbr");
+        sbr_wy(
+            a,
+            &WyOptions {
+                bandwidth: b,
+                block,
+                panel: opts.panel,
+                accumulate_q: false,
+            },
+            ctx,
+        )?
+    };
     check_sanitizer(ctx, EvdStage::Sbr)?;
     ensure_finite(r.band.as_slice(), EvdStage::Sbr)?;
 
     // Stage 2 with Q₂ (needed to lift tridiagonal vectors to band space).
-    let chase = bulge_chase_with(&r.band, b, true, &sink);
-    let t = SymTridiag::new(chase.diag, chase.offdiag);
+    let (q2, t) = {
+        let _stage = tcevd_prof::StageScope::begin(&sink, "bulge_chase");
+        let chase = bulge_chase_with(&r.band, b, true, &sink);
+        let t = SymTridiag::new(chase.diag, chase.offdiag);
+        (chase.q, t)
+    };
     ensure_finite(&t.d, EvdStage::BulgeChase)?;
     ensure_finite(&t.e, EvdStage::BulgeChase)?;
 
-    let (values, z) = crate::inverse_iter::tridiag_eig_selected(&t, range)?;
+    let (values, z) = {
+        let _stage = tcevd_prof::StageScope::begin(&sink, "tridiag_solve");
+        crate::inverse_iter::tridiag_eig_selected(&t, range)?
+    };
     let k = values.len();
     if k == 0 {
         return Ok(SymEigResult {
@@ -746,7 +773,8 @@ pub fn sym_eig_selected(
     }
 
     // X = Q₁·(Q₂·Z_sel)
-    let Some(q2) = chase.q else {
+    let _bt_stage = tcevd_prof::StageScope::begin(&sink, "back_transform");
+    let Some(q2) = q2 else {
         return Err(EvdError::Unrecoverable {
             stage: EvdStage::BackTransform,
             detail: "bulge chase did not accumulate Q despite vector request".to_string(),

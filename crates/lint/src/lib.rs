@@ -19,6 +19,9 @@
 //! - **R4** public functions in pipeline modules return `Result`.
 //! - **R5** every crate root carries `#![forbid(unsafe_code)]` and the
 //!   `unsafe` keyword never appears.
+//! - **R6** every `GEMM_LABELS` entry has a flop-cost entry in the
+//!   `GEMM_COSTS` registry (`crates/prof/src/costs.rs`), and no cost entry
+//!   is dead (names a label the table no longer carries).
 //!
 //! Findings can be waived line-locally with a
 //! `// tcevd-lint: allow(R3)` comment; the waiver covers the comment's
@@ -101,6 +104,46 @@ pub fn parse_registry(src: &str) -> Registry {
                 break;
             }
         } else if t.kind == Kind::Str && depth == 1 {
+            reg.labels.push((t.text.clone(), t.line));
+        }
+    }
+    reg
+}
+
+/// Path of the flop-cost registry source, relative to the workspace root.
+pub const COSTS_PATH: &str = "crates/prof/src/costs.rs";
+
+/// Parse the `GEMM_COSTS` array from cost-registry source text.
+///
+/// Token-level, like [`parse_registry`], but the entries are `GemmCost`
+/// struct literals, so every string literal anywhere inside the array
+/// initializer counts (labels are the only strings a cost entry carries).
+pub fn parse_costs(src: &str) -> Registry {
+    let lx = lexer::lex(src, false);
+    let toks = &lx.tokens;
+    let mut reg = Registry {
+        path: COSTS_PATH.to_string(),
+        labels: Vec::new(),
+    };
+    let Some(start) = toks.iter().position(|t| t.is_ident("GEMM_COSTS")) else {
+        return reg;
+    };
+    let Some(eq) = toks[start..].iter().position(|t| t.is_punct('=')) else {
+        return reg;
+    };
+    let Some(open) = toks[start + eq..].iter().position(|t| t.is_punct('[')) else {
+        return reg;
+    };
+    let mut depth = 0usize;
+    for t in &toks[start + eq + open..] {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == Kind::Str && depth >= 1 {
             reg.labels.push((t.text.clone(), t.line));
         }
     }
@@ -204,6 +247,8 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
         lint_source(&rel, &src, &reg, &mut used, &mut out);
     }
     rules::r1_unused_entries(&reg, &used, &mut out);
+    let costs_src = std::fs::read_to_string(root.join(COSTS_PATH)).unwrap_or_default();
+    rules::r6_cost_registry(&reg, &parse_costs(&costs_src), &mut out);
     out.sort();
     out
 }
@@ -229,6 +274,24 @@ pub fn is_registered(l: &str) -> bool { GEMM_LABELS.contains(&l) }
                 ("zy_aw".to_string(), 4)
             ]
         );
+    }
+
+    #[test]
+    fn cost_registry_parses_struct_literal_entries() {
+        let src = r#"
+pub const GEMM_COSTS: &[GemmCost] = &[
+    GemmCost { label: "zy_aw", accumulates: false },
+    GemmCost { label: "zy_syr2k", accumulates: true },
+];
+pub fn cost(label: &str) -> Option<&'static GemmCost> { None }
+"#;
+        let costs = parse_costs(src);
+        assert_eq!(costs.path, COSTS_PATH);
+        assert_eq!(
+            costs.labels,
+            vec![("zy_aw".to_string(), 3), ("zy_syr2k".to_string(), 4)]
+        );
+        assert!(parse_costs("pub fn nothing() {}").labels.is_empty());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+// lint-fixture-path: crates/prof/src/costs.rs
+// R6 fixture: a cost registry that covers "sbr_panel_update" but not
+// "zy_aw" (missing entry), and carries a dead "stale_label" entry.
+pub struct GemmCost {
+    pub label: &'static str,
+    pub accumulates: bool,
+}
+
+pub const GEMM_COSTS: &[GemmCost] = &[
+    GemmCost { label: "sbr_panel_update", accumulates: true },
+    GemmCost { label: "stale_label", accumulates: false },
+];

@@ -28,6 +28,7 @@ pub mod blas3;
 pub mod elementwise;
 pub mod f16;
 pub mod mat;
+pub mod mem;
 pub mod microkernel;
 pub mod norms;
 pub mod pack;

@@ -22,21 +22,42 @@ use crate::scalar::Scalar;
 /// // column-major layout
 /// assert_eq!(a.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Mat<T> {
     data: Vec<T>,
     rows: usize,
     cols: usize,
 }
 
+impl<T> Mat<T> {
+    /// The one funnel every owned buffer passes through: registers the
+    /// buffer's capacity with the allocation high-watermark tracker
+    /// ([`crate::mem`]); [`Drop`] deregisters the same capacity. Capacity
+    /// (not length) on both sides because `from_col_major` adopts caller
+    /// vectors whose capacity may exceed their length, and no `Mat` method
+    /// ever grows or shrinks the buffer in between.
+    fn track(data: Vec<T>, rows: usize, cols: usize) -> Self {
+        crate::mem::on_alloc(data.capacity() * std::mem::size_of::<T>());
+        Mat { data, rows, cols }
+    }
+}
+
+impl<T> Drop for Mat<T> {
+    fn drop(&mut self) {
+        crate::mem::on_dealloc(self.data.capacity() * std::mem::size_of::<T>());
+    }
+}
+
+impl<T: Clone> Clone for Mat<T> {
+    fn clone(&self) -> Self {
+        Self::track(self.data.clone(), self.rows, self.cols)
+    }
+}
+
 impl<T: Scalar> Mat<T> {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat {
-            data: vec![T::ZERO; rows * cols],
-            rows,
-            cols,
-        }
+        Self::track(vec![T::ZERO; rows * cols], rows, cols)
     }
 
     /// Identity matrix (rectangular allowed: ones on the main diagonal).
@@ -56,13 +77,13 @@ impl<T: Scalar> Mat<T> {
                 data.push(f(i, j));
             }
         }
-        Mat { data, rows, cols }
+        Self::track(data, rows, cols)
     }
 
     /// Wrap an existing column-major buffer. Panics if the length mismatches.
     pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length != rows*cols");
-        Mat { data, rows, cols }
+        Self::track(data, rows, cols)
     }
 
     /// Build from row-major data (convenience for literals in tests).
@@ -200,11 +221,11 @@ impl<T: Scalar> Mat<T> {
 
     /// Convert element type (e.g. f64 reference → f32 working precision).
     pub fn cast<U: Scalar>(&self) -> Mat<U> {
-        Mat {
-            data: self.data.iter().map(|x| U::from_f64(x.to_f64())).collect(),
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Mat::track(
+            self.data.iter().map(|x| U::from_f64(x.to_f64())).collect(),
+            self.rows,
+            self.cols,
+        )
     }
 }
 
@@ -325,11 +346,7 @@ impl<'a, T: Scalar> MatRef<'a, T> {
         for j in 0..self.cols {
             data.extend_from_slice(self.col(j));
         }
-        Mat {
-            data,
-            rows: self.rows,
-            cols: self.cols,
-        }
+        Mat::track(data, self.rows, self.cols)
     }
 }
 

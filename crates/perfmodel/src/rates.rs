@@ -13,6 +13,8 @@
 //! between them (linear in log₂k), which is exactly the sense in which the
 //! reproduced figures inherit the A100's real shape behaviour.
 
+use tcevd_tensorcore::Engine;
+
 /// Calibration ks (Table 1 rows).
 pub const CAL_K: [usize; 8] = [32, 64, 128, 256, 512, 1024, 2048, 4096];
 
@@ -32,6 +34,39 @@ pub const SGEMM_OUTER: [f64; 8] = [9.31, 9.85, 10.02, 10.23, 10.33, 10.37, 13.13
 /// §5.3). EC issues 3 reduced-precision GEMMs, so its effective rate is
 /// `min(tc_rate/3, 51)`.
 pub const EC_RATE_CAP: f64 = 51.0;
+
+/// A100 HBM2e bandwidth, bytes/s (the 1.555 TB/s spec figure the bench
+/// crate's motivation table also uses) — the memory slope of the roofline.
+pub const HBM_BYTES_PER_S: f64 = 1.555e12;
+
+fn table_max(t: &[f64; 8]) -> f64 {
+    t.iter().copied().fold(0.0, f64::max)
+}
+
+/// Peak sustained GEMM rate of an engine (TFLOPS): the highest Table-1
+/// calibration point across both shape families — the flat ceiling of the
+/// engine's roofline.
+pub fn peak_tflops(engine: Engine) -> f64 {
+    match engine {
+        Engine::Sgemm => table_max(&SGEMM_SQUARE_TALL).max(table_max(&SGEMM_OUTER)),
+        Engine::Tc => table_max(&TC_SQUARE_TALL).max(table_max(&TC_OUTER)),
+        // TF32 peak is half the fp16 peak on A100 (156 vs 312 TFLOPS)
+        Engine::Tf32 => 0.5 * table_max(&TC_SQUARE_TALL).max(table_max(&TC_OUTER)),
+        Engine::EcTc => EC_RATE_CAP,
+    }
+}
+
+/// Ridge-point arithmetic intensity (flop/byte) where an engine's roofline
+/// turns from bandwidth-bound to compute-bound.
+pub fn ridge_intensity(engine: Engine) -> f64 {
+    peak_tflops(engine) * 1e12 / HBM_BYTES_PER_S
+}
+
+/// Roofline-attainable rate (TFLOPS) at arithmetic intensity `flop_per_byte`:
+/// `min(peak, intensity × bandwidth)`.
+pub fn attainable_tflops(engine: Engine, flop_per_byte: f64) -> f64 {
+    peak_tflops(engine).min(flop_per_byte * HBM_BYTES_PER_S / 1e12)
+}
 
 /// Which Table 1 column family a GEMM shape belongs to.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -109,6 +144,21 @@ mod tests {
         assert_eq!(classify(30000, 30000, 1024), (ShapeClass::Outer, 1024));
         // ties: k == min counts as outer
         assert_eq!(classify(128, 128, 128), (ShapeClass::Outer, 128));
+    }
+
+    #[test]
+    fn roofline_shape() {
+        // peaks come straight from the calibration tables
+        assert_eq!(peak_tflops(Engine::Tc), 140.85);
+        assert_eq!(peak_tflops(Engine::Sgemm), 15.31);
+        assert_eq!(peak_tflops(Engine::EcTc), EC_RATE_CAP);
+        // below the ridge the roofline is the bandwidth slope, above it the
+        // flat compute ceiling
+        let ridge = ridge_intensity(Engine::Tc);
+        assert!(ridge > 50.0 && ridge < 120.0, "ridge {ridge}");
+        assert!(attainable_tflops(Engine::Tc, ridge * 2.0) == peak_tflops(Engine::Tc));
+        let low = attainable_tflops(Engine::Tc, 1.0);
+        assert!((low - 1.555).abs() < 1e-9, "1 flop/byte → bandwidth-bound");
     }
 
     #[test]

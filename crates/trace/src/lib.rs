@@ -229,6 +229,24 @@ impl TraceSink {
         }
     }
 
+    /// Raise the high-watermark counter `name` to `v` if `v` exceeds its
+    /// current value (insert at `v` when absent). Watermark counters share
+    /// the counter namespace, so they flow through [`counters`], the stage
+    /// report and the Prometheus exporter like any monotonic counter —
+    /// `mem.peak_bytes` and the per-stage `stage.*.peak_bytes` use this.
+    ///
+    /// [`counters`]: TraceSink::counters
+    pub fn set_max(&self, name: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.counters.lock().expect("trace mutex");
+            if let Some(c) = g.get_mut(name) {
+                *c = (*c).max(v);
+            } else {
+                g.insert(name.to_string(), v);
+            }
+        }
+    }
+
     /// Record one sample into the histogram `name`.
     pub fn record(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
@@ -665,6 +683,25 @@ mod tests {
         assert_eq!(h.buckets[0], 1); // the 0 sample
         assert_eq!(h.buckets[2], 1); // 3 ∈ [2, 4)
         assert_eq!(h.buckets[10], 1); // 1000 ∈ [512, 1024)
+    }
+
+    #[test]
+    fn set_max_is_a_high_watermark() {
+        let sink = TraceSink::enabled();
+        sink.set_max("mem.peak_bytes", 100);
+        sink.set_max("mem.peak_bytes", 40); // lower: no effect
+        assert_eq!(sink.counter("mem.peak_bytes"), 100);
+        sink.set_max("mem.peak_bytes", 250);
+        assert_eq!(sink.counter("mem.peak_bytes"), 250);
+        // watermarks surface through the standard exporters
+        assert!(sink.stage_report().contains("mem.peak_bytes"));
+        assert!(sink
+            .prometheus_text()
+            .contains("tcevd_counter_total{name=\"mem.peak_bytes\"} 250"));
+        // disabled sinks stay inert
+        let off = TraceSink::disabled();
+        off.set_max("mem.peak_bytes", 9);
+        assert_eq!(off.counter("mem.peak_bytes"), 0);
     }
 
     #[test]

@@ -2,8 +2,15 @@
 //! pipelines, and rayon's nondeterministic scheduling must never leak into
 //! results (every parallel reduction in the workspace is over disjoint
 //! data, so run-to-run outputs are exact).
+//!
+//! The counter contract now includes the performance-attribution layer:
+//! per-label flop/byte tallies, per-stage `stage.*` deltas, and the
+//! `mem.peak_bytes` allocation watermarks must all be bit-identical at any
+//! worker-pool size. Only `par.*` (pool telemetry) and `time.*` (wall
+//! clock) legitimately vary.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use tcevd::band::PanelKind;
 use tcevd::evd::{sym_eig, SbrVariant, SymEigOptions, TridiagSolver};
@@ -12,7 +19,17 @@ use tcevd::tensorcore::{Engine, GemmContext};
 use tcevd::testmat::{generate, MatrixType};
 use tcevd::trace::TraceSink;
 
-fn run(seed: u64, engine: Engine) -> (Vec<f32>, Mat<f32>) {
+/// The matrix allocation watermark (`tcevd::matrix::mem`) is process-global,
+/// so pipeline runs in this binary must not overlap: a sibling test's
+/// allocations would inflate another run's `stage.*.peak_bytes`. Every test
+/// that runs the pipeline holds this lock for each full run.
+static RUN_SERIAL: Mutex<()> = Mutex::new(());
+
+/// Run the pipeline and return the spectrum plus the eigenvector entries
+/// as a plain (untracked) `Vec`, so no tracked `Mat` buffer outlives the
+/// serialization lock and skews another run's watermark baseline.
+fn run(seed: u64, engine: Engine) -> (Vec<f32>, Vec<f32>) {
+    let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let a: Mat<f32> = generate(96, MatrixType::Normal, seed).cast();
     let ctx = GemmContext::new(engine);
     let r = sym_eig(
@@ -30,13 +47,15 @@ fn run(seed: u64, engine: Engine) -> (Vec<f32>, Mat<f32>) {
         &ctx,
     )
     .unwrap();
-    (r.values, r.vectors.unwrap())
+    let x = r.vectors.unwrap().as_slice().to_vec();
+    (r.values, x)
 }
 
 /// A fully traced run at an explicit worker-pool size. Returns the spectrum,
 /// the eigenvectors, and the sink's counter totals with the `par.*` pool
-/// telemetry stripped (pool counters legitimately depend on the thread
-/// count; everything else must not).
+/// telemetry and `time.*` wall-clock counters stripped (pool counters
+/// legitimately depend on the thread count and wall time on the machine;
+/// everything else must not).
 fn run_with_threads(
     seed: u64,
     n: usize,
@@ -44,7 +63,8 @@ fn run_with_threads(
     sbr: SbrVariant,
     panel: PanelKind,
     solver: TridiagSolver,
-) -> (Vec<f32>, Mat<f32>, BTreeMap<String, u64>) {
+) -> (Vec<f32>, Vec<f32>, BTreeMap<String, u64>) {
+    let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let a: Mat<f32> = generate(n, MatrixType::Normal, seed).cast();
     let sink = TraceSink::enabled();
     let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
@@ -66,14 +86,17 @@ fn run_with_threads(
     let counters = sink
         .counters()
         .into_iter()
-        .filter(|(k, _)| !k.starts_with("par."))
+        .filter(|(k, _)| !k.starts_with("par.") && !k.starts_with("time."))
         .collect();
-    (r.values, r.vectors.unwrap(), counters)
+    // untracked copy — see `run`
+    let x = r.vectors.unwrap().as_slice().to_vec();
+    (r.values, x, counters)
 }
 
 /// Run one configuration at 1 worker and at 4 workers and demand bitwise
 /// agreement on everything observable: eigenvalues, eigenvectors, and the
-/// trace counter totals.
+/// trace counter totals — including the attribution layer's flop/byte/
+/// peak-memory counters.
 fn assert_thread_invariant(
     seed: u64,
     n: usize,
@@ -86,14 +109,36 @@ fn assert_thread_invariant(
     let tag = format!("{sbr:?}/{panel:?}/{solver:?} n={n}");
     assert_eq!(v1, v4, "{tag}: eigenvalues must not depend on thread count");
     assert_eq!(
-        x1.max_abs_diff(&x4),
-        0.0,
+        x1, x4,
         "{tag}: eigenvectors must not depend on thread count"
     );
     assert_eq!(
         c1, c4,
         "{tag}: trace counter totals must not depend on thread count"
     );
+    // The attribution counters are present and meaningful, not just equal:
+    // both SBR paths move flops and bytes through every stage and record a
+    // positive allocation watermark.
+    for key in [
+        "gemm_flops",
+        "gemm_bytes",
+        "gemm_calls",
+        "kernel_flops.panel",
+        "kernel_flops.bulge",
+        "mem.peak_bytes",
+        "stage.sbr.flops",
+        "stage.sbr.bytes",
+        "stage.sbr.peak_bytes",
+        "stage.bulge_chase.peak_bytes",
+        "stage.tridiag_solve.peak_bytes",
+        "stage.back_transform.flops",
+        "stage.back_transform.peak_bytes",
+    ] {
+        assert!(
+            c1.get(key).copied().unwrap_or(0) > 0,
+            "{tag}: attribution counter {key} missing or zero"
+        );
+    }
 }
 
 #[test]
@@ -138,11 +183,7 @@ fn identical_runs_are_bit_identical() {
         let (v1, x1) = run(7, engine);
         let (v2, x2) = run(7, engine);
         assert_eq!(v1, v2, "{engine:?}: eigenvalues must be bit-identical");
-        assert_eq!(
-            x1.max_abs_diff(&x2),
-            0.0,
-            "{engine:?}: eigenvectors must be bit-identical"
-        );
+        assert_eq!(x1, x2, "{engine:?}: eigenvectors must be bit-identical");
     }
 }
 
@@ -155,6 +196,8 @@ fn different_seeds_differ() {
 
 #[test]
 fn generators_are_cross_invocation_stable() {
+    // allocates tracked Mats — serialize with the pipeline runs
+    let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // pin a few entries so accidental RNG-stream changes are caught
     let a = generate(8, MatrixType::Normal, 42);
     let b = generate(8, MatrixType::Normal, 42);
