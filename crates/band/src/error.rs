@@ -18,6 +18,10 @@ pub enum BandError {
     ZeroBandwidth,
     /// The input contained a NaN or infinity.
     NonFinite,
+    /// The attached `CancelToken` requested cancellation; the reduction
+    /// stopped cooperatively at a level boundary. Core maps this to its
+    /// deadline-exceeded error.
+    Cancelled,
 }
 
 impl std::fmt::Display for BandError {
@@ -28,6 +32,7 @@ impl std::fmt::Display for BandError {
             }
             BandError::ZeroBandwidth => write!(f, "bandwidth must be >= 1"),
             BandError::NonFinite => write!(f, "SBR input contains NaN or infinity"),
+            BandError::Cancelled => write!(f, "band reduction cancelled at a level boundary"),
         }
     }
 }

@@ -114,6 +114,11 @@ pub fn sbr_wy(
 
     let mut off = 0; // recursion offset: current trailing matrix is a[off.., off..]
     while off + b < n {
+        // Cooperative cancellation at the level boundary: a level in flight
+        // always completes, so a retried run is bit-identical to a fresh one.
+        if ctx.cancel_requested() {
+            return Err(crate::BandError::Cancelled);
+        }
         let m = n - off; // current trailing size
         let mp = m - b; // rows below the first band block ("OA'" of the paper)
 

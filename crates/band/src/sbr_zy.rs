@@ -39,6 +39,11 @@ pub fn sbr_zy(
 
     let mut i = 0;
     while i + b < n {
+        // Cooperative cancellation at the panel boundary: the panel in
+        // flight always completes, keeping retried runs bit-identical.
+        if ctx.cancel_requested() {
+            return Err(crate::BandError::Cancelled);
+        }
         let mp = n - i - b; // panel rows
         let panel = a.view(i + b, i, mp, b);
         let f = factor_panel_with(panel, opts.panel, &sink);

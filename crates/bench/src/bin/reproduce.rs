@@ -9,6 +9,7 @@
 //! reproduce threads [--n 1024] [--out BENCH_pr4.json]  # thread-scaling smoke
 //! reproduce gemm [--n 1024] [--out BENCH_pr5.json]     # packed-vs-reference GEMM
 //! reproduce profile [--n 1024] [--out BENCH_profile.json] # perf attribution
+//! reproduce serve [--jobs 100] [--out BENCH_serve.json]   # service throughput
 //! reproduce --trace=out.json [--n 512] [--seed 42]   # traced real run
 //! reproduce --faults=plan.json [--n 512] [--seed 42] # fault-injected run
 //! ```
@@ -194,9 +195,23 @@ fn main() {
             }
             print!("{}", run.report);
         }
+        "serve" => {
+            // Service-throughput smoke at the PR-7 acceptance scale.
+            let jobs = parse_flag(&args, "--jobs", 100) as usize;
+            eprintln!("[serve workload: {jobs} jobs + cache resubmissions; use --jobs to change]");
+            let json = bench::serve_bench(jobs, seed);
+            if let Some(path) = parse_path_flag(&args, "out", "BENCH_serve.json") {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+            print!("{json}");
+        }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all perf table1 table2 table3 table4 threads gemm profile fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
+            eprintln!("known: all perf table1 table2 table3 table4 threads gemm profile serve fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
             std::process::exit(2);
         }
     }

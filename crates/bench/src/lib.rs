@@ -13,9 +13,11 @@
 
 pub mod profile;
 pub mod schema;
+pub mod serve_bench;
 
 pub use profile::{profile_run, ProfileRun};
 pub use schema::{compare, validate_bench_json};
+pub use serve_bench::serve_bench;
 
 use std::fmt::Write as _;
 use tcevd_band::trace_model::{formw_trace, wy_trace, zy_trace};

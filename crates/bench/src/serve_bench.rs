@@ -1,0 +1,210 @@
+//! `reproduce serve` — the service-throughput smoke backing
+//! `BENCH_serve.json` and the CI bench-regression gate.
+//!
+//! A deterministic mixed workload submitted to a live [`tcevd_serve`]
+//! service: unique jobs across a spread of sizes first (all compute), then
+//! a resubmission wave that must be served entirely from the results cache.
+//! The two-phase shape keeps every workload counter (`*_calls`) exact —
+//! cache hits never race the first computation of the same key — while the
+//! latency percentiles and throughput measure the real scheduler under its
+//! batched fan-out.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use tcevd_core::{SbrVariant, SymEigOptions, TridiagSolver};
+use tcevd_matrix::Mat;
+use tcevd_serve::{EvdService, JobSpec, JobState, ServeConfig};
+use tcevd_tensorcore::Engine;
+use tcevd_testmat::{generate, MatrixType};
+
+/// Sizes the workload cycles through: three "small" (batched, sequential)
+/// and one above the small cutoff (sharded onto the worker pool).
+const SIZES: [usize; 4] = [32, 48, 64, 96];
+
+fn workload_opts() -> SymEigOptions {
+    SymEigOptions {
+        bandwidth: 8,
+        sbr: SbrVariant::Wy { block: 32 },
+        solver: TridiagSolver::DivideConquer,
+        vectors: true,
+        ..SymEigOptions::default()
+    }
+}
+
+fn percentile(sorted: &[f64], pct: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted.len() * pct / 100).min(sorted.len() - 1);
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+/// Run the service workload (`jobs` unique + `jobs / 5` cache-hit
+/// resubmissions) on a 4-worker service and emit `BENCH_serve.json`.
+pub fn serve_bench(jobs: usize, seed: u64) -> String {
+    let workers = 4usize;
+    let service = EvdService::new(ServeConfig {
+        engine: Engine::Tc,
+        workers,
+        // headroom so admission control never sheds: the workload
+        // counters below are asserted Exactish by `bench compare`
+        queue_capacity: jobs + 8,
+        cache_capacity: jobs.max(1),
+        small_cutoff: 64,
+        batch: 4,
+        threads_large: 2,
+        backoff_base: Duration::from_millis(1),
+        ..ServeConfig::default()
+    });
+    let opts = workload_opts();
+
+    let t0 = std::time::Instant::now();
+    // Phase 1: unique jobs, everything computes.
+    let mut handles = Vec::new();
+    for i in 0..jobs {
+        let n = SIZES[i % SIZES.len()];
+        let a64 = generate(n, MatrixType::Normal, seed.wrapping_add(i as u64));
+        let a: Mat<f32> = a64.cast();
+        let spec = JobSpec::new(format!("bench-{i}"), a).with_opts(opts);
+        match service.submit(spec) {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                eprintln!("serve bench: unexpected rejection of bench-{i}: {e}");
+            }
+        }
+    }
+    for &h in &handles {
+        let _ = service.wait(h);
+    }
+    // Phase 2: resubmit every fifth matrix — all must hit the cache.
+    let resubmit: Vec<usize> = (0..jobs).step_by(5).collect();
+    let mut hit_handles = Vec::new();
+    for &i in &resubmit {
+        let n = SIZES[i % SIZES.len()];
+        let a64 = generate(n, MatrixType::Normal, seed.wrapping_add(i as u64));
+        let a: Mat<f32> = a64.cast();
+        let spec = JobSpec::new(format!("bench-hit-{i}"), a).with_opts(opts);
+        if let Ok(h) = service.submit(spec) {
+            hit_handles.push(h);
+        }
+    }
+    for &h in &hit_handles {
+        let _ = service.wait(h);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let done = handles
+        .iter()
+        .chain(&hit_handles)
+        .filter(|&&h| service.poll(h) == Some(JobState::Done))
+        .count();
+    let mut latencies: Vec<f64> = handles
+        .iter()
+        .filter_map(|&h| service.job_latency(h))
+        .map(|d| d.as_secs_f64())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+
+    let m = service.metrics();
+    let total = handles.len() + hit_handles.len();
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"serve\",");
+    let _ = writeln!(out, "  \"dtype\": \"f32\",");
+    let _ = writeln!(out, "  \"threads\": {workers},");
+    let _ = writeln!(out, "  \"jobs\": {total},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"workload\": {{");
+    let _ = writeln!(
+        out,
+        "    \"submitted_calls\": {},",
+        m.counter("serve.jobs_submitted")
+    );
+    let _ = writeln!(
+        out,
+        "    \"completed_calls\": {},",
+        m.counter("serve.jobs_completed")
+    );
+    let _ = writeln!(
+        out,
+        "    \"failed_calls\": {},",
+        m.counter("serve.jobs_failed")
+    );
+    let _ = writeln!(
+        out,
+        "    \"timed_out_calls\": {},",
+        m.counter("serve.jobs_timed_out")
+    );
+    let _ = writeln!(out, "    \"shed_calls\": {},", m.counter("serve.jobs_shed"));
+    let _ = writeln!(out, "    \"retry_calls\": {},", m.counter("serve.retry"));
+    let _ = writeln!(
+        out,
+        "    \"cache_hit_calls\": {},",
+        m.counter("serve.cache_hit")
+    );
+    let _ = writeln!(
+        out,
+        "    \"cache_miss_calls\": {}",
+        m.counter("serve.cache_miss")
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"latency\": {{");
+    let _ = writeln!(
+        out,
+        "    \"p50_seconds\": {:.9},",
+        percentile(&latencies, 50)
+    );
+    let _ = writeln!(
+        out,
+        "    \"p99_seconds\": {:.9}",
+        percentile(&latencies, 99)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"throughput\": {{");
+    let _ = writeln!(
+        out,
+        "    \"jobs_per_second\": {:.3}",
+        if wall_s > 0.0 {
+            done as f64 / wall_s
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcevd_trace::json;
+
+    #[test]
+    fn serve_bench_json_validates_and_counts_exactly() {
+        let text = serve_bench(20, 7);
+        crate::schema::validate_bench_json(&text).expect("BENCH_serve schema");
+        let v = json::parse(&text).expect("parses");
+        assert_eq!(v.get("bench").and_then(json::Value::as_str), Some("serve"));
+        let w = v.get("workload").expect("workload");
+        let get = |k: &str| w.get(k).and_then(json::Value::as_f64).unwrap_or(f64::NAN);
+        // 20 unique + 4 resubmissions (every 5th), all completing
+        assert_eq!(get("submitted_calls"), 24.0);
+        assert_eq!(get("completed_calls"), 24.0);
+        assert_eq!(get("cache_hit_calls"), 4.0);
+        assert_eq!(get("cache_miss_calls"), 20.0);
+        assert_eq!(get("failed_calls"), 0.0);
+        assert_eq!(get("shed_calls"), 0.0);
+        let lat = v.get("latency").expect("latency");
+        let p50 = lat
+            .get("p50_seconds")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(0.0);
+        let p99 = lat
+            .get("p99_seconds")
+            .and_then(json::Value::as_f64)
+            .unwrap_or(0.0);
+        assert!(p50 > 0.0 && p99 >= p50, "p50 {p50} p99 {p99}");
+    }
+}

@@ -90,6 +90,35 @@ pub enum EvdError {
         /// Full report: kind, value, position, operand provenance.
         detail: String,
     },
+    /// The service/API boundary rejected the submission before scheduling:
+    /// non-square, non-finite, or (beyond the configured tolerance)
+    /// asymmetric input — or an otherwise malformed job.
+    InvalidInput {
+        /// What was wrong with the submission.
+        detail: String,
+    },
+    /// The service's bounded admission queue was full and the job could not
+    /// displace any queued lower-priority work.
+    Overloaded {
+        /// Queue occupancy when the submission was rejected.
+        queue_len: usize,
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The job's compute budget expired (or it was explicitly cancelled);
+    /// the run was abandoned at the named stage's seam. Cancellation is
+    /// cooperative: the stage in flight always runs to its seam, so a
+    /// retried job is bit-identical to a fresh run.
+    DeadlineExceeded {
+        /// The stage at whose boundary the cancellation took effect.
+        stage: EvdStage,
+    },
+    /// A panic escaped the solver on a worker thread and was contained at
+    /// the job boundary; neighboring jobs and the scheduler are unaffected.
+    WorkerPanic {
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for EvdError {
@@ -117,6 +146,27 @@ impl std::fmt::Display for EvdError {
                     f,
                     "sanitizer violation during {stage} at GEMM {label:?}: {detail}"
                 )
+            }
+            EvdError::InvalidInput { detail } => {
+                write!(
+                    f,
+                    "invalid input rejected at the service boundary: {detail}"
+                )
+            }
+            EvdError::Overloaded {
+                queue_len,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "service overloaded: admission queue full ({queue_len}/{capacity})"
+                )
+            }
+            EvdError::DeadlineExceeded { stage } => {
+                write!(f, "compute budget exhausted; cancelled after {stage}")
+            }
+            EvdError::WorkerPanic { detail } => {
+                write!(f, "worker panic contained at the job boundary: {detail}")
             }
         }
     }
@@ -167,6 +217,9 @@ impl From<BandError> for EvdError {
             BandError::ZeroBandwidth => EvdError::Unrecoverable {
                 stage: EvdStage::Sbr,
                 detail: "band reduction requested with zero bandwidth".to_string(),
+            },
+            BandError::Cancelled => EvdError::DeadlineExceeded {
+                stage: EvdStage::Sbr,
             },
         }
     }

@@ -15,6 +15,8 @@ use tcevd_testmat::{Fault, FaultPlan, GemmFaultMode};
 thread_local! {
     static FAIL_DC: Cell<u32> = const { Cell::new(0) };
     static FAIL_QL: Cell<u32> = const { Cell::new(0) };
+    static FAIL_CANCEL: Cell<u32> = const { Cell::new(0) };
+    static FAIL_PANIC: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Force the next `times` divide-and-conquer solves (at the pipeline seam)
@@ -29,12 +31,29 @@ pub fn fail_ql(times: u32) {
     FAIL_QL.with(|c| c.set(times));
 }
 
+/// Force the next `times` pipeline runs on this thread to cancel at their
+/// first stage seam — a deterministic, wall-clock-free stand-in for a
+/// deadline expiring mid-run (drives the service layer's retry path).
+pub fn fail_cancel(times: u32) {
+    FAIL_CANCEL.with(|c| c.set(times));
+}
+
+/// Arm the next `times` service-worker runs on this thread to panic before
+/// the solve starts (drives the service layer's panic containment). The
+/// pipeline itself never consumes this hook — only `tcevd-serve` does, via
+/// [`take_panic_failure`].
+pub fn fail_panic(times: u32) {
+    FAIL_PANIC.with(|c| c.set(times));
+}
+
 /// Clear every solver hook on this thread, and the LU hooks in
 /// `tcevd-factor`. (GEMM faults live on the [`GemmContext`]; clear those
 /// with [`GemmContext::clear_faults`].)
 pub fn reset() {
     FAIL_DC.with(|c| c.set(0));
     FAIL_QL.with(|c| c.set(0));
+    FAIL_CANCEL.with(|c| c.set(0));
+    FAIL_PANIC.with(|c| c.set(0));
     tcevd_factor::fault::clear();
 }
 
@@ -46,6 +65,17 @@ pub(crate) fn take_dc_failure() -> bool {
 /// Consume one armed QL failure, if any.
 pub(crate) fn take_ql_failure() -> bool {
     take(&FAIL_QL)
+}
+
+/// Consume one armed forced cancellation, if any.
+pub(crate) fn take_cancel_failure() -> bool {
+    take(&FAIL_CANCEL)
+}
+
+/// Consume one armed worker panic, if any. Public (unlike the solver
+/// hooks) because the consumer is the service layer, not the pipeline.
+pub fn take_panic_failure() -> bool {
+    take(&FAIL_PANIC)
 }
 
 fn take(slot: &'static std::thread::LocalKey<Cell<u32>>) -> bool {
@@ -73,6 +103,8 @@ pub fn apply_plan(plan: &FaultPlan, ctx: &GemmContext) {
             }
             Fault::DcFail { times } => fail_dc(*times),
             Fault::QlFail { times } => fail_ql(*times),
+            Fault::CancelAtSeam { times } => fail_cancel(*times),
+            Fault::WorkerPanic { times } => fail_panic(*times),
             Fault::Gemm { label, nth, mode } => {
                 // A label outside the registry can never match a call site:
                 // the fault would silently never fire. Tally it so harnesses
@@ -110,6 +142,24 @@ mod tests {
         fail_ql(1);
         reset();
         assert!(!take_ql_failure());
+    }
+
+    #[test]
+    fn cancel_and_panic_hooks_count_down_and_reset() {
+        fail_cancel(1);
+        assert!(take_cancel_failure());
+        assert!(!take_cancel_failure());
+        fail_panic(2);
+        assert!(take_panic_failure());
+        reset();
+        assert!(!take_panic_failure());
+        let plan = FaultPlan::parse_json(r#"[{"kind": "cancel"}, {"kind": "panic", "times": 1}]"#)
+            .unwrap();
+        let ctx = GemmContext::new(tcevd_tensorcore::Engine::Sgemm);
+        apply_plan(&plan, &ctx);
+        assert!(take_cancel_failure());
+        assert!(take_panic_failure());
+        reset();
     }
 
     #[test]

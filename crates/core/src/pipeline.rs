@@ -434,6 +434,20 @@ fn check_sanitizer(_ctx: &GemmContext, _stage: EvdStage) -> Result<(), EvdError>
     Ok(())
 }
 
+/// Cooperative cancellation seam, checked between stages alongside the
+/// sanitizer and finiteness gates: honors an armed deterministic cancel
+/// fault ([`crate::fault::fail_cancel`], the chaos-suite hook) or the
+/// context's `CancelToken` (explicit cancel / expired compute budget).
+/// `stage` names the stage whose boundary the run stopped at. Cancellation
+/// never interrupts a stage in flight, so a retried run recomputes the
+/// same stages from scratch and stays bit-identical to an uncancelled one.
+fn check_cancelled(ctx: &GemmContext, stage: EvdStage) -> Result<(), EvdError> {
+    if crate::fault::take_cancel_failure() || ctx.cancel_requested() {
+        return Err(EvdError::DeadlineExceeded { stage });
+    }
+    Ok(())
+}
+
 /// One full pass of the two-stage pipeline with an explicit tridiagonal
 /// solver choice (so the verification rung can re-run with the other one).
 fn run_pipeline(
@@ -445,6 +459,7 @@ fn run_pipeline(
     sink: &TraceSink,
 ) -> Result<SymEigResult, EvdError> {
     let n = a.rows();
+    check_cancelled(ctx, EvdStage::Input)?;
     if sink.is_enabled() {
         // Device-byte estimate from the MemoryModel (paper §7 footprints).
         let est = match opts.sbr {
@@ -494,6 +509,7 @@ fn run_pipeline(
     // scan reports first, naming the exact label that produced the value.
     check_sanitizer(ctx, EvdStage::Sbr)?;
     ensure_finite(band.as_slice(), EvdStage::Sbr)?;
+    check_cancelled(ctx, EvdStage::Sbr)?;
 
     // Stage 2: bulge chasing to tridiagonal. The eigenvalues-only path uses
     // packed band storage (O(n·b) working set); the eigenvector path keeps
@@ -507,6 +523,7 @@ fn run_pipeline(
         };
         ensure_finite(&t.d, EvdStage::BulgeChase)?;
         ensure_finite(&t.e, EvdStage::BulgeChase)?;
+        check_cancelled(ctx, EvdStage::BulgeChase)?;
         let (values, _) = {
             let _stage = tcevd_prof::StageScope::begin(sink, "tridiag_solve");
             solve_tridiag(&t, solver, false, &opts.recovery, sink)?
@@ -524,11 +541,13 @@ fn run_pipeline(
     };
     ensure_finite(&t.d, EvdStage::BulgeChase)?;
     ensure_finite(&t.e, EvdStage::BulgeChase)?;
+    check_cancelled(ctx, EvdStage::BulgeChase)?;
 
     let (values, z) = {
         let _stage = tcevd_prof::StageScope::begin(sink, "tridiag_solve");
         solve_tridiag(&t, solver, true, &opts.recovery, sink)?
     };
+    check_cancelled(ctx, EvdStage::TridiagSolve)?;
     let Some(z) = z else {
         return Err(EvdError::Unrecoverable {
             stage: EvdStage::TridiagSolve,
@@ -727,6 +746,7 @@ pub fn sym_eig_selected(
     };
     let _par = ParCounters::new(&sink);
     let _root_span = span!(sink, "sym_eig_selected", n, b);
+    check_cancelled(ctx, EvdStage::Input)?;
 
     // Stage 1 (always via the WY form here; its FormW factors back-transform
     // cheaply for a thin eigenvector block).
@@ -749,6 +769,7 @@ pub fn sym_eig_selected(
     };
     check_sanitizer(ctx, EvdStage::Sbr)?;
     ensure_finite(r.band.as_slice(), EvdStage::Sbr)?;
+    check_cancelled(ctx, EvdStage::Sbr)?;
 
     // Stage 2 with Q₂ (needed to lift tridiagonal vectors to band space).
     let (q2, t) = {
@@ -759,11 +780,13 @@ pub fn sym_eig_selected(
     };
     ensure_finite(&t.d, EvdStage::BulgeChase)?;
     ensure_finite(&t.e, EvdStage::BulgeChase)?;
+    check_cancelled(ctx, EvdStage::BulgeChase)?;
 
     let (values, z) = {
         let _stage = tcevd_prof::StageScope::begin(&sink, "tridiag_solve");
         crate::inverse_iter::tridiag_eig_selected(&t, range)?
     };
+    check_cancelled(ctx, EvdStage::TridiagSolve)?;
     let k = values.len();
     if k == 0 {
         return Ok(SymEigResult {

@@ -22,6 +22,9 @@
 //! - **R6** every `GEMM_LABELS` entry has a flop-cost entry in the
 //!   `GEMM_COSTS` registry (`crates/prof/src/costs.rs`), and no cost entry
 //!   is dead (names a label the table no longer carries).
+//! - **R7** the R3 hygiene bar extended to the service layer
+//!   (`crates/serve/`): the scheduler holds other jobs' work, so its
+//!   non-test code must never `unwrap`, `panic!`, or `[...]`-index.
 //!
 //! Findings can be waived line-locally with a
 //! `// tcevd-lint: allow(R3)` comment; the waiver covers the comment's
@@ -172,6 +175,7 @@ pub fn lint_source(
     rules::r1_trace_model(path, &lx, reg, out);
     rules::r2_precision_boundary(path, &lx, out);
     rules::r3_hot_path(path, &lx, out);
+    rules::r7_serve_hygiene(path, &lx, out);
     rules::r4_result_surface(path, &lx, out);
     if path.ends_with("src/lib.rs") {
         rules::r5_forbid_unsafe_attr(path, &lx, out);

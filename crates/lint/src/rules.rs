@@ -9,6 +9,7 @@
 //! | R4 | public pipeline functions return `Result` |
 //! | R5 | every crate forbids `unsafe_code` (and none uses `unsafe`) |
 //! | R6 | every GEMM label has a flop-cost registry entry; no cost entry is dead |
+//! | R7 | the R3 hygiene bar extended to the service layer (`crates/serve/`) |
 
 use crate::lexer::{Kind, Lexed, Token};
 use crate::{Diagnostic, Registry};
@@ -23,6 +24,11 @@ pub const R3_FILES: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/tensorcore/src/engine.rs",
 ];
+
+/// Service-layer files under rule R7: the scheduler holds other people's
+/// jobs, so it gets the same no-panic, no-indexing bar as the hot paths —
+/// an `unwrap` here wedges every queued job, not just one result.
+pub const R7_FILES: &[&str] = &["crates/serve/"];
 
 /// Pipeline modules whose public functions must return `Result` (R4).
 pub const R4_FILES: &[&str] = &[
@@ -283,10 +289,33 @@ pub fn r3_hot_path(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
     if !in_list(path, R3_FILES) {
         return;
     }
+    hygiene_walk(path, lx, "R3", "a hot path", out);
+}
+
+/// R7: the same hygiene bar over the service layer ([`R7_FILES`]) — the
+/// scheduler's own code must never abort or index out of bounds while it
+/// holds other jobs' work.
+pub fn r7_serve_hygiene(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
+    if !in_list(path, R7_FILES) {
+        return;
+    }
+    hygiene_walk(path, lx, "R7", "the service layer", out);
+}
+
+/// The shared R3/R7 hygiene walker: no `.unwrap()`/`.expect()`, no
+/// `panic!`-family macros, no postfix `[` indexing — in non-test,
+/// non-waived code. `context` names the protected region in diagnostics.
+fn hygiene_walk(
+    path: &str,
+    lx: &Lexed,
+    rule: &'static str,
+    context: &str,
+    out: &mut Vec<Diagnostic>,
+) {
     let toks = &lx.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
-        if t.in_test || lx.waived("R3", t.line) {
+        if t.in_test || lx.waived(rule, t.line) {
             continue;
         }
         // .unwrap( / .expect(
@@ -301,9 +330,9 @@ pub fn r3_hot_path(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
                 out,
                 path,
                 t.line,
-                "R3",
+                rule,
                 format!(
-                    "`.{}()` in a hot path — return a typed error instead",
+                    "`.{}()` in {context} — return a typed error instead",
                     t.text
                 ),
             );
@@ -316,8 +345,8 @@ pub fn r3_hot_path(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
                 out,
                 path,
                 t.line,
-                "R3",
-                format!("`{}!` in a hot path — return a typed error instead", t.text),
+                rule,
+                format!("`{}!` in {context} — return a typed error instead", t.text),
             );
         }
         // postfix indexing: `[` after a value (ident, `)`, `]`, `?`)
@@ -333,10 +362,11 @@ pub fn r3_hot_path(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
                     out,
                     path,
                     t.line,
-                    "R3",
-                    "`[...]` indexing in a hot path — use `.get`/`.set`, views, \
-                     or iterators"
-                        .to_string(),
+                    rule,
+                    format!(
+                        "`[...]` indexing in {context} — use `.get`/`.set`, views, \
+                         or iterators"
+                    ),
                 );
             }
         }

@@ -1,0 +1,25 @@
+// lint-fixture-path: crates/serve/src/service.rs
+//! R7 fixture: service-layer hygiene (the R3 bar over `crates/serve/`).
+
+fn schedule(queue: &[u64], table: &Table) -> u64 {
+    let first = queue[0];
+    let entry = table.get(&first).unwrap();
+    if entry.is_poisoned() {
+        panic!("poisoned job");
+    }
+    // tcevd-lint: allow(R7) — id validated at admission
+    let again = queue[1];
+    first + again
+}
+
+fn fine(queue: &[u64], lock: &std::sync::Mutex<u64>) -> Option<u64> {
+    // the poison-recovery idiom is a different ident — must not fire
+    let v = lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    queue.first().map(|q| q + *v)
+}
+
+#[test]
+fn tests_may_index_and_unwrap() {
+    let q = vec![3u64];
+    assert_eq!(q.first().copied().unwrap(), q[0]);
+}

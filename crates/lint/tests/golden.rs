@@ -84,6 +84,11 @@ fn r5_forbid_unsafe_fixture_matches_golden() {
 }
 
 #[test]
+fn r7_serve_hygiene_fixture_matches_golden() {
+    assert_golden("r7");
+}
+
+#[test]
 fn clean_fixture_produces_no_findings() {
     assert_golden("clean");
 }

@@ -1,0 +1,90 @@
+//! Deterministic retry backoff.
+//!
+//! A retried job must not make the workload schedule-dependent: the delay
+//! before re-enqueueing is a pure function of the job's seed and the
+//! attempt number — never of the thread count, queue state, or wall clock —
+//! so a chaos run replays identically at any pool size.
+
+use std::time::Duration;
+
+/// SplitMix64 — the same tiny deterministic generator the test-matrix
+/// crates use for reproducible streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A stable per-job backoff seed: FNV-1a over the job name's bytes, so the
+/// jitter stream depends only on the job's identity.
+pub(crate) fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Exponential backoff with deterministic jitter: `base · 2^attempt` plus
+/// up to half of `base`, the jitter drawn from SplitMix64 over
+/// `(seed, attempt)`. Thread-count-independent by construction.
+///
+/// ```
+/// use std::time::Duration;
+/// let base = Duration::from_millis(1);
+/// let d0 = tcevd_serve::backoff_delay(base, 42, 0);
+/// let d1 = tcevd_serve::backoff_delay(base, 42, 1);
+/// assert_eq!(d0, tcevd_serve::backoff_delay(base, 42, 0)); // pure
+/// assert!(d1 >= Duration::from_millis(2));                 // exponential
+/// ```
+pub fn backoff_delay(base: Duration, seed: u64, attempt: u32) -> Duration {
+    let base_ns = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+    // cap the exponent so a deep retry ladder cannot overflow
+    let exp_ns = base_ns.saturating_mul(1u64 << attempt.min(16));
+    let jitter_ns = match base_ns / 2 {
+        0 => 0,
+        half => splitmix64(seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9)) % half,
+    };
+    Duration::from_nanos(exp_ns.saturating_add(jitter_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_pure_and_monotone_in_attempt() {
+        let base = Duration::from_millis(1);
+        for seed in [0u64, 7, 12345] {
+            let mut prev = Duration::ZERO;
+            for attempt in 0..8 {
+                let d = backoff_delay(base, seed, attempt);
+                assert_eq!(d, backoff_delay(base, seed, attempt), "pure");
+                assert!(d > prev, "exponential growth dominates jitter");
+                prev = d;
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_decorrelate() {
+        let base = Duration::from_millis(1);
+        let a = backoff_delay(base, 1, 3);
+        let b = backoff_delay(base, 2, 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_base_is_zero_delay() {
+        assert_eq!(backoff_delay(Duration::ZERO, 9, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn deep_attempts_do_not_overflow() {
+        let d = backoff_delay(Duration::from_secs(1), 3, u32::MAX);
+        assert!(d >= Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Input validation at the service boundary.
+//!
+//! Bad input is rejected as a typed [`EvdError::InvalidInput`] *before*
+//! scheduling — without this, a non-finite matrix only surfaces deep inside
+//! the pipeline (and full attribution only under `--features sanitize`),
+//! after the job has consumed queue and worker capacity.
+
+use tcevd_core::EvdError;
+use tcevd_matrix::Mat;
+
+/// Validate a submission's matrix: square, finite everywhere, and (when
+/// `asym_tol` is set) symmetric to within `asym_tol · max|a|`.
+///
+/// ```
+/// use tcevd_matrix::Mat;
+/// let mut a = Mat::<f32>::identity(4, 4);
+/// assert!(tcevd_serve::validate_input(&a, Some(1e-4)).is_ok());
+/// a.set(1, 2, f32::NAN);
+/// assert!(tcevd_serve::validate_input(&a, Some(1e-4)).is_err());
+/// ```
+pub fn validate_input(a: &Mat<f32>, asym_tol: Option<f32>) -> Result<(), EvdError> {
+    if !a.is_square() {
+        return Err(EvdError::InvalidInput {
+            detail: format!("matrix must be square, got {}x{}", a.rows(), a.cols()),
+        });
+    }
+    let n = a.rows();
+    // Finiteness scan over the column-major backing slice; report the first
+    // offender's (row, col) so the caller can find it.
+    if let Some(idx) = a.as_slice().iter().position(|v| !v.is_finite()) {
+        let (row, col) = if n == 0 { (0, 0) } else { (idx % n, idx / n) };
+        return Err(EvdError::InvalidInput {
+            detail: format!("non-finite entry at ({row}, {col})"),
+        });
+    }
+    if let Some(tol) = asym_tol {
+        let mut worst = 0.0f32;
+        let mut scale = 0.0f32;
+        let mut at = (0usize, 0usize);
+        for j in 0..n {
+            for i in 0..=j {
+                let upper = a.get(i, j);
+                let lower = a.get(j, i);
+                scale = scale.max(upper.abs()).max(lower.abs());
+                let gap = (upper - lower).abs();
+                if gap > worst {
+                    worst = gap;
+                    at = (i, j);
+                }
+            }
+        }
+        if worst > tol * scale.max(f32::MIN_POSITIVE) {
+            let (i, j) = at;
+            return Err(EvdError::InvalidInput {
+                detail: format!(
+                    "asymmetric beyond tolerance: |a({i},{j}) - a({j},{i})| = {worst:e} \
+                     exceeds {tol:e} * max|a| = {:e}",
+                    tol * scale
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Mat::<f32>::zeros(3, 4);
+        assert!(matches!(
+            validate_input(&a, None),
+            Err(EvdError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn reports_non_finite_position() {
+        let mut a = Mat::<f32>::zeros(5, 5);
+        a.set(3, 2, f32::INFINITY);
+        let Err(EvdError::InvalidInput { detail }) = validate_input(&a, None) else {
+            panic!("expected InvalidInput");
+        };
+        assert!(detail.contains("(3, 2)"), "{detail}");
+    }
+
+    #[test]
+    fn asymmetry_is_tolerance_gated() {
+        let mut a = Mat::<f32>::identity(4, 4);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0 + 1e-6);
+        assert!(validate_input(&a, Some(1e-4)).is_ok());
+        assert!(validate_input(&a, Some(1e-8)).is_err());
+        // no symmetry check when disabled
+        a.set(1, 0, 5.0);
+        assert!(validate_input(&a, None).is_ok());
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let a = Mat::<f32>::zeros(0, 0);
+        assert!(validate_input(&a, Some(1e-4)).is_ok());
+    }
+}

@@ -1,0 +1,114 @@
+//! Cooperative cancellation for long-running pipeline runs.
+//!
+//! A [`CancelToken`] is a cheap-clone handle the service layer attaches to
+//! a [`GemmContext`](crate::GemmContext) (via `GemmContext::with_cancel`)
+//! before starting a job. The pipeline checks it *between* stages — at the
+//! same seams where the sanitizer report and finiteness gates run — so a
+//! cancelled or deadline-exhausted job stops at the next seam with a typed
+//! error instead of burning its remaining stages. Checks are cooperative:
+//! a stage in flight always runs to its seam, which keeps every completed
+//! run bit-identical to an uncancelled one (cancellation only ever chooses
+//! *whether* the next stage runs, never how it computes).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Wall-clock compute budget: expiry makes the token report cancelled.
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation flag with an optional wall-clock deadline.
+///
+/// ```
+/// use tcevd_tensorcore::CancelToken;
+/// let t = CancelToken::new();
+/// assert!(!t.is_cancelled());
+/// t.cancel();
+/// assert!(t.is_cancelled());
+///
+/// let expired = CancelToken::with_deadline(std::time::Duration::ZERO);
+/// assert!(expired.is_cancelled());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally expires `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Request cancellation (idempotent, visible to every clone).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token was cancelled or its deadline has passed. A passed
+    /// deadline latches the flag, so the answer never flips back.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_token_cancels_only_on_request() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled(), "cancel must be visible through clones");
+    }
+
+    #[test]
+    fn zero_deadline_is_already_expired_and_latches() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled(), "expiry must latch");
+    }
+
+    #[test]
+    fn generous_deadline_is_not_expired() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+}

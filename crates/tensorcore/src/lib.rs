@@ -21,9 +21,13 @@
 //! * [`sanitize`] (feature `sanitize`) — runtime numerical sanitizer: scans
 //!   GEMM operands/outputs for NaN/±∞ and f16-overflow magnitudes and
 //!   attributes the first violation to the step label that produced it.
+//! * [`cancel`] — cooperative [`CancelToken`]s the service layer
+//!   (`tcevd-serve`) attaches to a context so a job's compute budget is
+//!   honored at the pipeline's stage seams.
 
 #![forbid(unsafe_code)]
 
+pub mod cancel;
 pub mod ec;
 pub mod engine;
 pub mod gemm;
@@ -33,6 +37,7 @@ pub mod mma;
 pub mod sanitize;
 pub mod syr2k;
 
+pub use cancel::CancelToken;
 pub use ec::{ec_gemm, EcMode};
 pub use engine::tf32_gemm;
 pub use engine::{Engine, FaultMode, GemmContext, GemmFault, GemmRecord};

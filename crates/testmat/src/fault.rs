@@ -13,6 +13,10 @@
 //! ]
 //! ```
 //!
+//! A plan can also be scoped to a single `tcevd-serve` job by wrapping the
+//! array: `{"job": "job-17", "faults": [ ... ]}`. The bare-array form is a
+//! *global* plan (applies to every run), preserving all pre-existing plans.
+//!
 //! This crate sits at the bottom of the workspace, so the plan speaks in
 //! plain data; `tcevd-core`'s `fault::apply_plan` translates each entry into
 //! the concrete thread-local or `GemmContext` hook it arms.
@@ -65,6 +69,19 @@ pub enum Fault {
         /// Corruption mode.
         mode: GemmFaultMode,
     },
+    /// Force the next `times` pipeline runs to cancel at their first stage
+    /// seam (drives the service layer's deadline/retry path
+    /// deterministically, without wall-clock involvement).
+    CancelAtSeam {
+        /// How many consecutive runs cancel.
+        times: u32,
+    },
+    /// Panic inside the worker immediately before the next `times` runs
+    /// start (drives the service layer's panic-containment path).
+    WorkerPanic {
+        /// How many consecutive runs panic.
+        times: u32,
+    },
 }
 
 /// An ordered list of faults for one run.
@@ -72,6 +89,11 @@ pub enum Fault {
 pub struct FaultPlan {
     /// The faults to arm before the run starts.
     pub faults: Vec<Fault>,
+    /// Scope: `None` (the default, and the only form the legacy bare-array
+    /// JSON can express) applies the plan to every run; `Some(name)`
+    /// restricts it to the service job with that name, so a chaos suite can
+    /// target one job out of a mixed workload.
+    pub job: Option<String>,
 }
 
 impl FaultPlan {
@@ -80,15 +102,39 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
-    /// Parse a plan from the JSON dialect shown in the module docs: an
-    /// array of flat objects, each with a `"kind"` discriminator.
+    /// Whether this plan applies to the service job named `job`. Global
+    /// plans (`self.job == None`) apply to every job.
+    pub fn matches_job(&self, job: &str) -> bool {
+        self.job.as_deref().is_none_or(|scope| scope == job)
+    }
+
+    /// Parse a plan from the JSON dialect shown in the module docs. Two
+    /// forms are accepted: the legacy bare array of fault objects (a global
+    /// plan), and a wrapper object `{"job": "name", "faults": [ ... ]}`
+    /// scoping the same array to one service job (`"job"` optional).
     pub fn parse_json(text: &str) -> Result<Self, String> {
-        let objects = split_top_level_objects(text)?;
+        let trimmed = text.trim();
+        let (job, array) = if trimmed.starts_with('{') {
+            let open = trimmed
+                .find('[')
+                .ok_or_else(|| "scoped fault plan must contain a \"faults\" array".to_string())?;
+            let close = trimmed
+                .rfind(']')
+                .filter(|&c| c > open)
+                .ok_or_else(|| "unterminated \"faults\" array in fault plan".to_string())?;
+            // the job scope, if present, lives in the wrapper before the array
+            let head = trimmed.get(..open).unwrap_or("");
+            let body = trimmed.get(open..=close).unwrap_or("");
+            (get_str(head, "job"), body)
+        } else {
+            (None, trimmed)
+        };
+        let objects = split_top_level_objects(array)?;
         let mut faults = Vec::new();
         for obj in objects {
             faults.push(parse_fault(&obj)?);
         }
-        Ok(FaultPlan { faults })
+        Ok(FaultPlan { faults, job })
     }
 }
 
@@ -174,6 +220,12 @@ fn parse_fault(obj: &str) -> Result<Fault, String> {
         "ql_fail" => Ok(Fault::QlFail {
             times: get_u64(obj, "times").unwrap_or(1) as u32,
         }),
+        "cancel" => Ok(Fault::CancelAtSeam {
+            times: get_u64(obj, "times").unwrap_or(1) as u32,
+        }),
+        "panic" => Ok(Fault::WorkerPanic {
+            times: get_u64(obj, "times").unwrap_or(1) as u32,
+        }),
         "gemm" => {
             let mode = match get_str(obj, "mode")
                 .unwrap_or_else(|| "nan".into())
@@ -239,6 +291,43 @@ mod tests {
     fn empty_array_is_empty_plan() {
         assert_eq!(FaultPlan::parse_json("[]").unwrap(), FaultPlan::none());
         assert_eq!(FaultPlan::parse_json(" [\n] ").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn bare_array_plans_are_global() {
+        let plan = FaultPlan::parse_json(r#"[{"kind": "dc_fail"}]"#).unwrap();
+        assert_eq!(plan.job, None);
+        assert!(plan.matches_job("anything"));
+    }
+
+    #[test]
+    fn scoped_plan_targets_one_job() {
+        let plan = FaultPlan::parse_json(
+            r#"{"job": "job-17", "faults": [
+                  {"kind": "cancel", "times": 2},
+                  {"kind": "panic"},
+                  {"kind": "gemm", "mode": "inf"}
+               ]}"#,
+        )
+        .unwrap();
+        assert_eq!(plan.job.as_deref(), Some("job-17"));
+        assert!(plan.matches_job("job-17"));
+        assert!(!plan.matches_job("job-18"));
+        assert_eq!(plan.faults[0], Fault::CancelAtSeam { times: 2 });
+        assert_eq!(plan.faults[1], Fault::WorkerPanic { times: 1 });
+    }
+
+    #[test]
+    fn scoped_wrapper_without_job_is_global() {
+        let plan = FaultPlan::parse_json(r#"{"faults": [{"kind": "ql_fail"}]}"#).unwrap();
+        assert_eq!(plan.job, None);
+        assert_eq!(plan.faults, vec![Fault::QlFail { times: 1 }]);
+    }
+
+    #[test]
+    fn scoped_wrapper_must_contain_an_array() {
+        assert!(FaultPlan::parse_json(r#"{"job": "j"}"#).is_err());
+        assert!(FaultPlan::parse_json(r#"{"job": "j", "faults": ["#).is_err());
     }
 
     #[test]

@@ -528,10 +528,31 @@ impl TraceSink {
             }
         }
         let counters = self.counters();
+        // Per-job service counters (`serve.job.<job>.<event>`, tallied by
+        // `tcevd-serve`) render as a labeled family so a scrape can group
+        // and filter by job; everything else stays in the generic family.
+        let (job_counters, counters): (Vec<_>, Vec<_>) = counters
+            .into_iter()
+            .partition(|(k, _)| k.starts_with("serve.job."));
         if !counters.is_empty() {
             out.push_str("# TYPE tcevd_counter_total counter\n");
             for (k, v) in &counters {
                 out.push_str(&format!("tcevd_counter_total{{name=\"{k}\"}} {v}\n"));
+            }
+        }
+        if !job_counters.is_empty() {
+            out.push_str("# TYPE tcevd_serve_job_total counter\n");
+            for (k, v) in &job_counters {
+                let rest = k.trim_start_matches("serve.job.");
+                // the final dot-segment is the event; the job name may
+                // itself contain dots
+                let (job, event) = match rest.rsplit_once('.') {
+                    Some(split) => split,
+                    None => (rest, "event"),
+                };
+                out.push_str(&format!(
+                    "tcevd_serve_job_total{{job=\"{job}\",event=\"{event}\"}} {v}\n"
+                ));
             }
         }
         let hists = self.histograms();
@@ -755,5 +776,20 @@ mod tests {
         let clone = sink.clone();
         clone.add("x", 7);
         assert_eq!(sink.counter("x"), 7);
+    }
+
+    #[test]
+    fn per_job_serve_counters_render_as_labeled_family() {
+        let sink = TraceSink::enabled();
+        sink.add("serve.jobs_submitted", 3);
+        sink.add("serve.job.chaos-17.completed", 1);
+        sink.add("serve.job.a.b.retried", 2); // job name may contain dots
+        let prom = sink.prometheus_text();
+        assert!(prom.contains("tcevd_counter_total{name=\"serve.jobs_submitted\"} 3"));
+        assert!(prom.contains("# TYPE tcevd_serve_job_total counter"));
+        assert!(prom.contains("tcevd_serve_job_total{job=\"chaos-17\",event=\"completed\"} 1"));
+        assert!(prom.contains("tcevd_serve_job_total{job=\"a.b\",event=\"retried\"} 2"));
+        // the per-job rows must not also appear in the generic family
+        assert!(!prom.contains("tcevd_counter_total{name=\"serve.job."));
     }
 }

@@ -10,6 +10,7 @@ pub use tcevd_factor as factor;
 pub use tcevd_matrix as matrix;
 pub use tcevd_perfmodel as perfmodel;
 pub use tcevd_prof as prof;
+pub use tcevd_serve as serve;
 pub use tcevd_tensorcore as tensorcore;
 pub use tcevd_testmat as testmat;
 pub use tcevd_trace as trace;

@@ -177,6 +177,74 @@ fn thread_count_is_invisible_on_the_batched_q_path() {
     );
 }
 
+/// A job cancelled at a stage seam and then retried through the service
+/// must be bit-identical to a fresh, never-cancelled run of the same
+/// problem — cancellation happens only *between* stages, so no partial
+/// state can leak into the retry. Checked at 1 and 4 worker threads.
+#[test]
+fn cancelled_then_retried_job_matches_a_fresh_run() {
+    use std::time::Duration;
+    use tcevd::serve::{EvdService, JobSpec, JobState, ServeConfig};
+    use tcevd::testmat::FaultPlan;
+
+    // n = 96 with small_cutoff 64: the job shards onto the worker pool,
+    // so the retry also exercises the threaded path.
+    let opts = SymEigOptions {
+        bandwidth: 8,
+        sbr: SbrVariant::Wy { block: 32 },
+        panel: PanelKind::Tsqr,
+        solver: TridiagSolver::DivideConquer,
+        vectors: true,
+        ..SymEigOptions::default()
+    };
+    let fresh = {
+        let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let a: Mat<f32> = generate(96, MatrixType::Normal, 21).cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let r = sym_eig(&a, &opts, &ctx).unwrap();
+        (r.values.clone(), r.vectors.unwrap().as_slice().to_vec())
+    };
+    for threads in [1usize, 4] {
+        let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let service = EvdService::new(ServeConfig {
+            engine: Engine::Sgemm,
+            workers: 0,
+            queue_capacity: 8,
+            small_cutoff: 64,
+            threads_large: threads,
+            backoff_base: Duration::from_micros(10),
+            ..ServeConfig::default()
+        });
+        let a: Mat<f32> = generate(96, MatrixType::Normal, 21).cast();
+        let plan = FaultPlan::parse_json(r#"[{"kind": "cancel"}]"#).unwrap();
+        let h = service
+            .submit(
+                JobSpec::new("cancel-retry", a)
+                    .with_opts(opts)
+                    .with_faults(plan)
+                    .with_retries(1),
+            )
+            .unwrap();
+        service.run_pending();
+        assert_eq!(service.poll(h), Some(JobState::Done), "threads={threads}");
+        let r = service.wait(h).unwrap();
+        assert_eq!(
+            service.metrics().counter("serve.retry"),
+            1,
+            "the first attempt really was cancelled (threads={threads})"
+        );
+        assert_eq!(
+            r.values, fresh.0,
+            "threads={threads}: retried eigenvalues differ from fresh run"
+        );
+        assert_eq!(
+            r.vectors.unwrap().as_slice().to_vec(),
+            fresh.1,
+            "threads={threads}: retried eigenvectors differ from fresh run"
+        );
+    }
+}
+
 #[test]
 fn identical_runs_are_bit_identical() {
     for engine in [Engine::Sgemm, Engine::Tc, Engine::EcTc] {
