@@ -141,6 +141,12 @@ pub fn sbr_wy(
         sink.add("sbr_levels", 1);
         let _level_span = span!(sink, "sbr_level", off, m);
         while i < nb && i + b < m {
+            // Cancellation seam at block-column granularity (lint R9): a
+            // deadline hit mid-level aborts before the next panel + trailing
+            // GEMMs rather than after the whole level.
+            if ctx.cancel_requested() {
+                return Err(crate::BandError::Cancelled);
+            }
             let prows = m - i - b; // = mp - i
                                    // 1. Panel QR of the (already current) panel.
             let panel = a.view(off + i + b, off + i, prows, b);

@@ -142,6 +142,11 @@ impl Lexer<'_> {
                 }
                 b'/' if self.peek(1) == b'/' => self.line_comment(),
                 b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'r' if self.peek(1) == b'#'
+                    && (self.peek(2) == b'_' || self.peek(2).is_ascii_alphabetic()) =>
+                {
+                    self.raw_ident()
+                }
                 b'r' | b'b' if self.raw_or_byte_string() => {}
                 b'"' => self.string_lit(),
                 b'\'' => self.char_or_lifetime(),
@@ -353,6 +358,21 @@ impl Lexer<'_> {
         let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         self.push(Kind::Ident, text, line);
     }
+
+    /// Raw identifier `r#match`: one Ident token keeping the `r#` prefix,
+    /// so `r#fn`/`r#match` never read as keywords to the item parser while
+    /// definitions and call sites still agree on the same name.
+    fn raw_ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.bump(); // r
+        self.bump(); // #
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(Kind::Ident, text, line);
+    }
 }
 
 /// Mark the item following every test attribute (`#[test]`, `#[cfg(test)]`,
@@ -544,6 +564,87 @@ fn shipped() { y.unwrap(); }
         assert!(lx.waived("R4", 3));
         assert!(!lx.waived("R3", 4)); // out of the 3-line window
         assert!(!lx.waived("R1", 2)); // different rule
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_tokens() {
+        let lx = lex("fn r#try(x: u32) {}\nlet r#match = r#try(1);\n", false);
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(
+            idents,
+            ["fn", "r#try", "x", "u32", "let", "r#match", "r#try"]
+        );
+        assert!(
+            !lx.tokens.iter().any(|t| t.is_punct('#')),
+            "no stray `#` puncts from raw identifiers"
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_extra_hashes_nest_quotes() {
+        let lx = lex(r####"let s = r##"has "# inside"##; after();"####, false);
+        let strs: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r##"has "# inside"##]);
+        assert!(
+            lx.tokens.iter().any(|t| t.is_ident("after")),
+            "lexing resumes cleanly after the raw string"
+        );
+    }
+
+    #[test]
+    fn doc_comments_containing_fn_are_invisible() {
+        let src = "/// fn fake_item() { a.unwrap(); }\n\
+                   //! fn also_fake() {}\n\
+                   fn real() {}\n";
+        let lx = lex(src, false);
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "real"]);
+    }
+
+    #[test]
+    fn turbofish_lifetimes_are_not_chars() {
+        let lx = lex("foo::<'a, 'static>(x); let c = 'c';", false);
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == Kind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(lx.tokens.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_derail_test_regions() {
+        let src = r##"
+#[cfg(test)]
+mod tests {
+    fn helper() { let s = r#"{"#; let t = "}"; }
+}
+fn live_after() {}
+"##;
+        let lx = lex(src, false);
+        let find = |name: &str| lx.tokens.iter().find(|t| t.is_ident(name)).unwrap();
+        assert!(find("helper").in_test);
+        assert!(
+            !find("live_after").in_test,
+            "test region ends at the token-level brace match, not at string braces"
+        );
     }
 
     #[test]

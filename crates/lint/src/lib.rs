@@ -26,21 +26,48 @@
 //!   (`crates/serve/`): the scheduler holds other jobs' work, so its
 //!   non-test code must never `unwrap`, `panic!`, or `[...]`-index.
 //!
+//! On top of the token-level rules, an item-level parser ([`parser`]) and
+//! a workspace call graph ([`callgraph`]) power four transitive rule
+//! families:
+//!
+//! - **R8** transitive hot-path panic-freedom: a panic-family call
+//!   anywhere the R3/R7 roots can reach through the call graph is
+//!   flagged at the panic site, with the call chain in the message.
+//! - **R9** cancellation-seam coverage: every loop that transitively
+//!   performs GEMM-scale work (in SBR, bulge chasing, the pipeline
+//!   driver, or the service layer) must reach a `CancelToken` check
+//!   within one iteration.
+//! - **R10** determinism discipline: no thread-coordination primitives
+//!   inside `for_each_chunk`/`join` parallel regions, no
+//!   `HashMap`/`HashSet` iteration in non-test code, and counters fed by
+//!   wall-clock/thread-identity data only in the determinism-exempt
+//!   `time.`/`par.` namespaces.
+//! - **R11** serve lock discipline: canonical Mutex acquisition order
+//!   (`state → cache → workers`), condvar waits only inside predicate
+//!   loops, and only the poison-recovering `lock()` helper.
+//!
 //! Findings can be waived line-locally with a
 //! `// tcevd-lint: allow(R3)` comment; the waiver covers the comment's
-//! line and the two lines after it.
+//! line and the two lines after it. Waivers are applied centrally, after
+//! all rules ran, so a waiver that suppresses nothing is itself reported
+//! (**W1** — dead waiver).
 //!
 //! Run it with `cargo run -p tcevd-lint`; it exits non-zero when any
-//! diagnostic fires and prints `file:line: RULE: message` lines.
+//! diagnostic fires and prints `file:line: RULE: message` lines
+//! (`--json` emits the same findings machine-readably).
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+
+use callgraph::{FileUnit, Graph};
 
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
 
-use lexer::{Kind, Lexed};
+use lexer::Kind;
 
 /// One lint finding, addressed by workspace-relative path (forward
 /// slashes) and 1-based line.
@@ -161,8 +188,94 @@ pub fn is_test_path(path: &str) -> bool {
         .any(|c| c == "tests" || c == "benches" || c == "examples")
 }
 
+/// Analyze a set of in-memory files together: all file-local rules, the
+/// cross-file call-graph rules (R8–R11), then central waiver filtering
+/// with dead-waiver detection (W1). `used` collects the GEMM labels the
+/// files consume (for the registry dead-entry check, which — like R6 —
+/// stays with [`lint_workspace`]).
+pub fn analyze_files(
+    files: &[(String, String)],
+    reg: &Registry,
+    used: &mut BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    let units: Vec<FileUnit> = files
+        .iter()
+        .map(|(path, src)| FileUnit::new(path, src))
+        .collect();
+    let mut raw = Vec::new();
+    for u in &units {
+        let (path, lx) = (u.path.as_str(), &u.lx);
+        rules::r1_call_sites(path, lx, reg, used, &mut raw);
+        rules::r1_trace_model(path, lx, reg, &mut raw);
+        rules::r2_precision_boundary(path, lx, &mut raw);
+        rules::r3_hot_path(path, lx, &mut raw);
+        rules::r7_serve_hygiene(path, lx, &mut raw);
+        rules::r4_result_surface(path, lx, &mut raw);
+        if path.ends_with("src/lib.rs") {
+            rules::r5_forbid_unsafe_attr(path, lx, &mut raw);
+        }
+        rules::r5_no_unsafe(path, lx, &mut raw);
+        rules::r10_parallel_sync(path, u, &mut raw);
+        rules::r10_hash_iteration(path, u, &mut raw);
+        rules::r10_counter_namespace(path, u, &mut raw);
+        rules::r11_serve_locks(path, u, &mut raw);
+    }
+    let graph = Graph::build(&units);
+    rules::r8_transitive_panics(&units, &graph, &mut raw);
+    rules::r9_cancel_seams(&units, &graph, &mut raw);
+
+    // Central waiver pass: suppress waived findings, then report every
+    // waiver that suppressed nothing (W1 — dead waiver).
+    let index: std::collections::BTreeMap<&str, usize> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.path.as_str(), i))
+        .collect();
+    let mut waiver_used: Vec<Vec<bool>> = units
+        .iter()
+        .map(|u| vec![false; u.lx.waivers.len()])
+        .collect();
+    let mut out = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        if let Some(&ui) = index.get(d.file.as_str()) {
+            for (wi, w) in units[ui].lx.waivers.iter().enumerate() {
+                if w.rule == d.rule && w.line <= d.line && d.line <= w.line + 2 {
+                    waiver_used[ui][wi] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for (ui, u) in units.iter().enumerate() {
+        for (wi, w) in u.lx.waivers.iter().enumerate() {
+            if !waiver_used[ui][wi] {
+                out.push(Diagnostic {
+                    file: u.path.clone(),
+                    line: w.line,
+                    rule: "W1",
+                    message: format!(
+                        "dead waiver: `allow({})` suppresses nothing on lines \
+                         {}-{} — remove it or fix the rule id",
+                        w.rule,
+                        w.line,
+                        w.line + 2
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Lint one source file given its workspace-relative path. `used` collects
 /// the GEMM labels this file consumes (for the registry dead-entry check).
+///
+/// Thin wrapper over [`analyze_files`] with a single file: call-graph
+/// rules see only this file's definitions.
 pub fn lint_source(
     path: &str,
     src: &str,
@@ -170,17 +283,11 @@ pub fn lint_source(
     used: &mut BTreeSet<String>,
     out: &mut Vec<Diagnostic>,
 ) {
-    let lx: Lexed = lexer::lex(src, is_test_path(path));
-    rules::r1_call_sites(path, &lx, reg, used, out);
-    rules::r1_trace_model(path, &lx, reg, out);
-    rules::r2_precision_boundary(path, &lx, out);
-    rules::r3_hot_path(path, &lx, out);
-    rules::r7_serve_hygiene(path, &lx, out);
-    rules::r4_result_surface(path, &lx, out);
-    if path.ends_with("src/lib.rs") {
-        rules::r5_forbid_unsafe_attr(path, &lx, out);
-    }
-    rules::r5_no_unsafe(path, &lx, out);
+    out.extend(analyze_files(
+        &[(path.to_string(), src.to_string())],
+        reg,
+        used,
+    ));
 }
 
 /// Every `.rs` file the lint covers, workspace-relative with forward
@@ -230,7 +337,14 @@ fn relative(root: &Path, p: &Path) -> Option<String> {
 
 /// Lint the whole workspace rooted at `root`. Returns all diagnostics,
 /// sorted by (file, line, rule).
-pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+///
+/// `filters`, when non-empty, restricts per-file findings to paths with
+/// one of the given prefixes (workspace-relative, forward slashes). The
+/// whole workspace is still loaded — the call graph must be global for
+/// R8/R9 — but only filtered files' findings are reported, and the
+/// registry-global checks (R1c dead labels, R6 cost coverage) are
+/// skipped, since a partial view cannot prove a label unused.
+pub fn lint_workspace_filtered(root: &Path, filters: &[String]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let reg_src = std::fs::read_to_string(root.join(REGISTRY_PATH)).unwrap_or_default();
     let reg = parse_registry(&reg_src);
@@ -244,17 +358,30 @@ pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
         return out;
     }
     let mut used = BTreeSet::new();
-    for rel in workspace_files(root) {
-        let Ok(src) = std::fs::read_to_string(root.join(&rel)) else {
-            continue;
-        };
-        lint_source(&rel, &src, &reg, &mut used, &mut out);
+    let files: Vec<(String, String)> = workspace_files(root)
+        .into_iter()
+        .filter_map(|rel| {
+            let src = std::fs::read_to_string(root.join(&rel)).ok()?;
+            Some((rel, src))
+        })
+        .collect();
+    let mut diags = analyze_files(&files, &reg, &mut used);
+    if filters.is_empty() {
+        rules::r1_unused_entries(&reg, &used, &mut diags);
+        let costs_src = std::fs::read_to_string(root.join(COSTS_PATH)).unwrap_or_default();
+        rules::r6_cost_registry(&reg, &parse_costs(&costs_src), &mut diags);
+    } else {
+        diags.retain(|d| filters.iter().any(|f| d.file.starts_with(f.as_str())));
     }
-    rules::r1_unused_entries(&reg, &used, &mut out);
-    let costs_src = std::fs::read_to_string(root.join(COSTS_PATH)).unwrap_or_default();
-    rules::r6_cost_registry(&reg, &parse_costs(&costs_src), &mut out);
+    out.extend(diags);
     out.sort();
     out
+}
+
+/// [`lint_workspace_filtered`] with no path filters: the full rule set,
+/// including the registry-global checks.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    lint_workspace_filtered(root, &[])
 }
 
 #[cfg(test)]

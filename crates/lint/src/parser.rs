@@ -1,0 +1,772 @@
+//! A dependency-free item-level parser built on the token stream from
+//! [`crate::lexer`] — just enough structure for the call-graph rules
+//! (R8–R11), with no `syn`/`proc-macro2`.
+//!
+//! Recovers, per file:
+//! * **function items** — name, enclosing `impl` owner type, signature
+//!   span, body span, whether the first parameter is `self`, and a map of
+//!   local/parameter names to candidate type identifiers (every
+//!   capitalized identifier in the declared type, so `Arc<Shared>` offers
+//!   both `Arc` and `Shared`);
+//! * **loop constructs** — `for … in … { }`, `while … { }`, `loop { }`
+//!   with their body token spans (`impl Trait for Type` and `for<'a>`
+//!   binders are not loops and are skipped);
+//! * **call expressions** on demand over any token range — free calls
+//!   (`factor_panel(…)`), path calls (`CancelToken::is_cancelled(…)`,
+//!   turbofish included), and method calls (`ctx.gemm(…)`) with a
+//!   best-effort receiver classification.
+//!
+//! The recovered structure is heuristic by design; the known
+//! false-negative classes are documented in DESIGN.md §6.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Kind, Lexed, Token};
+
+/// Rust keywords that can directly precede `(` without being a call.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while",
+];
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` block's type (last path segment), if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Body token span `[open brace, close brace]`, `None` for
+    /// body-less declarations (trait methods).
+    pub body: Option<(usize, usize)>,
+    /// Whether the parameter list starts with (a form of) `self`.
+    pub has_self: bool,
+    /// Whether the `fn` token sits in a test region.
+    pub in_test: bool,
+    /// Local/parameter name → candidate type idents (capitalized idents
+    /// from the declared type; e.g. `Arc<Shared>` → `[Arc, Shared]`).
+    pub locals: BTreeMap<String, Vec<String>>,
+}
+
+/// One `for`/`while`/`loop` construct.
+#[derive(Debug, Clone)]
+pub struct LoopSpan {
+    /// The loop keyword.
+    pub kw: &'static str,
+    /// 1-based line of the keyword.
+    pub line: usize,
+    /// Token index of the keyword.
+    pub kw_idx: usize,
+    /// Body token span `[open brace, close brace]`.
+    pub body: (usize, usize),
+    /// Whether the loop sits in a test region.
+    pub in_test: bool,
+}
+
+/// Receiver classification for a call expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self.m(…)` — resolve within the enclosing impl's owner type.
+    SelfRecv,
+    /// `name.m(…)` — a variable or field name precedes the dot.
+    Named(String),
+    /// `Type::m(…)` / `Type::<T>::m(…)` — explicit owner path.
+    Type(String),
+    /// `expr).m(…)`, `…].m(…)`, literal receivers — type unknown.
+    Opaque,
+    /// A free (or module-path) call with no receiver.
+    Free,
+}
+
+/// One call expression.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called method/function name (last path segment).
+    pub name: String,
+    pub recv: Receiver,
+    /// Token index of the name.
+    pub idx: usize,
+    /// 1-based line of the name token.
+    pub line: usize,
+}
+
+/// Parsed view of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnDef>,
+    pub loops: Vec<LoopSpan>,
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn match_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('{') {
+            depth += 1;
+        } else if toks[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token).
+pub fn match_paren(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skip a `<…>` generic-argument list starting at `open` (a `<`); returns
+/// the index just past the matching `>`. Lexed `>` tokens are single
+/// characters, so `>>` closes two levels.
+fn skip_angles(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('<') {
+            depth += 1;
+        } else if toks[k].is_punct('>') {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return k + 1;
+            }
+        } else if toks[k].is_punct('{') || toks[k].is_punct(';') {
+            // malformed / not actually generics — bail out
+            return k;
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// The owner type of an `impl` header starting at `impl_idx`: the last
+/// path segment of the implemented-for type (`impl<T> Mat<T>` → `Mat`,
+/// `impl Drop for SpanGuard` → `SpanGuard`). Returns `(owner, body `{`)`.
+fn impl_owner(toks: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut k = impl_idx + 1;
+    if toks.get(k).is_some_and(|t| t.is_punct('<')) {
+        k = skip_angles(toks, k);
+    }
+    // Collect path segments up to the body `{`, restarting after `for`.
+    let mut owner: Option<String> = None;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('{') {
+            return owner.map(|o| (o, k));
+        }
+        if t.is_ident("for") {
+            owner = None; // `impl Trait for Type` — the type comes after
+            k += 1;
+            continue;
+        }
+        if t.is_ident("where") {
+            // `impl<T> Foo<T> where …` — owner already collected
+            while k < toks.len() && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            continue;
+        }
+        if t.kind == Kind::Ident && !KEYWORDS.contains(&t.text.as_str()) {
+            owner = Some(t.text.clone());
+        }
+        if t.is_punct('<') {
+            k = skip_angles(toks, k);
+            continue;
+        }
+        k += 1;
+    }
+    None
+}
+
+/// A `trait Name<…>: Bounds {` header starting at `trait_idx`: the trait
+/// name and the body `{`. `None` for `dyn Trait`-style uses without a body.
+fn trait_header(toks: &[Token], trait_idx: usize) -> Option<(String, usize)> {
+    let name = toks.get(trait_idx + 1)?;
+    if name.kind != Kind::Ident {
+        return None;
+    }
+    let mut k = trait_idx + 2;
+    while k < toks.len() {
+        if toks[k].is_punct('{') {
+            return Some((name.text.clone(), k));
+        }
+        if toks[k].is_punct(';') {
+            return None;
+        }
+        if toks[k].is_punct('<') {
+            k = skip_angles(toks, k);
+            continue;
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Capitalized identifiers in a type-token span, in order.
+fn type_candidates(toks: &[Token], start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in toks.iter().take(end).skip(start) {
+        if t.kind == Kind::Ident
+            && t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            && !out.contains(&t.text)
+        {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Parse one file's token stream into items and loops.
+pub fn parse(lx: &Lexed) -> ParsedFile {
+    let toks = &lx.tokens;
+    let mut out = ParsedFile::default();
+
+    // Pass 1: impl (and trait) block ranges with owner types. Trait
+    // blocks count so default method bodies resolve like methods.
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            if let Some((owner, open)) = impl_owner(toks, i) {
+                let close = match_brace(toks, open);
+                impls.push((open, close, owner));
+                i = open + 1;
+                continue;
+            }
+        }
+        if toks[i].is_ident("trait") {
+            if let Some((name, open)) = trait_header(toks, i) {
+                let close = match_brace(toks, open);
+                impls.push((open, close, name));
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let owner_at = |idx: usize| -> Option<String> {
+        impls
+            .iter()
+            .filter(|(o, c, _)| *o < idx && idx < *c)
+            .min_by_key(|(o, c, _)| c - o) // innermost enclosing impl
+            .map(|(_, _, n)| n.clone())
+    };
+
+    // Pass 2: fn items.
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        let mut k = i + 2;
+        if toks.get(k).is_some_and(|t| t.is_punct('<')) {
+            k = skip_angles(toks, k);
+        }
+        if !toks.get(k).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let params_open = k;
+        let params_close = match_paren(toks, params_open);
+        // Find the body `{` (or `;` for a declaration) after the params.
+        let mut b = params_close + 1;
+        let mut body = None;
+        while b < toks.len() {
+            if toks[b].is_punct('{') {
+                body = Some((b, match_brace(toks, b)));
+                break;
+            }
+            if toks[b].is_punct(';') {
+                break;
+            }
+            if toks[b].is_punct('<') {
+                b = skip_angles(toks, b);
+                continue;
+            }
+            b += 1;
+        }
+        let mut def = FnDef {
+            name: name_tok.text.clone(),
+            owner: owner_at(i),
+            line: toks[i].line,
+            fn_idx: i,
+            body,
+            has_self: false,
+            in_test: toks[i].in_test,
+            locals: BTreeMap::new(),
+        };
+        collect_params(toks, params_open, params_close, &mut def);
+        if let Some((open, close)) = body {
+            collect_locals(toks, open, close, &mut def.locals);
+        }
+        out.fns.push(def);
+        i = params_close + 1;
+    }
+
+    // Pass 3: loops.
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        let kw = if t.is_ident("for") {
+            "for"
+        } else if t.is_ident("while") {
+            "while"
+        } else if t.is_ident("loop") {
+            "loop"
+        } else {
+            i += 1;
+            continue;
+        };
+        if let Some(lp) = parse_loop(toks, i, kw) {
+            out.loops.push(lp);
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse a loop construct at keyword index `i`; `None` when the keyword is
+/// not a loop (`impl … for …`, `for<'a>` binders, `loop` as a path ident).
+fn parse_loop(toks: &[Token], i: usize, kw: &'static str) -> Option<LoopSpan> {
+    match kw {
+        "loop" => {
+            let open = i + 1;
+            toks.get(open).filter(|t| t.is_punct('{'))?;
+            Some(LoopSpan {
+                kw,
+                line: toks[i].line,
+                kw_idx: i,
+                body: (open, match_brace(toks, open)),
+                in_test: toks[i].in_test,
+            })
+        }
+        "for" => {
+            // `for<'a>` HRTB binders are not loops.
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+                return None;
+            }
+            // A loop-`for` has an `in` before its body `{`; an
+            // `impl Trait for Type {` header does not.
+            let mut k = i + 1;
+            let mut saw_in = false;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    k = match_paren(toks, k) + 1;
+                    continue;
+                }
+                if t.is_ident("in") {
+                    saw_in = true;
+                }
+                if t.is_punct('{') {
+                    if !saw_in {
+                        return None;
+                    }
+                    return Some(LoopSpan {
+                        kw,
+                        line: toks[i].line,
+                        kw_idx: i,
+                        body: (k, match_brace(toks, k)),
+                        in_test: toks[i].in_test,
+                    });
+                }
+                if t.is_punct(';') {
+                    return None;
+                }
+                k += 1;
+            }
+            None
+        }
+        _ => {
+            // while / while let: body is the first `{` at paren depth 0.
+            let mut k = i + 1;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.is_punct('(') {
+                    k = match_paren(toks, k) + 1;
+                    continue;
+                }
+                if t.is_punct('{') {
+                    return Some(LoopSpan {
+                        kw,
+                        line: toks[i].line,
+                        kw_idx: i,
+                        body: (k, match_brace(toks, k)),
+                        in_test: toks[i].in_test,
+                    });
+                }
+                if t.is_punct(';') {
+                    return None;
+                }
+                k += 1;
+            }
+            None
+        }
+    }
+}
+
+/// Record parameter names and their candidate types (and `self`).
+fn collect_params(toks: &[Token], open: usize, close: usize, def: &mut FnDef) {
+    let mut k = open + 1;
+    let mut seg_start = k;
+    let mut depth = 0usize;
+    while k <= close {
+        let t = &toks[k];
+        let seg_ends = k == close || (depth == 0 && t.is_punct(','));
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('>') {
+            depth = depth.saturating_sub(1);
+        }
+        if seg_ends {
+            // segment toks[seg_start..k]
+            let name = (seg_start..k).find(|&j| {
+                toks[j].kind == Kind::Ident && !matches!(toks[j].text.as_str(), "mut" | "ref")
+            });
+            if let Some(nj) = name {
+                if toks[nj].text == "self" {
+                    def.has_self = true;
+                } else if toks.get(nj + 1).is_some_and(|t| t.is_punct(':')) {
+                    let cands = type_candidates(toks, nj + 2, k);
+                    if !cands.is_empty() {
+                        def.locals.insert(toks[nj].text.clone(), cands);
+                    }
+                }
+            }
+            seg_start = k + 1;
+        }
+        k += 1;
+    }
+}
+
+/// Record `let`-bound locals with inferable types inside a body span:
+/// explicit annotations (`let x: Mat<f32> = …`) and constructor paths
+/// (`let x = Mat::zeros(…)` / `let x = TraceSink::enabled()`).
+fn collect_locals(
+    toks: &[Token],
+    open: usize,
+    close: usize,
+    locals: &mut BTreeMap<String, Vec<String>>,
+) {
+    let mut k = open;
+    while k < close {
+        if !toks[k].is_ident("let") {
+            k += 1;
+            continue;
+        }
+        let mut n = k + 1;
+        if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+            n += 1;
+        }
+        let Some(name) = toks.get(n).filter(|t| t.kind == Kind::Ident) else {
+            k += 1;
+            continue;
+        };
+        if toks.get(n + 1).is_some_and(|t| t.is_punct(':')) {
+            // explicit type up to `=` or `;`
+            let mut e = n + 2;
+            while e < close && !toks[e].is_punct('=') && !toks[e].is_punct(';') {
+                e += 1;
+            }
+            let cands = type_candidates(toks, n + 2, e);
+            if !cands.is_empty() {
+                locals.insert(name.text.clone(), cands);
+            }
+        } else if toks.get(n + 1).is_some_and(|t| t.is_punct('=')) {
+            if let Some(first) = toks.get(n + 2) {
+                if first.kind == Kind::Ident
+                    && first
+                        .text
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_ascii_uppercase())
+                {
+                    locals.insert(name.text.clone(), vec![first.text.clone()]);
+                }
+            }
+        }
+        k = n + 1;
+    }
+}
+
+/// Scan `toks[start..end]` for call expressions.
+pub fn scan_calls(toks: &[Token], start: usize, end: usize) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    let end = end.min(toks.len());
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind != Kind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        // The name must be followed by `(`, optionally through a
+        // turbofish: `name::<T, 4>(…)`.
+        let mut after = i + 1;
+        if toks.get(after).is_some_and(|t| t.is_punct(':'))
+            && toks.get(after + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(after + 2).is_some_and(|t| t.is_punct('<'))
+        {
+            after = skip_angles(toks, after + 2);
+        }
+        if !toks.get(after).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        // Not a definition (`fn name(`).
+        if i >= 1 && toks[i - 1].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let recv = classify_receiver(toks, i);
+        out.push(CallSite {
+            name: t.text.clone(),
+            recv,
+            idx: i,
+            line: t.line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Classify what precedes the called name at index `i`.
+fn classify_receiver(toks: &[Token], i: usize) -> Receiver {
+    // Method call: `.name(`
+    if i >= 1 && toks[i - 1].is_punct('.') {
+        let Some(prev) = (i >= 2).then(|| &toks[i - 2]) else {
+            return Receiver::Opaque;
+        };
+        return match prev.kind {
+            Kind::Ident if prev.text == "self" => Receiver::SelfRecv,
+            Kind::Ident => Receiver::Named(prev.text.clone()),
+            _ => Receiver::Opaque,
+        };
+    }
+    // Path call: `…::name(` — walk the `seg::seg::name` chain backwards.
+    if i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        let mut j = i - 2;
+        let mut head = None;
+        loop {
+            // before the `::` sits either `>` (turbofish/generics) or an ident
+            if j >= 1 && toks[j - 1].is_punct('>') {
+                // skip back over `<…>` — find the matching `<`
+                let mut depth = 0usize;
+                let mut b = j - 1;
+                loop {
+                    if toks[b].is_punct('>') {
+                        depth += 1;
+                    } else if toks[b].is_punct('<') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if b == 0 {
+                        break;
+                    }
+                    b -= 1;
+                }
+                j = b;
+                if j == 0 {
+                    break;
+                }
+            }
+            if j >= 1 && toks[j - 1].kind == Kind::Ident {
+                head = Some(&toks[j - 1]);
+                if j >= 3 && toks[j - 2].is_punct(':') && toks[j - 3].is_punct(':') {
+                    j -= 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        if let Some(h) = head {
+            if h.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+            {
+                return Receiver::Type(h.text.clone());
+            }
+        }
+        return Receiver::Free;
+    }
+    Receiver::Free
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src, false))
+    }
+
+    #[test]
+    fn fn_items_with_impl_owners_and_self() {
+        let src = r#"
+fn free(a: &Mat<f32>, n: usize) -> usize { n }
+impl<T: Scalar> Mat<T> {
+    pub fn rows(&self) -> usize { self.r }
+    fn helper(x: Arc<Shared>) {}
+}
+impl Drop for SpanGuard {
+    fn drop(&mut self) {}
+}
+trait Sig { fn decl(&self); }
+"#;
+        let p = parse_src(src);
+        let names: Vec<(&str, Option<&str>, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref(), f.has_self))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, false),
+                ("rows", Some("Mat"), true),
+                ("helper", Some("Mat"), false),
+                ("drop", Some("SpanGuard"), true),
+                ("decl", Some("Sig"), true), // trait decl: owned, no body
+            ]
+        );
+        assert!(p.fns[4].body.is_none());
+        assert_eq!(p.fns[0].locals.get("a"), Some(&vec!["Mat".to_string()]));
+        assert_eq!(
+            p.fns[2].locals.get("x"),
+            Some(&vec!["Arc".to_string(), "Shared".to_string()])
+        );
+    }
+
+    #[test]
+    fn let_bindings_infer_candidate_types() {
+        let src = r#"
+fn f() {
+    let mut w: Mat<f32> = Mat::zeros(1, 1);
+    let sinkish = TraceSink::enabled();
+    let n = 3;
+    let v = vec![1];
+}
+"#;
+        let p = parse_src(src);
+        let locals = &p.fns[0].locals;
+        assert_eq!(locals.get("w"), Some(&vec!["Mat".to_string()]));
+        assert_eq!(locals.get("sinkish"), Some(&vec!["TraceSink".to_string()]));
+        assert!(locals.get("n").is_none());
+        assert!(locals.get("v").is_none());
+    }
+
+    #[test]
+    fn loops_are_found_and_impl_for_is_not_a_loop() {
+        let src = r#"
+impl Iterator for Walker { fn next(&mut self) -> Option<u8> { None } }
+fn f(xs: &[u8]) {
+    for x in xs { work(x); }
+    while let Some(v) = pop() { use_it(v); }
+    loop { break; }
+    let hrtb: for<'a> fn(&'a u8) = id;
+}
+"#;
+        let p = parse_src(src);
+        let kws: Vec<&str> = p.loops.iter().map(|l| l.kw).collect();
+        assert_eq!(kws, vec!["for", "while", "loop"]);
+    }
+
+    #[test]
+    fn calls_classify_receivers() {
+        let src = r#"
+fn f(ctx: &GemmContext) {
+    free_call(1);
+    ctx.gemm("label", x);
+    self.tid();
+    CancelToken::is_cancelled(&t);
+    microkernel::<f32, 8, 4>(kc, a);
+    lock(&shared.state).jobs.get(&id);
+    compute(a).finish();
+    crate::fault::take_cancel_failure();
+}
+"#;
+        let p = parse(&lex(src, false));
+        let body = p.fns[0].body.unwrap();
+        let calls = scan_calls(&lex(src, false).tokens, body.0, body.1);
+        let find = |n: &str| calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(find("free_call").recv, Receiver::Free);
+        assert_eq!(find("gemm").recv, Receiver::Named("ctx".to_string()));
+        assert_eq!(find("tid").recv, Receiver::SelfRecv);
+        assert_eq!(
+            find("is_cancelled").recv,
+            Receiver::Type("CancelToken".to_string())
+        );
+        assert_eq!(find("microkernel").recv, Receiver::Free);
+        assert_eq!(find("lock").recv, Receiver::Free);
+        assert_eq!(find("get").recv, Receiver::Named("jobs".to_string()));
+        assert_eq!(find("finish").recv, Receiver::Opaque); // receiver is `)`
+        assert_eq!(find("take_cancel_failure").recv, Receiver::Free);
+    }
+
+    #[test]
+    fn nested_fns_and_closures_keep_outer_body_span() {
+        let src = "fn outer() { let c = |x: u8| { inner(x) }; c(1); }";
+        let p = parse_src(src);
+        assert_eq!(p.fns.len(), 1);
+        let (open, close) = p.fns[0].body.unwrap();
+        let toks = lex(src, false).tokens;
+        assert!(toks[open].is_punct('{'));
+        assert_eq!(close, toks.len() - 1);
+    }
+
+    #[test]
+    fn raw_ident_fns_match_their_call_sites() {
+        // `r#loop` lexes as one Ident (prefix kept), so it is neither the
+        // `loop` keyword nor a stray `r` — definition and call site agree.
+        let src = "fn r#loop() {}\nfn caller() { r#loop(); }";
+        let p = parse_src(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["r#loop", "caller"]);
+        let toks = lex(src, false).tokens;
+        let caller = &p.fns[1];
+        let (open, close) = caller.body.unwrap();
+        let calls = scan_calls(&toks, open, close);
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name, "r#loop");
+        assert_eq!(calls[0].recv, Receiver::Free);
+        assert!(p.loops.is_empty(), "`r#loop` must not open a loop span");
+    }
+}

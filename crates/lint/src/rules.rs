@@ -1,5 +1,9 @@
-//! The rule set. Every rule takes the lexed token stream plus the
-//! workspace-relative path (forward slashes) and appends [`Diagnostic`]s.
+//! The rule set. File-local rules take the lexed token stream plus the
+//! workspace-relative path (forward slashes); the call-graph rules
+//! (R8–R11) additionally see the whole workspace as [`FileUnit`]s and a
+//! [`Graph`]. All rules append raw [`Diagnostic`]s — waiver suppression
+//! happens centrally in [`crate::analyze_files`] so dead waivers can be
+//! detected (W1).
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -10,8 +14,15 @@
 //! | R5 | every crate forbids `unsafe_code` (and none uses `unsafe`) |
 //! | R6 | every GEMM label has a flop-cost registry entry; no cost entry is dead |
 //! | R7 | the R3 hygiene bar extended to the service layer (`crates/serve/`) |
+//! | R8 | no panic-family call transitively reachable from a hot path (call-graph walk with path trace) |
+//! | R9 | every loop transitively doing GEMM-scale work reaches a `CancelToken` check within one iteration |
+//! | R10 | determinism discipline: no sync primitives in parallel regions, no HashMap/HashSet iteration, counters from wall-clock/thread identity only in `time.`/`par.` |
+//! | R11 | serve lock discipline: canonical Mutex order, condvar waits in predicate loops, poison-recovering `lock()` helper only |
+//! | W1 | every `tcevd-lint: allow(…)` waiver suppresses at least one finding |
 
+use crate::callgraph::{self, FileUnit, Graph};
 use crate::lexer::{Kind, Lexed, Token};
+use crate::parser;
 use crate::{Diagnostic, Registry};
 
 /// Hot-path files under rule R3 (no-panic, no-indexing hygiene).
@@ -99,9 +110,6 @@ pub fn r1_call_sites(
             continue;
         }
         let line = arg.line;
-        if lx.waived("R1", line) {
-            continue;
-        }
         if arg.kind != Kind::Str {
             diag(
                 out,
@@ -165,7 +173,6 @@ pub fn r1_trace_model(path: &str, lx: &Lexed, reg: &Registry, out: &mut Vec<Diag
             } else if t.kind == Kind::Str
                 && depth == 1
                 && !reg.labels.iter().any(|(l, _)| l == &t.text)
-                && !lx.waived("R1", t.line)
             {
                 diag(
                     out,
@@ -258,7 +265,7 @@ pub fn r2_precision_boundary(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) 
                 && toks[i - 1].is_punct(':')
                 && toks[i - 2].is_punct(':')
                 && toks[i - 3].is_ident("F16"));
-        if banned && !lx.waived("R2", t.line) {
+        if banned {
             diag(
                 out,
                 path,
@@ -315,7 +322,7 @@ fn hygiene_walk(
     let toks = &lx.tokens;
     for i in 0..toks.len() {
         let t = &toks[i];
-        if t.in_test || lx.waived(rule, t.line) {
+        if t.in_test {
             continue;
         }
         // .unwrap( / .expect(
@@ -415,7 +422,7 @@ pub fn r4_result_surface(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
             }
             k += 1;
         }
-        if !has_result && !lx.waived("R4", line) {
+        if !has_result {
             diag(
                 out,
                 path,
@@ -446,7 +453,7 @@ pub fn r5_forbid_unsafe_attr(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) 
             && w[6].is_punct(')')
             && w[7].is_punct(']')
     });
-    if !found && !lx.waived("R5", 1) {
+    if !found {
         diag(
             out,
             path,
@@ -461,7 +468,7 @@ pub fn r5_forbid_unsafe_attr(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) 
 /// the compiler enforce this too; the lint reports it with the rest).
 pub fn r5_no_unsafe(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
     for t in &lx.tokens {
-        if t.is_ident("unsafe") && !t.in_test && !lx.waived("R5", t.line) {
+        if t.is_ident("unsafe") && !t.in_test {
             diag(
                 out,
                 path,
@@ -476,4 +483,525 @@ pub fn r5_no_unsafe(path: &str, lx: &Lexed, out: &mut Vec<Diagnostic>) {
 /// Helper for rules/tests: the first-token line of a lexed stream (or 1).
 pub fn first_line(tokens: &[Token]) -> usize {
     tokens.first().map_or(1, |t| t.line)
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph rules (R8–R11)
+// ---------------------------------------------------------------------------
+
+/// Whether a path is under the R3/R7 hot-path hygiene bar (those files are
+/// R8's roots, and their own panic sites are already policed file-locally).
+fn is_hot_path_file(path: &str) -> bool {
+    in_list(path, R3_FILES) || in_list(path, R7_FILES)
+}
+
+/// R8: transitive hot-path panic-freedom. Every function defined in an
+/// R3/R7 file is a root; a panic-family call (`.unwrap()`, `.expect()`,
+/// `panic!`, `todo!`, `unimplemented!`) in any function the roots can
+/// reach through the call graph is flagged at the panic site, with the
+/// discovery call chain in the message.
+pub fn r8_transitive_panics(units: &[FileUnit], g: &Graph, out: &mut Vec<Diagnostic>) {
+    let roots: Vec<usize> = (0..g.nodes.len())
+        .filter(|&id| !g.def(units, id).in_test && is_hot_path_file(&g.file(units, id).path))
+        .collect();
+    let (visited, parent) = g.bfs(&roots);
+    for (id, seen) in visited.iter().enumerate() {
+        if !seen {
+            continue;
+        }
+        let file = g.file(units, id);
+        if is_hot_path_file(&file.path) {
+            continue; // R3/R7 already cover these files line-locally
+        }
+        let d = g.def(units, id);
+        if d.in_test {
+            continue;
+        }
+        let Some((open, close)) = d.body else {
+            continue;
+        };
+        for (line, what) in callgraph::panic_sites(&file.lx.tokens, open, close) {
+            let trace = g.path_to(units, &parent, id);
+            diag(
+                out,
+                &file.path,
+                line,
+                "R8",
+                format!(
+                    "`{what}` in `{}` is reachable from a hot path \
+                     (call chain: {trace}) — return a typed error instead",
+                    d.name
+                ),
+            );
+        }
+    }
+}
+
+/// Files whose loops carry the cancellation-seam contract (R9): the SBR
+/// variants, bulge chasing, the pipeline driver, and the service layer.
+pub const R9_FILES: &[&str] = &[
+    "crates/band/src/sbr_wy.rs",
+    "crates/band/src/sbr_zy.rs",
+    "crates/band/src/bulge.rs",
+    "crates/band/src/bulge_packed.rs",
+    "crates/band/src/multisweep.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/serve/",
+];
+
+/// R9: cancellation-seam coverage. A loop in an [`R9_FILES`] file whose
+/// body performs GEMM-scale work — a direct `.gemm(`/`.syr2k_update(`
+/// dispatch or a call into a function that transitively reaches one —
+/// must also reach a cancellation check (`is_cancelled`,
+/// `cancel_requested`, `check_cancelled`) within the same iteration, the
+/// block-column granularity PR 7 promised for job deadlines.
+pub fn r9_cancel_seams(units: &[FileUnit], g: &Graph, out: &mut Vec<Diagnostic>) {
+    let seed_set = |probe: &dyn Fn(&FileUnit, usize, usize) -> bool| -> Vec<usize> {
+        (0..g.nodes.len())
+            .filter(|&id| {
+                g.def(units, id)
+                    .body
+                    .is_some_and(|(o, c)| probe(g.file(units, id), o, c))
+            })
+            .collect()
+    };
+    let gemm_reach = g.reaching(&seed_set(&|u, o, c| {
+        callgraph::has_gemm_dispatch(&u.lx.tokens, o, c)
+    }));
+    let cancel_reach = g.reaching(&seed_set(&|u, o, c| {
+        callgraph::has_cancel_check(&u.lx.tokens, o, c)
+    }));
+    for (fi, u) in units.iter().enumerate() {
+        if !in_list(&u.path, R9_FILES) {
+            continue;
+        }
+        let toks = &u.lx.tokens;
+        for lp in &u.parsed.loops {
+            if lp.in_test {
+                continue;
+            }
+            let (open, close) = lp.body;
+            let caller = g.node_at(units, fi, lp.kw_idx);
+            let calls = parser::scan_calls(toks, open + 1, close);
+            let transitively = |reach: &[bool]| {
+                calls.iter().any(|call| {
+                    g.resolve_call(units, caller, call)
+                        .iter()
+                        .any(|&id| reach[id])
+                })
+            };
+            let gemm_scale =
+                callgraph::has_gemm_dispatch(toks, open, close) || transitively(&gemm_reach);
+            if !gemm_scale {
+                continue;
+            }
+            let cancelled =
+                callgraph::has_cancel_check(toks, open, close) || transitively(&cancel_reach);
+            if !cancelled {
+                diag(
+                    out,
+                    &u.path,
+                    lp.line,
+                    "R9",
+                    format!(
+                        "`{}` loop performs GEMM-scale work but never reaches a \
+                         CancelToken check within an iteration — add a cancellation \
+                         seam (deadlines stall without it)",
+                        lp.kw
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Thread-coordination entry points banned inside parallel regions (R10a).
+const R10_SYNC_IDENTS: &[&str] = &[
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "lock",
+];
+
+/// The pool implementation itself coordinates threads by definition; its
+/// determinism is proven by the fixed-partition API contract, not by this
+/// token scan.
+const R10_SYNC_EXEMPT: &[&str] = &["shims/"];
+
+/// R10a: no cross-thread coordination inside the arguments of
+/// `for_each_chunk(…)` / `join(…)` parallel regions. Results must depend
+/// only on the fixed partition, never on cross-thread interleaving —
+/// an atomic RMW or a mutex inside the closure reintroduces
+/// scheduling-order dependence that PR 4's contract forbids.
+pub fn r10_parallel_sync(path: &str, u: &FileUnit, out: &mut Vec<Diagnostic>) {
+    if in_list(path, R10_SYNC_EXEMPT) {
+        return;
+    }
+    let toks = &u.lx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != Kind::Ident {
+            continue;
+        }
+        if !(t.text == "for_each_chunk" || t.text == "join")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        if i >= 1 && toks[i - 1].is_ident("fn") {
+            continue; // the definition, not a call
+        }
+        if t.text == "join" && i >= 1 && toks[i - 1].is_punct('.') {
+            continue; // JoinHandle::join, not the fork-join combinator
+        }
+        let close = parser::match_paren(toks, i + 1);
+        for k in (i + 2)..close.min(toks.len()) {
+            let s = &toks[k];
+            if s.kind == Kind::Ident
+                && !s.in_test
+                && R10_SYNC_IDENTS.contains(&s.text.as_str())
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('))
+            {
+                diag(
+                    out,
+                    path,
+                    s.line,
+                    "R10",
+                    format!(
+                        "`{}` inside a `{}` parallel region — cross-thread \
+                         coordination breaks the fixed-partition determinism \
+                         contract",
+                        s.text, t.text
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Iteration entry points whose order is nondeterministic on hash
+/// collections (R10b).
+const R10_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Names declared (param, field, or `let`) with a `HashMap`/`HashSet`
+/// type anywhere in the file.
+fn hash_typed_names(toks: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != Kind::Ident
+            || !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut k = i + 2;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct('>') || t.is_punct(')') || t.is_punct(']') {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0
+                && (t.is_punct(',')
+                    || t.is_punct(';')
+                    || t.is_punct('=')
+                    || t.is_punct('{')
+                    || t.is_punct('}'))
+            {
+                break;
+            } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                out.insert(toks[i].text.clone());
+                break;
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+/// R10b: no iteration over `HashMap`/`HashSet` values in non-test code —
+/// hash iteration order varies run to run, so anything it feeds stops
+/// being reproducible. Keyed access is fine; iterate a `BTreeMap` or sort
+/// the keys first.
+pub fn r10_hash_iteration(path: &str, u: &FileUnit, out: &mut Vec<Diagnostic>) {
+    let toks = &u.lx.tokens;
+    let hashy = hash_typed_names(toks);
+    if hashy.is_empty() {
+        return;
+    }
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test {
+            continue;
+        }
+        if t.kind == Kind::Ident
+            && hashy.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|n| {
+                n.kind == Kind::Ident && R10_ITER_METHODS.contains(&n.text.as_str())
+            })
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            diag(
+                out,
+                path,
+                t.line,
+                "R10",
+                format!(
+                    "iterating `{}` (HashMap/HashSet) — hash iteration order is \
+                     nondeterministic; use a BTree collection or sort the keys",
+                    t.text
+                ),
+            );
+        }
+        if t.is_ident("in") {
+            let mut k = i + 1;
+            while toks
+                .get(k)
+                .is_some_and(|n| n.is_punct('&') || n.is_ident("mut"))
+            {
+                k += 1;
+            }
+            if let Some(n) = toks.get(k) {
+                if n.kind == Kind::Ident
+                    && hashy.contains(&n.text)
+                    && toks.get(k + 1).is_some_and(|nn| nn.is_punct('{'))
+                {
+                    diag(
+                        out,
+                        path,
+                        n.line,
+                        "R10",
+                        format!(
+                            "iterating `{}` (HashMap/HashSet) — hash iteration order \
+                             is nondeterministic; use a BTree collection or sort the \
+                             keys",
+                            n.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers that betray wall-clock or thread-identity data (R10c).
+const R10_NONDET_IDENTS: &[&str] = &[
+    "elapsed",
+    "Instant",
+    "now",
+    "as_micros",
+    "as_nanos",
+    "as_millis",
+    "as_secs_f64",
+    "current_num_threads",
+    "available_parallelism",
+    "ThreadId",
+    "thread_id",
+];
+
+/// Counter namespaces exempt from the bit-identical determinism contract:
+/// `time.*` (wall clock, PR 6) and `par.*` (scheduling telemetry, PR 4).
+const R10_EXEMPT_PREFIXES: &[&str] = &["time.", "par."];
+
+/// R10c: counter/histogram writes (`.add(`, `.record(`, `.set_max(`)
+/// whose value derives from wall-clock or thread identity must live in a
+/// determinism-exempt namespace, so `diff`ing two runs' counters stays a
+/// valid regression check.
+pub fn r10_counter_namespace(path: &str, u: &FileUnit, out: &mut Vec<Diagnostic>) {
+    let toks = &u.lx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test
+            || t.kind != Kind::Ident
+            || !matches!(t.text.as_str(), "add" | "record" | "set_max")
+            || !(i >= 1 && toks[i - 1].is_punct('.'))
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let close = parser::match_paren(toks, i + 1).min(toks.len());
+        // label: the first string literal in the argument list (either
+        // direct or inside a `&format!("…")` builder)
+        let Some(label_tok) = toks[i + 2..close].iter().find(|s| s.kind == Kind::Str) else {
+            continue;
+        };
+        if R10_EXEMPT_PREFIXES
+            .iter()
+            .any(|p| label_tok.text.starts_with(p))
+        {
+            continue;
+        }
+        if let Some(s) = toks[i + 2..close]
+            .iter()
+            .find(|s| s.kind == Kind::Ident && R10_NONDET_IDENTS.contains(&s.text.as_str()))
+        {
+            diag(
+                out,
+                path,
+                label_tok.line,
+                "R10",
+                format!(
+                    "counter {:?} is written from wall-clock/thread-identity data \
+                     (`{}`) outside the determinism-exempt `time.`/`par.` namespaces",
+                    label_tok.text, s.text
+                ),
+            );
+        }
+    }
+}
+
+/// The canonical Mutex acquisition order in `crates/serve` (R11a). A
+/// thread may only acquire a mutex *later* in this list than every mutex
+/// it already holds.
+pub const LOCK_ORDER: &[&str] = &["state", "cache", "workers"];
+
+/// R11: lock/condvar discipline in the service layer.
+///
+/// * **a** — Mutexes named in [`LOCK_ORDER`] must be acquired in list
+///   order; `lock(…)` calls are tracked per function body, with let-bound
+///   guards held until `drop(guard)` or rebinding (block scopes are not
+///   modeled — a guard is assumed held to end of function).
+/// * **b** — condvar `.wait()`/`.wait_timeout()` (receiver named `*_cv`/
+///   `cond*`) must sit inside a loop that re-checks its predicate.
+/// * **c** — raw `.lock()` method calls are banned in favor of the
+///   poison-recovering `lock()` helper, so one panicked job can never
+///   wedge the scheduler behind a poisoned mutex.
+pub fn r11_serve_locks(path: &str, u: &FileUnit, out: &mut Vec<Diagnostic>) {
+    if !in_list(path, R7_FILES) {
+        return;
+    }
+    let toks = &u.lx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.in_test || t.kind != Kind::Ident {
+            continue;
+        }
+        // (c) raw .lock(
+        if t.text == "lock"
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            diag(
+                out,
+                path,
+                t.line,
+                "R11",
+                "raw `Mutex::lock()` — use the poison-recovering `lock()` helper \
+                 so a panicked job cannot wedge the scheduler"
+                    .to_string(),
+            );
+        }
+        // (b) condvar wait outside a predicate loop
+        if (t.text == "wait" || t.text == "wait_timeout")
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let recv = &toks[i - 2];
+            let is_cv = recv.kind == Kind::Ident
+                && (recv.text.ends_with("_cv") || recv.text == "cv" || recv.text.contains("cond"));
+            if is_cv && !u.parsed.loops.iter().any(|l| l.body.0 < i && i < l.body.1) {
+                diag(
+                    out,
+                    path,
+                    t.line,
+                    "R11",
+                    format!(
+                        "condvar `.{}()` outside a predicate re-check loop — a \
+                         spurious wakeup would break the wait condition",
+                        t.text
+                    ),
+                );
+            }
+        }
+    }
+    // (a) acquisition order, tracked per function body
+    for f in &u.parsed.fns {
+        if f.in_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else {
+            continue;
+        };
+        let mut held: Vec<(String, usize)> = Vec::new(); // (guard var, order idx)
+        for i in (open + 1)..close {
+            let t = &toks[i];
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            if t.text == "drop" && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                if let Some(v) = toks.get(i + 2).filter(|n| n.kind == Kind::Ident) {
+                    held.retain(|(hv, _)| hv != &v.text);
+                }
+                continue;
+            }
+            if t.text != "lock"
+                || !toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+                || (i >= 1 && toks[i - 1].is_ident("fn"))
+            {
+                continue;
+            }
+            let p_close = parser::match_paren(toks, i + 1).min(toks.len());
+            let Some(mutex) = toks[i + 2..p_close]
+                .iter()
+                .rev()
+                .find(|n| n.kind == Kind::Ident)
+            else {
+                continue;
+            };
+            let Some(oi) = LOCK_ORDER.iter().position(|x| *x == mutex.text) else {
+                continue;
+            };
+            for (hv, ho) in &held {
+                if *ho > oi {
+                    diag(
+                        out,
+                        path,
+                        t.line,
+                        "R11",
+                        format!(
+                            "`{}` acquired while `{hv}` (guarding `{}`) is held — \
+                             canonical acquisition order is {}",
+                            mutex.text,
+                            LOCK_ORDER[*ho],
+                            LOCK_ORDER.join(" → ")
+                        ),
+                    );
+                }
+            }
+            // let-bound (or rebound) guard → held; statement temp → not.
+            // The binding only holds the guard when `lock(…)` is the whole
+            // initializer (`let st = lock(…);`) — a trailing method/field
+            // chain (`let v = lock(…).get(&k);`) binds the chain's result
+            // and drops the guard at end of statement.
+            if i >= 2
+                && toks[i - 1].is_punct('=')
+                && !toks[i - 2].is_punct('=')
+                && toks.get(p_close + 1).is_some_and(|n| n.is_punct(';'))
+            {
+                if let Some(v) = toks.get(i - 2).filter(|n| n.kind == Kind::Ident) {
+                    held.retain(|(hv, _)| hv != &v.text);
+                    held.push((v.text.clone(), oi));
+                }
+            }
+        }
+    }
 }

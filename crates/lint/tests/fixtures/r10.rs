@@ -1,0 +1,34 @@
+// lint-fixture-path: crates/core/src/reduce.rs
+//! R10 fixture: determinism discipline — sync primitives in parallel
+//! regions (a), hash-order iteration (b), counter namespaces (c).
+
+pub fn bad_parallel_sum(xs: &[f32], total: &AtomicU64) {
+    for_each_chunk(xs, 4, |chunk| {
+        total.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+    });
+}
+
+pub fn good_parallel_sum(xs: &[f32], per_chunk: &mut [u64]) {
+    for_each_chunk_slots(xs, per_chunk);
+}
+
+pub fn bad_hash_iter(hmap: &HashMap<String, u64>) -> u64 {
+    let mut sum = 0;
+    for (_k, v) in hmap {
+        sum += v;
+    }
+    sum + hmap.values().sum::<u64>()
+}
+
+pub fn good_tree_iter(tmap: &BTreeMap<String, u64>) -> u64 {
+    tmap.values().sum::<u64>()
+}
+
+pub fn bad_latency_counter(sink: &TraceSink, t0: Instant) {
+    sink.record("gemm.batch_us", t0.elapsed().as_micros() as u64);
+}
+
+pub fn good_latency_counter(sink: &TraceSink, t0: Instant) {
+    sink.record("time.gemm.batch_us", t0.elapsed().as_micros() as u64);
+    sink.add("gemm.calls", 1);
+}

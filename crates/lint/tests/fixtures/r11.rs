@@ -1,0 +1,36 @@
+// lint-fixture-path: crates/serve/src/sched.rs
+//! R11 fixture: lock/condvar discipline in the service layer — order
+//! violations (a), condvar waits outside loops (b), raw `.lock()` (c).
+
+pub fn bad_lock_order(shared: &Shared) {
+    let st = lock(&shared.state);
+    let c = lock(&shared.cache);
+    drop(c);
+    drop(st);
+    let w = lock(&shared.workers);
+    let again = lock(&shared.state);
+    drop(again);
+    drop(w);
+}
+
+pub fn bad_wait(shared: &Shared) {
+    let st = lock(&shared.state);
+    let _unused = shared.done_cv.wait(st);
+}
+
+pub fn bad_raw_lock(shared: &Shared) -> u64 {
+    let g = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+    *g
+}
+
+pub fn good_discipline(shared: &Shared) {
+    let st = lock(&shared.state);
+    let c = lock(&shared.cache);
+    drop(c);
+    drop(st);
+    loop {
+        let guard = lock(&shared.state);
+        let _g = shared.done_cv.wait(guard);
+        break;
+    }
+}

@@ -1,0 +1,27 @@
+//@file: crates/core/src/pipeline.rs
+//! R8 fixture, hot-path side: this file is in R3_FILES, so its functions
+//! are call-graph roots. It contains no panic itself (R3 stays silent).
+
+pub fn run_pipeline(cfg: &Config) -> Result<(), Error> {
+    helper_bad(cfg);
+    helper_good(cfg)
+}
+//@file: crates/factor/src/util.rs
+//! R8 fixture, helper side: not a hot-path file, so only *reachable*
+//! panic sites fire — with the discovery call chain in the message.
+
+pub fn helper_bad(cfg: &Config) {
+    cfg.flag.unwrap();
+}
+
+pub fn helper_good(cfg: &Config) -> Result<(), Error> {
+    deeper(cfg)
+}
+
+fn deeper(_cfg: &Config) -> Result<(), Error> {
+    Ok(())
+}
+
+pub fn never_called_from_hot_paths(cfg: &Config) {
+    cfg.flag.unwrap();
+}

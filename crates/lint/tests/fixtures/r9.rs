@@ -1,0 +1,39 @@
+//@file: crates/band/src/sbr_wy.rs
+//! R9 fixture, loop side: both loops transitively perform GEMM-scale
+//! work through `trailing_update`; only the second reaches a cancel
+//! check within the iteration.
+
+pub fn reduce(ctx: &GemmContext, n: usize) -> Result<(), Error> {
+    let mut i = 0;
+    while i < n {
+        trailing_update(ctx);
+        i += 1;
+    }
+    let mut j = 0;
+    while j < n {
+        if ctx.cancel_requested() {
+            return Err(Error::Cancelled);
+        }
+        trailing_update(ctx);
+        j += 1;
+    }
+    Ok(())
+}
+//@file: crates/tensorcore/src/dispatch.rs
+//! R9 fixture, dispatch side: the GEMM-scale work and the cancel check
+//! live outside the R9 file list and are only reached through calls.
+
+pub struct GemmContext;
+
+impl GemmContext {
+    pub fn cancel_requested(&self) -> bool {
+        false
+    }
+    pub fn gemm(&self, label: &str, n: usize) {
+        let _ = (label, n);
+    }
+}
+
+pub fn trailing_update(ctx: &GemmContext) {
+    ctx.gemm("sbr_panel_update", 64);
+}

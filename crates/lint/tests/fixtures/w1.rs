@@ -1,0 +1,13 @@
+// lint-fixture-path: crates/core/src/misc.rs
+//! W1 fixture: a waiver must suppress at least one finding — the first
+//! waiver below covers a real R2 hit, the second suppresses nothing.
+
+// tcevd-lint: allow(R2) — boundary experiment, reviewed
+pub fn lossy() -> f32 {
+    round_through_f16(1.0f32)
+}
+
+// tcevd-lint: allow(R3) — dead: this file is not on the hot-path list
+pub fn harmless() -> u32 {
+    42
+}

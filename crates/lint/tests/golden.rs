@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-use tcevd_lint::{lint_source, lint_workspace, parse_registry, rules, Registry};
+use tcevd_lint::{analyze_files, lint_source, lint_workspace, parse_registry, rules, Registry};
 
 fn fixtures_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -35,6 +35,39 @@ fn run_fixture(name: &str) -> (Vec<String>, Vec<String>) {
     let mut used = BTreeSet::new();
     let mut out = Vec::new();
     lint_source(&fake_path, &src, &reg, &mut used, &mut out);
+    out.sort();
+    let got = out.iter().map(|d| d.to_string()).collect();
+    let expected = std::fs::read_to_string(dir.join(format!("{name}.expected")))
+        .unwrap_or_else(|e| panic!("golden {name}.expected unreadable: {e}"))
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect();
+    (got, expected)
+}
+
+/// Multi-file fixtures for the call-graph rules (R8/R9): the fixture is
+/// split on `//@file: <fake path>` marker lines into separate sources,
+/// and every line after a marker is numbered from 1 within its section.
+fn run_multi_fixture(name: &str) -> (Vec<String>, Vec<String>) {
+    let dir = fixtures_dir();
+    let src = std::fs::read_to_string(dir.join(format!("{name}.rs")))
+        .unwrap_or_else(|e| panic!("fixture {name}.rs unreadable: {e}"));
+    let mut files: Vec<(String, String)> = Vec::new();
+    for line in src.lines() {
+        if let Some(p) = line.strip_prefix("//@file:") {
+            files.push((p.trim().to_string(), String::new()));
+        } else {
+            let (_, body) = files
+                .last_mut()
+                .unwrap_or_else(|| panic!("fixture {name}.rs must start with a //@file: marker"));
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    let reg = fixture_registry();
+    let mut used = BTreeSet::new();
+    let mut out = analyze_files(&files, &reg, &mut used);
     out.sort();
     let got = out.iter().map(|d| d.to_string()).collect();
     let expected = std::fs::read_to_string(dir.join(format!("{name}.expected")))
@@ -91,6 +124,58 @@ fn r7_serve_hygiene_fixture_matches_golden() {
 #[test]
 fn clean_fixture_produces_no_findings() {
     assert_golden("clean");
+}
+
+/// R8/R9 are whole-workspace call-graph rules, so their fixtures span
+/// multiple `//@file:` sections and run through `analyze_files`.
+fn assert_multi_golden(name: &str) {
+    let (got, expected) = run_multi_fixture(name);
+    assert_eq!(
+        got,
+        expected,
+        "fixture {name}: diagnostics diverge from {name}.expected\n\
+         got:\n  {}\nexpected:\n  {}",
+        got.join("\n  "),
+        expected.join("\n  ")
+    );
+}
+
+#[test]
+fn r8_transitive_panic_fixture_matches_golden() {
+    assert_multi_golden("r8");
+}
+
+#[test]
+fn r8_unreachable_panic_stays_silent() {
+    // The fixture's `never_called_from_hot_paths` contains the identical
+    // `.unwrap()` as `helper_bad` but has no hot-path caller: exactly one
+    // R8 finding proves reachability (not mere presence) is what fires.
+    let (got, _) = run_multi_fixture("r8");
+    assert_eq!(
+        got.iter().filter(|l| l.contains("R8")).count(),
+        1,
+        "{got:?}"
+    );
+}
+
+#[test]
+fn r9_cancel_seam_fixture_matches_golden() {
+    assert_multi_golden("r9");
+}
+
+#[test]
+fn r10_determinism_fixture_matches_golden() {
+    assert_golden("r10");
+}
+
+#[test]
+fn r11_lock_discipline_fixture_matches_golden() {
+    assert_golden("r11");
+}
+
+#[test]
+fn w1_dead_waiver_fixture_matches_golden() {
+    assert_golden("w1");
 }
 
 /// R6 is a workspace-level cross-registry rule, so its fixture runs through

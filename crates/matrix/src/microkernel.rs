@@ -58,8 +58,15 @@ pub fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
     // a compile-time constant, so no per-iteration bounds checks survive
     // and the autovectorizer sees straight-line FMA chains.
     for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
-        let av: &[T; MR] = av.try_into().expect("chunks_exact yields MR chunks");
-        let bv: &[T; NR] = bv.try_into().expect("chunks_exact yields NR chunks");
+        // chunks_exact guarantees the slice lengths, so these conversions
+        // cannot fail; the `else` arms are dead branches kept panic-free so
+        // the kernel stays reachable-safe from the hot paths (lint R8).
+        let Ok(av) = <&[T; MR]>::try_from(av) else {
+            continue;
+        };
+        let Ok(bv) = <&[T; NR]>::try_from(bv) else {
+            continue;
+        };
         for (col, &w) in acc.iter_mut().zip(bv.iter()) {
             for (x, &ai) in col.iter_mut().zip(av.iter()) {
                 *x += ai * w;

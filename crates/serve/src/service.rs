@@ -154,6 +154,10 @@ struct Shared {
     cache: Mutex<ResultsCache>,
 }
 
+// The one place raw `Mutex::lock()` is allowed (lint R11): this helper IS
+// the poison recovery — a worker that panicked mid-job must not wedge every
+// other job behind a poisoned scheduler mutex.
+// tcevd-lint: allow(R11)
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -357,8 +361,9 @@ impl EvdService {
     }
 
     /// The service-level metrics sink (`serve.*` counters, per-job labels,
-    /// the `serve.latency_us` histogram). Export with
-    /// `metrics().prometheus_text()`.
+    /// the `time.serve.latency_us` histogram — `time.`-prefixed because
+    /// wall-clock values are exempt from the bit-identical determinism
+    /// contract). Export with `metrics().prometheus_text()`.
     pub fn metrics(&self) -> TraceSink {
         self.shared.sink.clone()
     }
@@ -592,7 +597,7 @@ fn finish(
             e.latency = Some(elapsed);
             sink.add("serve.jobs_completed", 1);
             sink.add(&format!("serve.job.{}.completed", e.spec.name), 1);
-            sink.record("serve.latency_us", elapsed.as_micros() as u64);
+            sink.record("time.serve.latency_us", elapsed.as_micros() as u64);
             e.result = Some(Ok(res));
             drop(st);
             shared.done_cv.notify_all();

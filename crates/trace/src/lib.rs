@@ -107,6 +107,15 @@ impl Histogram {
     }
 }
 
+/// Poison-recovering mutex acquisition. Instrumented code runs on worker
+/// threads that may panic mid-job (the service layer contains panics per
+/// job); trace state is a monotonic append-only log, so recovering the
+/// inner data from a poisoned mutex is always sound — aborting the whole
+/// process over telemetry never is.
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 struct Inner {
     t0: Instant,
     events: Mutex<Vec<Event>>,
@@ -118,7 +127,7 @@ struct Inner {
 impl Inner {
     fn tid(&self) -> u32 {
         let id = std::thread::current().id();
-        let mut g = self.tids.lock().expect("trace mutex");
+        let mut g = lock_or_recover(&self.tids);
         if let Some(&t) = g.0.get(&id) {
             return t;
         }
@@ -140,7 +149,7 @@ impl Inner {
             ts_us: self.ts_us(),
             ph,
         };
-        self.events.lock().expect("trace mutex").push(ev);
+        lock_or_recover(&self.events).push(ev);
     }
 }
 
@@ -220,7 +229,7 @@ impl TraceSink {
     /// Increment the monotonic counter `name` by `v`.
     pub fn add(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
-            let mut g = inner.counters.lock().expect("trace mutex");
+            let mut g = lock_or_recover(&inner.counters);
             if let Some(c) = g.get_mut(name) {
                 *c += v;
             } else {
@@ -238,7 +247,7 @@ impl TraceSink {
     /// [`counters`]: TraceSink::counters
     pub fn set_max(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
-            let mut g = inner.counters.lock().expect("trace mutex");
+            let mut g = lock_or_recover(&inner.counters);
             if let Some(c) = g.get_mut(name) {
                 *c = (*c).max(v);
             } else {
@@ -250,7 +259,7 @@ impl TraceSink {
     /// Record one sample into the histogram `name`.
     pub fn record(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
-            let mut g = inner.hists.lock().expect("trace mutex");
+            let mut g = lock_or_recover(&inner.hists);
             if let Some(h) = g.get_mut(name) {
                 h.record(v);
             } else {
@@ -265,7 +274,7 @@ impl TraceSink {
     pub fn counter(&self, name: &str) -> u64 {
         self.inner
             .as_ref()
-            .and_then(|i| i.counters.lock().expect("trace mutex").get(name).copied())
+            .and_then(|i| lock_or_recover(&i.counters).get(name).copied())
             .unwrap_or(0)
     }
 
@@ -273,7 +282,7 @@ impl TraceSink {
     pub fn counters(&self) -> BTreeMap<String, u64> {
         self.inner
             .as_ref()
-            .map(|i| i.counters.lock().expect("trace mutex").clone())
+            .map(|i| lock_or_recover(&i.counters).clone())
             .unwrap_or_default()
     }
 
@@ -281,7 +290,7 @@ impl TraceSink {
     pub fn histograms(&self) -> BTreeMap<String, Histogram> {
         self.inner
             .as_ref()
-            .map(|i| i.hists.lock().expect("trace mutex").clone())
+            .map(|i| lock_or_recover(&i.hists).clone())
             .unwrap_or_default()
     }
 
@@ -289,7 +298,7 @@ impl TraceSink {
     pub fn events(&self) -> Vec<Event> {
         self.inner
             .as_ref()
-            .map(|i| i.events.lock().expect("trace mutex").clone())
+            .map(|i| lock_or_recover(&i.events).clone())
             .unwrap_or_default()
     }
 
@@ -348,10 +357,13 @@ fn aggregate_spans(events: &[Event]) -> Vec<SpanTotal> {
                 stack.push((path, ev.ts_us));
             }
             Phase::End => {
+                // `begin` recorded the path, so the entry exists; a
+                // malformed event stream degrades to dropping the sample.
                 if let Some((path, t_begin)) = stack.pop() {
-                    let e = agg.get_mut(&path).expect("begin recorded the path");
-                    e.0 += 1;
-                    e.1 += ev.ts_us - t_begin;
+                    if let Some(e) = agg.get_mut(&path) {
+                        e.0 += 1;
+                        e.1 += ev.ts_us - t_begin;
+                    }
                 }
             }
         }

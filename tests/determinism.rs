@@ -245,6 +245,68 @@ fn cancelled_then_retried_job_matches_a_fresh_run() {
     }
 }
 
+/// ANTI-PATTERN, kept test-only as a regression oracle: the reduction
+/// tree's shape follows the pool size, so the f32 rounding path — and
+/// therefore the result's bits — differs across thread counts. This is
+/// exactly the class of reduction lint rule R10 and the PR-4 determinism
+/// contract forbid in pipeline code.
+fn pool_sized_sum(xs: &[f32]) -> f32 {
+    let workers = rayon::current_num_threads();
+    let chunk = xs.len().div_ceil(workers);
+    xs.chunks(chunk).map(|c| c.iter().sum::<f32>()).sum()
+}
+
+/// The compliant pattern: partition by a *fixed* chunk size, reduce each
+/// chunk into its own disjoint slot (the fan-out may use any number of
+/// workers), and combine the partials in index order. The arithmetic per
+/// chunk and the combine order never depend on the pool size.
+fn fixed_partition_sum(xs: &[f32]) -> f32 {
+    const CHUNK: usize = 64;
+    let mut partials = vec![0.0f32; xs.len().div_ceil(CHUNK)];
+    let items: Vec<(&[f32], &mut f32)> = xs.chunks(CHUNK).zip(partials.iter_mut()).collect();
+    rayon::for_each_chunk(items, &|(chunk, slot)| {
+        *slot = chunk.iter().sum::<f32>();
+    });
+    partials.iter().sum()
+}
+
+/// The determinism contract is not vacuous: an unordered (pool-shaped)
+/// f32 reduction really does change bits between 1 and 4 workers on
+/// magnitude-mixed data, while the workspace's fixed-partition discipline
+/// stays bit-identical on the same input. If the anti-pattern half of this
+/// test ever starts passing with `assert_eq`, the oracle has gone stale
+/// and the whole suite's bit-identity checks lose their teeth.
+#[test]
+fn unordered_reduction_diverges_across_thread_counts() {
+    // configure() is process-global; hold the run lock so pipeline tests
+    // in this binary never observe a non-default pool size.
+    let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let xs: Vec<f32> = (0..4096)
+        .map(|i: u64| {
+            let mantissa = (i.wrapping_mul(2654435761) % 1000) as f32 - 500.0;
+            let magnitude = (i % 13) as i32 - 6;
+            mantissa * 10f32.powi(magnitude)
+        })
+        .collect();
+    rayon::configure(1);
+    let bad1 = pool_sized_sum(&xs);
+    let good1 = fixed_partition_sum(&xs);
+    rayon::configure(4);
+    let bad4 = pool_sized_sum(&xs);
+    let good4 = fixed_partition_sum(&xs);
+    rayon::configure(0);
+    assert_ne!(
+        bad1.to_bits(),
+        bad4.to_bits(),
+        "pool-shaped reduction should round differently at 1 vs 4 workers"
+    );
+    assert_eq!(
+        good1.to_bits(),
+        good4.to_bits(),
+        "fixed-partition reduction must be bit-identical at any pool size"
+    );
+}
+
 #[test]
 fn identical_runs_are_bit_identical() {
     for engine in [Engine::Sgemm, Engine::Tc, Engine::EcTc] {
