@@ -90,6 +90,11 @@ pub(crate) fn apply_pending_to_q<T: Scalar>(q: &mut Mat<T>, pending: &[PendingRe
         }
         rem = rest;
     }
+    // Kernel-tier selection happens once, on the calling thread, before
+    // the fan-out (same discipline as blas3::gemm_with): both tiers are
+    // bit-identical for these row-local loops, but selection must stay a
+    // pure function of shape + tuning table, never of which worker runs.
+    let rk = tcevd_matrix::tile::row_kernels::<T>(Q_ROWS_PER_TASK.min(n));
     rayon::for_each_chunk(tasks, &|mut cols: Vec<&mut [T]>| {
         let rb = cols.first().map_or(0, |c| c.len());
         let mut w = vec![T::ZERO; rb];
@@ -100,19 +105,13 @@ pub(crate) fn apply_pending_to_q<T: Scalar>(q: &mut Mat<T>, pending: &[PendingRe
             let off = refl.s - c0;
             for (jl, &vj) in refl.v.iter().enumerate() {
                 if vj != T::ZERO {
-                    let col = &cols[off + jl];
-                    for i in 0..rb {
-                        w[i] += vj * col[i];
-                    }
+                    (rk.acc)(vj, &cols[off + jl][..rb], &mut w);
                 }
             }
             for (jl, &vj) in refl.v.iter().enumerate() {
                 let t = refl.tau * vj;
                 if t != T::ZERO {
-                    let col = &mut cols[off + jl];
-                    for i in 0..rb {
-                        col[i] -= t * w[i];
-                    }
+                    (rk.sub)(t, &w, &mut cols[off + jl][..rb]);
                 }
             }
         }

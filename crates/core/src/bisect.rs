@@ -36,13 +36,32 @@ pub fn tridiag_eig_bisect<T: Scalar>(t: &SymTridiag<T>, range: EigRange<T>) -> V
         return Vec::new();
     }
 
-    (ilo..ihi).map(|k| bisect_kth(t, k, glo, ghi)).collect()
+    let gw = ghi - glo;
+    (ilo..ihi).map(|k| bisect_kth(t, k, glo, ghi, gw)).collect()
 }
 
 /// The k-th (0-based, ascending) eigenvalue via bisection.
-fn bisect_kth<T: Scalar>(t: &SymTridiag<T>, k: usize, mut lo: T, mut hi: T) -> T {
+///
+/// `gw` is the (widened) Gershgorin interval width, which anchors the
+/// convergence tolerance to the *spectrum's* scale. The pure
+/// `eps·(|lo|+|hi|) + tiny` form demands an interval narrower than the
+/// spacing of representable numbers when the bracket straddles zero but
+/// the endpoints carry large exponents — for f32 spectra clustered at
+/// zero inside a wide Gershgorin interval, that tolerance can be smaller
+/// than what one halving step can shrink, leaving termination to the
+/// `mid <= lo || mid >= hi` rounding-limit check tens of iterations later
+/// (or, for subnormal-range endpoints, to MIN_POSITIVE alone). Adding
+/// `eps·gw` keeps the demand representable at every bracket position:
+/// converged means "resolved to machine precision relative to the
+/// spectrum diameter", the standard LAPACK `stebz` pivmin-style scaling.
+fn bisect_kth<T: Scalar>(t: &SymTridiag<T>, k: usize, mut lo: T, mut hi: T, gw: T) -> T {
     // invariant: count(lo) ≤ k < count(hi)
-    loop {
+    //
+    // Hard iteration cap: the bracket halves every step and the tolerance
+    // is at least eps·gw, so convergence needs ~mantissa-bits iterations
+    // (24 for f32, 53 for f64). 256 covers both with wide margin while
+    // making termination unconditional instead of a property of rounding.
+    for _ in 0..256 {
         let mid = lo + (hi - lo) * T::HALF;
         if mid <= lo || mid >= hi {
             return mid; // interval at rounding limit
@@ -52,11 +71,12 @@ fn bisect_kth<T: Scalar>(t: &SymTridiag<T>, k: usize, mut lo: T, mut hi: T) -> T
         } else {
             lo = mid;
         }
-        let tol = T::EPSILON * (lo.abs() + hi.abs()) + T::MIN_POSITIVE;
+        let tol = T::EPSILON * (lo.abs() + hi.abs() + gw) + T::MIN_POSITIVE;
         if hi - lo <= tol {
-            return lo + (hi - lo) * T::HALF;
+            break;
         }
     }
+    lo + (hi - lo) * T::HALF
 }
 
 #[cfg(test)]
@@ -125,6 +145,51 @@ mod tests {
         for v in vals {
             assert!((v - 2.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn f32_clustered_at_zero_terminates_and_is_accurate() {
+        // Regression for the tolerance scaling: eigenvalues clustered at
+        // zero inside a Gershgorin interval of width ~2e4. Near the zero
+        // cluster, `eps·(|lo|+|hi|) + tiny` demands an f32 bracket of
+        // ~1e-14 — dozens of halvings below what one step can resolve,
+        // with termination left to the rounding-limit check deep in the
+        // subnormal range. The Gershgorin-width clamp keeps the demand at
+        // the spectrum scale: convergence in ≲ mantissa-bits iterations
+        // with error bounded by a few eps·gw.
+        let d = [-1e4f32, -3.0, -1e-3, -2e-7, 0.0, 3e-7, 1e-3, 3.0, 1e4];
+        let t = SymTridiag::new(d.to_vec(), vec![1e-6f32; 8]);
+        let n = d.len();
+        let vals = tridiag_eig_bisect(&t, EigRange::Index { lo: 0, hi: n });
+        assert_eq!(vals.len(), n);
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1], "bisection output must be sorted");
+        }
+        // weak couplings (1e-6 against gaps ≥ 1e-7 within the cluster)
+        // perturb each diagonal entry by far less than the eps·gw ≈ 2e-3
+        // convergence tolerance, so the sorted diagonal is the reference
+        let mut want = d;
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let gw = 2.0e4f32;
+        for (v, w) in vals.iter().zip(want.iter()) {
+            assert!(
+                (v - w).abs() <= 4.0 * f32::EPSILON * gw + 1e-5,
+                "{v} vs {w}"
+            );
+        }
+        // the extreme eigenvalues are far from zero: they must come out at
+        // eps-relative accuracy, not just eps·gw-absolute
+        assert!((vals[0] + 1e4).abs() <= 1e4 * 1e-3);
+        assert!((vals[n - 1] - 1e4).abs() <= 1e4 * 1e-3);
+        // value-range selection around the cluster sees all five members
+        let cluster = tridiag_eig_bisect(
+            &t,
+            EigRange::Value {
+                lo: -1e-2,
+                hi: 1e-2,
+            },
+        );
+        assert_eq!(cluster.len(), 5);
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! Rungs 1–2 live in `tcevd-band`'s panel factorization; rungs 3–6 here.
 //! Each escalation is recorded in the context's [`TraceSink`], so a
 //! recovered run is observable after the fact.
+//!
+//! Beyond the failure ladder, one *capability* substitution is traced the
+//! same way: [`sym_eig_selected`] always runs stage 1 through the WY form
+//! (only FormW factors support the thin per-column back-transform), so a
+//! caller requesting [`SbrVariant::Zy`] gets WY instead — recorded as
+//! `recovery.zy_selected_wy_substitution` rather than silently ignored.
 
 use crate::dc::tridiag_eig_dc_with;
 use crate::error::{EvdError, EvdStage};
@@ -713,6 +719,12 @@ pub fn sym_eigenvalues(
 /// eigenvectors, then back-transformation of just those columns — the
 /// partial-spectrum workflow (largest-k for PCA / low-rank approximation)
 /// the paper's introduction motivates.
+///
+/// Stage 1 always uses the WY form regardless of `opts.sbr`: the thin
+/// back-transform needs FormW factors. A [`SbrVariant::Zy`] request is
+/// substituted with WY at block size `4·bandwidth` and recorded on the
+/// trace sink as `recovery.zy_selected_wy_substitution` (when
+/// `opts.trace` is set), so the substitution is observable.
 pub fn sym_eig_selected(
     a: &Mat<f32>,
     range: crate::bisect::EigRange<f32>,
@@ -748,11 +760,18 @@ pub fn sym_eig_selected(
     let _root_span = span!(sink, "sym_eig_selected", n, b);
     check_cancelled(ctx, EvdStage::Input)?;
 
-    // Stage 1 (always via the WY form here; its FormW factors back-transform
-    // cheaply for a thin eigenvector block).
+    // Stage 1 always runs via the WY form here: only its FormW factors
+    // support the thin per-column back-transform this driver is built
+    // around (ZY's Z·Yᵀ updates materialize against the full Q). A ZY
+    // request is therefore substituted with WY at an equivalent block
+    // size — documented behavior, surfaced through the trace sink rather
+    // than silently ignored (see the module docs).
     let block = match opts.sbr {
         SbrVariant::Wy { block } => block,
-        SbrVariant::Zy => 4 * b,
+        SbrVariant::Zy => {
+            sink.add("recovery.zy_selected_wy_substitution", 1);
+            4 * b
+        }
     };
     let r = {
         let _stage = tcevd_prof::StageScope::begin(&sink, "sbr");
@@ -1144,6 +1163,45 @@ mod tests {
                 stage: EvdStage::Input
             })
         ));
+    }
+
+    #[test]
+    fn selected_zy_request_substitutes_wy_and_traces_it() {
+        // sym_eig_selected always runs stage 1 via WY; a ZY request must
+        // (a) be surfaced on the trace sink, (b) produce exactly the
+        // results of the equivalent WY run (block = 4·b), and (c) not
+        // count anything when tracing is off.
+        let n = 64;
+        let b = 8;
+        let a: Mat<f32> = generate(n, MatrixType::Normal, 90).cast();
+        let range = crate::bisect::EigRange::Index { lo: n - 4, hi: n };
+
+        let sink = TraceSink::enabled();
+        let ctx = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+        let mut o_zy = opts(b, 16);
+        o_zy.sbr = SbrVariant::Zy;
+        o_zy.trace = true;
+        let r_zy = sym_eig_selected(&a, range, &o_zy, &ctx).unwrap();
+        assert_eq!(sink.counter("recovery.zy_selected_wy_substitution"), 1);
+
+        // equivalent WY configuration: bit-identical values and vectors
+        let ctx2 = GemmContext::new(Engine::Sgemm);
+        let o_wy = opts(b, 4 * b);
+        let r_wy = sym_eig_selected(&a, range, &o_wy, &ctx2).unwrap();
+        assert_eq!(r_zy.values, r_wy.values);
+        match (&r_zy.vectors, &r_wy.vectors) {
+            (Some(x), Some(y)) => assert_eq!(x.max_abs_diff(y), 0.0),
+            (None, None) => {}
+            _ => panic!("vector presence must match"),
+        }
+
+        // tracing off: the substitution still happens, the sink stays cold
+        let sink2 = TraceSink::enabled();
+        let ctx3 = GemmContext::new(Engine::Sgemm).with_sink(sink2.clone());
+        let mut o_quiet = o_zy;
+        o_quiet.trace = false;
+        sym_eig_selected(&a, range, &o_quiet, &ctx3).unwrap();
+        assert_eq!(sink2.counter("recovery.zy_selected_wy_substitution"), 0);
     }
 
     #[test]

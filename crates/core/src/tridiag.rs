@@ -36,9 +36,16 @@ impl<T: Scalar> SymTridiag<T> {
     }
 
     /// Gershgorin bounds on the spectrum: every eigenvalue lies in
-    /// `[lo, hi]`.
+    /// `[lo, hi]`. The empty matrix has an empty spectrum; it returns the
+    /// neutral degenerate interval `(ZERO, ZERO)` — every statement of the
+    /// form "each eigenvalue lies in [lo, hi]" holds vacuously, and
+    /// callers that seed a bisection from the bounds get a width-zero
+    /// search interval rather than a panic.
     pub fn gershgorin(&self) -> (T, T) {
         let n = self.n();
+        if n == 0 {
+            return (T::ZERO, T::ZERO);
+        }
         let mut lo = self.d[0];
         let mut hi = self.d[0];
         for i in 0..n {
@@ -58,6 +65,11 @@ impl<T: Scalar> SymTridiag<T> {
     /// LAPACK `laebz`-style with underflow guarding).
     pub fn sturm_count(&self, x: T) -> usize {
         let n = self.n();
+        if n == 0 {
+            // same unchecked-first-element pattern as gershgorin had: the
+            // empty matrix has no eigenvalues below any shift
+            return 0;
+        }
         let safe = T::MIN_POSITIVE;
         let mut count = 0;
         let mut q = self.d[0] - x;
@@ -172,5 +184,18 @@ mod tests {
         assert_eq!(t.sturm_count(6.0), 0);
         assert_eq!(t.sturm_count(8.0), 1);
         assert_eq!(t.gershgorin(), (7.0, 7.0));
+    }
+
+    #[test]
+    fn empty_matrix_is_total() {
+        // n = 0 is constructible (|e| = max(n,1)-1 = 0) and every method
+        // must be total on it — gershgorin used to read d[0] unguarded.
+        let t = SymTridiag::new(Vec::<f64>::new(), Vec::new());
+        assert_eq!(t.n(), 0);
+        assert_eq!(t.gershgorin(), (0.0, 0.0));
+        assert_eq!(t.sturm_count(0.0), 0);
+        assert_eq!(t.sturm_count(-1e30), 0);
+        assert_eq!(t.mul_vec(&[]), Vec::<f64>::new());
+        assert_eq!(t.to_dense().rows(), 0);
     }
 }

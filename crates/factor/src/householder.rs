@@ -40,41 +40,43 @@ pub fn apply_reflector_left<T: Scalar>(tau: T, v: &[T], mut c: MatMut<'_, T>) {
         return;
     }
     assert_eq!(v.len(), c.rows());
+    // The per-column dot stays on the serial scalar form (reductions are
+    // not bit-stable under lane splitting); the update is row-local and
+    // routes through the tier-dispatched (bit-identical) row kernel.
+    let rk = tcevd_matrix::tile::row_kernels::<T>(c.rows());
     for j in 0..c.cols() {
         let col = c.col_mut(j);
         let w = dot(v, col);
-        let t = tau * w;
-        for i in 0..col.len() {
-            col[i] -= t * v[i];
-        }
+        (rk.sub)(tau * w, v, col);
     }
 }
 
 /// Apply `H = I − tau·v·vᵀ` from the right to `c`: `C ← C·H`.
+///
+/// The column sweeps are row-local (`w[i]` only ever meets `col[i]`), so
+/// they route through the tier-dispatched row kernels
+/// ([`tcevd_matrix::tile::row_kernels`]) — the wide tier lane-blocks the
+/// loops for vector FMAs with **bit-identical** results, preserving this
+/// function's role in the bulge-chase bitwise-equivalence tests.
 pub fn apply_reflector_right<T: Scalar>(tau: T, v: &[T], mut c: MatMut<'_, T>) {
     if tau == T::ZERO {
         return;
     }
     assert_eq!(v.len(), c.cols());
     let m = c.rows();
+    let rk = tcevd_matrix::tile::row_kernels::<T>(m);
     // w = C·v, then C ← C − tau·w·vᵀ
     let mut w = vec![T::ZERO; m];
     for j in 0..c.cols() {
         let vj = v[j];
         if vj != T::ZERO {
-            let col = c.col_mut(j);
-            for i in 0..m {
-                w[i] += vj * col[i];
-            }
+            (rk.acc)(vj, c.col_mut(j), &mut w);
         }
     }
     for j in 0..c.cols() {
         let t = tau * v[j];
         if t != T::ZERO {
-            let col = c.col_mut(j);
-            for i in 0..m {
-                col[i] -= t * w[i];
-            }
+            (rk.sub)(t, &w, c.col_mut(j));
         }
     }
 }

@@ -18,6 +18,46 @@ pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
     acc
 }
 
+/// Dot product with `LANES` independent partial accumulators, reduced in a
+/// fixed order, remainder appended sequentially.
+///
+/// This is the wide-tier reduction form: the lane partials break the
+/// serial dependence chain of [`dot`] so LLVM emits vector FMAs. The
+/// result is **deterministic** (pure function of the inputs — same bits on
+/// every call, every thread) but **not bit-identical to [`dot`]**: lane
+/// splitting regroups the additions of a single reduction. Callers that
+/// promise bit-exactness against the scalar oracle (GEMM, reflector row
+/// kernels) must not use this; tolerance-tested paths (`symv`, `gemv`
+/// Trans) may.
+#[inline]
+pub fn dot_lanes<T: Scalar, const LANES: usize>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len());
+    assert!(LANES > 0);
+    let n = x.len();
+    let body = n - n % LANES;
+    let mut acc = [T::ZERO; LANES];
+    for (xc, yc) in x[..body]
+        .chunks_exact(LANES)
+        .zip(y[..body].chunks_exact(LANES))
+    {
+        let (Ok(xc), Ok(yc)) = (<&[T; LANES]>::try_from(xc), <&[T; LANES]>::try_from(yc)) else {
+            continue; // unreachable: chunks_exact yields LANES-length slices
+        };
+        for l in 0..LANES {
+            acc[l] += xc[l] * yc[l];
+        }
+    }
+    // fixed left-to-right lane reduction, then the tail in order
+    let mut s = T::ZERO;
+    for a in acc {
+        s += a;
+    }
+    for i in body..n {
+        s += x[i] * y[i];
+    }
+    s
+}
+
 /// `y ← y + alpha x`.
 #[inline]
 pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
@@ -87,6 +127,32 @@ mod tests {
     fn dot_basic() {
         assert_eq!(dot(&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(dot::<f32>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_lanes_is_deterministic_and_accurate() {
+        // length exercises body + remainder (203 = 25*8 + 3)
+        let x: Vec<f64> = (0..203)
+            .map(|i| ((i * 37 + 11) % 101) as f64 - 50.0)
+            .collect();
+        let y: Vec<f64> = (0..203)
+            .map(|i| ((i * 53 + 7) % 97) as f64 * 0.25)
+            .collect();
+        let a = dot_lanes::<f64, 8>(&x, &y);
+        let b = dot_lanes::<f64, 8>(&x, &y);
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "must be a pure function of inputs"
+        );
+        let reference = dot(&x, &y);
+        let scale: f64 = x.iter().zip(&y).map(|(a, b)| (a * b).abs()).sum();
+        assert!((a - reference).abs() <= 1e-12 * scale.max(1.0));
+        // short inputs (all remainder) match dot exactly: same order
+        let xs = [1.0f32, 2.0, 3.0];
+        let ys = [4.0f32, -1.0, 0.5];
+        assert_eq!(dot_lanes::<f32, 8>(&xs, &ys), dot(&xs, &ys));
+        assert_eq!(dot_lanes::<f32, 8>(&[], &[]), 0.0);
     }
 
     #[test]

@@ -30,8 +30,10 @@ use crate::mat::{Mat, MatMut, MatRef};
 use crate::pack;
 use crate::scalar::Scalar;
 
-/// Column chunk processed per task.
-const NC: usize = 32;
+/// Column chunk processed per task. `pub(crate)` so the tier dispatcher
+/// ([`crate::tile`]) can validate the `NC % NR == 0` strip-alignment
+/// invariant against the same constant the fan-out uses.
+pub(crate) const NC: usize = 32;
 /// Below this many flops a GEMM runs serially (rayon overhead dominates).
 const PAR_FLOP_THRESHOLD: usize = 1 << 19;
 
@@ -164,7 +166,12 @@ pub fn gemm_with<T: Scalar>(
         return;
     }
 
-    let (mr, nr, mc, kc) = (T::GEMM_MR, T::GEMM_NR, T::GEMM_MC, T::GEMM_KC);
+    // Tier + tile selection happens HERE, once, on the calling thread —
+    // before the parallel fan-out. It is a pure function of (m, n, k), the
+    // scalar type, and the committed tuning table, so the same shape always
+    // runs the same kernel at the same tile regardless of thread count.
+    let sel = crate::tile::select_gemm::<T>(m, n, k);
+    let (mr, nr, mc, kc) = (sel.mr, sel.nr, sel.mc, sel.kc);
     debug_assert_eq!(NC % nr, 0, "column chunks must align with NR strips");
     debug_assert_eq!(mc % mr, 0, "MC must be a multiple of MR");
     // Pack both operands once, before the fan-out: the buffers are shared
@@ -195,7 +202,7 @@ pub fn gemm_with<T: Scalar>(
                         let aoff = m_pad * p0 + ii / mr * (mr * kcb);
                         let asl = &pa[aoff..aoff + kcb * mr];
                         let ct = &mut cdat[jj * ldc + ii..];
-                        T::gemm_microkernel(kcb, asl, bs, alpha, ct, ldc, mrb, nrb);
+                        (sel.kernel)(kcb, asl, bs, alpha, ct, ldc, mrb, nrb);
                     }
                 }
             }

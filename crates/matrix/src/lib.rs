@@ -33,6 +33,7 @@ pub mod microkernel;
 pub mod norms;
 pub mod pack;
 pub mod scalar;
+pub mod tile;
 
 pub use blas2::Op;
 pub use blas3::Side;

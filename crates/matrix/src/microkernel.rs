@@ -92,6 +92,82 @@ pub fn microkernel<T: Scalar, const MR: usize, const NR: usize>(
     }
 }
 
+/// The wide-lane variant of [`microkernel`]: same packed-strip contract,
+/// same per-element accumulation order, but the `MR`-tall accumulator
+/// columns are walked in fixed `LANES`-wide blocks (`MR % LANES == 0`)
+/// so every FMA in the hot loop operates on a const-length `[T; LANES]`
+/// window — the formulation the autovectorizer turns into vector FMAs
+/// without relying on unrolling heuristics. Combined with the taller/wider
+/// tile shapes the tuning table picks for this tier (16×4 and up), the
+/// kernel carries enough independent accumulators to cover FMA latency.
+///
+/// **Bit-exactness:** each `acc[j][i]` still sums its `a[l·MR+i]·b[l·NR+j]`
+/// products in ascending `l` — lane-blocking regroups *which elements sit
+/// in one vector register*, never the per-element addition order — so for
+/// equal `kc` this kernel is bit-identical to [`microkernel`] at any
+/// `MR`/`NR`. The tiered dispatch in [`crate::tile`] relies on that to
+/// keep the scalar kernel a usable oracle.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+pub fn microkernel_wide<T: Scalar, const MR: usize, const NR: usize, const LANES: usize>(
+    kc: usize,
+    a: &[T],
+    b: &[T],
+    alpha: T,
+    c: &mut [T],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    assert!(
+        LANES > 0 && MR.is_multiple_of(LANES),
+        "MR must be a LANES multiple"
+    );
+    assert!(mr <= MR && nr <= NR, "live tile exceeds MR×NR");
+    assert!(a.len() >= kc * MR, "packed A strip too short");
+    assert!(b.len() >= kc * NR, "packed B strip too short");
+    let mut acc = [[T::ZERO; MR]; NR];
+    for (av, bv) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
+        // chunks_exact guarantees the lengths; the `else` arms are dead
+        // branches kept panic-free for lint R8, as in `microkernel`.
+        let Ok(av) = <&[T; MR]>::try_from(av) else {
+            continue;
+        };
+        let Ok(bv) = <&[T; NR]>::try_from(bv) else {
+            continue;
+        };
+        for (col, &w) in acc.iter_mut().zip(bv.iter()) {
+            // const-length lane blocks: LANES independent FMAs per step
+            for (cl, al) in col.chunks_exact_mut(LANES).zip(av.chunks_exact(LANES)) {
+                let Ok(cl) = <&mut [T; LANES]>::try_from(cl) else {
+                    continue;
+                };
+                let Ok(al) = <&[T; LANES]>::try_from(al) else {
+                    continue;
+                };
+                for i in 0..LANES {
+                    cl[i] += al[i] * w;
+                }
+            }
+        }
+    }
+    if mr == MR && nr == NR {
+        for (j, col) in acc.iter().enumerate() {
+            let cj = &mut c[j * ldc..j * ldc + MR];
+            for (ci, &x) in cj.iter_mut().zip(col) {
+                *ci += alpha * x;
+            }
+        }
+    } else {
+        for (j, col) in acc.iter().take(nr).enumerate() {
+            let cj = &mut c[j * ldc..j * ldc + mr];
+            for (ci, &x) in cj.iter_mut().zip(col) {
+                *ci += alpha * x;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +219,53 @@ mod tests {
         let ones = [1.0f32; 4];
         let mut c = [0.0f32];
         microkernel::<f32, MR, NR>(4, &vals, &ones, 1.0, &mut c, 1, 1, 1);
+        let mut want = 0.0f32;
+        for v in vals {
+            want += v;
+        }
+        assert_eq!(c[0], want);
+    }
+
+    /// The wide-lane kernel must be bit-identical to the scalar kernel at
+    /// the same tile shape (the dispatch layer's oracle contract), for
+    /// full and ragged live extents.
+    #[test]
+    fn wide_matches_scalar_bitwise() {
+        const MR: usize = 16;
+        const NR: usize = 4;
+        let kc = 37;
+        let mut s = 7u64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..kc * MR).map(|_| next()).collect();
+        let b: Vec<f32> = (0..kc * NR).map(|_| next()).collect();
+        for (mr, nr) in [(MR, NR), (11, 3), (1, 1), (MR, 2)] {
+            let mut c_scalar = vec![0.25f32; MR * NR];
+            let mut c_wide = c_scalar.clone();
+            microkernel::<f32, MR, NR>(kc, &a, &b, 1.7, &mut c_scalar, MR, mr, nr);
+            microkernel_wide::<f32, MR, NR, 8>(kc, &a, &b, 1.7, &mut c_wide, MR, mr, nr);
+            assert_eq!(c_scalar, c_wide, "mr={mr} nr={nr}");
+        }
+    }
+
+    /// Lane-blocking must not disturb the pinned k-ascending accumulation
+    /// order (same catastrophic-cancellation probe as the scalar kernel).
+    #[test]
+    fn wide_accumulation_order_is_k_ascending() {
+        const MR: usize = 8;
+        const NR: usize = 1;
+        let mut a = [0.0f32; 4 * MR];
+        let vals = [1.0e8f32, 1.0, -1.0e8, 1.0];
+        for (l, v) in vals.iter().enumerate() {
+            a[l * MR] = *v;
+        }
+        let ones = [1.0f32; 4 * NR];
+        let mut c = [0.0f32; MR];
+        microkernel_wide::<f32, MR, NR, 8>(4, &a, &ones, 1.0, &mut c, MR, 1, 1);
         let mut want = 0.0f32;
         for v in vals {
             want += v;

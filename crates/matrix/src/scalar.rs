@@ -31,6 +31,10 @@ pub trait Scalar:
     + Sync
     + 'static
 {
+    /// Stable type name (`"f32"` / `"f64"`) — keys the GEMM tuning table
+    /// (see [`crate::tile`]).
+    const NAME: &'static str;
+
     const ZERO: Self;
     const ONE: Self;
     const TWO: Self;
@@ -99,6 +103,8 @@ pub trait Scalar:
 macro_rules! impl_scalar {
     ($t:ty, mr = $mr:literal, nr = $nr:literal, mc = $mc:literal, kc = $kc:literal) => {
         impl Scalar for $t {
+            const NAME: &'static str = stringify!($t);
+
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
             const TWO: Self = 2.0;

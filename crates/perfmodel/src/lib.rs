@@ -21,5 +21,7 @@ pub mod scenarios;
 
 pub use cost::{A100Model, PanelCost, SbrCost};
 pub use memory::{overhead_ratio, wy_memory, zy_memory, MemoryFootprint};
-pub use rates::{classify, interp_rate, ShapeClass};
+pub use rates::{
+    classify, host_f32_gflops, host_f64_gflops, host_peak_gflops, interp_rate, HostTier, ShapeClass,
+};
 pub use scenarios::{evd_time, sbr_cost, SbrConfig};

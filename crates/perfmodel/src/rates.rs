@@ -39,6 +39,54 @@ pub const EC_RATE_CAP: f64 = 51.0;
 /// crate's motivation table also uses) — the memory slope of the roofline.
 pub const HBM_BYTES_PER_S: f64 = 1.555e12;
 
+// ---- Host software-kernel tiers ---------------------------------------
+//
+// Measured achieved GEMM rates for the CPU kernel tiers behind
+// `tcevd_matrix::tile` dispatch, from `reproduce gemm --n 1024` (f32,
+// square, single-threaded; BENCH_pr9.json) and `reproduce tune --n 512`
+// (f64 square winners in crates/matrix/tuning/default.tune). The Table-1
+// numbers above are what the modelled A100 would do; these are what this
+// repo's software kernels actually achieve on the reference host — the
+// software end of the roofline the prof crate prints. GFLOP/s, not TFLOPS.
+
+/// A software kernel tier of the host GEMM (`tcevd_matrix::tile`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HostTier {
+    /// Unblocked three-loop `gemm_reference` — the correctness oracle.
+    Reference,
+    /// Packed scalar microkernel (PR 5) — the bit-exactness oracle.
+    Scalar,
+    /// Lane-blocked wide microkernel (autovectorized, `default.tune`).
+    Wide,
+}
+
+/// Measured f32 achieved rate of a host tier, GFLOP/s (square n = 1024).
+pub fn host_f32_gflops(tier: HostTier) -> f64 {
+    match tier {
+        HostTier::Reference => 14.4,
+        HostTier::Scalar => 16.6,
+        HostTier::Wide => 29.4,
+    }
+}
+
+/// Measured f64 achieved rate of a host tier, GFLOP/s (square n = 512;
+/// the reference tier is untimed for f64 — reported as the scalar rate's
+/// unblocked fraction observed for f32).
+pub fn host_f64_gflops(tier: HostTier) -> f64 {
+    match tier {
+        HostTier::Reference => 19.9 * (14.4 / 16.6),
+        HostTier::Scalar => 19.9,
+        HostTier::Wide => 22.2,
+    }
+}
+
+/// Host software GEMM peak, GFLOP/s: the wide tier's measured f32 rate.
+/// This is the ceiling `prof`'s roofline report quotes for the software
+/// kernels alongside the modelled A100 ceiling.
+pub fn host_peak_gflops() -> f64 {
+    host_f32_gflops(HostTier::Wide)
+}
+
 fn table_max(t: &[f64; 8]) -> f64 {
     t.iter().copied().fold(0.0, f64::max)
 }
@@ -159,6 +207,23 @@ mod tests {
         assert!(attainable_tflops(Engine::Tc, ridge * 2.0) == peak_tflops(Engine::Tc));
         let low = attainable_tflops(Engine::Tc, 1.0);
         assert!((low - 1.555).abs() < 1e-9, "1 flop/byte → bandwidth-bound");
+    }
+
+    #[test]
+    fn host_tier_rates_are_ordered_and_sane() {
+        use HostTier::*;
+        // the tier ladder: wide > scalar > reference for f32, and the wide
+        // tier clears the PR-9 acceptance bar of 1.5x the scalar oracle
+        assert!(host_f32_gflops(Wide) > host_f32_gflops(Scalar));
+        assert!(host_f32_gflops(Scalar) > host_f32_gflops(Reference));
+        assert!(host_f32_gflops(Wide) >= 1.5 * host_f32_gflops(Scalar));
+        // f64 lanes are half as wide, so the wide win is smaller but real
+        assert!(host_f64_gflops(Wide) > host_f64_gflops(Scalar));
+        assert!(host_f64_gflops(Reference) < host_f64_gflops(Scalar));
+        // host peak is the wide f32 rate, and sits far under the modelled
+        // A100 SGEMM ceiling (GF/s vs TFLOPS)
+        assert_eq!(host_peak_gflops(), host_f32_gflops(Wide));
+        assert!(host_peak_gflops() / 1e3 < peak_tflops(Engine::Sgemm));
     }
 
     #[test]

@@ -137,7 +137,9 @@ pub fn stage_table_text(stages: &[StageReport]) -> String {
     out
 }
 
-/// The engine's roofline parameters (Table-1 peak, HBM slope, ridge).
+/// The engine's roofline parameters (Table-1 peak, HBM slope, ridge),
+/// plus the measured peak of the host software kernels that actually
+/// execute the dispatches the model prices.
 #[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Roofline {
     pub engine: Engine,
@@ -145,6 +147,10 @@ pub struct Roofline {
     pub hbm_bytes_per_s: f64,
     /// Intensity (flop/byte) where the bandwidth slope meets the ceiling.
     pub ridge_intensity: f64,
+    /// Measured host software-kernel peak (the wide tier of
+    /// `tcevd_matrix::tile`), TFLOPS — the ceiling the `model_residual`
+    /// ratios are really up against.
+    pub host_peak_tflops: f64,
 }
 
 /// Roofline parameters for `engine`.
@@ -154,6 +160,7 @@ pub fn roofline(engine: Engine) -> Roofline {
         peak_tflops: rates::peak_tflops(engine),
         hbm_bytes_per_s: rates::HBM_BYTES_PER_S,
         ridge_intensity: rates::ridge_intensity(engine),
+        host_peak_tflops: rates::host_peak_gflops() / 1e3,
     }
 }
 
@@ -168,6 +175,13 @@ pub fn roofline_text(engine: Engine, labels: &[LabelReport]) -> String {
         r.hbm_bytes_per_s / 1e12,
         r.ridge_intensity
     );
+    out.push_str(&format!(
+        "  host kernel tiers (measured f32): reference {:.1} / scalar {:.1} / wide {:.1} GF/s — software peak {:.4} TFLOPS\n",
+        rates::host_f32_gflops(rates::HostTier::Reference),
+        rates::host_f32_gflops(rates::HostTier::Scalar),
+        rates::host_f32_gflops(rates::HostTier::Wide),
+        r.host_peak_tflops,
+    ));
     for l in labels {
         let attainable = rates::attainable_tflops(engine, l.intensity);
         let bound = if l.intensity < r.ridge_intensity {
@@ -347,6 +361,17 @@ mod tests {
         assert!(text.contains("svd_av"));
         // small-k GEMMs sit far below the ridge
         assert!(text.contains("memory-bound"));
+        // the measured software ceiling is quoted alongside the model's
+        assert!(text.contains("host kernel tiers"));
+        assert!(text.contains("wide 29.4 GF/s"));
+    }
+
+    #[test]
+    fn roofline_carries_host_software_peak() {
+        let r = roofline(Engine::Sgemm);
+        assert_eq!(r.host_peak_tflops, rates::host_peak_gflops() / 1e3);
+        // the modelled A100 ceiling dwarfs the measured software one
+        assert!(r.host_peak_tflops < r.peak_tflops);
     }
 
     #[test]

@@ -307,6 +307,161 @@ fn unordered_reduction_diverges_across_thread_counts() {
     );
 }
 
+/// GEMM kernel-tier selection is a pure function of the problem shape and
+/// the committed tuning table: repeated queries agree, and the
+/// worker-pool size is invisible to it. Selection happens once on the
+/// calling thread before any parallel fan-out, so nothing about timing,
+/// thread identity, or call history may leak into the chosen tier or tile
+/// shape.
+#[test]
+fn kernel_tier_selection_is_pure_in_shape() {
+    use tcevd::matrix::tile::{row_tier, select_gemm};
+    let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let shapes = [
+        (8usize, 8usize, 8usize), // Small bucket
+        (47, 47, 47),             // just under the Small cutoff
+        (48, 48, 48),             // first non-Small shape
+        (97, 5, 203),             // ragged
+        (1024, 1024, 1024),       // the acceptance square
+        (300, 128, 300),          // rank-k update family
+        (256, 256, 64),           // tall family
+    ];
+    let probe = || -> Vec<String> {
+        let mut sig = Vec::new();
+        for &(m, n, k) in &shapes {
+            let s32 = select_gemm::<f32>(m, n, k);
+            let s64 = select_gemm::<f64>(m, n, k);
+            sig.push(format!(
+                "{m}x{n}x{k} f32:{:?}/{}/{}/{}/{} f64:{:?}/{}/{}/{}/{} row32:{:?} row64:{:?}",
+                s32.tier,
+                s32.mr,
+                s32.nr,
+                s32.mc,
+                s32.kc,
+                s64.tier,
+                s64.mr,
+                s64.nr,
+                s64.mc,
+                s64.kc,
+                row_tier::<f32>(m),
+                row_tier::<f64>(m),
+            ));
+        }
+        sig
+    };
+    rayon::configure(1);
+    let at_1 = probe();
+    rayon::configure(4);
+    let at_4 = probe();
+    rayon::configure(0);
+    assert_eq!(
+        at_1, at_4,
+        "tier selection must not depend on the worker-pool size"
+    );
+    assert_eq!(
+        probe(),
+        probe(),
+        "tier selection must be call-to-call stable"
+    );
+}
+
+/// The wide tier is bit-exact against the PR-5 scalar oracle across every
+/// `Op` combination, ragged (non-multiple-of-tile) shapes, both scalar
+/// types, and 1-vs-4 worker threads. KC is pinned per scalar type across
+/// tiers, so the k-accumulation order — the only order that reaches the
+/// bits of C — is identical; MR/NR/MC only regroup register residency.
+#[test]
+fn wide_tier_matches_scalar_oracle_bitwise() {
+    use tcevd::matrix::blas3::gemm;
+    use tcevd::matrix::tile::{with_tile_override, KernelTier, TileOverride};
+    use tcevd::matrix::Op;
+    let _serial = RUN_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let force = |tier: KernelTier| TileOverride {
+        tier: Some(tier),
+        shape: None,
+    };
+    let mut state = 0x5DEECE66Du64;
+    let mut fill = |rows: usize, cols: usize| -> Mat<f32> {
+        let data = (0..rows * cols)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+            })
+            .collect();
+        Mat::from_col_major(rows, cols, data)
+    };
+
+    // All ragged: none of m, n, k is a multiple of any tier's MR/NR/KC.
+    let shapes = [(65usize, 67usize, 63usize), (129, 33, 257), (97, 101, 5)];
+    for (m, n, k) in shapes {
+        for op_a in [Op::NoTrans, Op::Trans] {
+            for op_b in [Op::NoTrans, Op::Trans] {
+                let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+                let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+                let a = fill(ar, ac);
+                let b = fill(br, bc);
+                let c0 = fill(m, n); // beta path must agree too
+                for threads in [1usize, 4] {
+                    rayon::configure(threads);
+                    let run = |tier: KernelTier| -> Vec<u32> {
+                        let mut c = c0.clone();
+                        with_tile_override(force(tier), || {
+                            gemm(
+                                1.25f32,
+                                a.as_ref(),
+                                op_a,
+                                b.as_ref(),
+                                op_b,
+                                0.5f32,
+                                c.as_mut(),
+                            )
+                        });
+                        c.as_slice().iter().map(|x| x.to_bits()).collect()
+                    };
+                    assert_eq!(
+                        run(KernelTier::Wide),
+                        run(KernelTier::Scalar),
+                        "{m}x{n}x{k} {op_a:?}/{op_b:?} threads={threads}: \
+                         wide tier diverged from the scalar oracle"
+                    );
+                }
+            }
+        }
+    }
+
+    // f64 spot check on a ragged shape, both thread counts.
+    let ad: Mat<f64> = fill(65, 63).cast();
+    let bd: Mat<f64> = fill(67, 63).cast(); // n × k, consumed as Bᵀ
+    let cd0: Mat<f64> = fill(65, 67).cast();
+    for threads in [1usize, 4] {
+        rayon::configure(threads);
+        let run = |tier: KernelTier| -> Vec<u64> {
+            let mut c = cd0.clone();
+            with_tile_override(force(tier), || {
+                gemm(
+                    1.25f64,
+                    ad.as_ref(),
+                    Op::NoTrans,
+                    bd.as_ref(),
+                    Op::Trans,
+                    0.5f64,
+                    c.as_mut(),
+                )
+            });
+            c.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        assert_eq!(
+            run(KernelTier::Wide),
+            run(KernelTier::Scalar),
+            "f64 threads={threads}: wide tier diverged from the scalar oracle"
+        );
+    }
+    rayon::configure(0);
+}
+
 #[test]
 fn identical_runs_are_bit_identical() {
     for engine in [Engine::Sgemm, Engine::Tc, Engine::EcTc] {

@@ -4,7 +4,10 @@
 
 use proptest::prelude::*;
 use tcevd::band::{bulge_chase, sbr_wy, PanelKind, WyOptions};
-use tcevd::evd::{tridiag_eig_bisect, tridiag_eig_dc, tridiag_eigenvalues, EigRange, SymTridiag};
+use tcevd::evd::{
+    sym_eig, sym_eig_selected, tridiag_eig_bisect, tridiag_eig_dc, tridiag_eigenvalues, EigRange,
+    RecoveryPolicy, SbrVariant, SymEigOptions, SymTridiag, TridiagSolver,
+};
 use tcevd::factor::qr::{extract_r, geqr2, orgqr};
 use tcevd::factor::reconstruct::reconstruct_wy;
 use tcevd::factor::tsqr::tsqr;
@@ -212,5 +215,122 @@ proptest! {
         let t = SymTridiag::new(d, e);
         let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
         prop_assert!(t.sturm_count(lo) <= t.sturm_count(hi));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sym_eig_selected vs slices of the full solve
+// ---------------------------------------------------------------------------
+
+/// Expected index window `[ilo, ihi)` of a range against the full ascending
+/// spectrum, mirroring the driver's semantics: `Index` is clamped to `n`,
+/// `Value` selects the half-open `(lo, hi]`.
+fn expected_window(range: EigRange<f32>, full: &[f32]) -> (usize, usize) {
+    let n = full.len();
+    match range {
+        EigRange::Index { lo, hi } => (lo.min(n), hi.min(n)),
+        EigRange::Value { lo, hi } => (
+            full.iter().filter(|&&v| v <= lo).count(),
+            full.iter().filter(|&&v| v <= hi).count(),
+        ),
+    }
+}
+
+/// Run `sym_eig_selected` at 1 and 4 threads and check both against the
+/// corresponding slice of the full solve: values agree to f32 tolerance,
+/// vector residuals are small, and the two thread counts are bit-identical.
+fn check_selected_against_full(
+    a: &Mat<f32>,
+    range: EigRange<f32>,
+    full_vals: &[f32],
+    opts: &SymEigOptions,
+) {
+    let n = a.rows();
+    let ctx = GemmContext::new(Engine::Sgemm);
+    let mut o1 = *opts;
+    o1.threads = 1;
+    let r1 = sym_eig_selected(a, range, &o1, &ctx).unwrap();
+    let mut o4 = *opts;
+    o4.threads = 4;
+    let r4 = sym_eig_selected(a, range, &o4, &ctx).unwrap();
+    prop_assert_eq!(
+        &r1.values,
+        &r4.values,
+        "values must not depend on thread count"
+    );
+    match (&r1.vectors, &r4.vectors) {
+        (Some(x1), Some(x4)) => prop_assert!(x1.max_abs_diff(x4) == 0.0),
+        (None, None) => {}
+        _ => prop_assert!(false, "vector presence must not depend on thread count"),
+    }
+
+    let (ilo, ihi) = expected_window(range, full_vals);
+    if ilo >= ihi {
+        prop_assert!(r1.values.is_empty(), "expected an empty selection");
+        return;
+    }
+    let want = &full_vals[ilo..ihi];
+    prop_assert_eq!(r1.values.len(), want.len());
+    let scale = full_vals.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+    for (got, exp) in r1.values.iter().zip(want) {
+        // bisection+inverse-iteration vs divide&conquer on the same T:
+        // agreement at f32 spectrum-scale accuracy
+        prop_assert!(
+            (got - exp).abs() <= 2e-4 * scale,
+            "selected {got} vs full {exp} (scale {scale})"
+        );
+    }
+    if let Some(x) = &r1.vectors {
+        prop_assert_eq!(x.rows(), n);
+        prop_assert_eq!(x.cols(), want.len());
+        let res = tcevd::evd::eigenpair_residual(a.as_ref(), &r1.values, x.as_ref());
+        prop_assert!(res <= 5e-4, "selected eigenpair residual {res}");
+    }
+}
+
+proptest! {
+    // each case runs one full EVD and four selected EVDs — keep the count low
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn selected_matches_full_slice(
+        a64 in sym_strategy(24),
+        ilo in 0usize..30,      // deliberately may exceed n, invert, or be empty
+        ihi in 0usize..30,
+        v1 in -30.0f32..30.0,   // value bounds: may invert and may miss the spectrum
+        v2 in -30.0f32..30.0,
+    ) {
+        let n = 24;
+        let a: Mat<f32> = a64.cast();
+        let opts = SymEigOptions {
+            bandwidth: 4,
+            sbr: SbrVariant::Wy { block: 8 },
+            panel: PanelKind::Tsqr,
+            solver: TridiagSolver::DivideConquer,
+            vectors: true,
+            trace: false,
+            recovery: RecoveryPolicy::default(),
+            threads: 1,
+        };
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let full = sym_eig(&a, &opts, &ctx).unwrap();
+        prop_assert_eq!(full.values.len(), n);
+
+        // index range as drawn (possibly empty / inverted / past n)
+        check_selected_against_full(
+            &a, EigRange::Index { lo: ilo, hi: ihi }, &full.values, &opts,
+        );
+
+        // value range as drawn, skipping draws that land a boundary within
+        // f32 resolution of an eigenvalue (the strict/half-open boundary is
+        // then solver-dependent and not the property under test)
+        let boundary_clear = |x: f32| {
+            full.values.iter().all(|v| (v - x).abs() > 1e-3)
+        };
+        if boundary_clear(v1) && boundary_clear(v2) {
+            check_selected_against_full(
+                &a, EigRange::Value { lo: v1, hi: v2 }, &full.values, &opts,
+            );
+        }
     }
 }
