@@ -9,6 +9,9 @@
 //! * [`sbr_wy()`] — the paper's Algorithm 1: recursive WY-representation SBR
 //!   with big-block deferred trailing updates ('squeezed' near-square
 //!   GEMMs for Tensor Cores).
+//! * [`sbr_dbr()`] — detached band reduction (the follow-up paper): the WY
+//!   recursion with `nb` decoupled from `b` and the trailing update folded
+//!   into one rank-`nb` symmetric syr2k per block.
 //! * [`formw`] — the paper's Algorithm 2: recursive merge of per-block WY
 //!   factors for the eigenvector back-transformation.
 //! * [`bulge`] — band → tridiagonal bulge chasing (stage 2).
@@ -32,6 +35,7 @@ pub mod formw;
 pub mod multisweep;
 pub mod panel;
 mod qupdate;
+pub mod sbr_dbr;
 pub mod sbr_wy;
 pub mod sbr_zy;
 pub mod storage;
@@ -44,9 +48,11 @@ pub use error::BandError;
 pub use formw::{apply_q, form_wy};
 pub use multisweep::{band_reduce_sweep, multi_sweep_tridiagonalize};
 pub use panel::{factor_panel, factor_panel_with, FactoredPanel, PanelKind};
+pub use sbr_dbr::{sbr_dbr, DbrOptions};
 pub use sbr_wy::{sbr_wy, LevelWy, WyOptions, WySbrResult};
 pub use sbr_zy::sbr_zy;
 pub use storage::SymBand;
 pub use trace_model::{
-    formw_trace, formw_trace_on, wy_trace, wy_trace_on, zy_trace, zy_trace_on, PanelOp, SbrTrace,
+    dbr_trace, dbr_trace_on, formw_trace, formw_trace_on, wy_trace, wy_trace_on, zy_trace,
+    zy_trace_on, PanelOp, SbrTrace,
 };

@@ -138,6 +138,66 @@ pub fn wy_trace_on(n: usize, b: usize, block: usize, engine: Engine) -> SbrTrace
     t
 }
 
+/// GEMM/panel trace of the detached band reduction (mirrors
+/// [`crate::sbr_dbr::sbr_dbr`] without Q accumulation) on the default
+/// Tensor-Core engine.
+pub fn dbr_trace(n: usize, b: usize, block: usize) -> SbrTrace {
+    dbr_trace_on(n, b, block, Engine::Tc)
+}
+
+/// Engine-faithful DBR trace: the panel + inner recursion is the WY shape
+/// sequence (with `dbr_*` labels), while the trailing update is two small
+/// GEMMs plus one rank-`nb` syr2k — recorded the way the engine executes
+/// it, one native record on [`Engine::Sgemm`], two full outer products on
+/// the Tensor-Core engines (mirroring
+/// [`GemmContext::syr2k_update`](tcevd_tensorcore::GemmContext::syr2k_update)
+/// record for record).
+pub fn dbr_trace_on(n: usize, b: usize, block: usize, engine: Engine) -> SbrTrace {
+    let rec = |label, m, n, k| rec_on(engine, label, m, n, k);
+    let native_syr2k = matches!(engine, Engine::Sgemm);
+    let nb = (block / b).max(1) * b;
+    let mut t = SbrTrace::default();
+    let mut off = 0;
+    while off + b < n {
+        let m = n - off;
+        let mp = m - b;
+        let mut k = 0usize;
+        let mut i = 0;
+        while i < nb && i + b < m {
+            let prows = m - i - b;
+            let kf = prows.min(b);
+            t.panels.push(PanelOp {
+                rows: prows,
+                cols: b,
+            });
+            if k > 0 {
+                t.gemms.push(rec("dbr_acc_ytw", k, kf, mp));
+                t.gemms.push(rec("dbr_acc_w", mp, kf, k));
+            }
+            t.gemms.push(rec("dbr_aw_append", mp, kf, mp));
+            k += kf;
+            let cw = b.min(mp - i);
+            t.gemms.push(rec("dbr_inner_x", mp, cw, k));
+            t.gemms.push(rec("dbr_inner_wx", k, cw, mp));
+            t.gemms.push(rec("dbr_inner_ga", mp, cw, k));
+            i += b;
+        }
+        let processed = i;
+        if processed + b >= m {
+            break;
+        }
+        let mt = mp - processed;
+        t.gemms.push(rec("dbr_final_waw", k, k, mp));
+        t.gemms.push(rec("dbr_final_v", mt, k, k));
+        t.gemms.push(rec("dbr_syr2k", mt, mt, k));
+        if !native_syr2k {
+            t.gemms.push(rec("dbr_syr2k", mt, mt, k));
+        }
+        off += processed;
+    }
+    t
+}
+
 /// Trace of the recursive FormW merge tree (paper Algorithm 2) over the
 /// level widths a WY run with these parameters produces, plus the final
 /// back-transformation GEMMs onto an n×nev eigenvector block, on the
@@ -222,6 +282,7 @@ mod tests {
         let mut recs = Vec::new();
         recs.extend(zy_trace(64, 8).gemms);
         recs.extend(wy_trace(64, 8, 16).gemms);
+        recs.extend(dbr_trace(64, 8, 16).gemms);
         recs.extend(formw_trace(64, 8, 16, 64));
         assert!(!recs.is_empty());
         for r in &recs {
@@ -280,6 +341,79 @@ mod tests {
             let model = wy_trace(n, b, nb);
             assert_eq!(shapes(&real), shapes(&model.gemms), "n={n} b={b} nb={nb}");
         }
+    }
+
+    #[test]
+    fn dbr_model_matches_real_trace() {
+        use crate::sbr_dbr::{sbr_dbr, DbrOptions};
+        for (n, b, nb) in [
+            (96, 8, 16),
+            (96, 8, 32),
+            (67, 8, 16),
+            (128, 16, 64),
+            (50, 4, 12),
+        ] {
+            let a: Mat<f32> = generate(n, MatrixType::Normal, 36).cast();
+            let ctx = GemmContext::new(Engine::Tc).with_trace();
+            let _ = sbr_dbr(
+                &a,
+                &DbrOptions {
+                    bandwidth: b,
+                    block: nb,
+                    panel: PanelKind::Tsqr,
+                    accumulate_q: false,
+                },
+                &ctx,
+            )
+            .expect("sbr reduction");
+            let real = ctx.take_trace();
+            let model = dbr_trace(n, b, nb);
+            assert_eq!(shapes(&real), shapes(&model.gemms), "n={n} b={b} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn dbr_model_engine_matches_real_trace_exactly() {
+        // Full-record equality (engine included): on Sgemm the trailing
+        // syr2k is one native record, on the TC engines two full GEMMs.
+        use crate::sbr_dbr::{sbr_dbr, DbrOptions};
+        for engine in [Engine::Sgemm, Engine::Tc, Engine::EcTc] {
+            let (n, b, nb) = (96, 8, 32);
+            let a: Mat<f32> = generate(n, MatrixType::Normal, 37).cast();
+            let ctx = GemmContext::new(engine).with_trace();
+            let _ = sbr_dbr(
+                &a,
+                &DbrOptions {
+                    bandwidth: b,
+                    block: nb,
+                    panel: PanelKind::Tsqr,
+                    accumulate_q: false,
+                },
+                &ctx,
+            )
+            .expect("sbr reduction");
+            let real = ctx.take_trace();
+            let model = dbr_trace_on(n, b, nb, engine);
+            assert_eq!(real, model.gemms, "engine {engine:?}");
+        }
+    }
+
+    #[test]
+    fn dbr_flops_below_wy_at_every_block_size() {
+        // The folded trailing update does strictly less arithmetic than
+        // WY's four-GEMM expansion at every (n, b, nb) — while keeping the
+        // same panel and inner-update work.
+        let n = 32768;
+        let b = 128;
+        for nb in [256usize, 512, 1024, 2048, 4096] {
+            let dbr = dbr_trace(n, b, nb).gemm_flops();
+            let wy = wy_trace(n, b, nb).gemm_flops();
+            assert!(dbr < wy, "nb={nb}: DBR {dbr} must be below WY {wy}");
+        }
+        // and a native-syr2k engine halves the trailing term again
+        let tc = dbr_trace_on(n, b, 1024, Engine::Tc).gemm_flops();
+        let sg = dbr_trace_on(n, b, 1024, Engine::Sgemm).gemm_flops();
+        assert!(sg < tc);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! reproduce table4 [--n 512] [--seed 42]
 //! reproduce threads [--n 1024] [--out BENCH_pr4.json]  # thread-scaling smoke
 //! reproduce gemm [--n 1024] [--out BENCH_pr5.json]     # packed-vs-reference GEMM
+//! reproduce dbr [--n 1024] [--out BENCH_pr10.json]     # DBR (nb, b) crossover sweep
 //! reproduce tune [--n 512] [--reps 3] [--out crates/matrix/tuning/default.tune]
 //! reproduce profile [--n 1024] [--out BENCH_profile.json] # perf attribution
 //! reproduce serve [--jobs 100] [--out BENCH_serve.json]   # service throughput
@@ -182,6 +183,20 @@ fn main() {
             }
             print!("{json}");
         }
+        "dbr" => {
+            // DBR (nb, b) crossover sweep at the PR-10 acceptance size.
+            let n = parse_flag(&args, "--n", 1024) as usize;
+            eprintln!("[DBR crossover sweep at n = {n}; use --n to change]");
+            let json = bench::dbr_bench(n, seed);
+            if let Some(path) = parse_path_flag(&args, "out", "BENCH_pr10.json") {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {path}");
+            }
+            print!("{json}");
+        }
         "tune" => {
             // BLIS-style tile autotune: times the candidate grid and emits
             // the tuning-table text that dispatch consults (committed as
@@ -231,7 +246,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("known: all perf table1 table2 table3 table4 threads gemm tune profile serve fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
+            eprintln!("known: all perf table1 table2 table3 table4 threads gemm dbr tune profile serve fig5 fig6 fig7 fig8 fig9 fig10 fig11 formw future memory --trace=PATH --faults=PATH");
             std::process::exit(2);
         }
     }

@@ -41,6 +41,7 @@ pub struct ProfileRun {
 fn stage_of(label: &str) -> Option<&'static str> {
     if label.starts_with("wy_")
         || label.starts_with("zy_")
+        || label.starts_with("dbr_")
         || label.starts_with("formw_")
         || label.starts_with("q_acc_")
     {

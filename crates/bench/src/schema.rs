@@ -186,7 +186,11 @@ mod tests {
 
     #[test]
     fn committed_artifacts_and_profile_match_the_schema() {
-        for path in ["../../BENCH_pr4.json", "../../BENCH_pr5.json"] {
+        for path in [
+            "../../BENCH_pr4.json",
+            "../../BENCH_pr5.json",
+            "../../BENCH_pr10.json",
+        ] {
             let text = std::fs::read_to_string(path).expect(path);
             validate_bench_json(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
         }

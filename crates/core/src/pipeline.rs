@@ -41,8 +41,8 @@ use crate::ql::{
 };
 use crate::tridiag::SymTridiag;
 use tcevd_band::{
-    bulge_chase_packed_with, bulge_chase_with, form_wy, sbr_wy, sbr_zy, PanelKind, SbrOptions,
-    WyOptions,
+    bulge_chase_packed_with, bulge_chase_with, form_wy, sbr_dbr, sbr_wy, sbr_zy, DbrOptions,
+    PanelKind, SbrOptions, WyOptions,
 };
 use tcevd_matrix::{Mat, Op};
 use tcevd_tensorcore::GemmContext;
@@ -55,6 +55,13 @@ pub enum SbrVariant {
     Wy { block: usize },
     /// Conventional ZY-based SBR (MAGMA-style baseline).
     Zy,
+    /// Detached band reduction (the follow-up paper): the WY recursion with
+    /// big-block size `nb` decoupled from the bandwidth and the trailing
+    /// update folded into one rank-`nb` syr2k per block. `block` is
+    /// validated against `n` and the bandwidth at run time — zero is a
+    /// typed [`EvdError::InvalidInput`]; anything else is clamped to the
+    /// multiple-of-`b` grid the reduction walks.
+    Dbr { block: usize },
 }
 
 /// Which tridiagonal eigensolver finishes the pipeline.
@@ -287,6 +294,29 @@ fn clamp_bandwidth(requested: usize, n: usize) -> usize {
     requested.min(n.saturating_sub(1)).max(1)
 }
 
+/// Validate and clamp the DBR big-block size against the matrix size and
+/// (already-clamped) bandwidth. `0` is rejected as a typed
+/// [`EvdError::InvalidInput`]; any other request is snapped onto the
+/// multiple-of-`b` grid the DBR inner loop actually walks — up to `b` when
+/// `nb < b`, down to the smallest multiple of `b` covering the first
+/// level's trailing matrix when `nb > n − b` (beyond that, extra width
+/// only pads the aggregates without changing a single arithmetic step).
+/// Callers reach this with `n ≥ 3` only: `n ≤ 2` short-circuits to
+/// [`trivial_sym_eig`], where no band reduction runs at all.
+fn validate_dbr_block(block: usize, b: usize, n: usize) -> Result<usize, EvdError> {
+    if block == 0 {
+        return Err(EvdError::InvalidInput {
+            detail: format!(
+                "DBR block size nb must be ≥ 1 (got 0 at n = {n}, bandwidth b = {b}); \
+                 nb = b degenerates to the WY variant, nb > b detaches the block size"
+            ),
+        });
+    }
+    let nb = (block / b).max(1) * b;
+    let cap = n.saturating_sub(b).div_ceil(b).max(1) * b;
+    Ok(nb.min(cap))
+}
+
 /// Closed-form eigendecomposition for `n ≤ 2`, bypassing the banded
 /// pipeline (whose bandwidth parameter has no valid value below `n = 3`
 /// other than the forced `b = 1`, and none at all for `n ≤ 1`). Exact in
@@ -466,11 +496,21 @@ fn run_pipeline(
 ) -> Result<SymEigResult, EvdError> {
     let n = a.rows();
     check_cancelled(ctx, EvdStage::Input)?;
+    // Resolve the SBR configuration up front: the DBR block size is
+    // validated/clamped here once so the byte estimate, stage 1, and a
+    // verification re-run all see the same effective `nb`.
+    let sbr = match opts.sbr {
+        SbrVariant::Dbr { block } => SbrVariant::Dbr {
+            block: validate_dbr_block(block, b, n)?,
+        },
+        v => v,
+    };
     if sink.is_enabled() {
         // Device-byte estimate from the MemoryModel (paper §7 footprints).
-        let est = match opts.sbr {
+        let est = match sbr {
             SbrVariant::Wy { block } => tcevd_perfmodel::wy_memory(n, b, block).total(),
             SbrVariant::Zy => tcevd_perfmodel::zy_memory(n, b).total(),
+            SbrVariant::Dbr { block } => tcevd_perfmodel::dbr_memory(n, b, block).total(),
         };
         sink.add("sbr_bytes_est", est);
     }
@@ -478,7 +518,7 @@ fn run_pipeline(
     // Stage 1: successive band reduction.
     let (band, q1_wy, q1_dense) = {
         let _stage = tcevd_prof::StageScope::begin(sink, "sbr");
-        match opts.sbr {
+        match sbr {
             SbrVariant::Wy { block } => {
                 let r = sbr_wy(
                     a,
@@ -506,6 +546,22 @@ fn run_pipeline(
                     ctx,
                 )?;
                 (r.band, None, r.q)
+            }
+            SbrVariant::Dbr { block } => {
+                let r = sbr_dbr(
+                    a,
+                    &DbrOptions {
+                        bandwidth: b,
+                        block,
+                        panel: opts.panel,
+                        accumulate_q: false,
+                    },
+                    ctx,
+                )?;
+                // DBR emits WY-style levels, so the FormW merge serves its
+                // back-transformation unchanged.
+                let wy = (opts.vectors && !r.levels.is_empty()).then(|| form_wy(&r.levels, n, ctx));
+                (r.band, wy, None)
             }
         }
     };
@@ -760,31 +816,46 @@ pub fn sym_eig_selected(
     let _root_span = span!(sink, "sym_eig_selected", n, b);
     check_cancelled(ctx, EvdStage::Input)?;
 
-    // Stage 1 always runs via the WY form here: only its FormW factors
+    // Stage 1 always runs via a WY-form variant here: only FormW factors
     // support the thin per-column back-transform this driver is built
-    // around (ZY's Z·Yᵀ updates materialize against the full Q). A ZY
-    // request is therefore substituted with WY at an equivalent block
-    // size — documented behavior, surfaced through the trace sink rather
-    // than silently ignored (see the module docs).
-    let block = match opts.sbr {
-        SbrVariant::Wy { block } => block,
-        SbrVariant::Zy => {
-            sink.add("recovery.zy_selected_wy_substitution", 1);
-            4 * b
-        }
-    };
+    // around (ZY's Z·Yᵀ updates materialize against the full Q). DBR emits
+    // WY-style levels, so a DBR request runs natively; a ZY request is
+    // substituted with WY at an equivalent block size — documented
+    // behavior, surfaced through the trace sink rather than silently
+    // ignored (see the module docs).
     let r = {
         let _stage = tcevd_prof::StageScope::begin(&sink, "sbr");
-        sbr_wy(
-            a,
-            &WyOptions {
-                bandwidth: b,
-                block,
-                panel: opts.panel,
-                accumulate_q: false,
-            },
-            ctx,
-        )?
+        match opts.sbr {
+            SbrVariant::Dbr { block } => sbr_dbr(
+                a,
+                &DbrOptions {
+                    bandwidth: b,
+                    block: validate_dbr_block(block, b, n)?,
+                    panel: opts.panel,
+                    accumulate_q: false,
+                },
+                ctx,
+            )?,
+            _ => {
+                let block = match opts.sbr {
+                    SbrVariant::Wy { block } => block,
+                    _ => {
+                        sink.add("recovery.zy_selected_wy_substitution", 1);
+                        4 * b
+                    }
+                };
+                sbr_wy(
+                    a,
+                    &WyOptions {
+                        bandwidth: b,
+                        block,
+                        panel: opts.panel,
+                        accumulate_q: false,
+                    },
+                    ctx,
+                )?
+            }
+        }
     };
     check_sanitizer(ctx, EvdStage::Sbr)?;
     ensure_finite(r.band.as_slice(), EvdStage::Sbr)?;
@@ -1202,6 +1273,147 @@ mod tests {
         o_quiet.trace = false;
         sym_eig_selected(&a, range, &o_quiet, &ctx3).unwrap();
         assert_eq!(sink2.counter("recovery.zy_selected_wy_substitution"), 0);
+    }
+
+    #[test]
+    fn dbr_variant_matches_reference_with_vectors() {
+        let n = 96;
+        let a64 = generate(n, MatrixType::Normal, 50);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let mut o = opts(8, 32);
+        o.sbr = SbrVariant::Dbr { block: 32 };
+        o.vectors = true;
+        let r = sym_eig(&a, &o, &ctx).unwrap();
+        assert!(es_error(&a64, &r.values) < 1e-6);
+        let x = r.vectors.as_ref().unwrap();
+        assert!(orthogonality(x.as_ref()) < 1e-5);
+        let res = eigenpair_residual(a.as_ref(), &r.values, x.as_ref());
+        assert!(res < 1e-4, "residual {res}");
+    }
+
+    #[test]
+    fn dbr_selected_eigenpairs_run_natively() {
+        use crate::bisect::EigRange;
+        let n = 80;
+        let a64 = generate(n, MatrixType::Geo { cond: 1e2 }, 58);
+        let a: Mat<f32> = a64.cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let mut o = opts(8, 32);
+        o.sbr = SbrVariant::Dbr { block: 32 };
+        let sink = TraceSink::enabled();
+        let ctx_traced = GemmContext::new(Engine::Sgemm).with_sink(sink.clone());
+        let mut o_traced = o;
+        o_traced.trace = true;
+        let sel = sym_eig_selected(
+            &a,
+            EigRange::Index { lo: n - 5, hi: n },
+            &o_traced,
+            &ctx_traced,
+        )
+        .unwrap();
+        // no WY substitution: DBR's FormW-compatible levels run as-is
+        assert_eq!(sink.counter("recovery.zy_selected_wy_substitution"), 0);
+        o.vectors = true;
+        let full = sym_eig(&a, &o, &ctx).unwrap();
+        assert_eq!(sel.values.len(), 5);
+        for (j, v) in sel.values.iter().enumerate() {
+            assert!((v - full.values[n - 5 + j]).abs() < 1e-4, "{v}");
+        }
+        let x = sel.vectors.as_ref().unwrap();
+        let res = eigenpair_residual(a.as_ref(), &sel.values, x.as_ref());
+        assert!(res < 1e-3, "residual {res}");
+    }
+
+    #[test]
+    fn dbr_zero_block_is_typed_invalid_input() {
+        let a: Mat<f32> = generate(16, MatrixType::Normal, 70).cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let mut o = opts(4, 8);
+        o.sbr = SbrVariant::Dbr { block: 0 };
+        match sym_eig(&a, &o, &ctx) {
+            Err(EvdError::InvalidInput { detail }) => {
+                assert!(detail.contains("DBR block size"), "{detail}")
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        let sel = sym_eig_selected(
+            &a,
+            crate::bisect::EigRange::Index { lo: 0, hi: 4 },
+            &o,
+            &ctx,
+        );
+        assert!(matches!(sel, Err(EvdError::InvalidInput { .. })));
+    }
+
+    /// Satellite check for the detached case: n ∈ {0, 1, 2, 3} must never
+    /// silently misbehave. `n ≤ 2` takes the closed-form path before any
+    /// block validation (no band reduction runs, so no block is consulted);
+    /// `n = 3` is the smallest size that reaches `validate_dbr_block`, where
+    /// a zero block is a typed error and any other block clamps.
+    #[test]
+    fn dbr_tiny_sizes_zero_through_three() {
+        let ctx = GemmContext::new(Engine::Sgemm);
+        for block in [0usize, 1, 7, 1024] {
+            let mut o = opts(4, 8);
+            o.sbr = SbrVariant::Dbr { block };
+            o.vectors = true;
+
+            let r = sym_eig(&Mat::<f32>::zeros(0, 0), &o, &ctx).unwrap();
+            assert!(r.values.is_empty());
+
+            let a1 = Mat::<f32>::from_fn(1, 1, |_, _| -3.5);
+            assert_eq!(sym_eig(&a1, &o, &ctx).unwrap().values, vec![-3.5]);
+
+            let a2 = Mat::<f32>::from_fn(2, 2, |i, j| if i == j { 2.0 + i as f32 } else { 1.5 });
+            let r2 = sym_eig(&a2, &o, &ctx).unwrap();
+            assert!(r2.values[0] <= r2.values[1]);
+
+            let a3 = generate(3, MatrixType::Normal, 71).cast::<f32>();
+            let r3 = sym_eig(&a3, &o, &ctx);
+            if block == 0 {
+                assert!(
+                    matches!(r3, Err(EvdError::InvalidInput { .. })),
+                    "n=3 block=0"
+                );
+            } else {
+                let r3 = r3.unwrap();
+                assert_eq!(r3.values.len(), 3);
+                let x = r3.vectors.as_ref().unwrap();
+                let res = eigenpair_residual(a3.as_ref(), &r3.values, x.as_ref());
+                assert!(res < 1e-4, "block={block} residual {res}");
+            }
+        }
+    }
+
+    /// Out-of-range DBR blocks clamp onto the grid the reduction actually
+    /// walks, bit-identically to the in-range equivalent: `nb < b` snaps up
+    /// to `b`, `nb > n − b` snaps down to the first level's full width.
+    #[test]
+    fn dbr_block_clamping_is_bit_exact() {
+        let n = 40;
+        let a: Mat<f32> = generate(n, MatrixType::Normal, 72).cast();
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let run = |block: usize| {
+            let mut o = opts(4, 8);
+            o.sbr = SbrVariant::Dbr { block };
+            o.vectors = true;
+            sym_eig(&a, &o, &ctx).unwrap()
+        };
+        // nb < b clamps up to b
+        let (lo, at_b) = (run(1), run(4));
+        assert_eq!(lo.values, at_b.values);
+        assert_eq!(
+            lo.vectors.unwrap().max_abs_diff(&at_b.vectors.unwrap()),
+            0.0
+        );
+        // nb ≫ n clamps down to the first level's trailing width (36 here)
+        let (huge, cap) = (run(10_000), run(36));
+        assert_eq!(huge.values, cap.values);
+        assert_eq!(
+            huge.vectors.unwrap().max_abs_diff(&cap.vectors.unwrap()),
+            0.0
+        );
     }
 
     #[test]

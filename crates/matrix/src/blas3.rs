@@ -413,12 +413,41 @@ fn syrk_lower_unblocked<T: Scalar>(
     }
 }
 
+/// Minimum half-size worth splitting off recursively: below this the
+/// blocked base case's GEMM strips are already small enough that another
+/// level of recursion only adds call overhead.
+const SYR2K_SPLIT_MIN: usize = 128;
+
+/// Split point for the recursive [`syr2k_lower`]: the midpoint of `C`'s
+/// dimension rounded up to a `SYRK_NB` boundary (so every recursion depth
+/// keeps the same diagonal-tile grid as the base case), or `None` once the
+/// halves would stop being near-square against the inner dimension `k`.
+///
+/// This is a pure function of `(n, k)` — never of the worker-pool size,
+/// timing, or call history — which is what makes the recursion
+/// shape-deterministic (see `recursive_syr2k_is_thread_count_invariant`).
+fn syr2k_split(n: usize, k: usize) -> Option<usize> {
+    let h = (n / 2).div_ceil(SYRK_NB) * SYRK_NB;
+    (n >= 2 * SYR2K_SPLIT_MIN && h >= k && h < n).then_some(h)
+}
+
 /// Symmetric rank-2k update, lower triangle only:
 /// `C ← alpha·(A·Bᵀ + B·Aᵀ) + beta·C` with A, B of shape n×k.
 ///
-/// This is the `syr2k` the ZY-based trailing update uses; Tensor Cores have
-/// no native equivalent, which is exactly the paper's point — on the TC
-/// engine it must be issued as two full outer-product GEMMs.
+/// This is the `syr2k` the ZY- and DBR-based trailing updates use; Tensor
+/// Cores have no native equivalent, which is exactly the paper's point — on
+/// the TC engine it must be issued as two full outer-product GEMMs.
+///
+/// Recursive reshaping: while the output dimension `n` is large relative to
+/// the rank `k`, `C` is split at a [`syr2k_split`] midpoint into two
+/// triangular recursive calls plus one full off-diagonal block computed as
+/// two *near-square* packed GEMMs (`A_lo·B_hiᵀ` then `B_lo·A_hiᵀ`). That
+/// feeds the big trailing updates of the detached band reduction to the
+/// kernel tiers at the shapes they are tuned for, instead of the 64-wide
+/// column strips of the blocked base case. The split point depends only on
+/// `(n, k)`, and each GEMM's internal fan-out is the deterministic
+/// fixed-chunk `for_col_chunks` partition, so the result is bit-identical
+/// at any thread count.
 pub fn syr2k_lower<T: Scalar>(
     alpha: T,
     a: MatRef<'_, T>,
@@ -431,6 +460,61 @@ pub fn syr2k_lower<T: Scalar>(
     assert_eq!(a.rows(), n);
     assert_eq!(b.rows(), n);
     assert_eq!(a.cols(), b.cols());
+    let k = a.cols();
+    let Some(h) = syr2k_split(n, k) else {
+        syr2k_lower_blocked(alpha, a, b, beta, c);
+        return;
+    };
+    let r = n - h;
+    // leading triangle
+    syr2k_lower(
+        alpha,
+        a.view(0, 0, h, k),
+        b.view(0, 0, h, k),
+        beta,
+        c.view_mut(0, 0, h, h),
+    );
+    // the full off-diagonal block, as two near-square GEMMs
+    let mut c21 = c.view_mut(h, 0, r, h);
+    gemm(
+        alpha,
+        a.view(h, 0, r, k),
+        Op::NoTrans,
+        b.view(0, 0, h, k),
+        Op::Trans,
+        beta,
+        c21.as_mut(),
+    );
+    gemm(
+        alpha,
+        b.view(h, 0, r, k),
+        Op::NoTrans,
+        a.view(0, 0, h, k),
+        Op::Trans,
+        T::ONE,
+        c21,
+    );
+    // trailing triangle
+    syr2k_lower(
+        alpha,
+        a.view(h, 0, r, k),
+        b.view(h, 0, r, k),
+        beta,
+        c.view_mut(h, h, r, r),
+    );
+}
+
+/// The pre-recursion blocked formulation, kept as the base case: diagonal
+/// `SYRK_NB` tiles via the per-column kernel, sub-diagonal strips via
+/// packed GEMMs.
+fn syr2k_lower_blocked<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+) {
+    let n = c.rows();
     let k = a.cols();
     for (j0, jb) in pack::blocks(n, SYRK_NB) {
         syr2k_lower_unblocked(
@@ -949,6 +1033,14 @@ mod tests {
         Mat::from_col_major(m, n, pseudo_rand(m * n, seed))
     }
 
+    fn rand_mat32(m: usize, n: usize, seed: u64) -> Mat<f32> {
+        let data = pseudo_rand(m * n, seed)
+            .into_iter()
+            .map(|x| x as f32)
+            .collect();
+        Mat::from_col_major(m, n, data)
+    }
+
     #[test]
     fn gemm_all_ops_match_naive() {
         let (m, k, n) = (7, 5, 9);
@@ -1294,6 +1386,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn recursive_syr2k_matches_reference_across_split_sizes() {
+        // n = 300, k = 20 splits once (h = 192); n = 520, k = 40 splits
+        // twice; n = 150 stays in the blocked base case. All must agree
+        // with the dense two-product reference and leave the strict upper
+        // triangle untouched.
+        for (n, k) in [(150usize, 20usize), (300, 20), (520, 40)] {
+            let a = rand_mat(n, k, 200 + n as u64);
+            let b = rand_mat(n, k, 201 + n as u64);
+            let mut c = rand_mat(n, n, 202 + n as u64);
+            let c0 = c.clone();
+            syr2k_lower(1.1, a.as_ref(), b.as_ref(), 0.6, c.as_mut());
+            let abt = matmul(a.as_ref(), Op::NoTrans, b.as_ref(), Op::Trans);
+            for j in 0..n {
+                for i in 0..n {
+                    if i >= j {
+                        let want = 1.1 * (abt[(i, j)] + abt[(j, i)]) + 0.6 * c0[(i, j)];
+                        assert!((c[(i, j)] - want).abs() < 1e-10, "n={n} ({i},{j})");
+                    } else {
+                        assert_eq!(c[(i, j)], c0[(i, j)], "n={n} upper ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syr2k_split_is_pure_in_shape() {
+        // The recursion split is a function of (n, k) alone: aligned to the
+        // SYRK_NB tile grid, engaged only while the halves stay near-square
+        // against k, and stable call-to-call.
+        assert_eq!(syr2k_split(300, 20), Some(192));
+        assert_eq!(syr2k_split(300, 20), syr2k_split(300, 20));
+        assert_eq!(syr2k_split(1024, 512), Some(512));
+        // halves would be smaller than k → no split
+        assert_eq!(syr2k_split(1000, 900), None);
+        // too small to be worth splitting
+        assert_eq!(syr2k_split(150, 8), None);
+        if let Some(h) = syr2k_split(300, 20) {
+            assert_eq!(h % SYRK_NB, 0, "split must stay on the tile grid");
+        }
+    }
+
+    #[test]
+    fn recursive_syr2k_is_thread_count_invariant() {
+        // Bitwise regression for the recursion's determinism contract: the
+        // split point is shape-only and the GEMM fan-out is fixed-chunk, so
+        // a 1-worker and a 4-worker pool must produce identical bits on a
+        // size that recurses (n = 520 splits twice) and is large enough for
+        // the parallel fan-out to actually engage.
+        let n = 520;
+        let k = 40;
+        let a = rand_mat32(n, k, 300);
+        let b = rand_mat32(n, k, 301);
+        let c0 = rand_mat32(n, n, 302);
+        let run = |threads: usize| -> Vec<u32> {
+            rayon::configure(threads);
+            let mut c = c0.clone();
+            syr2k_lower(-1.0f32, a.as_ref(), b.as_ref(), 1.0f32, c.as_mut());
+            c.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        let bits1 = run(1);
+        let bits4 = run(4);
+        rayon::configure(0);
+        assert_eq!(
+            bits1, bits4,
+            "recursive syr2k must be bit-identical at 1 vs 4 workers"
+        );
     }
 
     #[test]

@@ -138,7 +138,7 @@ impl A100Model {
         let mut gemm_s = 0.0;
         for rec in &trace.gemms {
             let mut t = self.gemm_time(rec, engine);
-            if syr2k_native && rec.label.starts_with("zy_syr2k") {
+            if syr2k_native && rec.label.ends_with("syr2k") {
                 t = (t - self.launch_overhead_s) * 0.5 + self.launch_overhead_s;
             }
             gemm_s += t;

@@ -56,6 +56,17 @@ pub fn wy_memory(n: usize, b: usize, nb: usize) -> MemoryFootprint {
     }
 }
 
+/// Footprint of the detached band reduction. Same shape as the WY method
+/// (OA copy plus W/Y/AW aggregates), with one extra n×nb buffer for the
+/// V factor of the rank-nb syr2k trailing update.
+pub fn dbr_memory(n: usize, b: usize, nb: usize) -> MemoryFootprint {
+    let base = wy_memory(n, b, nb);
+    MemoryFootprint {
+        workspace: base.workspace + (n as u64) * (nb as u64) * F32,
+        ..base
+    }
+}
+
 /// Memory overhead ratio of WY over ZY.
 pub fn overhead_ratio(n: usize, b: usize, nb: usize) -> f64 {
     wy_memory(n, b, nb).total() as f64 / zy_memory(n, b).total() as f64
@@ -78,6 +89,16 @@ mod tests {
         let m2 = wy_memory(16384, 128, 1024).total();
         let ratio = m2 as f64 / m1 as f64;
         assert!(ratio > 3.5 && ratio < 4.3, "{ratio}");
+    }
+
+    #[test]
+    fn dbr_adds_only_the_v_buffer_over_wy() {
+        let wy = wy_memory(32768, 128, 1024);
+        let dbr = dbr_memory(32768, 128, 1024);
+        assert_eq!(dbr.matrix, wy.matrix);
+        assert_eq!(dbr.original_copy, wy.original_copy);
+        assert_eq!(dbr.wy_factors, wy.wy_factors);
+        assert_eq!(dbr.total() - wy.total(), 32768 * 1024 * 4);
     }
 
     #[test]

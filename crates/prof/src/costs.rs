@@ -91,6 +91,43 @@ pub const GEMM_COSTS: &[GemmCost] = &[
         label: "wy_inner_x",
         accumulates: true,
     },
+    // Detached band reduction (sbr_dbr.rs)
+    GemmCost {
+        label: "dbr_acc_w",
+        accumulates: true,
+    },
+    GemmCost {
+        label: "dbr_acc_ytw",
+        accumulates: false,
+    },
+    GemmCost {
+        label: "dbr_aw_append",
+        accumulates: false,
+    },
+    GemmCost {
+        label: "dbr_final_v",
+        accumulates: true,
+    },
+    GemmCost {
+        label: "dbr_final_waw",
+        accumulates: false,
+    },
+    GemmCost {
+        label: "dbr_inner_ga",
+        accumulates: true,
+    },
+    GemmCost {
+        label: "dbr_inner_wx",
+        accumulates: false,
+    },
+    GemmCost {
+        label: "dbr_inner_x",
+        accumulates: true,
+    },
+    GemmCost {
+        label: "dbr_syr2k",
+        accumulates: true,
+    },
     // WY aggregation / back-transformation (formw.rs)
     GemmCost {
         label: "backtransform_wv",

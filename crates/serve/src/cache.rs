@@ -52,6 +52,10 @@ fn hash_options(fnv: &mut Fnv, opts: &SymEigOptions, engine: Engine) {
             fnv.write_u64(block as u64);
         }
         SbrVariant::Zy => fnv.write_u32(1),
+        SbrVariant::Dbr { block } => {
+            fnv.write_u32(2);
+            fnv.write_u64(block as u64);
+        }
     }
     fnv.write_u32(match opts.panel {
         tcevd_band::PanelKind::Tsqr => 0,
@@ -181,6 +185,25 @@ mod tests {
             ..opts
         };
         assert_eq!(k1, cache_key(&a, &threaded, Engine::Sgemm));
+    }
+
+    #[test]
+    fn sbr_variants_key_distinctly() {
+        // Wy{nb}, Zy, and Dbr{nb} must never collide — Dbr at the same
+        // block size computes different bits than Wy, so sharing a key
+        // would serve the wrong variant's cached result.
+        let a = Mat::<f32>::identity(4, 4);
+        let with = |sbr| SymEigOptions {
+            sbr,
+            ..SymEigOptions::default()
+        };
+        let wy = cache_key(&a, &with(SbrVariant::Wy { block: 32 }), Engine::Sgemm);
+        let zy = cache_key(&a, &with(SbrVariant::Zy), Engine::Sgemm);
+        let dbr = cache_key(&a, &with(SbrVariant::Dbr { block: 32 }), Engine::Sgemm);
+        let dbr2 = cache_key(&a, &with(SbrVariant::Dbr { block: 64 }), Engine::Sgemm);
+        assert_ne!(wy, dbr);
+        assert_ne!(zy, dbr);
+        assert_ne!(dbr, dbr2);
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub const GEMM_LABELS: &[&str] = &[
     "wy_inner_ga",
     "wy_inner_wx",
     "wy_inner_x",
+    // tcevd-band: detached band reduction, nb decoupled from b (sbr_dbr.rs)
+    "dbr_acc_w",
+    "dbr_acc_ytw",
+    "dbr_aw_append",
+    "dbr_final_v",
+    "dbr_final_waw",
+    "dbr_inner_ga",
+    "dbr_inner_wx",
+    "dbr_inner_x",
+    "dbr_syr2k",
     // tcevd-band: recursive FormW merge + back-transformation (formw.rs)
     "backtransform_wv",
     "backtransform_ytv",

@@ -164,6 +164,30 @@ fn thread_count_is_invisible_zy_householder_ql() {
 }
 
 #[test]
+fn thread_count_is_invisible_dbr_tsqr_dc() {
+    assert_thread_invariant(
+        11,
+        96,
+        SbrVariant::Dbr { block: 32 },
+        PanelKind::Tsqr,
+        TridiagSolver::DivideConquer,
+    );
+}
+
+#[test]
+fn thread_count_is_invisible_dbr_detached_block() {
+    // nb = 64 ≫ b = 8: the genuinely detached configuration, where one
+    // rank-64 syr2k per block goes through the recursive split.
+    assert_thread_invariant(
+        17,
+        300,
+        SbrVariant::Dbr { block: 64 },
+        PanelKind::Tsqr,
+        TridiagSolver::DivideConquer,
+    );
+}
+
+#[test]
 fn thread_count_is_invisible_on_the_batched_q_path() {
     // n = 300 crosses the batched-Q cutoff in the bulge chase (n ≥ 256),
     // so this configuration exercises the parallel row-block Q update and

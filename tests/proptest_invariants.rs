@@ -219,6 +219,58 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// DBR vs WY: full-pipeline agreement under random shapes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // each case runs two full EVDs with vectors — keep the count low
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn dbr_agrees_with_wy_full_pipeline(
+        a64 in sym_strategy(40),
+        b_idx in 0usize..3,     // bandwidth ∈ {4, 5, 8}
+        nb_mult in 1usize..5,   // detached block nb = mult · b (1 ⇒ WY-degenerate)
+    ) {
+        let a: Mat<f32> = a64.cast();
+        let b = [4usize, 5, 8][b_idx];
+        let base = SymEigOptions {
+            bandwidth: b,
+            sbr: SbrVariant::Wy { block: b },
+            panel: PanelKind::Tsqr,
+            solver: TridiagSolver::DivideConquer,
+            vectors: true,
+            trace: false,
+            recovery: RecoveryPolicy::default(),
+            threads: 1,
+        };
+        let ctx = GemmContext::new(Engine::Sgemm);
+        let wy = sym_eig(&a, &base, &ctx).unwrap();
+        let dbr_opts = SymEigOptions {
+            sbr: SbrVariant::Dbr { block: nb_mult * b },
+            ..base
+        };
+        let dbr = sym_eig(&a, &dbr_opts, &ctx).unwrap();
+
+        // both solvers return the ascending spectrum of the same matrix;
+        // the orthogonal similarities differ, so agreement is to f32
+        // spectrum-scale accuracy, not bitwise
+        prop_assert_eq!(dbr.values.len(), wy.values.len());
+        let scale = wy.values.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        for (d, w) in dbr.values.iter().zip(wy.values.iter()) {
+            prop_assert!(
+                (d - w).abs() <= 2e-4 * scale,
+                "dbr {d} vs wy {w} (scale {scale}, b {b}, nb {})",
+                nb_mult * b
+            );
+        }
+        let x = dbr.vectors.as_ref().expect("vectors requested");
+        let res = tcevd::evd::eigenpair_residual(a.as_ref(), &dbr.values, x.as_ref());
+        prop_assert!(res <= 5e-4, "dbr eigenpair residual {res}");
+    }
+}
+
+// ---------------------------------------------------------------------------
 // sym_eig_selected vs slices of the full solve
 // ---------------------------------------------------------------------------
 
